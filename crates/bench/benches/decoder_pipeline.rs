@@ -1,0 +1,105 @@
+//! Criterion benchmarks of the full Alg.-1 interference decode — the
+//! per-packet cost an ANC receiver pays — forward and backward, at two
+//! frame sizes.
+
+use anc_core::decoder::{AncDecoder, DecoderConfig};
+use anc_core::detect::DetectorConfig;
+use anc_dsp::{Cplx, DspRng};
+use anc_frame::{Frame, FrameConfig, Header};
+use anc_modem::{Modem, MskModem};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const NOISE: f64 = 1e-3;
+
+struct Fixture {
+    rx: Vec<Cplx>,
+    known_bits: Vec<bool>,
+}
+
+/// Builds a padded interfered reception; `known_first` selects whether
+/// the known frame leads (forward decode) or trails (backward decode).
+fn fixture(payload: usize, known_first: bool, seed: u64) -> Fixture {
+    let mut rng = DspRng::seed_from(seed);
+    let cfg = FrameConfig::default();
+    let modem = MskModem::default();
+    let kf = Frame::new(Header::new(1, 2, 1, 0), rng.bits(payload));
+    let uf = Frame::new(Header::new(2, 1, 1, 0), rng.bits(payload));
+    let kb = kf.to_bits(&cfg);
+    let ub = uf.to_bits(&cfg);
+    let (first, second) = if known_first { (&kb, &ub) } else { (&ub, &kb) };
+    let s1 = modem.modulate(first);
+    let s2 = modem.modulate(second);
+    let (g1, g2) = (rng.phase(), rng.phase());
+    let lead = 300;
+    let span = lead + s2.len();
+    let mut rx: Vec<Cplx> = (0..128).map(|_| rng.complex_gaussian(NOISE)).collect();
+    rx.extend((0..span).map(|t| {
+        let mut s = rng.complex_gaussian(NOISE);
+        if t < s1.len() {
+            s += s1[t].rotate(g1);
+        }
+        if t >= lead {
+            let k = t - lead;
+            s += s2[k].rotate(g2 + 0.02 * k as f64);
+        }
+        s
+    }));
+    rx.extend((0..128).map(|_| rng.complex_gaussian(NOISE)));
+    Fixture { rx, known_bits: kb }
+}
+
+fn decoder() -> AncDecoder {
+    AncDecoder::new(DecoderConfig {
+        detector: DetectorConfig {
+            noise_floor: NOISE,
+            ..Default::default()
+        },
+        ..Default::default()
+    })
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let dec = decoder();
+    let mut g = c.benchmark_group("anc_decode_forward");
+    for payload in [1024usize, 4096] {
+        let f = fixture(payload, true, 10 + payload as u64);
+        g.throughput(Throughput::Elements(payload as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(payload), &f, |b, f| {
+            b.iter(|| black_box(dec.decode_forward(black_box(&f.rx), black_box(&f.known_bits))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_backward(c: &mut Criterion) {
+    let dec = decoder();
+    let mut g = c.benchmark_group("anc_decode_backward");
+    for payload in [1024usize, 4096] {
+        let f = fixture(payload, false, 20 + payload as u64);
+        g.throughput(Throughput::Elements(payload as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(payload), &f, |b, f| {
+            b.iter(|| black_box(dec.decode_backward(black_box(&f.rx), black_box(&f.known_bits))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_clean(c: &mut Criterion) {
+    // Baseline cost: a clean (non-interfered) detection + demod.
+    let mut rng = DspRng::seed_from(30);
+    let cfg = FrameConfig::default();
+    let modem = MskModem::default();
+    let f = Frame::new(Header::new(1, 2, 1, 0), rng.bits(4096));
+    let wave = modem.modulate(&f.to_bits(&cfg));
+    let g0 = rng.phase();
+    let mut rx: Vec<Cplx> = (0..128).map(|_| rng.complex_gaussian(NOISE)).collect();
+    rx.extend(wave.iter().map(|&s| s.rotate(g0) + rng.complex_gaussian(NOISE)));
+    rx.extend((0..128).map(|_| rng.complex_gaussian(NOISE)));
+    let dec = decoder();
+    c.bench_function("clean_decode_4096", |b| {
+        b.iter(|| black_box(dec.decode_clean(black_box(&rx))))
+    });
+}
+
+criterion_group!(benches, bench_forward, bench_backward, bench_clean);
+criterion_main!(benches);

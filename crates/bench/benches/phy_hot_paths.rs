@@ -1,0 +1,105 @@
+//! Criterion micro-benchmarks of the PHY hot paths: modulation,
+//! demodulation, detection, and the per-sample Lemma-6.1 machinery the
+//! ANC decoder runs for every interfered symbol.
+
+use anc_core::amplitude::estimate_amplitudes;
+use anc_core::detect::{DetectorConfig, SignalDetector};
+use anc_core::lemma::solve_phases;
+use anc_core::matcher::match_phase_differences;
+use anc_dsp::{Cplx, DspRng};
+use anc_modem::{Modem, MskModem};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn interfered_stream(n: usize, seed: u64) -> (Vec<Cplx>, Vec<f64>) {
+    let mut rng = DspRng::seed_from(seed);
+    let modem = MskModem::default();
+    let a_bits = rng.bits(n);
+    let b_bits = rng.bits(n);
+    let sa = modem.modulate(&a_bits);
+    let sb = modem.modulate(&b_bits);
+    let (ga, gb) = (rng.phase(), rng.phase());
+    let rx = sa
+        .iter()
+        .zip(&sb)
+        .enumerate()
+        .map(|(k, (&x, &y))| {
+            x.rotate(ga) + y.rotate(gb + 0.02 * k as f64) + rng.complex_gaussian(1e-3)
+        })
+        .collect();
+    (rx, modem.phase_differences(&a_bits))
+}
+
+fn bench_modulation(c: &mut Criterion) {
+    let mut rng = DspRng::seed_from(1);
+    let bits = rng.bits(8192);
+    let modem = MskModem::default();
+    let mut g = c.benchmark_group("msk");
+    g.throughput(Throughput::Elements(bits.len() as u64));
+    g.bench_function("modulate_8k_bits", |b| {
+        b.iter(|| black_box(modem.modulate(black_box(&bits))))
+    });
+    let signal = modem.modulate(&bits);
+    g.bench_function("demodulate_8k_bits", |b| {
+        b.iter(|| black_box(modem.demodulate(black_box(&signal))))
+    });
+    g.finish();
+}
+
+fn bench_lemma(c: &mut Criterion) {
+    let y = Cplx::new(0.7, -1.1);
+    c.bench_function("lemma61_solve_phases", |b| {
+        b.iter(|| black_box(solve_phases(black_box(y), 1.0, 0.8)))
+    });
+}
+
+fn bench_matcher(c: &mut Criterion) {
+    let (rx, dtheta) = interfered_stream(4096, 2);
+    let mut g = c.benchmark_group("matcher");
+    g.throughput(Throughput::Elements(dtheta.len() as u64));
+    g.bench_function("match_4k_symbols", |b| {
+        b.iter(|| {
+            black_box(match_phase_differences(
+                black_box(&rx),
+                black_box(&dtheta),
+                1.0,
+                1.0,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_amplitude(c: &mut Criterion) {
+    let (rx, _) = interfered_stream(4096, 3);
+    c.bench_function("amplitude_estimate_4k", |b| {
+        b.iter(|| black_box(estimate_amplitudes(black_box(&rx))))
+    });
+}
+
+fn bench_detector(c: &mut Criterion) {
+    let (mix, _) = interfered_stream(4096, 4);
+    let mut rng = DspRng::seed_from(5);
+    let mut rx: Vec<Cplx> = (0..256).map(|_| rng.complex_gaussian(1e-3)).collect();
+    rx.extend(mix);
+    rx.extend((0..256).map(|_| rng.complex_gaussian(1e-3)));
+    let det = SignalDetector::new(DetectorConfig {
+        noise_floor: 1e-3,
+        ..Default::default()
+    });
+    let mut g = c.benchmark_group("detector");
+    g.throughput(Throughput::Elements(rx.len() as u64));
+    g.bench_function("detect_and_classify_4k", |b| {
+        b.iter(|| black_box(det.detect(black_box(&rx))))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_modulation,
+    bench_lemma,
+    bench_matcher,
+    bench_amplitude,
+    bench_detector
+);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Regenerates **Figs. 10a/10b** — "X" topology: CDF of ANC's gain over
+//! traditional routing and COPE, and CDF of per-packet BER, with
+//! imperfect overhearing (§11.5).
+//!
+//! Paper headline: 65 % mean gain over traditional, 28 % over COPE;
+//! BER CDF carries a heavier tail than Alice-Bob because overheard
+//! (known) packets sometimes arrive with errors or not at all.
+//!
+//! ```text
+//! cargo run --release -p anc-bench --bin fig10_x_topology -- --quick
+//! ```
+
+use anc_bench::{emit, experiment_config, from_env, topology_report};
+use anc_sim::experiments::x_topology;
+
+fn main() {
+    let args = from_env();
+    let result = x_topology(&experiment_config(&args));
+    let report = topology_report("fig10_x_topology", &result, &args);
+    emit(&report, &args);
+}

@@ -1,0 +1,22 @@
+//! Regenerates **Figs. 12a/12b** — the unidirectional 3-hop chain:
+//! CDF of ANC's gain over traditional routing (COPE does not apply to
+//! one-way flows) and CDF of the BER measured at the decoding relay N2
+//! (§11.6).
+//!
+//! Paper headline: 36 % mean gain; BER ≈ 1–1.5 %, lower than Alice-Bob
+//! because the interfered signal is decoded where it first lands
+//! instead of being re-amplified (with its noise) by the relay.
+//!
+//! ```text
+//! cargo run --release -p anc-bench --bin fig12_chain -- --quick
+//! ```
+
+use anc_bench::{emit, experiment_config, from_env, topology_report};
+use anc_sim::experiments::chain;
+
+fn main() {
+    let args = from_env();
+    let result = chain(&experiment_config(&args));
+    let report = topology_report("fig12_chain", &result, &args);
+    emit(&report, &args);
+}

@@ -1,0 +1,42 @@
+//! Regenerates **Fig. 7** — capacity bounds vs SNR for the half-duplex
+//! two-way relay (Theorem 8.1).
+//!
+//! ```text
+//! cargo run -p anc-bench --bin fig7_capacity [--json fig7.json]
+//! ```
+
+use anc_bench::{emit, from_env};
+use anc_capacity::bounds::CapacityModel;
+use anc_capacity::fig7::{fig7_series, find_crossover_db};
+use anc_sim::report::{ExperimentReport, FigureSeries};
+
+fn main() {
+    let args = from_env();
+    let model = CapacityModel::default();
+    let series = fig7_series(&model, 0.0, 55.0, 111);
+    let crossover = find_crossover_db(&model, 0.0, 30.0);
+
+    let mut report = ExperimentReport::new("fig7_capacity_bounds");
+    report
+        .param("alpha", model.alpha)
+        .param("snr_lo_db", 0.0)
+        .param("snr_hi_db", 55.0);
+    if let Some(x) = crossover {
+        report.stat("crossover_snr_db", x);
+    }
+    let last = series.last().expect("non-empty sweep");
+    report
+        .stat("gain_at_55db", last.gain)
+        .stat("anc_lower_at_55db", last.anc_lower)
+        .stat("routing_upper_at_55db", last.routing_upper);
+    report.push_series(FigureSeries::sweep(
+        "capacity_vs_snr",
+        "snr_db",
+        &["routing_upper", "anc_lower", "gain"],
+        series
+            .iter()
+            .map(|p| vec![p.snr_db, p.routing_upper, p.anc_lower, p.gain])
+            .collect(),
+    ));
+    emit(&report, &args);
+}

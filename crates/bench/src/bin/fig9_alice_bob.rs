@@ -1,0 +1,21 @@
+//! Regenerates **Figs. 9a/9b** — Alice-Bob topology: CDF of ANC's
+//! throughput gain over traditional routing and COPE, and CDF of
+//! per-packet BER (§11.4).
+//!
+//! Paper headline: 70 % mean gain over traditional, 30 % over COPE,
+//! BER mostly under 4 %, mean packet overlap ≈ 80 %.
+//!
+//! ```text
+//! cargo run --release -p anc-bench --bin fig9_alice_bob -- --quick
+//! cargo run --release -p anc-bench --bin fig9_alice_bob -- --json fig9.json
+//! ```
+
+use anc_bench::{emit, experiment_config, from_env, topology_report};
+use anc_sim::experiments::alice_bob;
+
+fn main() {
+    let args = from_env();
+    let result = alice_bob(&experiment_config(&args));
+    let report = topology_report("fig9_alice_bob", &result, &args);
+    emit(&report, &args);
+}

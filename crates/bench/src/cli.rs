@@ -1,0 +1,169 @@
+//! Minimal argument parsing shared by the experiment binaries.
+//!
+//! Every figure binary accepts the same knobs:
+//!
+//! ```text
+//! --runs N        paired runs (default 40, the paper's count)
+//! --packets N     packets per flow per run (default 1000, the paper's)
+//! --payload N     payload bits per packet (default 8192)
+//! --seed N        base seed (default 7)
+//! --threads N     worker threads (default: all cores)
+//! --json PATH     also write the machine-readable report
+//! --quick         scale down (8 runs × 60 packets) for smoke tests
+//! ```
+//!
+//! No external CLI crate: the flags are few and the offline dependency
+//! budget is spent on the science (DESIGN.md §7).
+
+use std::path::PathBuf;
+
+/// Parsed harness arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HarnessArgs {
+    /// Paired runs per experiment.
+    pub runs: usize,
+    /// Packets per flow per run.
+    pub packets: usize,
+    /// Payload bits per packet.
+    pub payload_bits: usize,
+    /// Base seed.
+    pub seed: u64,
+    /// Worker threads (0 = all cores).
+    pub threads: usize,
+    /// Optional JSON output path.
+    pub json: Option<PathBuf>,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        HarnessArgs {
+            runs: 40,
+            packets: 1000,
+            payload_bits: 8192,
+            seed: 7,
+            threads: 0,
+            json: None,
+        }
+    }
+}
+
+/// Parses an argument list (without the program name). Unknown flags
+/// abort with a message, keeping typos from silently running a
+/// multi-minute experiment with default settings.
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<HarnessArgs, String> {
+    let mut out = HarnessArgs::default();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut grab = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--runs" => {
+                out.runs = grab("--runs")?
+                    .parse()
+                    .map_err(|e| format!("--runs: {e}"))?
+            }
+            "--packets" => {
+                out.packets = grab("--packets")?
+                    .parse()
+                    .map_err(|e| format!("--packets: {e}"))?
+            }
+            "--payload" => {
+                out.payload_bits = grab("--payload")?
+                    .parse()
+                    .map_err(|e| format!("--payload: {e}"))?
+            }
+            "--seed" => {
+                out.seed = grab("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--threads" => {
+                out.threads = grab("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--json" => out.json = Some(PathBuf::from(grab("--json")?)),
+            "--quick" => {
+                out.runs = 8;
+                out.packets = 60;
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: [--runs N] [--packets N] [--payload BITS] [--seed N] \
+                     [--threads N] [--json PATH] [--quick]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if out.runs == 0 || out.packets == 0 {
+        return Err("--runs and --packets must be positive".to_string());
+    }
+    Ok(out)
+}
+
+/// Parses from the process arguments, exiting with a message on error.
+pub fn from_env() -> HarnessArgs {
+    match parse_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> Result<HarnessArgs, String> {
+        parse_args(v.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_match_paper_scale() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.runs, 40);
+        assert_eq!(a.packets, 1000);
+        assert_eq!(a.payload_bits, 8192);
+    }
+
+    #[test]
+    fn overrides() {
+        let a = parse(&[
+            "--runs", "5", "--packets", "12", "--payload", "1024", "--seed", "99",
+            "--threads", "3", "--json", "/tmp/x.json",
+        ])
+        .unwrap();
+        assert_eq!(a.runs, 5);
+        assert_eq!(a.packets, 12);
+        assert_eq!(a.payload_bits, 1024);
+        assert_eq!(a.seed, 99);
+        assert_eq!(a.threads, 3);
+        assert_eq!(a.json.unwrap().to_str().unwrap(), "/tmp/x.json");
+    }
+
+    #[test]
+    fn quick_scales_down() {
+        let a = parse(&["--quick"]).unwrap();
+        assert_eq!(a.runs, 8);
+        assert_eq!(a.packets, 60);
+    }
+
+    #[test]
+    fn rejects_unknown_and_malformed() {
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--runs"]).is_err());
+        assert!(parse(&["--runs", "abc"]).is_err());
+        assert!(parse(&["--runs", "0"]).is_err());
+    }
+
+    #[test]
+    fn help_is_an_error_with_usage() {
+        let e = parse(&["--help"]).unwrap_err();
+        assert!(e.contains("usage:"));
+    }
+}

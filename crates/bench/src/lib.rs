@@ -1,0 +1,99 @@
+//! # anc-bench — experiment harness and micro-benchmarks
+//!
+//! One binary per paper table/figure (see DESIGN.md §3 for the index):
+//!
+//! | binary | regenerates |
+//! |--------|-------------|
+//! | `fig7_capacity`   | Fig. 7 capacity bounds vs SNR |
+//! | `fig9_alice_bob`  | Fig. 9a/9b Alice-Bob gain + BER CDFs |
+//! | `fig10_x_topology`| Fig. 10a/10b "X" topology CDFs |
+//! | `fig12_chain`     | Fig. 12a/12b chain topology CDFs |
+//! | `fig13_sir_sweep` | Fig. 13 BER vs SIR |
+//! | `summary_table`   | §11.3 summary of results |
+//! | `ablations`       | DESIGN.md §5 design-choice ablations |
+//!
+//! Each binary prints the figure's series as fixed-width text and, with
+//! `--json <path>`, writes a machine-readable result file. Criterion
+//! benches live in `benches/` and cover the decoder hot paths.
+//!
+//! This library crate hosts the small amount of shared harness code so
+//! the binaries stay thin.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+
+pub use cli::{from_env, parse_args, HarnessArgs};
+
+use anc_sim::experiments::ExperimentConfig;
+use anc_sim::report::ExperimentReport;
+use anc_sim::runs::RunConfig;
+
+/// Builds the simulator experiment configuration from harness args.
+pub fn experiment_config(args: &HarnessArgs) -> ExperimentConfig {
+    ExperimentConfig {
+        runs: args.runs,
+        base: RunConfig {
+            seed: args.seed,
+            packets_per_flow: args.packets,
+            payload_bits: args.payload_bits,
+            ..RunConfig::default()
+        },
+        threads: args.threads,
+    }
+}
+
+/// Prints the report and writes the optional JSON artifact.
+pub fn emit(report: &ExperimentReport, args: &HarnessArgs) {
+    println!("{}", report.render());
+    if let Some(path) = &args.json {
+        match report.write_json(path) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Standard report assembly for the three topology experiments
+/// (Figs. 9, 10 and 12): gain CDFs + BER CDF + headline stats.
+pub fn topology_report(
+    title: &str,
+    result: &anc_sim::experiments::TopologyResult,
+    args: &HarnessArgs,
+) -> ExperimentReport {
+    use anc_sim::report::FigureSeries;
+    let mut r = ExperimentReport::new(title);
+    r.param("runs", args.runs as f64)
+        .param("packets_per_flow", args.packets as f64)
+        .param("payload_bits", args.payload_bits as f64)
+        .param("seed", args.seed as f64);
+    r.stat("mean_gain_over_traditional", result.mean_gain_traditional())
+        .stat("mean_anc_packet_ber", result.mean_ber())
+        .stat("mean_overlap_fraction", result.mean_overlap)
+        .stat("anc_delivery_rate", result.anc_delivery_rate);
+    if !result.gains_vs_cope.is_empty() {
+        r.stat("mean_gain_over_cope", result.mean_gain_cope());
+    }
+    r.push_series(FigureSeries::cdf(
+        "gain_over_traditional_cdf",
+        "throughput_gain",
+        &result.gains_vs_traditional,
+    ));
+    if !result.gains_vs_cope.is_empty() {
+        r.push_series(FigureSeries::cdf(
+            "gain_over_cope_cdf",
+            "throughput_gain",
+            &result.gains_vs_cope,
+        ));
+    }
+    r.push_series(FigureSeries::cdf(
+        "anc_packet_ber_cdf",
+        "bit_error_rate",
+        &result.anc_packet_bers,
+    ));
+    r
+}

@@ -1,0 +1,229 @@
+//! Theorem 8.1 — capacity bounds for the half-duplex two-way relay.
+//!
+//! ```text
+//! C_traditional = α · ( log(1 + 2·SNR) + log(1 + SNR) )        (upper bound)
+//! C_anc         = 4α · log(1 + SNR² / (3·SNR + 1))             (lower bound)
+//! ```
+//!
+//! The gain `C_anc / C_traditional → 2` as SNR → ∞ (Appendix C: the
+//! ratio `log(1+x)/log(1+kx) → 1`), while at low SNR the
+//! amplify-and-forward relay re-amplifies its own receiver noise and
+//! ANC falls *below* the routing bound — the paper puts the crossover
+//! in the 0–8 dB region and notes practical systems live at 20–40 dB.
+//!
+//! Also here: the Appendix-C building blocks (relay gain, post-relay
+//! SNR, Eq. 25) so the analysis and the channel simulator agree.
+
+use anc_dsp::db_to_linear;
+
+/// Parameterization of the Theorem 8.1 bounds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapacityModel {
+    /// The constant α of Theorem 8.1 (time-sharing prefactor). The
+    /// cutset computation of Appendix C uses α = 1/4.
+    pub alpha: f64,
+    /// Use base-2 logarithms (bits/s/Hz) when `true`, natural logs
+    /// (nats) otherwise. Fig. 7's b/s/Hz axis corresponds to base 2.
+    pub log2: bool,
+}
+
+impl Default for CapacityModel {
+    fn default() -> Self {
+        CapacityModel {
+            alpha: 0.25,
+            log2: true,
+        }
+    }
+}
+
+impl CapacityModel {
+    fn log(&self, x: f64) -> f64 {
+        if self.log2 {
+            x.log2()
+        } else {
+            x.ln()
+        }
+    }
+
+    /// Upper bound on traditional routing throughput at linear `snr`.
+    pub fn routing_upper(&self, snr: f64) -> f64 {
+        assert!(snr >= 0.0, "SNR must be non-negative");
+        self.alpha * (self.log(1.0 + 2.0 * snr) + self.log(1.0 + snr))
+    }
+
+    /// Lower bound on ANC throughput at linear `snr`.
+    pub fn anc_lower(&self, snr: f64) -> f64 {
+        assert!(snr >= 0.0, "SNR must be non-negative");
+        4.0 * self.alpha * self.log(1.0 + snr * snr / (3.0 * snr + 1.0))
+    }
+
+    /// `C_anc / C_traditional` at linear `snr`; NaN at zero capacity.
+    pub fn gain(&self, snr: f64) -> f64 {
+        self.anc_lower(snr) / self.routing_upper(snr)
+    }
+
+    /// Convenience: bounds at an SNR given in dB.
+    pub fn at_db(&self, snr_db: f64) -> (f64, f64) {
+        let snr = db_to_linear(snr_db);
+        (self.routing_upper(snr), self.anc_lower(snr))
+    }
+}
+
+/// Upper bound on routing capacity with the default model.
+pub fn routing_upper_bound(snr: f64) -> f64 {
+    CapacityModel::default().routing_upper(snr)
+}
+
+/// Lower bound on ANC capacity with the default model.
+pub fn anc_lower_bound(snr: f64) -> f64 {
+    CapacityModel::default().anc_lower(snr)
+}
+
+/// Capacity gain ratio with the default model.
+pub fn gain_ratio(snr: f64) -> f64 {
+    CapacityModel::default().gain(snr)
+}
+
+/// Appendix C: the relay's amplification factor
+/// `A = sqrt(P / (P·h_AR² + P·h_BR² + 1))` (unit noise power), chosen
+/// so the re-broadcast power equals `P`.
+pub fn relay_gain(p: f64, h_ar: f64, h_br: f64) -> f64 {
+    assert!(p > 0.0);
+    (p / (p * h_ar * h_ar + p * h_br * h_br + 1.0)).sqrt()
+}
+
+/// Appendix C, Eq. 25: the SNR of Bob's signal at Alice after she
+/// cancels her own component from the relayed broadcast:
+/// `SNR_Alice = A²·P·h_RA²·h_BR² / (A²·h_RA² + 1)` (unit noise powers,
+/// `a` = relay gain).
+pub fn post_relay_snr(p: f64, a: f64, h_ra: f64, h_br: f64) -> f64 {
+    let num = a * a * p * h_ra * h_ra * h_br * h_br;
+    let den = a * a * h_ra * h_ra + 1.0;
+    num / den
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anc_dsp::db_to_linear;
+
+    #[test]
+    fn zero_snr_zero_capacity() {
+        let m = CapacityModel::default();
+        assert_eq!(m.routing_upper(0.0), 0.0);
+        assert_eq!(m.anc_lower(0.0), 0.0);
+    }
+
+    #[test]
+    fn bounds_monotone_in_snr() {
+        let m = CapacityModel::default();
+        let mut prev = (0.0, 0.0);
+        for db in 1..60 {
+            let cur = m.at_db(db as f64);
+            assert!(cur.0 > prev.0, "routing not monotone at {db} dB");
+            assert!(cur.1 >= prev.1, "anc not monotone at {db} dB");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn gain_approaches_two_at_high_snr() {
+        // Theorem 8.1: "the capacity gain … asymptotically approaches
+        // 2". The approach is logarithmically slow — the constant
+        // offsets (−4·log 3 vs +log 2) decay only as 1/log SNR — so we
+        // check monotone growth toward 2 from below.
+        let m = CapacityModel::default();
+        let g40 = m.gain(db_to_linear(40.0));
+        let g60 = m.gain(db_to_linear(60.0));
+        let g100 = m.gain(db_to_linear(100.0));
+        let g300 = m.gain(db_to_linear(300.0));
+        assert!(g40 > 1.5, "g(40dB) = {g40}");
+        assert!(g60 > g40);
+        assert!(g100 > g60);
+        assert!(g300 > 1.95, "g(300dB) = {g300}");
+        assert!(g300 < 2.0, "gain must approach 2 from below");
+    }
+
+    #[test]
+    fn anc_loses_at_low_snr() {
+        // §8(b): "at low SNRs around 0-8dB, the throughput of analog
+        // network coding is lower than the upper bound for the
+        // traditional approach."
+        let m = CapacityModel::default();
+        for db in [0.0, 2.0, 4.0, 6.0] {
+            let (routing, anc) = m.at_db(db);
+            assert!(anc < routing, "ANC should lose at {db} dB");
+        }
+    }
+
+    #[test]
+    fn anc_wins_in_practical_range() {
+        // §8: "practical wireless systems typically operate around
+        // 20-40dB", where ANC must win.
+        let m = CapacityModel::default();
+        for db in [20.0, 25.0, 30.0, 40.0] {
+            let (routing, anc) = m.at_db(db);
+            assert!(anc > routing, "ANC should win at {db} dB");
+            assert!(anc / routing > 1.3, "gain too small at {db} dB");
+        }
+    }
+
+    #[test]
+    fn high_snr_asymptotics() {
+        // C_anc ≈ log2(SNR/3), C_trad ≈ (1/4)(log2 2SNR + log2 SNR).
+        let m = CapacityModel::default();
+        let snr = db_to_linear(60.0);
+        let anc_expect = (snr / 3.0).log2();
+        assert!((m.anc_lower(snr) - anc_expect).abs() / anc_expect < 0.01);
+    }
+
+    #[test]
+    fn natural_log_model_scales() {
+        let m2 = CapacityModel::default();
+        let mn = CapacityModel {
+            log2: false,
+            ..Default::default()
+        };
+        let snr = 100.0;
+        let ratio = m2.routing_upper(snr) / mn.routing_upper(snr);
+        assert!((ratio - 1.0 / std::f64::consts::LN_2).abs() < 1e-12);
+        // Gain ratio is base-independent.
+        assert!((m2.gain(snr) - mn.gain(snr)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relay_gain_normalizes_power() {
+        // Received power at relay = P(h_AR² + h_BR²) + 1; gain² times
+        // that must equal P.
+        let (p, h1, h2) = (4.0, 0.6, 0.8);
+        let a = relay_gain(p, h1, h2);
+        let p_in = p * h1 * h1 + p * h2 * h2 + 1.0;
+        assert!((a * a * p_in - p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn post_relay_snr_sanity() {
+        // Symmetric unit-gain links: SNR_Alice = A²P/(A²+1) with
+        // A² = P/(2P+1).
+        let p = 100.0;
+        let a = relay_gain(p, 1.0, 1.0);
+        let snr = post_relay_snr(p, a, 1.0, 1.0);
+        let a2 = p / (2.0 * p + 1.0);
+        assert!((snr - a2 * p / (a2 + 1.0)).abs() < 1e-9);
+        // And it matches the Theorem's SNR²/(3SNR+1) composite form.
+        assert!((snr - p * p / (3.0 * p + 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn free_function_wrappers() {
+        assert_eq!(routing_upper_bound(10.0), CapacityModel::default().routing_upper(10.0));
+        assert_eq!(anc_lower_bound(10.0), CapacityModel::default().anc_lower(10.0));
+        assert_eq!(gain_ratio(10.0), CapacityModel::default().gain(10.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_snr_rejected() {
+        let _ = CapacityModel::default().routing_upper(-1.0);
+    }
+}

@@ -1,0 +1,25 @@
+//! # anc-capacity — Theorem 8.1 capacity analysis
+//!
+//! §8 of the paper bounds the capacity of the half-duplex two-way relay
+//! ("Alice-Bob") network:
+//!
+//! * **Routing upper bound**:
+//!   `C_traditional = α·(log(1 + 2·SNR) + log(1 + SNR))`
+//! * **ANC lower bound**:
+//!   `C_anc = 4α·log(1 + SNR² / (3·SNR + 1))`
+//!
+//! with the gain ratio tending to 2 as SNR → ∞. This crate evaluates
+//! the bounds, finds the low-SNR crossover (the paper reports ANC
+//! falling below routing around 0–8 dB), and generates the Fig. 7
+//! series. It also exposes the Appendix-C building blocks (the
+//! amplify-and-forward gain and the post-relay SNR) so the channel
+//! crate's relay and the analysis stay consistent.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod fig7;
+
+pub use bounds::{anc_lower_bound, gain_ratio, routing_upper_bound, CapacityModel};
+pub use fig7::{fig7_series, find_crossover_db, Fig7Point};

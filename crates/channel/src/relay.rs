@@ -1,0 +1,151 @@
+//! The amplify-and-forward relay (§7.5, Appendix C).
+//!
+//! In the Alice-Bob topology the router *"can simply amplify and forward
+//! the received interfered signal at the physical layer itself without
+//! decoding it"* (§2). Appendix C pins down the gain: the relay scales
+//! its reception so the retransmission power equals the node transmit
+//! power `P`:
+//!
+//! ```text
+//! A = sqrt( P / (P·h_AR² + P·h_BR² + N0) )
+//! ```
+//!
+//! Crucially, the relay amplifies the *noise it received* along with the
+//! signals — the reason the paper's Alice-Bob BER (≈ 4 %) exceeds the
+//! chain topology's (≈ 1 %), where the interfered signal is decoded at
+//! the first receiver without re-amplification (§11.6).
+
+use anc_dsp::Cplx;
+
+/// Amplify-and-forward relay behaviour.
+#[derive(Debug, Clone, Copy)]
+pub struct AmplifyForward {
+    /// Target (re)transmission power `P`.
+    pub target_power: f64,
+}
+
+impl AmplifyForward {
+    /// Creates a relay that retransmits at power `target_power`.
+    ///
+    /// # Panics
+    /// Panics if `target_power <= 0`.
+    pub fn new(target_power: f64) -> Self {
+        assert!(target_power > 0.0, "relay power must be positive");
+        AmplifyForward { target_power }
+    }
+
+    /// The Appendix-C gain for known constituent powers: `p_in` is the
+    /// total received signal-plus-noise power `P·h_AR² + P·h_BR² + N0`.
+    pub fn gain_for_input_power(&self, p_in: f64) -> f64 {
+        assert!(p_in > 0.0, "input power must be positive");
+        (self.target_power / p_in).sqrt()
+    }
+
+    /// Amplifies a received waveform so its *measured* mean power equals
+    /// the target — what a real AGC-driven relay does, and the form the
+    /// simulator uses (it has no oracle knowledge of h_AR, h_BR, N0).
+    ///
+    /// Returns the amplified waveform and the gain applied. Empty or
+    /// all-zero input is returned unchanged with gain 1.
+    pub fn amplify(&self, rx: &[Cplx]) -> (Vec<Cplx>, f64) {
+        let p_in = Cplx::mean_energy(rx);
+        if p_in <= 0.0 {
+            return (rx.to_vec(), 1.0);
+        }
+        let g = self.gain_for_input_power(p_in);
+        (rx.iter().map(|&s| s.scale(g)).collect(), g)
+    }
+
+    /// Amplifies only the portion of the reception inside
+    /// `[start, end)` — routers forward the detected packet region, not
+    /// their entire sample history.
+    pub fn amplify_window(&self, rx: &[Cplx], start: usize, end: usize) -> (Vec<Cplx>, f64) {
+        let end = end.min(rx.len());
+        let start = start.min(end);
+        self.amplify(&rx[start..end])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::awgn::Awgn;
+    use anc_dsp::DspRng;
+
+    #[test]
+    fn output_power_is_target() {
+        let mut rng = DspRng::seed_from(1);
+        let rx: Vec<Cplx> = (0..10_000)
+            .map(|_| rng.complex_gaussian(3.7))
+            .collect();
+        let relay = AmplifyForward::new(1.0);
+        let (out, _) = relay.amplify(&rx);
+        let p = Cplx::mean_energy(&out);
+        assert!((p - 1.0).abs() < 1e-9, "power {p}");
+    }
+
+    #[test]
+    fn gain_matches_appendix_c_formula() {
+        // P = 1, h_AR² = 0.25, h_BR² = 0.16, N0 = 0.01
+        let relay = AmplifyForward::new(1.0);
+        let p_in = 0.25 + 0.16 + 0.01;
+        let g = relay.gain_for_input_power(p_in);
+        assert!((g - (1.0 / p_in).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_is_amplified_too() {
+        // The deleterious effect the paper notes at low SNR: relay gain
+        // applies to the noise that rode in with the signal.
+        let mut noise = Awgn::new(0.5, 3);
+        let signal = vec![Cplx::ONE; 20_000];
+        let rx = noise.corrupt(&signal);
+        let relay = AmplifyForward::new(4.0);
+        let (out, g) = relay.amplify(&rx);
+        // Input power = 1 + 0.5; gain² = 4/1.5; amplified noise power
+        // = 0.5 · 4/1.5 = 4/3.
+        assert!((g * g - 4.0 / 1.5).abs() < 0.05);
+        let out_power = Cplx::mean_energy(&out);
+        assert!((out_power - 4.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn empty_and_silent_input_passthrough() {
+        let relay = AmplifyForward::new(1.0);
+        let (out, g) = relay.amplify(&[]);
+        assert!(out.is_empty());
+        assert_eq!(g, 1.0);
+        let (out, g) = relay.amplify(&[Cplx::ZERO; 4]);
+        assert!(out.iter().all(|&s| s == Cplx::ZERO));
+        assert_eq!(g, 1.0);
+    }
+
+    #[test]
+    fn window_selects_region() {
+        let mut rx = vec![Cplx::ZERO; 100];
+        for s in rx[40..60].iter_mut() {
+            *s = Cplx::ONE;
+        }
+        let relay = AmplifyForward::new(9.0);
+        let (out, g) = relay.amplify_window(&rx, 40, 60);
+        assert_eq!(out.len(), 20);
+        assert!((g - 3.0).abs() < 1e-12);
+        assert!((out[0].norm() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_clamps_bounds() {
+        let rx = vec![Cplx::ONE; 10];
+        let relay = AmplifyForward::new(1.0);
+        let (out, _) = relay.amplify_window(&rx, 5, 50);
+        assert_eq!(out.len(), 5);
+        let (out, _) = relay.amplify_window(&rx, 20, 30);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_positive_power_rejected() {
+        let _ = AmplifyForward::new(0.0);
+    }
+}

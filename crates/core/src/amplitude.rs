@@ -1,0 +1,242 @@
+//! Amplitude estimation from the interfered signal (§6.2, Eqs. 5–6).
+//!
+//! Alice needs `A` and `B` to run Lemma 6.1. Two moments of the received
+//! energy give two equations:
+//!
+//! * Eq. 5 — mean energy: `µ = (1/N)·Σ|y[n]|² = A² + B²` (the cross
+//!   term averages out because the transmitted bits are whitened).
+//! * Eq. 6 — mean energy of the above-mean samples:
+//!   `σ = (2/N)·Σ_{|y|²>µ} |y[n]|² = A² + B² + 4AB/π` (Appendix B:
+//!   the conditional mean of a cosine over its positive lobes is 2/π).
+//!
+//! Solving: `AB = π(σ − µ)/4`, and `A²`, `B²` are the roots of
+//! `z² − µz + (AB)² = 0`. The estimator cannot tell which root belongs
+//! to which sender; [`AmplitudeEstimate::assign`] resolves that with a
+//! hint (Alice measures her own received power on the clean,
+//! interference-free prefix of the reception, §7.2).
+//!
+//! ## The phase-sweep assumption
+//!
+//! Appendix B's `E[cos | cos > 0] = 2/π` step requires the *relative*
+//! phase `θ[n] − φ[n]` to sweep its range across the packet. Two MSK
+//! senders that were perfectly frequency-locked and symbol-aligned
+//! would violate this: their relative phase would take only two values
+//! (`δ₀`, `δ₀ + π`) for the whole packet, biasing σ by the luck of
+//! `δ₀`. Real radios — the paper's USRPs included — run free
+//! oscillators, so a residual carrier offset of a few ppm sweeps the
+//! relative phase continuously. The simulator reproduces that with a
+//! small inter-sender carrier offset (see `anc-channel::fault`), and
+//! the tests below do the same.
+
+use anc_dsp::Cplx;
+
+/// Result of the Eq. 5/6 moment estimator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AmplitudeEstimate {
+    /// The larger of the two estimated amplitudes.
+    pub larger: f64,
+    /// The smaller of the two estimated amplitudes.
+    pub smaller: f64,
+    /// Measured mean energy `µ` (Eq. 5).
+    pub mu: f64,
+    /// Measured above-mean energy `σ` (Eq. 6).
+    pub sigma: f64,
+}
+
+impl AmplitudeEstimate {
+    /// Assigns the two roots to (known, unknown) senders given a hint
+    /// for the known sender's amplitude: whichever root is closer to
+    /// the hint becomes the known amplitude.
+    pub fn assign(&self, known_hint: f64) -> (f64, f64) {
+        if (self.larger - known_hint).abs() <= (self.smaller - known_hint).abs() {
+            (self.larger, self.smaller)
+        } else {
+            (self.smaller, self.larger)
+        }
+    }
+
+    /// The product `A·B` recovered from the moments.
+    pub fn product(&self) -> f64 {
+        self.larger * self.smaller
+    }
+}
+
+/// Estimates the two constituent amplitudes of an interfered reception
+/// (Eqs. 5–6). `samples` should cover only the interfered region.
+///
+/// Returns `None` when fewer than 8 samples are provided or the
+/// measured moments are degenerate (σ ≤ µ can occur for a lone signal —
+/// no interference to estimate).
+pub fn estimate_amplitudes(samples: &[Cplx]) -> Option<AmplitudeEstimate> {
+    if samples.len() < 8 {
+        return None;
+    }
+    let n = samples.len() as f64;
+    // Eq. 5
+    let mu = samples.iter().map(|s| s.norm_sq()).sum::<f64>() / n;
+    if mu <= 0.0 {
+        return None;
+    }
+    // Eq. 6: (2/N)·Σ over samples whose energy exceeds µ.
+    let sigma = 2.0 / n
+        * samples
+            .iter()
+            .map(|s| s.norm_sq())
+            .filter(|&e| e > mu)
+            .sum::<f64>();
+    let ab = (std::f64::consts::PI * (sigma - mu) / 4.0).max(0.0);
+    // Roots of z² − µ·z + (AB)² = 0.
+    let disc = (mu * mu - 4.0 * ab * ab).max(0.0);
+    let root = disc.sqrt();
+    let a2 = (mu + root) / 2.0;
+    let b2 = (mu - root) / 2.0;
+    if b2 < 0.0 || a2 <= 0.0 {
+        return None;
+    }
+    Some(AmplitudeEstimate {
+        larger: a2.sqrt(),
+        smaller: b2.sqrt().max(1e-12),
+        mu,
+        sigma,
+    })
+}
+
+/// Estimates a single signal's amplitude from a clean (non-interfered)
+/// region — `A = sqrt(E[|y|²])`. Used for the known-sender hint.
+pub fn estimate_single_amplitude(samples: &[Cplx]) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    Some(Cplx::mean_energy(samples).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anc_dsp::DspRng;
+    use anc_modem::{Modem, MskConfig, MskModem};
+
+    /// Builds an interfered stream of two MSK signals with random bits.
+    /// A small relative carrier offset between the senders models the
+    /// independent oscillators of two real radios (see module docs) —
+    /// without it the relative phase is bimodal and Eq. 6's premise
+    /// fails by construction.
+    fn interfered(a: f64, b: f64, n_bits: usize, seed: u64, noise: f64) -> Vec<Cplx> {
+        let mut rng = DspRng::seed_from(seed);
+        let ma = MskModem::new(MskConfig::with_amplitude(a));
+        let mb = MskModem::new(MskConfig::with_amplitude(b));
+        let sa = ma.modulate(&rng.bits(n_bits));
+        let sb = mb.modulate(&rng.bits(n_bits));
+        // Random per-sender channel phases: the estimator must not care.
+        let ra = rng.phase();
+        let rb = rng.phase();
+        let cfo = 0.03; // rad/sample relative carrier offset
+        sa.iter()
+            .zip(&sb)
+            .enumerate()
+            .map(|(n, (&x, &y))| {
+                x.rotate(ra)
+                    + y.rotate(rb + cfo * n as f64)
+                    + rng.complex_gaussian(noise)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_equal_amplitudes() {
+        let rx = interfered(1.0, 1.0, 4000, 1, 0.0);
+        let est = estimate_amplitudes(&rx).unwrap();
+        assert!((est.larger - 1.0).abs() < 0.05, "larger {}", est.larger);
+        assert!((est.smaller - 1.0).abs() < 0.05, "smaller {}", est.smaller);
+    }
+
+    #[test]
+    fn recovers_unequal_amplitudes() {
+        let rx = interfered(1.5, 0.6, 6000, 2, 0.0);
+        let est = estimate_amplitudes(&rx).unwrap();
+        assert!((est.larger - 1.5).abs() < 0.08, "larger {}", est.larger);
+        assert!((est.smaller - 0.6).abs() < 0.08, "smaller {}", est.smaller);
+    }
+
+    #[test]
+    fn recovers_under_noise() {
+        // 20 dB SNR relative to the stronger signal.
+        let rx = interfered(1.0, 0.7, 8000, 3, 0.01);
+        let est = estimate_amplitudes(&rx).unwrap();
+        assert!((est.larger - 1.0).abs() < 0.1, "larger {}", est.larger);
+        assert!((est.smaller - 0.7).abs() < 0.1, "smaller {}", est.smaller);
+    }
+
+    #[test]
+    fn mu_matches_eq5() {
+        let rx = interfered(1.2, 0.8, 5000, 4, 0.0);
+        let est = estimate_amplitudes(&rx).unwrap();
+        // µ = A² + B² = 1.44 + 0.64
+        assert!((est.mu - 2.08).abs() < 0.1, "mu {}", est.mu);
+    }
+
+    #[test]
+    fn sigma_matches_eq6() {
+        let rx = interfered(1.0, 1.0, 20000, 5, 0.0);
+        let est = estimate_amplitudes(&rx).unwrap();
+        // σ = A²+B²+4AB/π = 2 + 4/π ≈ 3.273
+        let expect = 2.0 + 4.0 / std::f64::consts::PI;
+        assert!((est.sigma - expect).abs() < 0.1, "sigma {}", est.sigma);
+    }
+
+    #[test]
+    fn assign_uses_hint() {
+        let est = AmplitudeEstimate {
+            larger: 1.5,
+            smaller: 0.5,
+            mu: 2.5,
+            sigma: 3.0,
+        };
+        assert_eq!(est.assign(1.4), (1.5, 0.5));
+        assert_eq!(est.assign(0.6), (0.5, 1.5));
+    }
+
+    #[test]
+    fn too_few_samples_rejected() {
+        assert!(estimate_amplitudes(&[Cplx::ONE; 7]).is_none());
+    }
+
+    #[test]
+    fn silent_input_rejected() {
+        assert!(estimate_amplitudes(&[Cplx::ZERO; 100]).is_none());
+    }
+
+    #[test]
+    fn single_amplitude_estimator() {
+        let modem = MskModem::new(MskConfig::with_amplitude(0.8));
+        let bits = DspRng::seed_from(6).bits(500);
+        let sig = modem.modulate(&bits);
+        let a = estimate_single_amplitude(&sig).unwrap();
+        assert!((a - 0.8).abs() < 1e-9);
+        assert!(estimate_single_amplitude(&[]).is_none());
+    }
+
+    #[test]
+    fn lone_signal_yields_near_zero_second_amplitude() {
+        // No interference: σ−µ ≈ 0 so the second root collapses.
+        let modem = MskModem::default();
+        let bits = DspRng::seed_from(7).bits(2000);
+        let sig = modem.modulate(&bits);
+        let est = estimate_amplitudes(&sig).unwrap();
+        assert!(est.smaller < 0.1, "phantom interferer {}", est.smaller);
+        assert!((est.larger - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn wide_amplitude_ratio() {
+        // SIR −10 dB: B is ~3.16× weaker in amplitude.
+        let rx = interfered(1.0, 0.316, 20000, 8, 0.0);
+        let est = estimate_amplitudes(&rx).unwrap();
+        assert!((est.larger - 1.0).abs() < 0.05);
+        assert!(
+            (est.smaller - 0.316).abs() < 0.08,
+            "smaller {}",
+            est.smaller
+        );
+    }
+}

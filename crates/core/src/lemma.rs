@@ -1,0 +1,234 @@
+//! Lemma 6.1 — the two-solution phase decomposition.
+//!
+//! Given a received sample `y[n] = A·e^{iθ[n]} + B·e^{iφ[n]}` (Eq. 2)
+//! and the two amplitudes, the pair `(θ[n], φ[n])` takes one of exactly
+//! two values:
+//!
+//! ```text
+//! θ[n] = arg( y[n]·(A + B·D ± i·B·√(1−D²)) )
+//! φ[n] = arg( y[n]·(B + A·D ∓ i·A·√(1−D²)) )
+//! D    = (|y[n]|² − A² − B²) / (2AB)
+//! ```
+//!
+//! Geometrically (Fig. 4): `y` is the sum of a vector of length A and a
+//! vector of length B; the two circles intersect in at most two points,
+//! giving two `(u, v)` decompositions that are reflections of each
+//! other across `y`. The matcher (§6.3) later disambiguates using the
+//! known signal's phase differences.
+//!
+//! Numerical care: noise pushes `D` slightly outside `[-1, 1]` whenever
+//! the true configuration is near-collinear (constructive/destructive
+//! alignment). We clamp — equivalent to projecting `y` back onto the
+//! reachable annulus `[|A−B|, A+B]` — which degrades gracefully instead
+//! of producing NaNs.
+
+use anc_dsp::Cplx;
+
+/// One `(θ, φ)` solution of Lemma 6.1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhasePair {
+    /// Phase of the A-amplitude (known sender's) component.
+    pub theta: f64,
+    /// Phase of the B-amplitude (unknown sender's) component.
+    pub phi: f64,
+}
+
+impl PhasePair {
+    /// Reconstructs `A·e^{iθ} + B·e^{iφ}` — for verification.
+    pub fn reconstruct(&self, a: f64, b: f64) -> Cplx {
+        Cplx::from_polar(a, self.theta) + Cplx::from_polar(b, self.phi)
+    }
+}
+
+/// Both solutions of Lemma 6.1 for one received sample.
+///
+/// When the two circles are tangent (D = ±1) the solutions coincide.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseSolutions {
+    /// The `+i·B√(1−D²)` / `−i·A√(1−D²)` branch.
+    pub first: PhasePair,
+    /// The `−i·B√(1−D²)` / `+i·A√(1−D²)` branch.
+    pub second: PhasePair,
+    /// The clamped cosine of the phase gap, `cos(θ−φ)`.
+    pub d: f64,
+}
+
+impl PhaseSolutions {
+    /// The two solutions as an array.
+    pub fn pairs(&self) -> [PhasePair; 2] {
+        [self.first, self.second]
+    }
+
+    /// `true` when the solutions are (numerically) degenerate — the
+    /// collinear case where disambiguation is unnecessary.
+    pub fn is_degenerate(&self) -> bool {
+        self.d >= 1.0 - 1e-12 || self.d <= -1.0 + 1e-12
+    }
+}
+
+/// Solves Lemma 6.1 for a received sample `y` given amplitudes `a`, `b`.
+///
+/// # Panics
+/// Panics if either amplitude is not strictly positive.
+pub fn solve_phases(y: Cplx, a: f64, b: f64) -> PhaseSolutions {
+    assert!(a > 0.0 && b > 0.0, "amplitudes must be positive");
+    let d = ((y.norm_sq() - a * a - b * b) / (2.0 * a * b)).clamp(-1.0, 1.0);
+    let s = (1.0 - d * d).max(0.0).sqrt();
+    // θ = arg(y·(A + B·D ± i·B·s)); φ = arg(y·(B + A·D ∓ i·A·s))
+    let theta1 = (y * Cplx::new(a + b * d, b * s)).arg();
+    let phi1 = (y * Cplx::new(b + a * d, -a * s)).arg();
+    let theta2 = (y * Cplx::new(a + b * d, -b * s)).arg();
+    let phi2 = (y * Cplx::new(b + a * d, a * s)).arg();
+    PhaseSolutions {
+        first: PhasePair {
+            theta: theta1,
+            phi: phi1,
+        },
+        second: PhasePair {
+            theta: theta2,
+            phi: phi2,
+        },
+        d,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anc_dsp::{wrap_pi, DspRng};
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    fn synth(a: f64, theta: f64, b: f64, phi: f64) -> Cplx {
+        Cplx::from_polar(a, theta) + Cplx::from_polar(b, phi)
+    }
+
+    /// One of the two solutions must match the true phases.
+    fn assert_recovers(a: f64, theta: f64, b: f64, phi: f64) {
+        let y = synth(a, theta, b, phi);
+        let sol = solve_phases(y, a, b);
+        // Tolerance 1e-6: near the tangent configurations (D → ±1) the
+        // √(1−D²) term loses half the floating-point precision.
+        let ok = sol.pairs().iter().any(|p| {
+            wrap_pi(p.theta - theta).abs() < 1e-6 && wrap_pi(p.phi - phi).abs() < 1e-6
+        });
+        assert!(
+            ok,
+            "phases not recovered: a={a} θ={theta} b={b} φ={phi}, got {sol:?}"
+        );
+    }
+
+    #[test]
+    fn recovers_equal_amplitudes() {
+        assert_recovers(1.0, 0.3, 1.0, 1.9);
+        assert_recovers(1.0, -2.0, 1.0, 0.5);
+    }
+
+    #[test]
+    fn recovers_unequal_amplitudes() {
+        assert_recovers(2.0, 0.0, 0.5, FRAC_PI_2);
+        assert_recovers(0.3, 1.0, 1.7, -2.4);
+    }
+
+    #[test]
+    fn recovers_grid_sweep() {
+        // Systematic sweep over phase combinations and amplitude
+        // ratios. Exact destructive cancellation with equal amplitudes
+        // (y = 0) is skipped: a zero sample carries no phase
+        // information for *any* algorithm, and arg(0) is undefined.
+        for &(a, b) in &[(1.0, 1.0), (1.0, 0.5), (0.7, 1.3), (2.0, 0.1)] {
+            for i in 0..12 {
+                for j in 0..12 {
+                    let theta = -PI + (i as f64 + 0.5) * PI / 6.0;
+                    let phi = -PI + (j as f64 + 0.5) * PI / 6.0;
+                    if synth(a, theta, b, phi).norm() < 1e-9 {
+                        continue;
+                    }
+                    assert_recovers(a, theta, b, phi);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn both_solutions_reconstruct_y() {
+        // Fig. 4's geometry: both (u, v) pairs must sum to y.
+        let y = synth(1.2, 0.8, 0.9, -1.3);
+        let sol = solve_phases(y, 1.2, 0.9);
+        for p in sol.pairs() {
+            assert!(
+                (p.reconstruct(1.2, 0.9) - y).norm() < 1e-9,
+                "reconstruction failed for {p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn solutions_are_reflections() {
+        // The two θ solutions straddle arg(y) symmetrically.
+        let y = synth(1.0, 0.9, 1.0, 2.2);
+        let sol = solve_phases(y, 1.0, 1.0);
+        let ref_angle = y.arg();
+        let d1 = wrap_pi(sol.first.theta - ref_angle);
+        let d2 = wrap_pi(sol.second.theta - ref_angle);
+        assert!((d1 + d2).abs() < 1e-9, "not symmetric: {d1} vs {d2}");
+    }
+
+    #[test]
+    fn degenerate_constructive() {
+        // θ = φ: |y| = A + B, D = 1, single solution.
+        let y = synth(1.0, 0.7, 0.5, 0.7);
+        let sol = solve_phases(y, 1.0, 0.5);
+        assert!(sol.is_degenerate());
+        assert!(wrap_pi(sol.first.theta - 0.7).abs() < 1e-9);
+        assert!(wrap_pi(sol.first.phi - 0.7).abs() < 1e-9);
+        assert!(wrap_pi(sol.second.theta - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_destructive() {
+        // φ = θ + π: |y| = A − B, D = −1.
+        let y = synth(1.0, 0.4, 0.6, 0.4 + PI);
+        let sol = solve_phases(y, 1.0, 0.6);
+        assert!(sol.is_degenerate());
+        assert!(wrap_pi(sol.first.theta - 0.4).abs() < 1e-9);
+        assert!(wrap_pi(sol.first.phi - (0.4 + PI)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clamps_out_of_range_d() {
+        // |y| beyond A+B (possible under noise): no NaNs, solutions
+        // collapse to the constructive configuration along arg(y).
+        let y = Cplx::from_polar(3.0, 1.0); // A+B = 2 < 3
+        let sol = solve_phases(y, 1.0, 1.0);
+        assert!(sol.first.theta.is_finite() && sol.first.phi.is_finite());
+        assert!((sol.d - 1.0).abs() < 1e-12);
+        assert!(wrap_pi(sol.first.theta - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tiny_y_near_destructive() {
+        // |y| below |A−B|: clamp to D = −1.
+        let y = Cplx::from_polar(1e-6, -2.0);
+        let sol = solve_phases(y, 1.0, 0.4);
+        assert!((sol.d + 1.0).abs() < 1e-12);
+        assert!(sol.first.theta.is_finite());
+    }
+
+    #[test]
+    fn randomized_soak() {
+        let mut rng = DspRng::seed_from(99);
+        for _ in 0..2000 {
+            let a = rng.uniform_range(0.05, 3.0);
+            let b = rng.uniform_range(0.05, 3.0);
+            let theta = rng.phase();
+            let phi = rng.phase();
+            assert_recovers(a, theta, b, phi);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_amplitude_rejected() {
+        let _ = solve_phases(Cplx::ONE, 0.0, 1.0);
+    }
+}

@@ -1,0 +1,199 @@
+//! The naive subtraction decoder — the strawman of §6.
+//!
+//! *"At first, it seems that to decode the interfered signals, Alice
+//! should estimate the channel parameters h′ and γ′ … In practice,
+//! however, this subtraction method does not work. It is fragile and
+//! depends on the errors in Alice's estimate of the channel
+//! parameters."*
+//!
+//! We implement it anyway: estimate the known signal's complex channel
+//! coefficient from the clean prefix (least squares), regenerate the
+//! known waveform, subtract, demodulate the residual with standard MSK.
+//! The `ablation_subtract` bench compares it against the
+//! phase-difference decoder under channel-estimate error, carrier
+//! offset, and gain drift — reproducing the paper's argument for why
+//! the robust method is necessary.
+
+use anc_dsp::Cplx;
+use anc_modem::{Modem, MskModem};
+
+/// Estimates the complex channel coefficient `c = h·e^{iγ}` that maps
+/// the reference waveform onto the received one, by least squares over
+/// the given span: `c = Σ y·conj(x) / Σ|x|²`.
+///
+/// Returns `None` when the reference has no energy in the span.
+pub fn estimate_channel(rx: &[Cplx], reference: &[Cplx]) -> Option<Cplx> {
+    let n = rx.len().min(reference.len());
+    if n == 0 {
+        return None;
+    }
+    let num: Cplx = rx[..n]
+        .iter()
+        .zip(&reference[..n])
+        .map(|(&y, &x)| y * x.conj())
+        .sum();
+    let den: f64 = reference[..n].iter().map(|x| x.norm_sq()).sum();
+    if den <= 0.0 {
+        return None;
+    }
+    Some(num / den)
+}
+
+/// The naive decoder: subtract `c · known_waveform` from the reception
+/// and demodulate what remains.
+///
+/// * `rx` — received samples; `rx[0]` must align with
+///   `known_waveform[0]` (the caller aligns via pilot, as in §7.2).
+/// * `channel` — the estimated coefficient for the known signal.
+///
+/// Returns the demodulated residual bit stream.
+pub fn subtract_and_demodulate(
+    rx: &[Cplx],
+    known_waveform: &[Cplx],
+    channel: Cplx,
+) -> Vec<bool> {
+    let residual: Vec<Cplx> = rx
+        .iter()
+        .enumerate()
+        .map(|(i, &y)| {
+            if i < known_waveform.len() {
+                y - known_waveform[i] * channel
+            } else {
+                y
+            }
+        })
+        .collect();
+    MskModem::default().demodulate(&residual)
+}
+
+/// Convenience: estimate the channel on `[0, prefix_len)` (a clean,
+/// interference-free region) and subtract over the whole reception.
+pub fn naive_decode(
+    rx: &[Cplx],
+    known_waveform: &[Cplx],
+    prefix_len: usize,
+) -> Option<Vec<bool>> {
+    let p = prefix_len.min(rx.len()).min(known_waveform.len());
+    let c = estimate_channel(&rx[..p], &known_waveform[..p])?;
+    Some(subtract_and_demodulate(rx, known_waveform, c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anc_channel::fault::{CarrierOffset, Impairment};
+    use anc_dsp::DspRng;
+    use anc_modem::ber::ber;
+    use anc_modem::MskConfig;
+
+    /// Known starts at 0, unknown starts at `lead`; both length n_bits.
+    fn build(
+        seed: u64,
+        n_bits: usize,
+        lead: usize,
+        noise: f64,
+    ) -> (Vec<Cplx>, Vec<Cplx>, Vec<bool>, Vec<bool>) {
+        let mut rng = DspRng::seed_from(seed);
+        let modem = MskModem::new(MskConfig::default());
+        let kb = rng.bits(n_bits);
+        let ub = rng.bits(n_bits);
+        let sk = modem.modulate(&kb);
+        let su = modem.modulate(&ub);
+        let ck = Cplx::from_polar(0.9, rng.phase());
+        let cu = Cplx::from_polar(0.8, rng.phase());
+        let span = lead + su.len();
+        let rx: Vec<Cplx> = (0..span)
+            .map(|t| {
+                let mut s = rng.complex_gaussian(noise);
+                if t < sk.len() {
+                    s += sk[t] * ck;
+                }
+                if t >= lead {
+                    s += su[t - lead] * cu;
+                }
+                s
+            })
+            .collect();
+        (rx, sk, kb, ub)
+    }
+
+    #[test]
+    fn channel_estimate_exact_on_clean_signal() {
+        let mut rng = DspRng::seed_from(1);
+        let modem = MskModem::default();
+        let x = modem.modulate(&rng.bits(100));
+        let c = Cplx::from_polar(0.7, 1.3);
+        let y: Vec<Cplx> = x.iter().map(|&s| s * c).collect();
+        let est = estimate_channel(&y, &x).unwrap();
+        assert!((est - c).norm() < 1e-12);
+    }
+
+    #[test]
+    fn channel_estimate_under_noise() {
+        let mut rng = DspRng::seed_from(2);
+        let modem = MskModem::default();
+        let x = modem.modulate(&rng.bits(500));
+        let c = Cplx::from_polar(1.1, -0.4);
+        let y: Vec<Cplx> = x
+            .iter()
+            .map(|&s| s * c + rng.complex_gaussian(0.01))
+            .collect();
+        let est = estimate_channel(&y, &x).unwrap();
+        assert!((est - c).norm() < 0.02, "estimate off: {est}");
+    }
+
+    #[test]
+    fn empty_inputs_rejected() {
+        assert!(estimate_channel(&[], &[]).is_none());
+        assert!(estimate_channel(&[Cplx::ONE], &[Cplx::ZERO]).is_none());
+    }
+
+    #[test]
+    fn naive_works_in_ideal_conditions() {
+        // Constant channel, good prefix, mild noise: subtraction works —
+        // the paper concedes this case.
+        let (rx, sk, _, ub) = build(3, 400, 100, 1e-4);
+        let bits = naive_decode(&rx, &sk, 100).unwrap();
+        // The unknown's bits appear starting at interval `lead`.
+        let tail = &bits[100..100 + 400];
+        let b = ber(tail, &ub);
+        assert!(b < 0.02, "ideal-case BER {b}");
+    }
+
+    #[test]
+    fn naive_collapses_under_carrier_offset() {
+        // §6's fragility argument: a small CFO (phase drift) makes the
+        // "constant" coefficient wrong everywhere outside the prefix.
+        let (mut rx, sk, _, ub) = build(4, 400, 100, 1e-4);
+        CarrierOffset::new(0.02).apply(&mut rx); // slow drift
+        let bits = naive_decode(&rx, &sk, 100).unwrap();
+        let tail = &bits[100..100 + 400];
+        let b = ber(tail, &ub);
+        assert!(
+            b > 0.10,
+            "naive decoder should collapse under CFO, got BER {b}"
+        );
+    }
+
+    #[test]
+    fn naive_degrades_with_coefficient_error() {
+        // A badly mis-estimated channel coefficient leaves a residual
+        // of the known signal that is *stronger* than the wanted one:
+        // subtraction collapses while the correct coefficient decodes
+        // cleanly. (Mild errors are survivable — the fragility is the
+        // sensitivity curve, swept in the ablation bench.)
+        let (rx, sk, _, ub) = build(5, 400, 100, 1e-4);
+        let c = estimate_channel(&rx[..100], &sk[..100]).unwrap();
+        let wrong = c.scale(1.9).rotate(1.0);
+        let bits = subtract_and_demodulate(&rx, &sk, wrong);
+        let tail = &bits[100..100 + 400];
+        let b_wrong = ber(tail, &ub);
+        let bits_right = subtract_and_demodulate(&rx, &sk, c);
+        let b_right = ber(&bits_right[100..100 + 400], &ub);
+        assert!(b_right < 0.02, "correct coefficient should decode: {b_right}");
+        assert!(
+            b_wrong > 0.10,
+            "gross coefficient error must collapse decoding: {b_wrong}"
+        );
+    }
+}

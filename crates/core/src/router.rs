@@ -1,0 +1,254 @@
+//! Router decision policy (§7.5).
+//!
+//! *"The router uses the headers in the interfered signal to discover
+//! which case applies. If either of the headers corresponds to a packet
+//! it already has, it will decode the interfered signal. If none of the
+//! headers correspond to packets it knows, it checks if the two packets
+//! comprising the interfered signal are headed in opposite directions
+//! to its neighbors. If so, it amplifies the signal and broadcasts the
+//! interfered signal. If none of the above conditions is met, it simply
+//! drops the received signal."*
+
+use anc_frame::{Header, NodeId, PacketKey, SentPacketBuffer};
+
+/// What the router should do with an interfered reception.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouterAction {
+    /// Decode the interfered signal using the buffered frame with this
+    /// key as the known signal. `known_starts_first` selects forward
+    /// vs backward decoding.
+    Decode {
+        /// Key of the buffered (known) frame.
+        known: PacketKey,
+        /// `true` when the known frame is the first-starting one.
+        known_starts_first: bool,
+    },
+    /// Amplify the raw samples and broadcast them (the two-way relay
+    /// case, §2/§7.5).
+    AmplifyForward,
+    /// Neither case applies: drop.
+    Drop,
+}
+
+/// A router's local traffic knowledge: which (src → dst) endpoint pairs
+/// it relays between. §7.6: *"for a node to trigger its neighbors to
+/// interfere, it needs to know the traffic flow in its local
+/// neighborhood. We assume that this information is provided via
+/// control packets."*
+#[derive(Debug, Clone, Default)]
+pub struct RouterPolicy {
+    /// Pairs of flows `((src, dst), (src, dst))` whose interfered
+    /// mixtures this router amplifies. For Alice-Bob these are the two
+    /// directions of one conversation; in the "X" topology (Fig. 11)
+    /// they are two unrelated flows that happen to cross at the router.
+    flow_pairs: Vec<((NodeId, NodeId), (NodeId, NodeId))>,
+}
+
+impl RouterPolicy {
+    /// Creates a policy with no relay pairs (pure decode-or-drop).
+    pub fn new() -> Self {
+        RouterPolicy::default()
+    }
+
+    /// Registers an endpoint pair whose opposite-direction flows this
+    /// router serves (e.g. Alice ↔ Bob).
+    pub fn add_relay_pair(&mut self, a: NodeId, b: NodeId) {
+        self.add_flow_pair((a, b), (b, a));
+    }
+
+    /// Registers two arbitrary flows whose mixtures this router should
+    /// amplify — the "X" topology case, where the flows intersect at
+    /// the router without being reverses of each other.
+    pub fn add_flow_pair(&mut self, f1: (NodeId, NodeId), f2: (NodeId, NodeId)) {
+        self.flow_pairs.push((f1, f2));
+    }
+
+    /// `true` when the two headers are a registered amplify pair (the
+    /// paper's "headed in opposite directions to its neighbors" check,
+    /// generalized to registered crossing flows).
+    pub fn are_opposite_flows(&self, h1: &Header, h2: &Header) -> bool {
+        let a = (h1.src, h1.dst);
+        let b = (h2.src, h2.dst);
+        self.flow_pairs
+            .iter()
+            .any(|&(f1, f2)| (a == f1 && b == f2) || (a == f2 && b == f1))
+    }
+
+    /// The §7.5 decision. `head` is the header recovered from the clean
+    /// start of the interfered signal (first-starting packet), `tail`
+    /// from its clean end (second-starting packet); either may have
+    /// failed decoding.
+    pub fn decide(
+        &self,
+        head: Option<Header>,
+        tail: Option<Header>,
+        buffer: &SentPacketBuffer,
+    ) -> RouterAction {
+        // "If either of the headers corresponds to a packet it already
+        // has, it will decode."
+        if let Some(h) = head {
+            if buffer.contains(&h.key()) {
+                return RouterAction::Decode {
+                    known: h.key(),
+                    known_starts_first: true,
+                };
+            }
+        }
+        if let Some(t) = tail {
+            if buffer.contains(&t.key()) {
+                return RouterAction::Decode {
+                    known: t.key(),
+                    known_starts_first: false,
+                };
+            }
+        }
+        // "…it checks if the two packets are headed in opposite
+        // directions to its neighbors."
+        if let (Some(h), Some(t)) = (head, tail) {
+            if self.are_opposite_flows(&h, &t) {
+                return RouterAction::AmplifyForward;
+            }
+        }
+        RouterAction::Drop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anc_frame::Frame;
+
+    fn hdr(src: u8, dst: u8, seq: u16) -> Header {
+        Header::new(src, dst, seq, 64)
+    }
+
+    fn buffer_with(frames: &[Header]) -> SentPacketBuffer {
+        let mut b = SentPacketBuffer::new(16);
+        for &h in frames {
+            b.insert(Frame::new(h, vec![false; 8]));
+        }
+        b
+    }
+
+    #[test]
+    fn decodes_when_head_known() {
+        let policy = RouterPolicy::new();
+        let known = hdr(1, 2, 5);
+        let buf = buffer_with(&[known]);
+        let action = policy.decide(Some(known), Some(hdr(9, 9, 1)), &buf);
+        assert_eq!(
+            action,
+            RouterAction::Decode {
+                known: known.key(),
+                known_starts_first: true
+            }
+        );
+    }
+
+    #[test]
+    fn decodes_when_tail_known() {
+        let policy = RouterPolicy::new();
+        let known = hdr(3, 4, 2);
+        let buf = buffer_with(&[known]);
+        let action = policy.decide(Some(hdr(9, 9, 1)), Some(known), &buf);
+        assert_eq!(
+            action,
+            RouterAction::Decode {
+                known: known.key(),
+                known_starts_first: false
+            }
+        );
+    }
+
+    #[test]
+    fn head_preferred_when_both_known() {
+        let policy = RouterPolicy::new();
+        let h1 = hdr(1, 2, 1);
+        let h2 = hdr(2, 1, 1);
+        let buf = buffer_with(&[h1, h2]);
+        let action = policy.decide(Some(h1), Some(h2), &buf);
+        assert_eq!(
+            action,
+            RouterAction::Decode {
+                known: h1.key(),
+                known_starts_first: true
+            }
+        );
+    }
+
+    #[test]
+    fn amplifies_opposite_flows() {
+        // The Alice-Bob router: neither packet known (it cannot decode
+        // them — they interfered at it), flows Alice→Bob and Bob→Alice.
+        let mut policy = RouterPolicy::new();
+        policy.add_relay_pair(1, 2);
+        let buf = buffer_with(&[]);
+        let action = policy.decide(Some(hdr(1, 2, 7)), Some(hdr(2, 1, 9)), &buf);
+        assert_eq!(action, RouterAction::AmplifyForward);
+        // order-independent
+        let action = policy.decide(Some(hdr(2, 1, 9)), Some(hdr(1, 2, 7)), &buf);
+        assert_eq!(action, RouterAction::AmplifyForward);
+    }
+
+    #[test]
+    fn drops_unknown_same_direction() {
+        let mut policy = RouterPolicy::new();
+        policy.add_relay_pair(1, 2);
+        let buf = buffer_with(&[]);
+        // Two packets in the same direction: not an amplify case.
+        let action = policy.decide(Some(hdr(1, 2, 1)), Some(hdr(1, 2, 2)), &buf);
+        assert_eq!(action, RouterAction::Drop);
+    }
+
+    #[test]
+    fn drops_unregistered_pair() {
+        let policy = RouterPolicy::new();
+        let buf = buffer_with(&[]);
+        let action = policy.decide(Some(hdr(1, 2, 1)), Some(hdr(2, 1, 1)), &buf);
+        assert_eq!(action, RouterAction::Drop);
+    }
+
+    #[test]
+    fn drops_when_headers_missing() {
+        let mut policy = RouterPolicy::new();
+        policy.add_relay_pair(1, 2);
+        let buf = buffer_with(&[]);
+        assert_eq!(policy.decide(None, None, &buf), RouterAction::Drop);
+        assert_eq!(
+            policy.decide(Some(hdr(1, 2, 1)), None, &buf),
+            RouterAction::Drop
+        );
+        assert_eq!(
+            policy.decide(None, Some(hdr(2, 1, 1)), &buf),
+            RouterAction::Drop
+        );
+    }
+
+    #[test]
+    fn amplifies_registered_crossing_flows() {
+        // The "X" topology: flows N1→N4 and N3→N2 intersect at the
+        // router; they are not reverses of each other but still the
+        // amplify case.
+        let mut policy = RouterPolicy::new();
+        policy.add_flow_pair((21, 24), (23, 22));
+        let buf = buffer_with(&[]);
+        let action = policy.decide(Some(hdr(21, 24, 1)), Some(hdr(23, 22, 2)), &buf);
+        assert_eq!(action, RouterAction::AmplifyForward);
+        let action = policy.decide(Some(hdr(23, 22, 2)), Some(hdr(21, 24, 1)), &buf);
+        assert_eq!(action, RouterAction::AmplifyForward);
+        // But not a half-match.
+        let action = policy.decide(Some(hdr(21, 24, 1)), Some(hdr(23, 21, 2)), &buf);
+        assert_eq!(action, RouterAction::Drop);
+    }
+
+    #[test]
+    fn decode_beats_amplify() {
+        // A known header wins even when flows are also opposite.
+        let mut policy = RouterPolicy::new();
+        policy.add_relay_pair(1, 2);
+        let known = hdr(2, 1, 3);
+        let buf = buffer_with(&[known]);
+        let action = policy.decide(Some(hdr(1, 2, 3)), Some(known), &buf);
+        assert!(matches!(action, RouterAction::Decode { .. }));
+    }
+}

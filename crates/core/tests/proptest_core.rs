@@ -1,0 +1,144 @@
+//! Property-based tests of the decoder's algebraic invariants.
+
+use anc_core::amplitude::estimate_amplitudes;
+use anc_core::lemma::solve_phases;
+use anc_core::matcher::match_phase_differences;
+use anc_dsp::angle::circular_distance;
+use anc_dsp::{Cplx, DspRng};
+use anc_modem::{Modem, MskConfig, MskModem};
+use proptest::prelude::*;
+use std::f64::consts::PI;
+
+proptest! {
+    /// Lemma 6.1's two solutions both reconstruct y exactly, for any
+    /// amplitudes — even when y is infeasible (|y| outside the annulus)
+    /// the clamped solutions stay finite.
+    #[test]
+    fn lemma_solutions_always_finite(
+        yr in -10.0f64..10.0, yi in -10.0f64..10.0,
+        a in 0.01f64..5.0, b in 0.01f64..5.0,
+    ) {
+        let y = Cplx::new(yr, yi);
+        let sol = solve_phases(y, a, b);
+        for p in sol.pairs() {
+            prop_assert!(p.theta.is_finite());
+            prop_assert!(p.phi.is_finite());
+        }
+        prop_assert!((-1.0..=1.0).contains(&sol.d));
+    }
+
+    /// For feasible y the reconstruction error is ~0 for both branches.
+    #[test]
+    fn lemma_reconstructs_feasible_samples(
+        a in 0.05f64..3.0, b in 0.05f64..3.0,
+        theta in -PI..PI, phi in -PI..PI,
+    ) {
+        let y = Cplx::from_polar(a, theta) + Cplx::from_polar(b, phi);
+        prop_assume!(y.norm() > 1e-6);
+        let sol = solve_phases(y, a, b);
+        for p in sol.pairs() {
+            prop_assert!((p.reconstruct(a, b) - y).norm() < 1e-6);
+        }
+    }
+
+    /// The solution pair is invariant under a global rotation of y —
+    /// both phases rotate by the same angle (channel-shift covariance,
+    /// the property that lets phase *differences* survive the channel).
+    #[test]
+    fn lemma_rotation_covariance(
+        a in 0.1f64..2.0, b in 0.1f64..2.0,
+        theta in -PI..PI, phi in -PI..PI,
+        rot in -PI..PI,
+    ) {
+        let y = Cplx::from_polar(a, theta) + Cplx::from_polar(b, phi);
+        prop_assume!(y.norm() > 1e-3);
+        let base = solve_phases(y, a, b);
+        let rotated = solve_phases(y.rotate(rot), a, b);
+        for (p0, p1) in base.pairs().iter().zip(rotated.pairs()) {
+            prop_assert!(circular_distance(p1.theta, p0.theta + rot) < 1e-6);
+            prop_assert!(circular_distance(p1.phi, p0.phi + rot) < 1e-6);
+        }
+    }
+
+    /// Swapping the amplitude arguments swaps the recovered roles.
+    #[test]
+    fn lemma_amplitude_symmetry(
+        a in 0.2f64..2.0, b in 0.2f64..2.0,
+        theta in -PI..PI, phi in -PI..PI,
+    ) {
+        prop_assume!((a - b).abs() > 0.05);
+        let y = Cplx::from_polar(a, theta) + Cplx::from_polar(b, phi);
+        prop_assume!(y.norm() > 1e-3);
+        let ab = solve_phases(y, a, b);
+        let ba = solve_phases(y, b, a);
+        // The (θ, φ) pairs of one ordering are the (φ, θ) pairs of the
+        // other (as sets).
+        for p in ab.pairs() {
+            let matched = ba.pairs().iter().any(|q| {
+                circular_distance(q.theta, p.phi) < 1e-6
+                    && circular_distance(q.phi, p.theta) < 1e-6
+            });
+            prop_assert!(matched);
+        }
+    }
+
+    /// Eq. 5/6 amplitude estimation recovers both amplitudes within
+    /// 15 % for long-enough whitened streams with phase sweep.
+    #[test]
+    fn amplitude_estimation_envelope(
+        a in 0.5f64..1.5, ratio in 0.4f64..1.0, seed in any::<u64>(),
+    ) {
+        let b = a * ratio;
+        let mut rng = DspRng::seed_from(seed);
+        let ma = MskModem::new(MskConfig::with_amplitude(a));
+        let mb = MskModem::new(MskConfig::with_amplitude(b));
+        let sa = ma.modulate(&rng.bits(3000));
+        let sb = mb.modulate(&rng.bits(3000));
+        let (ga, gb) = (rng.phase(), rng.phase());
+        let rx: Vec<Cplx> = sa.iter().zip(&sb).enumerate().map(|(k, (&x, &y))| {
+            x.rotate(ga) + y.rotate(gb + 0.025 * k as f64)
+        }).collect();
+        let est = estimate_amplitudes(&rx).unwrap();
+        let (ea, eb) = est.assign(a);
+        prop_assert!((ea - a).abs() / a < 0.15, "A: {ea} vs {a}");
+        prop_assert!((eb - b).abs() / b.max(0.2) < 0.25, "B: {eb} vs {b}");
+    }
+
+    /// The matcher's output lengths are always consistent and its
+    /// residuals bounded by π.
+    #[test]
+    fn matcher_output_invariants(
+        n in 2usize..200, a in 0.2f64..2.0, b in 0.2f64..2.0, seed in any::<u64>(),
+    ) {
+        let mut rng = DspRng::seed_from(seed);
+        let y: Vec<Cplx> = (0..n).map(|_| rng.complex_gaussian(a * a + b * b)).collect();
+        let known: Vec<f64> = (0..n - 1).map(|_| rng.phase()).collect();
+        let m = match_phase_differences(&y, &known, a, b);
+        prop_assert_eq!(m.dphi.len(), n - 1);
+        prop_assert_eq!(m.err.len(), n - 1);
+        for (&d, &e) in m.dphi.iter().zip(&m.err) {
+            prop_assert!(d > -PI - 1e-9 && d <= PI + 1e-9);
+            prop_assert!((0.0..=PI + 1e-9).contains(&e));
+        }
+    }
+
+    /// End-to-end invariant: for a noiseless, phase-swept mixture with
+    /// exact amplitudes the matcher's residual is small on nearly all
+    /// intervals.
+    #[test]
+    fn matcher_residual_small_on_real_mixtures(seed in 0u64..2000) {
+        let mut rng = DspRng::seed_from(seed);
+        let modem = MskModem::default();
+        let a_bits = rng.bits(256);
+        let b_bits = rng.bits(256);
+        let sa = modem.modulate(&a_bits);
+        let sb = modem.modulate(&b_bits);
+        let (ga, gb) = (rng.phase(), rng.phase());
+        let rx: Vec<Cplx> = sa.iter().zip(&sb).enumerate().map(|(k, (&x, &y))| {
+            x.rotate(ga) + y.rotate(gb + 0.02 * k as f64)
+        }).collect();
+        let m = match_phase_differences(&rx, &modem.phase_differences(&a_bits), 1.0, 1.0);
+        let small = m.err.iter().filter(|&&e| e < 0.5).count();
+        prop_assert!(small * 10 >= m.err.len() * 9, "only {}/{} small residuals", small, m.err.len());
+    }
+}

@@ -1,0 +1,192 @@
+//! Phase-angle arithmetic on the circle.
+//!
+//! The phase-difference matcher (§6.3, Eq. 8) compares candidate phase
+//! differences against the known transmitted ones:
+//! `err_xy = |Δθ_xy[n] − Δθ_s[n]|`. Because phases live on a circle, the
+//! comparison must use *wrapped* distance — `+π` and `−π` are the same
+//! point, and an error of `2π − ε` is really an error of `ε`. Getting
+//! this wrong silently breaks the decoder for bits near the wrap point,
+//! so the operations live here, tested in isolation.
+
+use std::f64::consts::PI;
+
+/// Wraps an angle to the half-open interval `(-π, π]`.
+///
+/// ```
+/// use anc_dsp::angle::wrap_pi;
+/// use std::f64::consts::PI;
+/// assert!((wrap_pi(3.0 * PI / 2.0) + PI / 2.0).abs() < 1e-12);
+/// assert_eq!(wrap_pi(PI), PI);
+/// ```
+#[inline]
+pub fn wrap_pi(theta: f64) -> f64 {
+    if theta.is_nan() || theta.is_infinite() {
+        return theta;
+    }
+    // rem_euclid maps into [0, 2π); shift to (-π, π].
+    let t = (theta + PI).rem_euclid(2.0 * PI);
+    if t == 0.0 {
+        PI
+    } else {
+        t - PI
+    }
+}
+
+/// Circular distance between two angles, in `[0, π]`.
+///
+/// This is the error metric of Eq. 8 done correctly on the circle.
+#[inline]
+pub fn circular_distance(a: f64, b: f64) -> f64 {
+    wrap_pi(a - b).abs()
+}
+
+/// Signed circular difference `a − b`, wrapped to `(-π, π]`.
+#[inline]
+pub fn circular_diff(a: f64, b: f64) -> f64 {
+    wrap_pi(a - b)
+}
+
+/// Unwraps a sequence of wrapped phases into a continuous trajectory.
+///
+/// Used by analysis/plotting code (e.g. regenerating the Fig. 3 phase
+/// walk) — successive jumps larger than π are interpreted as wraps.
+pub fn unwrap(phases: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(phases.len());
+    let mut offset = 0.0;
+    for (i, &p) in phases.iter().enumerate() {
+        if i > 0 {
+            let prev = phases[i - 1];
+            let d = p - prev;
+            if d > PI {
+                offset -= 2.0 * PI;
+            } else if d < -PI {
+                offset += 2.0 * PI;
+            }
+        }
+        out.push(p + offset);
+    }
+    out
+}
+
+/// Convenience methods on `f64` angles.
+pub trait AngleExt {
+    /// Wraps the value to `(-π, π]`.
+    fn wrapped(self) -> f64;
+    /// Circular distance to `other`, in `[0, π]`.
+    fn angle_dist(self, other: f64) -> f64;
+    /// Converts radians to degrees.
+    fn to_deg(self) -> f64;
+    /// Converts degrees to radians.
+    fn to_rad(self) -> f64;
+}
+
+impl AngleExt for f64 {
+    #[inline]
+    fn wrapped(self) -> f64 {
+        wrap_pi(self)
+    }
+    #[inline]
+    fn angle_dist(self, other: f64) -> f64 {
+        circular_distance(self, other)
+    }
+    #[inline]
+    fn to_deg(self) -> f64 {
+        self * 180.0 / PI
+    }
+    #[inline]
+    fn to_rad(self) -> f64 {
+        self * PI / 180.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn wrap_identity_inside_range() {
+        assert!(close(wrap_pi(0.5), 0.5));
+        assert!(close(wrap_pi(-3.0), -3.0));
+        assert!(close(wrap_pi(0.0), 0.0));
+    }
+
+    #[test]
+    fn wrap_multiple_turns() {
+        assert!(close(wrap_pi(5.0 * PI + 0.25), -PI + 0.25));
+        assert!(close(wrap_pi(-7.0 * PI - 0.25), PI - 0.25));
+        assert!(close(wrap_pi(4.0 * PI), 0.0));
+    }
+
+    #[test]
+    fn wrap_boundary_convention() {
+        // (-π, π]: +π maps to itself, -π maps to +π.
+        assert!(close(wrap_pi(PI), PI));
+        assert!(close(wrap_pi(-PI), PI));
+    }
+
+    #[test]
+    fn wrap_handles_non_finite() {
+        assert!(wrap_pi(f64::NAN).is_nan());
+        assert!(wrap_pi(f64::INFINITY).is_infinite());
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_bounded() {
+        let pairs = [(0.1, 3.0), (-3.0, 3.0), (FRAC_PI_2, -FRAC_PI_2)];
+        for (a, b) in pairs {
+            assert!(close(circular_distance(a, b), circular_distance(b, a)));
+            assert!(circular_distance(a, b) <= PI + 1e-12);
+        }
+    }
+
+    #[test]
+    fn distance_across_wrap_is_short_way_around() {
+        // 179° vs -179° are 2° apart, not 358°.
+        let a = PI - 0.01;
+        let b = -PI + 0.01;
+        assert!(close(circular_distance(a, b), 0.02));
+    }
+
+    #[test]
+    fn msk_error_metric_prefers_correct_candidate() {
+        // The matcher compares a noisy +π/2 measurement against ±π/2
+        // candidates; wrapped distance must pick +π/2 even when the
+        // measurement wrapped past π.
+        let measured = FRAC_PI_2 + 2.9; // wraps negative
+        let err_plus = circular_distance(measured, FRAC_PI_2);
+        let err_minus = circular_distance(measured, -FRAC_PI_2);
+        assert!(err_plus < PI);
+        assert!(err_minus < PI);
+    }
+
+    #[test]
+    fn unwrap_recovers_linear_ramp() {
+        // A phase ramp of +π/2 per step (all-ones MSK) wrapped, then
+        // unwrapped, must be monotone increasing.
+        let wrapped: Vec<f64> = (0..16).map(|n| wrap_pi(n as f64 * FRAC_PI_2)).collect();
+        let un = unwrap(&wrapped);
+        for w in un.windows(2) {
+            assert!(close(w[1] - w[0], FRAC_PI_2));
+        }
+    }
+
+    #[test]
+    fn degree_radian_roundtrip() {
+        assert!(close(180.0_f64.to_rad(), PI));
+        assert!(close(PI.to_deg(), 180.0));
+        assert!(close(1.234_f64.to_deg().to_rad(), 1.234));
+    }
+
+    #[test]
+    fn signed_diff_sign() {
+        assert!(circular_diff(0.3, 0.1) > 0.0);
+        assert!(circular_diff(0.1, 0.3) < 0.0);
+        // across the wrap: from +179° to -179° is +2° the short way.
+        assert!(circular_diff(-PI + 0.01, PI - 0.01) > 0.0);
+    }
+}

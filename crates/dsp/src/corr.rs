@@ -1,0 +1,168 @@
+//! Bit-sequence correlation for pilot alignment.
+//!
+//! §7.2: *"After decoding the interference free part, she tries to match
+//! the known pilot sequence with every sequence of 64 bits. Once a match
+//! is found, she aligns her known signal with the received signal
+//! starting at that point."* These helpers perform that sliding match,
+//! tolerating a configurable number of bit errors (the interference-free
+//! region is still noisy).
+
+/// Number of positions at which two equal-length bit slices disagree.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn hamming_distance(a: &[bool], b: &[bool]) -> usize {
+    assert_eq!(a.len(), b.len(), "hamming distance needs equal lengths");
+    a.iter().zip(b).filter(|(x, y)| x != y).count()
+}
+
+/// Normalized agreement in `[0, 1]` between two equal-length slices.
+pub fn agreement(a: &[bool], b: &[bool]) -> f64 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    1.0 - hamming_distance(a, b) as f64 / a.len() as f64
+}
+
+/// Finds the first offset in `haystack` where `needle` matches with at
+/// most `max_errors` bit errors. Returns the offset of the match start.
+pub fn find_pattern(haystack: &[bool], needle: &[bool], max_errors: usize) -> Option<usize> {
+    if needle.is_empty() || haystack.len() < needle.len() {
+        return None;
+    }
+    (0..=haystack.len() - needle.len())
+        .find(|&off| hamming_distance(&haystack[off..off + needle.len()], needle) <= max_errors)
+}
+
+/// Finds the offset with the *fewest* bit errors (best match), returning
+/// `(offset, errors)`. Prefers the earliest offset on ties. Returns
+/// `None` if the needle does not fit.
+pub fn best_match(haystack: &[bool], needle: &[bool]) -> Option<(usize, usize)> {
+    if needle.is_empty() || haystack.len() < needle.len() {
+        return None;
+    }
+    let mut best: Option<(usize, usize)> = None;
+    for off in 0..=haystack.len() - needle.len() {
+        let d = hamming_distance(&haystack[off..off + needle.len()], needle);
+        match best {
+            Some((_, bd)) if d >= bd => {}
+            _ => best = Some((off, d)),
+        }
+        if d == 0 {
+            break; // cannot improve
+        }
+    }
+    best
+}
+
+/// Finds the *last* offset where `needle` matches with at most
+/// `max_errors` errors — used by Bob's backward decode (§7.4), which
+/// locates the mirrored pilot at the frame tail.
+pub fn rfind_pattern(haystack: &[bool], needle: &[bool], max_errors: usize) -> Option<usize> {
+    if needle.is_empty() || haystack.len() < needle.len() {
+        return None;
+    }
+    (0..=haystack.len() - needle.len())
+        .rev()
+        .find(|&off| hamming_distance(&haystack[off..off + needle.len()], needle) <= max_errors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lfsr::{pilot_sequence, Lfsr};
+
+    fn bits(s: &str) -> Vec<bool> {
+        s.chars().map(|c| c == '1').collect()
+    }
+
+    #[test]
+    fn hamming_basic() {
+        assert_eq!(hamming_distance(&bits("1010"), &bits("1010")), 0);
+        assert_eq!(hamming_distance(&bits("1010"), &bits("0101")), 4);
+        assert_eq!(hamming_distance(&bits("1010"), &bits("1011")), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn hamming_length_mismatch_panics() {
+        let _ = hamming_distance(&bits("10"), &bits("101"));
+    }
+
+    #[test]
+    fn agreement_range() {
+        assert_eq!(agreement(&bits("1111"), &bits("1111")), 1.0);
+        assert_eq!(agreement(&bits("1111"), &bits("0000")), 0.0);
+        assert_eq!(agreement(&bits("1100"), &bits("1111")), 0.5);
+        assert_eq!(agreement(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn find_exact() {
+        let hay = bits("0001011010");
+        assert_eq!(find_pattern(&hay, &bits("1011"), 0), Some(3));
+        assert_eq!(find_pattern(&hay, &bits("1111"), 0), None);
+    }
+
+    #[test]
+    fn find_with_errors() {
+        let hay = bits("0001001010"); // "1011" corrupted at offset 3 -> "1001"
+        assert_eq!(find_pattern(&hay, &bits("1011"), 0), None);
+        assert_eq!(find_pattern(&hay, &bits("1011"), 1), Some(3));
+    }
+
+    #[test]
+    fn find_prefers_first() {
+        let hay = bits("10111011");
+        assert_eq!(find_pattern(&hay, &bits("1011"), 0), Some(0));
+    }
+
+    #[test]
+    fn rfind_prefers_last() {
+        let hay = bits("10111011");
+        assert_eq!(rfind_pattern(&hay, &bits("1011"), 0), Some(4));
+    }
+
+    #[test]
+    fn needle_longer_than_haystack() {
+        assert_eq!(find_pattern(&bits("101"), &bits("10101"), 2), None);
+        assert_eq!(best_match(&bits("101"), &bits("10101")), None);
+        assert_eq!(rfind_pattern(&bits("1"), &bits("10"), 0), None);
+    }
+
+    #[test]
+    fn empty_needle_matches_nothing() {
+        assert_eq!(find_pattern(&bits("101"), &[], 0), None);
+    }
+
+    #[test]
+    fn best_match_reports_errors() {
+        let hay = bits("0000101100");
+        let (off, err) = best_match(&hay, &bits("1011")).unwrap();
+        assert_eq!((off, err), (4, 0));
+        // "1010" best-matches at offset 2 ("0010", one error), which is
+        // earlier than the one-error match at offset 4.
+        let (off, err) = best_match(&hay, &bits("1010")).unwrap();
+        assert_eq!(off, 2);
+        assert_eq!(err, 1);
+    }
+
+    #[test]
+    fn pilot_locates_in_noise_floor() {
+        // Simulate §7.2: a pilot embedded inside pseudo-random traffic
+        // must be found at exactly its true offset even with 3 flips.
+        let pilot = pilot_sequence(64);
+        let mut stream = Lfsr::new(0x1234).bits(100);
+        let true_off = stream.len();
+        stream.extend_from_slice(&pilot);
+        stream.extend(Lfsr::new(0x4321).bits(80));
+        // corrupt three pilot bits
+        stream[true_off + 5] ^= true;
+        stream[true_off + 31] ^= true;
+        stream[true_off + 62] ^= true;
+        let (off, err) = best_match(&stream, &pilot).unwrap();
+        assert_eq!(off, true_off);
+        assert_eq!(err, 3);
+        assert_eq!(find_pattern(&stream, &pilot, 6), Some(true_off));
+    }
+}

@@ -1,0 +1,211 @@
+//! Seedable random sampling for the simulator.
+//!
+//! Everything stochastic in the reproduction — AWGN, channel draws, the
+//! random MAC delays of §7.2, payload generation — flows through
+//! [`DspRng`], a thin wrapper over `rand::rngs::StdRng` that adds the
+//! Gaussian and complex-Gaussian sampling the channel needs. Gaussian
+//! variates use the Box–Muller transform so the workspace does not need
+//! `rand_distr`.
+//!
+//! Every experiment takes an explicit `u64` seed, making all paper
+//! figures regenerable bit-for-bit.
+
+use crate::cplx::Cplx;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::f64::consts::PI;
+
+/// Deterministic random source for channels, traffic, and MACs.
+#[derive(Debug, Clone)]
+pub struct DspRng {
+    inner: StdRng,
+    /// Spare Gaussian variate from the last Box–Muller draw.
+    spare: Option<f64>,
+}
+
+impl DspRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        DspRng {
+            inner: StdRng::seed_from_u64(seed),
+            spare: None,
+        }
+    }
+
+    /// Derives an independent child generator; used to give each node or
+    /// link its own stream so adding a node never perturbs the draws of
+    /// another (important for paired "two consecutive runs" comparisons,
+    /// §11.2).
+    pub fn fork(&mut self, salt: u64) -> DspRng {
+        let s = self.inner.next_u64() ^ salt.wrapping_mul(0x9E3779B97F4A7C15);
+        DspRng::seed_from(s)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive) — the §7.2 random delay
+    /// "picking a random number between 1 and 32".
+    pub fn uniform_int(&mut self, lo: u64, hi: u64) -> u64 {
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p
+    }
+
+    /// A random bit.
+    pub fn bit(&mut self) -> bool {
+        self.inner.gen::<bool>()
+    }
+
+    /// `n` random bits (random payloads for the workload generators).
+    pub fn bits(&mut self, n: usize) -> Vec<bool> {
+        (0..n).map(|_| self.bit()).collect()
+    }
+
+    /// `n` random bytes.
+    pub fn bytes(&mut self, n: usize) -> Vec<u8> {
+        let mut v = vec![0u8; n];
+        self.inner.fill_bytes(&mut v);
+        v
+    }
+
+    /// Standard normal variate via Box–Muller.
+    pub fn gaussian(&mut self) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // Draw u1 in (0,1] to avoid ln(0).
+        let u1: f64 = 1.0 - self.uniform();
+        let u2: f64 = self.uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let (s, c) = (2.0 * PI * u2).sin_cos();
+        self.spare = Some(r * s);
+        r * c
+    }
+
+    /// Normal variate with given mean and standard deviation.
+    pub fn gaussian_with(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.gaussian()
+    }
+
+    /// Circularly-symmetric complex Gaussian with total power
+    /// `E[|z|²] = power` — the AWGN model of §8 ("a wireless channel with
+    /// additive white Gaussian noise"). Each quadrature gets half the
+    /// power.
+    pub fn complex_gaussian(&mut self, power: f64) -> Cplx {
+        let s = (power / 2.0).sqrt();
+        Cplx::new(self.gaussian() * s, self.gaussian() * s)
+    }
+
+    /// Uniform phase in `(-π, π]` — used for random channel phase γ.
+    pub fn phase(&mut self) -> f64 {
+        self.uniform_range(-PI, PI)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = DspRng::seed_from(99);
+        let mut b = DspRng::seed_from(99);
+        for _ in 0..100 {
+            assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+        }
+    }
+
+    #[test]
+    fn forked_streams_are_independent_of_siblings() {
+        let mut root1 = DspRng::seed_from(7);
+        let mut root2 = DspRng::seed_from(7);
+        let mut a1 = root1.fork(1);
+        let _ = root1.fork(2); // extra fork must not change a1's stream
+        let mut a2 = root2.fork(1);
+        for _ in 0..10 {
+            assert_eq!(a1.uniform().to_bits(), a2.uniform().to_bits());
+        }
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = DspRng::seed_from(12345);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.gaussian()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn gaussian_with_params() {
+        let mut rng = DspRng::seed_from(5);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.gaussian_with(3.0, 0.5)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn complex_gaussian_power() {
+        let mut rng = DspRng::seed_from(777);
+        let n = 100_000;
+        let p = (0..n)
+            .map(|_| rng.complex_gaussian(4.0).norm_sq())
+            .sum::<f64>()
+            / n as f64;
+        assert!((p - 4.0).abs() < 0.1, "power {p}");
+    }
+
+    #[test]
+    fn uniform_int_bounds() {
+        let mut rng = DspRng::seed_from(3);
+        for _ in 0..1000 {
+            let v = rng.uniform_int(1, 32);
+            assert!((1..=32).contains(&v));
+        }
+        // all endpoints reachable
+        let draws: Vec<u64> = (0..2000).map(|_| rng.uniform_int(1, 4)).collect();
+        for t in 1..=4 {
+            assert!(draws.contains(&t));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = DspRng::seed_from(11);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+
+    #[test]
+    fn phase_in_range() {
+        let mut rng = DspRng::seed_from(21);
+        for _ in 0..1000 {
+            let p = rng.phase();
+            assert!(p > -PI - 1e-12 && p <= PI + 1e-12);
+        }
+    }
+
+    #[test]
+    fn bits_are_balanced() {
+        let mut rng = DspRng::seed_from(31);
+        let bits = rng.bits(10_000);
+        let ones = bits.iter().filter(|&&b| b).count();
+        assert!((4000..6000).contains(&ones));
+    }
+
+    use std::f64::consts::PI;
+}

@@ -1,0 +1,302 @@
+//! Moving-window energy and variance trackers.
+//!
+//! §7.1 of the paper detects packets and interference from streaming
+//! complex samples: *"We calculate energy and energy variance over moving
+//! windows of received samples."* A packet is declared when window energy
+//! exceeds the noise floor by a threshold (20 dB); interference is
+//! declared when the *variance* of the energy exceeds a threshold,
+//! because a single MSK signal has (nearly) constant energy while two
+//! interfered MSK signals swing between `(A+B)²` and `(A−B)²`.
+//!
+//! Both trackers are O(1) per sample and numerically defensive: the
+//! variance tracker recomputes from its ring buffer, avoiding the
+//! catastrophic cancellation of the naive `E[x²]−E[x]²` sliding update
+//! over long streams.
+
+use crate::cplx::Cplx;
+use std::collections::VecDeque;
+
+/// Sliding-window mean of sample energy `|y[n]|²`.
+///
+/// Backs the packet detector: compare [`EnergyWindow::mean`] against the
+/// noise floor (in dB) to decide whether a transmission is present.
+#[derive(Debug, Clone)]
+pub struct EnergyWindow {
+    buf: VecDeque<f64>,
+    cap: usize,
+    sum: f64,
+}
+
+impl EnergyWindow {
+    /// Creates a window holding `cap` samples. `cap` must be ≥ 1.
+    ///
+    /// # Panics
+    /// Panics if `cap == 0`.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= 1, "window capacity must be at least 1");
+        EnergyWindow {
+            buf: VecDeque::with_capacity(cap),
+            cap,
+            sum: 0.0,
+        }
+    }
+
+    /// Pushes a complex sample, evicting the oldest if full.
+    pub fn push(&mut self, sample: Cplx) {
+        self.push_energy(sample.norm_sq());
+    }
+
+    /// Pushes a precomputed energy value.
+    pub fn push_energy(&mut self, energy: f64) {
+        if self.buf.len() == self.cap {
+            if let Some(old) = self.buf.pop_front() {
+                self.sum -= old;
+            }
+        }
+        self.buf.push_back(energy);
+        self.sum += energy;
+        // Defensive: over very long streams the incremental sum drifts;
+        // refresh it cheaply whenever the buffer wraps a large number of
+        // times would be overkill, but clamping tiny negatives is needed.
+        if self.sum < 0.0 {
+            self.sum = self.buf.iter().sum();
+        }
+    }
+
+    /// Current number of samples held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when no samples have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// `true` once the window has been fully populated.
+    pub fn is_full(&self) -> bool {
+        self.buf.len() == self.cap
+    }
+
+    /// Mean energy over the window; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.buf.is_empty() {
+            0.0
+        } else {
+            (self.sum / self.buf.len() as f64).max(0.0)
+        }
+    }
+
+    /// Clears the window.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.sum = 0.0;
+    }
+}
+
+/// Sliding-window variance of sample energy.
+///
+/// Backs the interference detector of §7.1: when two MSK signals of
+/// amplitudes A and B interfere, the per-sample energy swings between
+/// `(A−B)²` and `(A+B)²`, giving an energy variance on the order of
+/// `(2AB)²·…` — far above the near-zero variance of a lone MSK signal.
+#[derive(Debug, Clone)]
+pub struct VarianceWindow {
+    buf: VecDeque<f64>,
+    cap: usize,
+}
+
+impl VarianceWindow {
+    /// Creates a window holding `cap` energies. `cap` must be ≥ 2 for a
+    /// variance to be meaningful.
+    ///
+    /// # Panics
+    /// Panics if `cap < 2`.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= 2, "variance window needs at least 2 samples");
+        VarianceWindow {
+            buf: VecDeque::with_capacity(cap),
+            cap,
+        }
+    }
+
+    /// Pushes a complex sample.
+    pub fn push(&mut self, sample: Cplx) {
+        self.push_energy(sample.norm_sq());
+    }
+
+    /// Pushes a precomputed energy value.
+    pub fn push_energy(&mut self, energy: f64) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(energy);
+    }
+
+    /// Number of energies currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when no samples have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// `true` once the window has been fully populated.
+    pub fn is_full(&self) -> bool {
+        self.buf.len() == self.cap
+    }
+
+    /// Population variance of the window's energies; 0 with < 2 samples.
+    ///
+    /// Recomputed from the buffer (two passes) — O(window) but immune to
+    /// the cancellation drift of streaming `E[x²]−E[x]²`.
+    pub fn variance(&self) -> f64 {
+        let n = self.buf.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.buf.iter().sum::<f64>() / n as f64;
+        let var = self
+            .buf
+            .iter()
+            .map(|&e| {
+                let d = e - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n as f64;
+        var.max(0.0)
+    }
+
+    /// Mean of the window's energies; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.buf.is_empty() {
+            0.0
+        } else {
+            self.buf.iter().sum::<f64>() / self.buf.len() as f64
+        }
+    }
+
+    /// Clears the window.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn energy_window_mean_constant_signal() {
+        let mut w = EnergyWindow::new(8);
+        for n in 0..20 {
+            w.push(Cplx::from_polar(2.0, n as f64 * 0.3));
+        }
+        assert!(w.is_full());
+        assert!((w.mean() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_window_evicts_oldest() {
+        let mut w = EnergyWindow::new(2);
+        w.push_energy(100.0);
+        w.push_energy(1.0);
+        w.push_energy(1.0);
+        assert!((w.mean() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_window_partial_fill() {
+        let mut w = EnergyWindow::new(10);
+        w.push_energy(3.0);
+        assert_eq!(w.len(), 1);
+        assert!(!w.is_full());
+        assert!((w.mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_window_clear() {
+        let mut w = EnergyWindow::new(4);
+        w.push_energy(5.0);
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.mean(), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn energy_window_zero_capacity_panics() {
+        let _ = EnergyWindow::new(0);
+    }
+
+    #[test]
+    fn variance_of_constant_msk_energy_is_zero() {
+        // A lone MSK signal: constant amplitude, varying phase.
+        let mut w = VarianceWindow::new(16);
+        for n in 0..32 {
+            w.push(Cplx::from_polar(1.7, n as f64 * PI / 2.0));
+        }
+        assert!(w.variance() < 1e-20);
+    }
+
+    #[test]
+    fn variance_of_interfered_signals_is_large() {
+        // Two unit-amplitude MSK-like signals with incommensurate phase
+        // ramps: energy swings between 0 and 4.
+        let mut w = VarianceWindow::new(64);
+        for n in 0..128 {
+            let a = Cplx::cis(n as f64 * 0.7);
+            let b = Cplx::cis(n as f64 * 1.3 + 0.4);
+            w.push(a + b);
+        }
+        // Mean energy ≈ A²+B² = 2, variance ≈ 2·A²B² = 2 (for random
+        // relative phase: var(2cos φ) = 2).
+        assert!(w.variance() > 0.5, "variance = {}", w.variance());
+    }
+
+    #[test]
+    fn variance_window_needs_two() {
+        let mut w = VarianceWindow::new(4);
+        w.push_energy(3.0);
+        assert_eq!(w.variance(), 0.0);
+        w.push_energy(5.0);
+        assert!((w.variance() - 1.0).abs() < 1e-12); // population var of {3,5}
+    }
+
+    #[test]
+    #[should_panic]
+    fn variance_window_capacity_one_panics() {
+        let _ = VarianceWindow::new(1);
+    }
+
+    #[test]
+    fn variance_window_eviction() {
+        let mut w = VarianceWindow::new(2);
+        w.push_energy(0.0);
+        w.push_energy(0.0);
+        w.push_energy(4.0);
+        w.push_energy(4.0);
+        assert_eq!(w.variance(), 0.0);
+        assert!((w.mean() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn windows_track_detection_contrast() {
+        // End-to-end sanity for the §7.1 thresholds: the ratio between
+        // interfered-energy variance and single-signal variance must be
+        // enormous, which is what makes a 20 dB threshold workable.
+        let mut single = VarianceWindow::new(64);
+        let mut dual = VarianceWindow::new(64);
+        for n in 0..64 {
+            single.push(Cplx::from_polar(1.0, n as f64 * PI / 2.0));
+            let a = Cplx::cis(n as f64 * 0.9);
+            let b = Cplx::cis(n as f64 * 1.7 + 1.0);
+            dual.push(a + b);
+        }
+        assert!(dual.variance() > 1e6 * single.variance().max(1e-30));
+    }
+}

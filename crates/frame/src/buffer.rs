@@ -1,0 +1,183 @@
+//! The Sent Packet Buffer (§7.3).
+//!
+//! *"Alice keeps copies of the sent packets in a Sent Packet Buffer.
+//! When she receives a signal that contains interference, she has to
+//! figure out which packet from the buffer she should use to decode the
+//! interfered signal."* The same structure also stores *overheard*
+//! packets — in the "X" topology (§11.5) the receivers know the
+//! interfering signal "because they happen to overhear it while
+//! snooping on the medium".
+//!
+//! Bounded FIFO eviction: the oldest entry is dropped when the buffer is
+//! full, matching what a memory-bounded radio would do.
+
+use crate::frame::Frame;
+use crate::header::PacketKey;
+use std::collections::{HashMap, VecDeque};
+
+/// Bounded store of sent/overheard frames, keyed by (src, dst, seq).
+#[derive(Debug, Clone)]
+pub struct SentPacketBuffer {
+    map: HashMap<PacketKey, Frame>,
+    order: VecDeque<PacketKey>,
+    capacity: usize,
+}
+
+impl SentPacketBuffer {
+    /// Creates a buffer holding up to `capacity` frames.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer capacity must be positive");
+        SentPacketBuffer {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            capacity,
+        }
+    }
+
+    /// Stores a frame (replacing any frame with the same key). Evicts
+    /// the oldest entry if at capacity.
+    pub fn insert(&mut self, frame: Frame) {
+        let key = frame.header.key();
+        if self.map.insert(key, frame).is_some() {
+            // Refresh position: remove the stale order entry.
+            self.order.retain(|k| *k != key);
+        } else if self.map.len() > self.capacity {
+            if let Some(oldest) = self.order.pop_front() {
+                self.map.remove(&oldest);
+            }
+        }
+        self.order.push_back(key);
+    }
+
+    /// Looks up a frame by key.
+    pub fn get(&self, key: &PacketKey) -> Option<&Frame> {
+        self.map.get(key)
+    }
+
+    /// `true` if a frame with this key is buffered — the §7.5 router
+    /// test "if either of the headers corresponds to a packet it
+    /// already has".
+    pub fn contains(&self, key: &PacketKey) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Removes a frame (e.g. once acknowledged) and returns it.
+    pub fn remove(&mut self, key: &PacketKey) -> Option<Frame> {
+        let f = self.map.remove(key);
+        if f.is_some() {
+            self.order.retain(|k| k != key);
+        }
+        f
+    }
+
+    /// Number of buffered frames.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Maximum number of frames held.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Drops all entries.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::Header;
+
+    fn frame(src: u8, dst: u8, seq: u16) -> Frame {
+        Frame::new(Header::new(src, dst, seq, 0), vec![src & 1 == 1; 8])
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut buf = SentPacketBuffer::new(4);
+        let f = frame(1, 2, 10);
+        let key = f.header.key();
+        buf.insert(f.clone());
+        assert_eq!(buf.get(&key), Some(&f));
+        assert!(buf.contains(&key));
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn missing_key_absent() {
+        let buf = SentPacketBuffer::new(2);
+        assert!(buf.get(&PacketKey { src: 1, dst: 2, seq: 3 }).is_none());
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn fifo_eviction_at_capacity() {
+        let mut buf = SentPacketBuffer::new(2);
+        buf.insert(frame(1, 2, 1));
+        buf.insert(frame(1, 2, 2));
+        buf.insert(frame(1, 2, 3)); // evicts seq 1
+        assert_eq!(buf.len(), 2);
+        assert!(!buf.contains(&PacketKey { src: 1, dst: 2, seq: 1 }));
+        assert!(buf.contains(&PacketKey { src: 1, dst: 2, seq: 2 }));
+        assert!(buf.contains(&PacketKey { src: 1, dst: 2, seq: 3 }));
+    }
+
+    #[test]
+    fn reinsert_same_key_replaces_and_refreshes() {
+        let mut buf = SentPacketBuffer::new(2);
+        buf.insert(frame(1, 2, 1));
+        buf.insert(frame(1, 2, 2));
+        // Re-insert seq 1: it becomes newest, so inserting seq 3 evicts 2.
+        buf.insert(frame(1, 2, 1));
+        buf.insert(frame(1, 2, 3));
+        assert!(buf.contains(&PacketKey { src: 1, dst: 2, seq: 1 }));
+        assert!(!buf.contains(&PacketKey { src: 1, dst: 2, seq: 2 }));
+    }
+
+    #[test]
+    fn remove_returns_frame() {
+        let mut buf = SentPacketBuffer::new(2);
+        let f = frame(5, 6, 9);
+        let key = f.header.key();
+        buf.insert(f.clone());
+        assert_eq!(buf.remove(&key), Some(f));
+        assert!(buf.is_empty());
+        assert_eq!(buf.remove(&key), None);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut buf = SentPacketBuffer::new(3);
+        buf.insert(frame(1, 2, 1));
+        buf.insert(frame(3, 4, 2));
+        buf.clear();
+        assert!(buf.is_empty());
+        assert_eq!(buf.capacity(), 3);
+    }
+
+    #[test]
+    fn distinct_flows_coexist() {
+        let mut buf = SentPacketBuffer::new(10);
+        buf.insert(frame(1, 2, 7));
+        buf.insert(frame(2, 1, 7)); // same seq, opposite flow
+        assert_eq!(buf.len(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_rejected() {
+        let _ = SentPacketBuffer::new(0);
+    }
+}

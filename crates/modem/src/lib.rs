@@ -1,0 +1,64 @@
+//! # anc-modem — PSK modems for the ANC stack
+//!
+//! The paper (§4) chooses Minimum Shift Keying: *"MSK has very good
+//! bit-error properties, has a simple demodulation algorithm and
+//! excellent spectral efficiency."* §5 describes the scheme this crate
+//! implements:
+//!
+//! * a **1** is a phase advance of `+π/2` over one symbol interval `T`;
+//! * a **0** is a phase advance of `−π/2`;
+//! * amplitude is constant — all information lives in the phase;
+//! * demodulation computes `r = y[n+1]/y[n]` (Eq. 1) and maps
+//!   `arg(r) ≥ 0 → 1`, `< 0 → 0`, which cancels both channel
+//!   attenuation `h` and phase shift `γ` without estimating either.
+//!
+//! [`msk::MskModem`] generates a continuous-phase oversampled waveform
+//! (`samples_per_symbol ≥ 1`) and demodulates at symbol spacing.
+//! [`psk`] adds differential BPSK/QPSK modems and [`gmsk`] the GSM
+//! waveform — §4 argues the ANC ideas apply to any phase-shift keying,
+//! and these let the decoder demonstrate that claim. [`mod@ber`] holds the bit-error
+//! accounting used throughout the evaluation (§11.2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ber;
+pub mod gmsk;
+pub mod msk;
+pub mod psk;
+
+pub use ber::{ber, count_bit_errors};
+pub use gmsk::{GmskConfig, GmskModem};
+pub use msk::{MskConfig, MskModem};
+pub use psk::{DbpskModem, DqpskModem};
+
+use anc_dsp::Cplx;
+
+/// A modulator/demodulator pair operating on bit slices.
+///
+/// All modems in this crate are *differential*: demodulation is
+/// invariant to a constant channel attenuation and phase rotation, the
+/// property §5.3 identifies as what makes MSK robust ("the receiver
+/// does not need to accurately estimate the channel").
+pub trait Modem {
+    /// Modulates bits into complex baseband samples. The output carries
+    /// one trailing sample beyond the final symbol so the last bit's
+    /// phase transition is observable.
+    fn modulate(&self, bits: &[bool]) -> Vec<Cplx>;
+
+    /// Demodulates samples produced by [`Modem::modulate`] (possibly
+    /// after channel attenuation/rotation/noise) back into bits.
+    fn demodulate(&self, samples: &[Cplx]) -> Vec<bool>;
+
+    /// Samples emitted per symbol interval `T`.
+    fn samples_per_symbol(&self) -> usize;
+
+    /// Bits carried per symbol (1 for MSK/DBPSK, 2 for DQPSK).
+    fn bits_per_symbol(&self) -> usize;
+
+    /// Number of samples produced for `n_bits` input bits.
+    fn sample_count(&self, n_bits: usize) -> usize {
+        let symbols = n_bits.div_ceil(self.bits_per_symbol());
+        symbols * self.samples_per_symbol() + 1
+    }
+}

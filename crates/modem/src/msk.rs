@@ -1,0 +1,341 @@
+//! Minimum Shift Keying modulator and demodulator (§5, Fig. 3).
+//!
+//! ## Modulation (§5.2)
+//!
+//! Time is divided into symbol intervals of duration `T`. During each
+//! interval the signal phase advances linearly by `+π/2` (bit 1) or
+//! `−π/2` (bit 0); the amplitude `A_s` is constant. With
+//! `samples_per_symbol = S`, each sample advances the phase by
+//! `±π/(2S)`, producing the continuous-phase trajectory of Fig. 3.
+//! The waveform carries one extra trailing sample so the final symbol's
+//! full transition is observable.
+//!
+//! ## Demodulation (§5.3)
+//!
+//! For samples one symbol apart, the ratio
+//! `r = y[n+S]/y[n] = e^{i(θ[n+S]−θ[n])}` (Eq. 1) is invariant to both
+//! the channel attenuation `h` and phase shift `γ`. The receiver maps
+//! `arg(r) ≥ 0 → 1` and `< 0 → 0`.
+
+use crate::Modem;
+use anc_dsp::Cplx;
+use std::f64::consts::FRAC_PI_2;
+
+/// Configuration for the MSK modem.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MskConfig {
+    /// Complex samples per symbol interval `T`. 1 = symbol-rate
+    /// processing (the representation used by the paper's math);
+    /// larger values model an oversampled front end.
+    pub samples_per_symbol: usize,
+    /// Transmit amplitude `A_s` (§5.2: constant for MSK).
+    pub amplitude: f64,
+}
+
+impl Default for MskConfig {
+    fn default() -> Self {
+        MskConfig {
+            samples_per_symbol: 1,
+            amplitude: 1.0,
+        }
+    }
+}
+
+impl MskConfig {
+    /// Symbol-rate configuration with the given amplitude.
+    pub fn with_amplitude(amplitude: f64) -> Self {
+        MskConfig {
+            amplitude,
+            ..Default::default()
+        }
+    }
+
+    /// Oversampled configuration.
+    pub fn oversampled(samples_per_symbol: usize) -> Self {
+        MskConfig {
+            samples_per_symbol,
+            amplitude: 1.0,
+        }
+    }
+}
+
+/// The MSK modem.
+///
+/// ```
+/// use anc_modem::{Modem, MskModem};
+/// let modem = MskModem::default();
+/// let bits = vec![true, false, true, false, true, true, true, false, false, false];
+/// let signal = modem.modulate(&bits);
+/// assert_eq!(modem.demodulate(&signal), bits);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MskModem {
+    cfg: MskConfig,
+}
+
+impl MskModem {
+    /// Creates a modem from a configuration.
+    ///
+    /// # Panics
+    /// Panics if `samples_per_symbol == 0` or `amplitude <= 0`.
+    pub fn new(cfg: MskConfig) -> Self {
+        assert!(cfg.samples_per_symbol >= 1, "need >= 1 sample per symbol");
+        assert!(cfg.amplitude > 0.0, "amplitude must be positive");
+        MskModem { cfg }
+    }
+
+    /// The modem's configuration.
+    pub fn config(&self) -> MskConfig {
+        self.cfg
+    }
+
+    /// The phase trajectory (radians, unwrapped) that [`Modem::modulate`]
+    /// walks for the given bits, starting at 0 — one value per output
+    /// sample. This regenerates Fig. 3 of the paper.
+    pub fn phase_trajectory(&self, bits: &[bool]) -> Vec<f64> {
+        let s = self.cfg.samples_per_symbol;
+        let step = FRAC_PI_2 / s as f64;
+        let mut phases = Vec::with_capacity(bits.len() * s + 1);
+        let mut phi = 0.0;
+        phases.push(phi);
+        for &bit in bits {
+            let d = if bit { step } else { -step };
+            for _ in 0..s {
+                phi += d;
+                phases.push(phi);
+            }
+        }
+        phases
+    }
+
+    /// The per-symbol phase increments (`+π/2` / `−π/2`) for a bit
+    /// sequence — the "known phase differences" `Δθ_s[n]` that the ANC
+    /// decoder matches against (§6.3).
+    pub fn phase_differences(&self, bits: &[bool]) -> Vec<f64> {
+        bits.iter()
+            .map(|&b| if b { FRAC_PI_2 } else { -FRAC_PI_2 })
+            .collect()
+    }
+
+    /// Demodulates starting from an arbitrary sample offset; used after
+    /// alignment when a reception does not begin exactly at a waveform
+    /// boundary.
+    pub fn demodulate_from(&self, samples: &[Cplx], offset: usize) -> Vec<bool> {
+        if offset >= samples.len() {
+            return Vec::new();
+        }
+        self.demodulate(&samples[offset..])
+    }
+
+    /// Soft demodulation: returns the measured phase difference for each
+    /// symbol instead of a hard bit. The ANC decoder's final step (§6.4)
+    /// thresholds these at zero.
+    pub fn demodulate_soft(&self, samples: &[Cplx]) -> Vec<f64> {
+        let s = self.cfg.samples_per_symbol;
+        if samples.len() <= s {
+            return Vec::new();
+        }
+        let n_sym = (samples.len() - 1) / s;
+        let mut out = Vec::with_capacity(n_sym);
+        for k in 0..n_sym {
+            let a = samples[k * s];
+            let b = samples[(k + 1) * s];
+            out.push((b / a).arg());
+        }
+        out
+    }
+}
+
+impl Modem for MskModem {
+    fn modulate(&self, bits: &[bool]) -> Vec<Cplx> {
+        self.phase_trajectory(bits)
+            .into_iter()
+            .map(|phi| Cplx::from_polar(self.cfg.amplitude, phi))
+            .collect()
+    }
+
+    fn demodulate(&self, samples: &[Cplx]) -> Vec<bool> {
+        // §5.3 / §6.4 decision rule: Δθ ≥ 0 → "1", else "0".
+        self.demodulate_soft(samples)
+            .into_iter()
+            .map(|dphi| dphi >= 0.0)
+            .collect()
+    }
+
+    fn samples_per_symbol(&self) -> usize {
+        self.cfg.samples_per_symbol
+    }
+
+    fn bits_per_symbol(&self) -> usize {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anc_dsp::DspRng;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    fn bits(s: &str) -> Vec<bool> {
+        s.chars().map(|c| c == '1').collect()
+    }
+
+    #[test]
+    fn roundtrip_symbol_rate() {
+        let modem = MskModem::default();
+        let data = bits("1010111000");
+        assert_eq!(modem.demodulate(&modem.modulate(&data)), data);
+    }
+
+    #[test]
+    fn roundtrip_oversampled() {
+        for s in [2, 4, 8] {
+            let modem = MskModem::new(MskConfig::oversampled(s));
+            let data = bits("110010111101");
+            assert_eq!(
+                modem.demodulate(&modem.modulate(&data)),
+                data,
+                "S = {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrip_random_long() {
+        let mut rng = DspRng::seed_from(42);
+        let data = rng.bits(2000);
+        let modem = MskModem::new(MskConfig::oversampled(4));
+        assert_eq!(modem.demodulate(&modem.modulate(&data)), data);
+    }
+
+    #[test]
+    fn fig3_phase_walk() {
+        // Fig. 3 of the paper: data 1010111000 starting at phase 0.
+        // After bit 1 ("1"): π/2; after bit 2 ("0"): 0; then π/2, 0,
+        // π/2, π, 3π/2, π, π/2, 0.
+        let modem = MskModem::default();
+        let traj = modem.phase_trajectory(&bits("1010111000"));
+        let expected = [
+            0.0,
+            FRAC_PI_2,
+            0.0,
+            FRAC_PI_2,
+            0.0,
+            FRAC_PI_2,
+            PI,
+            3.0 * FRAC_PI_2,
+            PI,
+            FRAC_PI_2,
+            0.0,
+        ];
+        assert_eq!(traj.len(), expected.len());
+        for (got, want) in traj.iter().zip(expected) {
+            assert!((got - want).abs() < 1e-12, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn constant_amplitude() {
+        // §5.2: "in MSK, the amplitude of the transmitted signal is a
+        // constant. The phase embeds all information."
+        let modem = MskModem::new(MskConfig {
+            samples_per_symbol: 4,
+            amplitude: 2.5,
+        });
+        for s in modem.modulate(&bits("1101001")) {
+            assert!((s.norm() - 2.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sample_count_matches_trait() {
+        let modem = MskModem::new(MskConfig::oversampled(4));
+        let data = bits("10110");
+        assert_eq!(modem.modulate(&data).len(), modem.sample_count(5));
+        assert_eq!(modem.sample_count(5), 21);
+    }
+
+    #[test]
+    fn demod_invariant_to_channel() {
+        // Eq. 1's key property: attenuation + rotation leave the
+        // demodulated bits untouched.
+        let modem = MskModem::default();
+        let data = bits("100110101111000");
+        let signal = modem.modulate(&data);
+        let distorted: Vec<Cplx> = signal
+            .iter()
+            .map(|&s| s.scale(0.1).rotate(2.1))
+            .collect();
+        assert_eq!(modem.demodulate(&distorted), data);
+    }
+
+    #[test]
+    fn demod_survives_mild_noise() {
+        let modem = MskModem::default();
+        let mut rng = DspRng::seed_from(7);
+        let data = rng.bits(500);
+        let signal = modem.modulate(&data);
+        // SNR = 20 dB on unit-amplitude signal -> noise power 0.01.
+        let noisy: Vec<Cplx> = signal
+            .iter()
+            .map(|&s| s + rng.complex_gaussian(0.01))
+            .collect();
+        let out = modem.demodulate(&noisy);
+        let errors = out.iter().zip(&data).filter(|(a, b)| a != b).count();
+        assert_eq!(errors, 0, "20 dB SNR must be error-free for MSK");
+    }
+
+    #[test]
+    fn soft_decisions_near_half_pi() {
+        let modem = MskModem::default();
+        let soft = modem.demodulate_soft(&modem.modulate(&bits("10")));
+        assert_eq!(soft.len(), 2);
+        assert!((soft[0] - FRAC_PI_2).abs() < 1e-12);
+        assert!((soft[1] + FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_differences_are_pm_half_pi() {
+        let modem = MskModem::default();
+        let d = modem.phase_differences(&bits("110"));
+        assert_eq!(d, vec![FRAC_PI_2, FRAC_PI_2, -FRAC_PI_2]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let modem = MskModem::default();
+        assert_eq!(modem.modulate(&[]).len(), 1); // just the initial phase point
+        assert!(modem.demodulate(&[]).is_empty());
+        assert!(modem.demodulate(&[Cplx::ONE]).is_empty());
+    }
+
+    #[test]
+    fn demodulate_from_offset() {
+        let modem = MskModem::default();
+        let data = bits("1100");
+        let signal = modem.modulate(&data);
+        // skipping one symbol drops the first bit
+        let tail = modem.demodulate_from(&signal, 1);
+        assert_eq!(tail, bits("100"));
+        assert!(modem.demodulate_from(&signal, 99).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_samples_per_symbol_rejected() {
+        let _ = MskModem::new(MskConfig {
+            samples_per_symbol: 0,
+            amplitude: 1.0,
+        });
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_positive_amplitude_rejected() {
+        let _ = MskModem::new(MskConfig {
+            samples_per_symbol: 1,
+            amplitude: 0.0,
+        });
+    }
+}

@@ -1,0 +1,26 @@
+//! # anc-netcode — digital baselines for the ANC evaluation
+//!
+//! §11.1 compares analog network coding against two baselines, both
+//! granted an **optimal MAC** (no collisions, no backoff, full knowledge
+//! of topology and traffic) so that measured differences are intrinsic:
+//!
+//! * **No coding / traditional routing** — the relay decodes and
+//!   forwards each packet in its own slot (4 slots per packet exchange
+//!   in the Alice-Bob topology, Fig. 1b).
+//! * **Digital network coding (COPE)** — Alice and Bob transmit in
+//!   sequence, the router XORs the two packets and broadcasts the XOR
+//!   (3 slots, Fig. 1c); each endpoint XORs with its own packet to
+//!   recover the other's ([`cope::CopeCoder`]).
+//!
+//! [`schedule`] provides the slot schedules for each scheme on each of
+//! the paper's three topologies, which the simulator executes literally
+//! — transmissions, channels and demodulation included.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cope;
+pub mod schedule;
+
+pub use cope::CopeCoder;
+pub use schedule::{Scheme, SlotPlan, SlotStep};

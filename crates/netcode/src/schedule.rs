@@ -1,0 +1,267 @@
+//! Optimal-MAC slot schedules (§11.1).
+//!
+//! *"We implement traditional routing but with an optimal MAC, i.e.,
+//! the MAC employs an optimal scheduler and benefits from knowing the
+//! traffic pattern and the topology. Thus, the MAC never encounters
+//! collisions or backoffs."* The same optimality is granted to COPE.
+//!
+//! A [`SlotPlan`] is the repeating slot pattern a scheme executes on a
+//! topology (Figs. 1 and 2 of the paper). The simulator executes these
+//! plans literally — every transmission is modulated and decoded — so
+//! the plans also document the theoretical slot counts the paper's
+//! gains derive from (4 vs 3 vs 2 for Alice-Bob; 3 vs 2 for the chain).
+
+use anc_frame::NodeId;
+
+/// The three compared schemes (§11.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Traditional routing, optimal MAC (no coding).
+    Traditional,
+    /// COPE digital network coding, optimal MAC.
+    Cope,
+    /// Analog network coding.
+    Anc,
+}
+
+impl Scheme {
+    /// Human-readable name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheme::Traditional => "traditional",
+            Scheme::Cope => "cope",
+            Scheme::Anc => "anc",
+        }
+    }
+}
+
+/// What happens in one slot of a plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SlotStep {
+    /// One node transmits a native packet toward a destination
+    /// (possibly relayed further later).
+    Unicast {
+        /// Transmitting node.
+        from: NodeId,
+        /// Link-layer receiver of this hop.
+        to: NodeId,
+    },
+    /// The router broadcasts a COPE XOR of the two queued packets.
+    XorBroadcast {
+        /// The coding router.
+        router: NodeId,
+    },
+    /// Two senders transmit *simultaneously* (the ANC slot).
+    Simultaneous {
+        /// The two interfering transmitters.
+        senders: [NodeId; 2],
+    },
+    /// The router amplifies and re-broadcasts the interfered signal it
+    /// captured in the previous slot (§7.5).
+    AmplifyBroadcast {
+        /// The amplifying router.
+        router: NodeId,
+    },
+}
+
+/// A repeating slot pattern with bookkeeping on its goodput.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotPlan {
+    /// The steps executed per period, in order.
+    pub steps: Vec<SlotStep>,
+    /// End-to-end packets delivered per period (all flows combined).
+    pub packets_per_period: usize,
+}
+
+impl SlotPlan {
+    /// Slots per period.
+    pub fn slots(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Packets delivered per slot — the scheme's raw slot efficiency
+    /// (e.g. 2/4 = 0.5 for traditional Alice-Bob, 2/2 = 1.0 for ANC).
+    pub fn packets_per_slot(&self) -> f64 {
+        self.packets_per_period as f64 / self.slots() as f64
+    }
+}
+
+/// Node ids used by the canonical topologies (see `anc-sim::topology`).
+pub mod nodes {
+    use anc_frame::NodeId;
+    /// Alice in the Alice-Bob topology.
+    pub const ALICE: NodeId = 1;
+    /// Bob in the Alice-Bob topology.
+    pub const BOB: NodeId = 2;
+    /// The relay/router in Alice-Bob and "X".
+    pub const ROUTER: NodeId = 5;
+    /// Chain nodes N1–N4 (Fig. 2).
+    pub const N1: NodeId = 11;
+    /// Chain node N2 (first relay; the ANC decoding router).
+    pub const N2: NodeId = 12;
+    /// Chain node N3 (second relay).
+    pub const N3: NodeId = 13;
+    /// Chain node N4 (destination).
+    pub const N4: NodeId = 14;
+    /// "X" topology sender 1 (Fig. 11's N1).
+    pub const X1: NodeId = 21;
+    /// "X" topology receiver of X3's flow (overhears X1).
+    pub const X2: NodeId = 22;
+    /// "X" topology sender 2.
+    pub const X3: NodeId = 23;
+    /// "X" topology receiver of X1's flow (overhears X3).
+    pub const X4: NodeId = 24;
+}
+
+use nodes::*;
+
+/// Alice-Bob plans (Fig. 1): 4, 3 and 2 slots per exchanged pair.
+pub fn alice_bob_plan(scheme: Scheme) -> SlotPlan {
+    let steps = match scheme {
+        Scheme::Traditional => vec![
+            SlotStep::Unicast { from: ALICE, to: ROUTER },
+            SlotStep::Unicast { from: ROUTER, to: BOB },
+            SlotStep::Unicast { from: BOB, to: ROUTER },
+            SlotStep::Unicast { from: ROUTER, to: ALICE },
+        ],
+        Scheme::Cope => vec![
+            SlotStep::Unicast { from: ALICE, to: ROUTER },
+            SlotStep::Unicast { from: BOB, to: ROUTER },
+            SlotStep::XorBroadcast { router: ROUTER },
+        ],
+        Scheme::Anc => vec![
+            SlotStep::Simultaneous { senders: [ALICE, BOB] },
+            SlotStep::AmplifyBroadcast { router: ROUTER },
+        ],
+    };
+    SlotPlan {
+        steps,
+        packets_per_period: 2,
+    }
+}
+
+/// Chain plans (Fig. 2): 3 slots/packet traditionally, 2 with ANC.
+/// COPE does not apply to unidirectional flows (§11.6) — callers must
+/// not request it.
+///
+/// # Panics
+/// Panics if `scheme == Scheme::Cope`.
+pub fn chain_plan(scheme: Scheme) -> SlotPlan {
+    let steps = match scheme {
+        Scheme::Traditional => vec![
+            SlotStep::Unicast { from: N1, to: N2 },
+            SlotStep::Unicast { from: N2, to: N3 },
+            SlotStep::Unicast { from: N3, to: N4 },
+        ],
+        Scheme::Anc => vec![
+            // Steady state (Fig. 2c): N2 forwards p_i to N3, then N1
+            // (p_{i+1}) and N3 (p_i) transmit together; N2 cancels the
+            // known p_i to receive p_{i+1}, N4 receives p_i cleanly.
+            SlotStep::Unicast { from: N2, to: N3 },
+            SlotStep::Simultaneous { senders: [N1, N3] },
+        ],
+        Scheme::Cope => panic!("COPE does not apply to unidirectional chains (§11.6)"),
+    };
+    SlotPlan {
+        steps,
+        packets_per_period: 1,
+    }
+}
+
+/// "X" topology plans (Fig. 11): like Alice-Bob but the side nodes know
+/// the interfering packet from overhearing rather than from having sent
+/// it.
+pub fn x_topology_plan(scheme: Scheme) -> SlotPlan {
+    let steps = match scheme {
+        Scheme::Traditional => vec![
+            SlotStep::Unicast { from: X1, to: ROUTER },
+            SlotStep::Unicast { from: ROUTER, to: X4 },
+            SlotStep::Unicast { from: X3, to: ROUTER },
+            SlotStep::Unicast { from: ROUTER, to: X2 },
+        ],
+        Scheme::Cope => vec![
+            SlotStep::Unicast { from: X1, to: ROUTER }, // X2 overhears
+            SlotStep::Unicast { from: X3, to: ROUTER }, // X4 overhears
+            SlotStep::XorBroadcast { router: ROUTER },
+        ],
+        Scheme::Anc => vec![
+            SlotStep::Simultaneous { senders: [X1, X3] }, // X2/X4 overhear
+            SlotStep::AmplifyBroadcast { router: ROUTER },
+        ],
+    };
+    SlotPlan {
+        steps,
+        packets_per_period: 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alice_bob_slot_counts_match_fig1() {
+        assert_eq!(alice_bob_plan(Scheme::Traditional).slots(), 4);
+        assert_eq!(alice_bob_plan(Scheme::Cope).slots(), 3);
+        assert_eq!(alice_bob_plan(Scheme::Anc).slots(), 2);
+    }
+
+    #[test]
+    fn alice_bob_theoretical_gains() {
+        // ANC doubles traditional (2/4 → 2/2) and gains 1.5× over COPE.
+        let t = alice_bob_plan(Scheme::Traditional).packets_per_slot();
+        let c = alice_bob_plan(Scheme::Cope).packets_per_slot();
+        let a = alice_bob_plan(Scheme::Anc).packets_per_slot();
+        assert!((a / t - 2.0).abs() < 1e-12);
+        assert!((a / c - 1.5).abs() < 1e-12);
+        assert!((c / t - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chain_theoretical_gain() {
+        let t = chain_plan(Scheme::Traditional).packets_per_slot();
+        let a = chain_plan(Scheme::Anc).packets_per_slot();
+        assert!((a / t - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn chain_cope_rejected() {
+        let _ = chain_plan(Scheme::Cope);
+    }
+
+    #[test]
+    fn x_matches_alice_bob_structure() {
+        for s in [Scheme::Traditional, Scheme::Cope, Scheme::Anc] {
+            assert_eq!(
+                x_topology_plan(s).slots(),
+                alice_bob_plan(s).slots(),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn anc_plans_end_with_broadcast_after_simultaneous() {
+        for plan in [alice_bob_plan(Scheme::Anc), x_topology_plan(Scheme::Anc)] {
+            assert!(matches!(plan.steps[0], SlotStep::Simultaneous { .. }));
+            assert!(matches!(plan.steps[1], SlotStep::AmplifyBroadcast { .. }));
+        }
+    }
+
+    #[test]
+    fn chain_anc_simultaneous_pairs_n1_n3() {
+        let plan = chain_plan(Scheme::Anc);
+        assert!(matches!(
+            plan.steps[1],
+            SlotStep::Simultaneous { senders: [N1, N3] }
+        ));
+    }
+
+    #[test]
+    fn scheme_names() {
+        assert_eq!(Scheme::Traditional.name(), "traditional");
+        assert_eq!(Scheme::Cope.name(), "cope");
+        assert_eq!(Scheme::Anc.name(), "anc");
+    }
+}

@@ -1,0 +1,32 @@
+//! # anc-node — software-radio node model
+//!
+//! §10 and Fig. 8 of the paper describe each node as a user-space
+//! software radio: a TX chain (framer → modulator → RF) and an RX chain
+//! (packet detector → interference classifier → {MSK demod | header
+//! decode → matcher → ANC decode} → deframer). This crate realizes that
+//! node, minus the USRP: samples go to/come from the simulated medium.
+//!
+//! * [`phy::TxChain`] / [`phy::RxChain`] — the Fig. 8 pipelines.
+//! * [`mac::TriggerMac`] — the §7.6 random-delay draw: triggered
+//!   neighbours transmit after the §7.2 random delay (slots + user-space
+//!   jitter), which is what limits packet overlap to ≈ 80 % in the
+//!   paper (§11.4).
+//! * [`trigger`] — the §7.6 trigger sequence itself: the marker a node
+//!   appends to its transmission and the detector neighbours run on
+//!   reception tails.
+//! * [`node::Node`] — queues, sent-packet buffer, role (endpoint,
+//!   amplifying relay, decoding relay), and the poll-based interface
+//!   the simulator drives.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod mac;
+pub mod node;
+pub mod phy;
+pub mod trigger;
+
+pub use mac::{MacConfig, TriggerMac};
+pub use node::{Node, NodeConfig, NodeRole};
+pub use phy::{RxChain, RxEvent, TxChain};
+pub use trigger::{detect_trigger, frame_with_trigger, trigger_sequence};

@@ -1,0 +1,174 @@
+//! The trigger sequence (§7.6).
+//!
+//! *"To 'trigger' simultaneous transmissions, a node adds a short
+//! trigger sequence at the end of a standard transmission. The trigger
+//! stimulates the right neighbors to try to transmit immediately after
+//! the reception of the trigger."*
+//!
+//! Mechanically: a 32-bit pseudo-random marker appended after the
+//! frame's tail pilot. Receivers that find the marker in the
+//! demodulated tail of a reception know the medium is theirs next —
+//! they draw their §7.2 random delay and transmit, producing the
+//! interference the router wants. Which neighbours should react is
+//! carried by the frame's [`FLAG_TRIGGER`] bit plus the §7.6 assumption
+//! that local traffic knowledge arrived via control packets.
+
+use anc_dsp::corr::best_match;
+use anc_dsp::lfsr::Lfsr;
+use anc_dsp::Cplx;
+use anc_frame::header::FLAG_TRIGGER;
+use anc_frame::{Frame, FrameConfig};
+use anc_modem::{Modem, MskModem};
+
+/// Seed of the trigger marker LFSR (distinct from pilot and whitener).
+pub const TRIGGER_SEED: u16 = 0x7A21;
+
+/// Trigger marker length in bits ("a short trigger sequence").
+pub const TRIGGER_BITS: usize = 32;
+
+/// Bit errors tolerated when matching the marker.
+pub const TRIGGER_MAX_ERRORS: usize = 3;
+
+/// The trigger marker bit pattern.
+pub fn trigger_sequence() -> Vec<bool> {
+    Lfsr::new(TRIGGER_SEED).bits(TRIGGER_BITS)
+}
+
+/// Serializes a frame with the trigger flag set and the marker
+/// appended after the frame's mirrored tail (the on-air layout of a
+/// §7.6 triggering transmission).
+pub fn frame_with_trigger(frame: &Frame, cfg: &FrameConfig) -> Vec<bool> {
+    let mut f = frame.clone();
+    f.header.flags |= FLAG_TRIGGER;
+    let mut bits = f.to_bits(cfg);
+    bits.extend(trigger_sequence());
+    bits
+}
+
+/// Scans the demodulated tail of a reception for the trigger marker.
+/// `tail_bits` should be the last few hundred demodulated bits of the
+/// region; returns `true` when the marker matches within tolerance.
+pub fn detect_trigger_in_bits(tail_bits: &[bool]) -> bool {
+    let marker = trigger_sequence();
+    match best_match(tail_bits, &marker) {
+        Some((_, err)) => err <= TRIGGER_MAX_ERRORS,
+        None => false,
+    }
+}
+
+/// Convenience: demodulates the last `window` samples of a reception
+/// and looks for the marker. Returns `false` for receptions shorter
+/// than the marker.
+pub fn detect_trigger(rx: &[Cplx], window: usize) -> bool {
+    if rx.len() < TRIGGER_BITS + 1 {
+        return false;
+    }
+    let start = rx.len().saturating_sub(window.max(TRIGGER_BITS + 1));
+    let bits = MskModem::default().demodulate(&rx[start..]);
+    detect_trigger_in_bits(&bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anc_dsp::lfsr::pilot_sequence;
+    use anc_dsp::DspRng;
+    use anc_frame::Header;
+
+    fn frame(seed: u64) -> Frame {
+        Frame::new(Header::new(5, 255, 1, 0), DspRng::seed_from(seed).bits(256))
+    }
+
+    #[test]
+    fn trigger_appends_and_flags() {
+        let cfg = FrameConfig::default();
+        let f = frame(1);
+        let bits = frame_with_trigger(&f, &cfg);
+        assert_eq!(bits.len(), f.bit_len(&cfg) + TRIGGER_BITS);
+        // The flagged frame still parses, with the trigger bit set.
+        let (parsed, _, crc) = Frame::parse_lenient(&bits, &cfg).unwrap();
+        assert!(crc);
+        assert!(parsed.header.is_trigger());
+        assert_eq!(parsed.payload, f.payload);
+    }
+
+    #[test]
+    fn marker_detected_in_clean_tail() {
+        let cfg = FrameConfig::default();
+        let bits = frame_with_trigger(&frame(2), &cfg);
+        let tail = &bits[bits.len() - 200..];
+        assert!(detect_trigger_in_bits(tail));
+    }
+
+    #[test]
+    fn marker_absent_in_plain_frame() {
+        let cfg = FrameConfig::default();
+        let bits = frame(3).to_bits(&cfg);
+        let tail = &bits[bits.len() - 200..];
+        assert!(
+            !detect_trigger_in_bits(tail),
+            "plain frame tail must not look triggered"
+        );
+    }
+
+    #[test]
+    fn marker_distinct_from_pilot() {
+        // The trigger must not collide with the (mirrored) pilot that
+        // also lives in the tail region.
+        let marker = trigger_sequence();
+        let pilot = pilot_sequence(64);
+        let agree = marker
+            .iter()
+            .zip(&pilot[..TRIGGER_BITS])
+            .filter(|(a, b)| a == b)
+            .count();
+        assert!(agree < 24, "marker too similar to pilot head: {agree}/32");
+        let rev: Vec<bool> = pilot.iter().rev().copied().collect();
+        let agree_rev = marker
+            .iter()
+            .zip(&rev[..TRIGGER_BITS])
+            .filter(|(a, b)| a == b)
+            .count();
+        assert!(agree_rev < 24, "marker too similar to mirrored pilot");
+    }
+
+    #[test]
+    fn over_the_air_roundtrip() {
+        // Router broadcasts a triggering frame; a neighbour detects the
+        // marker from raw samples and knows to start its delay draw.
+        let cfg = FrameConfig::default();
+        let bits = frame_with_trigger(&frame(4), &cfg);
+        let modem = MskModem::default();
+        let mut rng = DspRng::seed_from(9);
+        let g = rng.phase();
+        let rx: Vec<Cplx> = modem
+            .modulate(&bits)
+            .into_iter()
+            .map(|s| s.scale(0.8).rotate(g) + rng.complex_gaussian(1e-3))
+            .collect();
+        assert!(detect_trigger(&rx, 256));
+        // An untriggered transmission does not fire the detector.
+        let plain: Vec<Cplx> = modem
+            .modulate(&frame(5).to_bits(&cfg))
+            .into_iter()
+            .map(|s| s.scale(0.8).rotate(g) + rng.complex_gaussian(1e-3))
+            .collect();
+        assert!(!detect_trigger(&plain, 256));
+    }
+
+    #[test]
+    fn tolerates_bit_errors() {
+        let cfg = FrameConfig::default();
+        let mut bits = frame_with_trigger(&frame(6), &cfg);
+        let n = bits.len();
+        bits[n - 5] = !bits[n - 5];
+        bits[n - 20] = !bits[n - 20];
+        assert!(detect_trigger_in_bits(&bits[n - 200..]));
+    }
+
+    #[test]
+    fn short_input_rejected() {
+        assert!(!detect_trigger(&[Cplx::ONE; 4], 64));
+        assert!(!detect_trigger_in_bits(&[true; 8]));
+    }
+}

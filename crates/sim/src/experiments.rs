@@ -1,0 +1,363 @@
+//! Multi-run experiment drivers — one per paper figure (§11).
+//!
+//! Each driver repeats paired runs (same topology realization, all
+//! schemes) over fresh channel draws — the paper's "40 times" — and
+//! pools the per-run gains and per-packet BERs into the CDFs the
+//! figures plot. Runs are independent, so they execute on a scoped
+//! thread pool.
+
+use crate::metrics::{gain, RunMetrics};
+use crate::runs::{run_alice_bob, run_chain, run_x, RunConfig};
+use crate::topology::{nodes, TopologyKind};
+use anc_netcode::Scheme;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a multi-run experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Number of paired runs (paper: 40).
+    pub runs: usize,
+    /// The per-run configuration; each run gets a derived seed.
+    pub base: RunConfig,
+    /// Worker threads (0 = one per available core).
+    pub threads: usize,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            runs: 40,
+            base: RunConfig::default(),
+            threads: 0,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// Scaled-down settings for tests.
+    pub fn quick(seed: u64) -> Self {
+        ExperimentConfig {
+            runs: 4,
+            base: RunConfig::quick(seed),
+            threads: 0,
+        }
+    }
+
+    fn thread_count(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        }
+    }
+}
+
+/// Pooled results of one topology experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TopologyResult {
+    /// Which topology ran.
+    pub topology: String,
+    /// Per-run ANC throughput gain over traditional routing (Fig.
+    /// 9a/10a/12a CDF samples).
+    pub gains_vs_traditional: Vec<f64>,
+    /// Per-run ANC gain over COPE (empty for the chain).
+    pub gains_vs_cope: Vec<f64>,
+    /// Pooled per-packet ANC BERs (Fig. 9b/10b/12b CDF samples).
+    pub anc_packet_bers: Vec<f64>,
+    /// Mean interfered-pair overlap fraction (§11.4's ≈ 80 %).
+    pub mean_overlap: f64,
+    /// ANC end-to-end delivery rate.
+    pub anc_delivery_rate: f64,
+    /// Number of paired runs executed.
+    pub runs: usize,
+}
+
+impl TopologyResult {
+    /// Mean per-run gain over traditional routing.
+    pub fn mean_gain_traditional(&self) -> f64 {
+        mean(&self.gains_vs_traditional)
+    }
+
+    /// Mean per-run gain over COPE (NaN for the chain).
+    pub fn mean_gain_cope(&self) -> f64 {
+        mean(&self.gains_vs_cope)
+    }
+
+    /// Mean per-packet ANC BER.
+    pub fn mean_ber(&self) -> f64 {
+        mean(&self.anc_packet_bers)
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        f64::NAN
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Derives the per-run seed; a large odd stride keeps streams apart.
+fn run_seed(base: u64, idx: usize) -> u64 {
+    base.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(idx as u64 + 1))
+}
+
+fn parallel_runs<F>(cfg: &ExperimentConfig, run_one: F) -> Vec<Vec<RunMetrics>>
+where
+    F: Fn(RunConfig) -> Vec<RunMetrics> + Sync,
+{
+    let mut out: Vec<Option<Vec<RunMetrics>>> = (0..cfg.runs).map(|_| None).collect();
+    let threads = cfg.thread_count().max(1);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<&mut Option<Vec<RunMetrics>>>> =
+        out.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(cfg.runs.max(1)) {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if idx >= cfg.runs {
+                    break;
+                }
+                let mut rc = cfg.base.clone();
+                rc.seed = run_seed(cfg.base.seed, idx);
+                let result = run_one(rc);
+                **slots[idx].lock().expect("slot lock") = Some(result);
+            });
+        }
+    });
+    out.into_iter().map(|r| r.expect("run completed")).collect()
+}
+
+fn assemble(topology: TopologyKind, with_cope: bool, runs: Vec<Vec<RunMetrics>>) -> TopologyResult {
+    let mut result = TopologyResult {
+        topology: format!("{topology:?}"),
+        gains_vs_traditional: Vec::new(),
+        gains_vs_cope: Vec::new(),
+        anc_packet_bers: Vec::new(),
+        mean_overlap: 0.0,
+        anc_delivery_rate: 0.0,
+        runs: runs.len(),
+    };
+    let mut overlaps = Vec::new();
+    let mut delivered = 0usize;
+    let mut attempted = 0usize;
+    for pair in &runs {
+        let anc = &pair[0];
+        let trad = &pair[1];
+        result.gains_vs_traditional.push(gain(anc, trad));
+        if with_cope {
+            result.gains_vs_cope.push(gain(anc, &pair[2]));
+        }
+        result.anc_packet_bers.extend_from_slice(&anc.packet_bers);
+        overlaps.extend_from_slice(&anc.overlaps);
+        delivered += anc.account.delivered;
+        attempted += anc.account.delivered + anc.account.lost;
+    }
+    result.mean_overlap = mean(&overlaps);
+    result.anc_delivery_rate = if attempted == 0 {
+        0.0
+    } else {
+        delivered as f64 / attempted as f64
+    };
+    result
+}
+
+/// Figs. 9a/9b — the Alice-Bob experiment (§11.4).
+pub fn alice_bob(cfg: &ExperimentConfig) -> TopologyResult {
+    let runs = parallel_runs(cfg, |rc| {
+        vec![
+            run_alice_bob(Scheme::Anc, &rc),
+            run_alice_bob(Scheme::Traditional, &rc),
+            run_alice_bob(Scheme::Cope, &rc),
+        ]
+    });
+    assemble(TopologyKind::AliceBob, true, runs)
+}
+
+/// Figs. 10a/10b — the "X" topology experiment (§11.5).
+pub fn x_topology(cfg: &ExperimentConfig) -> TopologyResult {
+    let runs = parallel_runs(cfg, |rc| {
+        vec![
+            run_x(Scheme::Anc, &rc),
+            run_x(Scheme::Traditional, &rc),
+            run_x(Scheme::Cope, &rc),
+        ]
+    });
+    assemble(TopologyKind::X, true, runs)
+}
+
+/// Figs. 12a/12b — the unidirectional chain experiment (§11.6).
+pub fn chain(cfg: &ExperimentConfig) -> TopologyResult {
+    let runs = parallel_runs(cfg, |rc| {
+        vec![
+            run_chain(Scheme::Anc, &rc),
+            run_chain(Scheme::Traditional, &rc),
+        ]
+    });
+    assemble(TopologyKind::Chain, false, runs)
+}
+
+/// Configuration of the Fig.-13 SIR sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SirSweepConfig {
+    /// Per-point run configuration (packets per flow etc.).
+    pub base: RunConfig,
+    /// The SIR values (dB) to sweep; the paper covers −3 … +4 dB.
+    pub sir_db: Vec<f64>,
+    /// Independent runs pooled per point.
+    pub runs_per_point: usize,
+    /// Worker threads (0 = one per core).
+    pub threads: usize,
+}
+
+impl Default for SirSweepConfig {
+    fn default() -> Self {
+        SirSweepConfig {
+            base: RunConfig::default(),
+            sir_db: (-6..=8).map(|x| x as f64 * 0.5).collect(),
+            runs_per_point: 4,
+            threads: 0,
+        }
+    }
+}
+
+/// One point of the Fig.-13 series.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SirPoint {
+    /// Received signal-to-interference ratio at Alice (dB, Eq. 9).
+    pub sir_db: f64,
+    /// Mean BER of Bob's packets decoded at Alice.
+    pub mean_ber: f64,
+    /// Packets that contributed.
+    pub packets: usize,
+    /// Fraction of Alice's decode attempts that produced a packet.
+    pub decode_rate: f64,
+}
+
+/// Fig. 13 — BER vs SIR at Alice (§11.7).
+///
+/// Link gains are pinned symmetric and Bob's transmit amplitude is
+/// scaled to realize each SIR (`SIR = P_Bob/P_Alice` at Alice, Eq. 9).
+pub fn sir_sweep(cfg: &SirSweepConfig) -> Vec<SirPoint> {
+    let threads = if cfg.threads > 0 {
+        cfg.threads
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    };
+    let points: Vec<(usize, f64)> = cfg.sir_db.iter().copied().enumerate().collect();
+    let mut out: Vec<Option<SirPoint>> = vec![None; points.len()];
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<&mut Option<SirPoint>>> =
+        out.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(points.len().max(1)) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= points.len() {
+                    break;
+                }
+                let (idx, sir) = points[i];
+                let mut bers = Vec::new();
+                let mut attempts = 0usize;
+                for r in 0..cfg.runs_per_point {
+                    let mut rc = cfg.base.clone();
+                    rc.seed = run_seed(cfg.base.seed.wrapping_add(idx as u64 * 7919), r);
+                    // Pin symmetric unit-ish links; scale Bob's transmit
+                    // amplitude so the received power ratio is the SIR.
+                    rc.channel.gain = (0.85, 0.85);
+                    rc.tx_amplitude_overrides =
+                        vec![(nodes::BOB, anc_dsp::db::db_to_amplitude(sir))];
+                    let m = run_alice_bob(Scheme::Anc, &rc);
+                    bers.extend(m.bers_at(nodes::ALICE));
+                    attempts += rc.packets_per_flow;
+                }
+                let point = SirPoint {
+                    sir_db: sir,
+                    mean_ber: mean(&bers),
+                    packets: bers.len(),
+                    decode_rate: if attempts == 0 {
+                        0.0
+                    } else {
+                        bers.len() as f64 / attempts as f64
+                    },
+                };
+                **slots[idx].lock().expect("slot lock") = Some(point);
+            });
+        }
+    });
+    out.into_iter().map(|p| p.expect("point completed")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alice_bob_experiment_shape() {
+        let cfg = ExperimentConfig {
+            runs: 3,
+            base: RunConfig {
+                packets_per_flow: 8,
+                payload_bits: 4096,
+                ..RunConfig::quick(1)
+            },
+            threads: 2,
+        };
+        let r = alice_bob(&cfg);
+        assert_eq!(r.runs, 3);
+        assert_eq!(r.gains_vs_traditional.len(), 3);
+        assert_eq!(r.gains_vs_cope.len(), 3);
+        assert!(r.mean_gain_traditional() > 1.0, "mean gain {}", r.mean_gain_traditional());
+        assert!(!r.anc_packet_bers.is_empty());
+        assert!(r.mean_overlap > 0.3 && r.mean_overlap <= 1.0);
+    }
+
+    #[test]
+    fn chain_experiment_has_no_cope() {
+        let cfg = ExperimentConfig {
+            runs: 2,
+            base: RunConfig {
+                packets_per_flow: 8,
+                payload_bits: 4096,
+                ..RunConfig::quick(2)
+            },
+            threads: 2,
+        };
+        let r = chain(&cfg);
+        assert!(r.gains_vs_cope.is_empty());
+        assert!(r.mean_gain_cope().is_nan());
+        assert_eq!(r.gains_vs_traditional.len(), 2);
+    }
+
+    #[test]
+    fn sir_sweep_produces_ordered_points() {
+        let cfg = SirSweepConfig {
+            base: RunConfig {
+                packets_per_flow: 10,
+                payload_bits: 2048,
+                ..RunConfig::quick(3)
+            },
+            sir_db: vec![-3.0, 0.0, 3.0],
+            runs_per_point: 1,
+            threads: 2,
+        };
+        let pts = sir_sweep(&cfg);
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0].sir_db, -3.0);
+        assert_eq!(pts[2].sir_db, 3.0);
+        for p in &pts {
+            assert!(p.packets > 0, "no packets at {} dB", p.sir_db);
+            assert!(p.mean_ber >= 0.0 && p.mean_ber <= 0.5);
+        }
+    }
+
+    #[test]
+    fn seeds_differ_across_runs() {
+        assert_ne!(run_seed(0, 0), run_seed(0, 1));
+        assert_ne!(run_seed(5, 3), run_seed(6, 3));
+    }
+}

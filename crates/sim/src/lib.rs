@@ -1,0 +1,37 @@
+//! # anc-sim — the evaluation testbed, in software
+//!
+//! §11 of the paper evaluates ANC on a software-radio testbed over three
+//! canonical topologies (Alice-Bob, "X", chain) against two baselines
+//! (traditional routing and COPE), each with an optimal MAC. This crate
+//! is that testbed's software substitute: it runs *signal-level*
+//! experiments — every packet is modulated, sent through the channel
+//! model, superposed with interferers, and decoded — and reports the
+//! paper's metrics (§11.2): network throughput, gain over traditional,
+//! gain over COPE, and per-packet BER.
+//!
+//! * [`topology`] — the three paper topologies with per-link channel
+//!   draws.
+//! * [`runs`] — one experiment run = 1000 packets per flow per scheme
+//!   (paper default), seeded; 40 runs per figure.
+//! * [`experiments`] — per-figure drivers: `alice_bob`, `x_topology`,
+//!   `chain`, `sir_sweep`.
+//! * [`metrics`] — throughput/gain/BER accounting, including the FEC
+//!   redundancy charge of §11.2 and the overlap-fraction bookkeeping of
+//!   §11.4.
+//! * [`report`] — JSON + fixed-width text rendering of each figure's
+//!   series (CDFs, sweeps) for EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod metrics;
+pub mod report;
+pub mod runs;
+pub mod topology;
+
+pub use experiments::{alice_bob, chain, sir_sweep, x_topology};
+pub use metrics::{RunMetrics, ThroughputAccount};
+pub use report::{ExperimentReport, FigureSeries};
+pub use runs::{RunConfig, Scenario};
+pub use topology::{LinkSpec, Topology, TopologyKind};

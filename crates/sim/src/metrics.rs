@@ -1,0 +1,212 @@
+//! Evaluation metrics (§11.2).
+//!
+//! * **Network throughput** — "the sum of the end-to-end throughput of
+//!   all flows", measured here in payload bits per sample-time. ANC
+//!   packets are charged the extra error-correction redundancy their
+//!   BER requires ("We account for this overhead in our throughput
+//!   computation"), via the 2×BER rule of `anc-frame::fec`.
+//! * **Gain over traditional / over COPE** — throughput ratios between
+//!   schemes run on the *same* topology realization (the paper's "two
+//!   consecutive runs in the same topology").
+//! * **BER** — per decoded packet, against the transmitted payload.
+
+use anc_frame::fec::ideal_redundancy_for_ber;
+use anc_netcode::Scheme;
+use serde::{Deserialize, Serialize};
+
+/// Time/goodput ledger for one scheme's run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ThroughputAccount {
+    /// FEC-discounted delivered payload bits.
+    pub goodput_bits: f64,
+    /// Raw packets delivered end-to-end.
+    pub delivered: usize,
+    /// Packets lost (decode or identification failure).
+    pub lost: usize,
+    /// Elapsed medium time in samples.
+    pub time_samples: f64,
+}
+
+impl ThroughputAccount {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an end-to-end delivery of `payload_bits` decoded with
+    /// the given `ber`; goodput is discounted by the redundancy an
+    /// ideal outer code would need (§11.2/§11.4: 4 % BER → 8 %
+    /// overhead).
+    pub fn deliver(&mut self, payload_bits: usize, ber: f64) {
+        let redundancy = ideal_redundancy_for_ber(ber);
+        self.goodput_bits += payload_bits as f64 / (1.0 + redundancy);
+        self.delivered += 1;
+    }
+
+    /// Records a lost packet.
+    pub fn lose(&mut self) {
+        self.lost += 1;
+    }
+
+    /// Advances the medium clock.
+    pub fn tick(&mut self, samples: f64) {
+        self.time_samples += samples;
+    }
+
+    /// Network throughput in payload bits per sample; 0 before any
+    /// time has elapsed.
+    pub fn throughput(&self) -> f64 {
+        if self.time_samples <= 0.0 {
+            0.0
+        } else {
+            self.goodput_bits / self.time_samples
+        }
+    }
+
+    /// Delivery rate over attempted packets.
+    pub fn delivery_rate(&self) -> f64 {
+        let total = self.delivered + self.lost;
+        if total == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / total as f64
+        }
+    }
+}
+
+/// Everything measured in one run of one scheme on one topology
+/// realization.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Which scheme ran.
+    pub scheme: String,
+    /// The time/goodput ledger.
+    pub account: ThroughputAccount,
+    /// BER of each decoded data packet (interference-decoded packets
+    /// for ANC; all end-to-end deliveries for the baselines).
+    pub packet_bers: Vec<f64>,
+    /// Per-packet BER tagged with the receiving node — lets sweeps
+    /// look at one receiver (Fig. 13 reads only Alice's decodes).
+    pub ber_by_receiver: Vec<(u8, f64)>,
+    /// Overlap fraction of each interfered pair (ANC only; §11.4's
+    /// ≈ 80 % statistic).
+    pub overlaps: Vec<f64>,
+}
+
+impl RunMetrics {
+    /// Creates an empty record for a scheme.
+    pub fn new(scheme: Scheme) -> Self {
+        RunMetrics {
+            scheme: scheme.name().to_string(),
+            account: ThroughputAccount::new(),
+            packet_bers: Vec::new(),
+            ber_by_receiver: Vec::new(),
+            overlaps: Vec::new(),
+        }
+    }
+
+    /// Records a decoded packet's BER at a given receiver.
+    pub fn record_ber(&mut self, receiver: u8, ber: f64) {
+        self.packet_bers.push(ber);
+        self.ber_by_receiver.push((receiver, ber));
+    }
+
+    /// BERs observed at one receiver.
+    pub fn bers_at(&self, receiver: u8) -> Vec<f64> {
+        self.ber_by_receiver
+            .iter()
+            .filter(|(r, _)| *r == receiver)
+            .map(|(_, b)| *b)
+            .collect()
+    }
+
+    /// Mean packet BER (0 when none recorded).
+    pub fn mean_ber(&self) -> f64 {
+        if self.packet_bers.is_empty() {
+            0.0
+        } else {
+            self.packet_bers.iter().sum::<f64>() / self.packet_bers.len() as f64
+        }
+    }
+
+    /// Mean overlap fraction (0 when none recorded).
+    pub fn mean_overlap(&self) -> f64 {
+        if self.overlaps.is_empty() {
+            0.0
+        } else {
+            self.overlaps.iter().sum::<f64>() / self.overlaps.len() as f64
+        }
+    }
+}
+
+/// Throughput gain of `new` over `base` (the §11.2 gain metrics).
+/// NaN when the baseline saw no throughput.
+pub fn gain(new: &RunMetrics, base: &RunMetrics) -> f64 {
+    let b = base.account.throughput();
+    if b <= 0.0 {
+        f64::NAN
+    } else {
+        new.account.throughput() / b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_arithmetic() {
+        let mut a = ThroughputAccount::new();
+        a.deliver(1000, 0.0);
+        a.tick(500.0);
+        assert!((a.throughput() - 2.0).abs() < 1e-12);
+        assert_eq!(a.delivered, 1);
+    }
+
+    #[test]
+    fn fec_discount_matches_paper_rule() {
+        // 4 % BER → 8 % redundancy → goodput / 1.08.
+        let mut a = ThroughputAccount::new();
+        a.deliver(1080, 0.04);
+        assert!((a.goodput_bits - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_time_zero_throughput() {
+        let a = ThroughputAccount::new();
+        assert_eq!(a.throughput(), 0.0);
+    }
+
+    #[test]
+    fn delivery_rate() {
+        let mut a = ThroughputAccount::new();
+        a.deliver(10, 0.0);
+        a.deliver(10, 0.0);
+        a.lose();
+        assert!((a.delivery_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(ThroughputAccount::new().delivery_rate(), 0.0);
+    }
+
+    #[test]
+    fn run_metrics_means() {
+        let mut m = RunMetrics::new(Scheme::Anc);
+        assert_eq!(m.mean_ber(), 0.0);
+        m.packet_bers.extend([0.02, 0.04]);
+        m.overlaps.extend([0.8, 0.9]);
+        assert!((m.mean_ber() - 0.03).abs() < 1e-12);
+        assert!((m.mean_overlap() - 0.85).abs() < 1e-12);
+        assert_eq!(m.scheme, "anc");
+    }
+
+    #[test]
+    fn gain_ratio() {
+        let mut a = RunMetrics::new(Scheme::Anc);
+        a.account.deliver(2000, 0.0);
+        a.account.tick(100.0);
+        let mut t = RunMetrics::new(Scheme::Traditional);
+        t.account.deliver(1000, 0.0);
+        t.account.tick(100.0);
+        assert!((gain(&a, &t) - 2.0).abs() < 1e-12);
+        assert!(gain(&a, &RunMetrics::new(Scheme::Traditional)).is_nan());
+    }
+}

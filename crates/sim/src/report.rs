@@ -1,0 +1,203 @@
+//! Experiment reports: printable series + JSON artifacts.
+//!
+//! Every figure binary prints its series as fixed-width text (the rows
+//! the paper plots) and can persist the same data as JSON so
+//! EXPERIMENTS.md numbers are regenerable and diffable.
+
+use anc_dsp::Cdf;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::Path;
+
+/// One named series of rows (a curve of a figure).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FigureSeries {
+    /// Series name, e.g. "gain_over_traditional_cdf".
+    pub name: String,
+    /// Column labels.
+    pub columns: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<f64>>,
+}
+
+impl FigureSeries {
+    /// Builds a CDF series (value, cumulative fraction) from samples —
+    /// the shape of Figs. 9, 10 and 12.
+    pub fn cdf(name: &str, value_label: &str, samples: &[f64]) -> FigureSeries {
+        let cdf = Cdf::from_samples(samples);
+        FigureSeries {
+            name: name.to_string(),
+            columns: vec![value_label.to_string(), "cum_frac".to_string()],
+            rows: cdf.points().into_iter().map(|(v, f)| vec![v, f]).collect(),
+        }
+    }
+
+    /// Builds an x/y sweep series (Figs. 7 and 13).
+    pub fn sweep(name: &str, x_label: &str, y_labels: &[&str], rows: Vec<Vec<f64>>) -> Self {
+        let mut columns = vec![x_label.to_string()];
+        columns.extend(y_labels.iter().map(|s| s.to_string()));
+        FigureSeries {
+            name: name.to_string(),
+            columns,
+            rows,
+        }
+    }
+
+    /// Renders as tab-separated text with a header.
+    pub fn render(&self) -> String {
+        let mut out = format!("# series: {}\n# {}\n", self.name, self.columns.join("\t"));
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|v| format!("{v:.6}")).collect();
+            out.push_str(&cells.join("\t"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A complete experiment artifact: all series of one paper figure (or
+/// figure pair) plus headline scalars.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    /// Which experiment (e.g. "fig9_alice_bob").
+    pub title: String,
+    /// Reproducibility: the seed and scale the experiment ran with.
+    pub params: BTreeMap<String, f64>,
+    /// Headline scalars (mean gains, mean BER, overlap, …).
+    pub summary: BTreeMap<String, f64>,
+    /// The plottable series.
+    pub series: Vec<FigureSeries>,
+}
+
+impl ExperimentReport {
+    /// Creates an empty report.
+    pub fn new(title: &str) -> Self {
+        ExperimentReport {
+            title: title.to_string(),
+            params: BTreeMap::new(),
+            summary: BTreeMap::new(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Records a parameter.
+    pub fn param(&mut self, key: &str, value: f64) -> &mut Self {
+        self.params.insert(key.to_string(), value);
+        self
+    }
+
+    /// Records a headline scalar.
+    pub fn stat(&mut self, key: &str, value: f64) -> &mut Self {
+        self.summary.insert(key.to_string(), value);
+        self
+    }
+
+    /// Adds a series.
+    pub fn push_series(&mut self, s: FigureSeries) -> &mut Self {
+        self.series.push(s);
+        self
+    }
+
+    /// Renders the whole report as text.
+    pub fn render(&self) -> String {
+        let mut out = format!("==== {} ====\n", self.title);
+        if !self.params.is_empty() {
+            out.push_str("-- parameters --\n");
+            for (k, v) in &self.params {
+                out.push_str(&format!("{k} = {v}\n"));
+            }
+        }
+        if !self.summary.is_empty() {
+            out.push_str("-- summary --\n");
+            for (k, v) in &self.summary {
+                out.push_str(&format!("{k} = {v:.4}\n"));
+            }
+        }
+        for s in &self.series {
+            out.push('\n');
+            out.push_str(&s.render());
+        }
+        out
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    /// Writes the JSON artifact to a file.
+    pub fn write_json(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_json().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_series_shape() {
+        let s = FigureSeries::cdf("g", "gain", &[1.5, 1.2, 1.8]);
+        assert_eq!(s.columns, vec!["gain", "cum_frac"]);
+        assert_eq!(s.rows.len(), 3);
+        assert_eq!(s.rows[0][0], 1.2);
+        assert!((s.rows[2][1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_series_shape() {
+        let s = FigureSeries::sweep(
+            "fig13",
+            "sir_db",
+            &["ber"],
+            vec![vec![-3.0, 0.05], vec![0.0, 0.02]],
+        );
+        assert_eq!(s.columns.len(), 2);
+        assert_eq!(s.rows.len(), 2);
+    }
+
+    #[test]
+    fn render_contains_rows() {
+        let s = FigureSeries::cdf("g", "v", &[2.0]);
+        let text = s.render();
+        assert!(text.contains("# series: g"));
+        assert!(text.contains("2.000000\t1.000000"));
+    }
+
+    #[test]
+    fn report_roundtrip_json() {
+        let mut r = ExperimentReport::new("fig9");
+        r.param("runs", 40.0)
+            .stat("mean_gain", 1.7)
+            .push_series(FigureSeries::cdf("gain_cdf", "gain", &[1.6, 1.8]));
+        let json = r.to_json();
+        let back: ExperimentReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.title, "fig9");
+        assert_eq!(back.summary["mean_gain"], 1.7);
+        assert_eq!(back.series.len(), 1);
+    }
+
+    #[test]
+    fn report_renders_sections() {
+        let mut r = ExperimentReport::new("t");
+        r.stat("x", 1.0);
+        let text = r.render();
+        assert!(text.contains("==== t ===="));
+        assert!(text.contains("x = 1.0000"));
+    }
+
+    #[test]
+    fn write_json_to_disk() {
+        let mut r = ExperimentReport::new("disk");
+        r.stat("v", 3.0);
+        let dir = std::env::temp_dir().join("anc_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("r.json");
+        r.write_json(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("\"disk\""));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,249 @@
+//! The paper's three canonical topologies (§11), with per-run channel
+//! realizations.
+//!
+//! * **Alice-Bob** (Fig. 1): two endpoints out of each other's radio
+//!   range, one router between them.
+//! * **Chain** (Fig. 2): N1 → N2 → N3 → N4; only adjacent nodes are in
+//!   range (N4 cannot hear N1 — the property ANC exploits).
+//! * **"X"** (Fig. 11): N1→N4 and N3→N2 cross at router N5; N2
+//!   overhears N1 and N4 overhears N3 over weaker side links, and each
+//!   receiver also picks up *weak* interference from the far sender —
+//!   the imperfect-overhearing effect §11.5 blames for the X
+//!   topology's higher BER tail.
+//!
+//! Every directed link carries a gain drawn per run (so 40 runs sample
+//! 40 channel realizations, as the testbed's 40 repetitions did) and a
+//! random phase.
+
+use anc_channel::Link;
+use anc_dsp::DspRng;
+use anc_frame::NodeId;
+use std::collections::HashMap;
+
+pub use anc_netcode::schedule::nodes;
+
+/// Which canonical topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyKind {
+    /// Fig. 1: Alice ↔ router ↔ Bob.
+    AliceBob,
+    /// Fig. 2: the 3-hop chain.
+    Chain,
+    /// Fig. 11: two flows crossing at a router.
+    X,
+}
+
+/// One directed link entry.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkSpec {
+    /// Transmitting node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// The channel.
+    pub link: Link,
+}
+
+/// Channel-draw parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ChannelDraw {
+    /// Main-link amplitude gain range (uniform draw).
+    pub gain: (f64, f64),
+    /// Overhearing side-link gain range (X topology).
+    pub overhear_gain: (f64, f64),
+    /// Weak cross-interference gain range (X topology far senders).
+    pub weak_gain: (f64, f64),
+}
+
+impl Default for ChannelDraw {
+    fn default() -> Self {
+        ChannelDraw {
+            gain: (0.7, 1.0),
+            overhear_gain: (0.55, 0.85),
+            weak_gain: (0.12, 0.3),
+        }
+    }
+}
+
+/// A realized topology: nodes plus the directed link table.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// Which canonical shape this is.
+    pub kind: TopologyKind,
+    /// All node ids, in a stable order.
+    pub node_ids: Vec<NodeId>,
+    links: HashMap<(NodeId, NodeId), Link>,
+}
+
+impl Topology {
+    fn add_sym(&mut self, a: NodeId, b: NodeId, rng: &mut DspRng, range: (f64, f64)) {
+        // Reciprocal gain (same attenuation both ways), independent
+        // phases — a reasonable line-of-sight model.
+        let gain = rng.uniform_range(range.0, range.1);
+        self.links
+            .insert((a, b), Link::new(gain, rng.phase(), 0.0));
+        self.links
+            .insert((b, a), Link::new(gain, rng.phase(), 0.0));
+    }
+
+    fn add_dir(&mut self, a: NodeId, b: NodeId, rng: &mut DspRng, range: (f64, f64)) {
+        let gain = rng.uniform_range(range.0, range.1);
+        self.links
+            .insert((a, b), Link::new(gain, rng.phase(), 0.0));
+    }
+
+    /// Draws an Alice-Bob topology (Fig. 1).
+    pub fn alice_bob(rng: &mut DspRng, draw: &ChannelDraw) -> Topology {
+        use nodes::{ALICE, BOB, ROUTER};
+        let mut t = Topology {
+            kind: TopologyKind::AliceBob,
+            node_ids: vec![ALICE, BOB, ROUTER],
+            links: HashMap::new(),
+        };
+        t.add_sym(ALICE, ROUTER, rng, draw.gain);
+        t.add_sym(BOB, ROUTER, rng, draw.gain);
+        // No Alice↔Bob link: out of range by construction.
+        t
+    }
+
+    /// Draws a chain topology (Fig. 2).
+    pub fn chain(rng: &mut DspRng, draw: &ChannelDraw) -> Topology {
+        use nodes::{N1, N2, N3, N4};
+        let mut t = Topology {
+            kind: TopologyKind::Chain,
+            node_ids: vec![N1, N2, N3, N4],
+            links: HashMap::new(),
+        };
+        t.add_sym(N1, N2, rng, draw.gain);
+        t.add_sym(N2, N3, rng, draw.gain);
+        t.add_sym(N3, N4, rng, draw.gain);
+        // Non-adjacent nodes are out of range (no links) — in
+        // particular N1 ↛ N4 (the paper's premise for Fig. 2).
+        t
+    }
+
+    /// Draws an "X" topology (Fig. 11).
+    pub fn x(rng: &mut DspRng, draw: &ChannelDraw) -> Topology {
+        use nodes::{ROUTER, X1, X2, X3, X4};
+        let mut t = Topology {
+            kind: TopologyKind::X,
+            node_ids: vec![X1, X2, X3, X4, ROUTER],
+            links: HashMap::new(),
+        };
+        for n in [X1, X2, X3, X4] {
+            t.add_sym(n, ROUTER, rng, draw.gain);
+        }
+        // Overhearing side links (§11.5): N2 hears N1, N4 hears N3.
+        t.add_dir(X1, X2, rng, draw.overhear_gain);
+        t.add_dir(X3, X4, rng, draw.overhear_gain);
+        // Weak cross-interference: the far sender is faintly audible,
+        // which is what makes overhearing imperfect.
+        t.add_dir(X3, X2, rng, draw.weak_gain);
+        t.add_dir(X1, X4, rng, draw.weak_gain);
+        t
+    }
+
+    /// The link from `from` to `to`, if the nodes are in range.
+    pub fn link(&self, from: NodeId, to: NodeId) -> Option<&Link> {
+        self.links.get(&(from, to))
+    }
+
+    /// `true` when `to` can hear `from` at all.
+    pub fn connected(&self, from: NodeId, to: NodeId) -> bool {
+        self.links.contains_key(&(from, to))
+    }
+
+    /// All directed links (for diagnostics).
+    pub fn links(&self) -> impl Iterator<Item = LinkSpec> + '_ {
+        self.links.iter().map(|(&(from, to), &link)| LinkSpec {
+            from,
+            to,
+            link,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nodes::*;
+
+    fn rng() -> DspRng {
+        DspRng::seed_from(42)
+    }
+
+    #[test]
+    fn alice_bob_shape() {
+        let t = Topology::alice_bob(&mut rng(), &ChannelDraw::default());
+        assert!(t.connected(ALICE, ROUTER));
+        assert!(t.connected(ROUTER, ALICE));
+        assert!(t.connected(BOB, ROUTER));
+        assert!(!t.connected(ALICE, BOB), "Alice must not hear Bob");
+        assert!(!t.connected(BOB, ALICE));
+    }
+
+    #[test]
+    fn chain_shape() {
+        let t = Topology::chain(&mut rng(), &ChannelDraw::default());
+        assert!(t.connected(N1, N2));
+        assert!(t.connected(N2, N3));
+        assert!(t.connected(N3, N4));
+        assert!(t.connected(N3, N2), "N2 must hear N3 (the collision)");
+        assert!(!t.connected(N1, N3));
+        assert!(!t.connected(N1, N4), "N4 must not hear N1 (Fig. 2)");
+        assert!(!t.connected(N2, N4));
+    }
+
+    #[test]
+    fn x_shape() {
+        let t = Topology::x(&mut rng(), &ChannelDraw::default());
+        for n in [X1, X2, X3, X4] {
+            assert!(t.connected(n, ROUTER));
+            assert!(t.connected(ROUTER, n));
+        }
+        assert!(t.connected(X1, X2), "overhearing link");
+        assert!(t.connected(X3, X4), "overhearing link");
+        assert!(t.connected(X3, X2), "weak interference link");
+        assert!(t.connected(X1, X4), "weak interference link");
+        assert!(!t.connected(X1, X3));
+        assert!(!t.connected(X2, X4));
+    }
+
+    #[test]
+    fn gains_within_ranges() {
+        let draw = ChannelDraw::default();
+        let t = Topology::x(&mut rng(), &draw);
+        let main = t.link(X1, ROUTER).unwrap();
+        assert!(main.gain >= draw.gain.0 && main.gain <= draw.gain.1);
+        let over = t.link(X1, X2).unwrap();
+        assert!(over.gain >= draw.overhear_gain.0 && over.gain <= draw.overhear_gain.1);
+        let weak = t.link(X3, X2).unwrap();
+        assert!(weak.gain >= draw.weak_gain.0 && weak.gain <= draw.weak_gain.1);
+        assert!(weak.gain < over.gain, "interference weaker than overhearing");
+    }
+
+    #[test]
+    fn symmetric_links_share_gain() {
+        let t = Topology::alice_bob(&mut rng(), &ChannelDraw::default());
+        let ar = t.link(ALICE, ROUTER).unwrap();
+        let ra = t.link(ROUTER, ALICE).unwrap();
+        assert_eq!(ar.gain, ra.gain);
+    }
+
+    #[test]
+    fn different_seeds_different_channels() {
+        let d = ChannelDraw::default();
+        let t1 = Topology::alice_bob(&mut DspRng::seed_from(1), &d);
+        let t2 = Topology::alice_bob(&mut DspRng::seed_from(2), &d);
+        assert_ne!(
+            t1.link(ALICE, ROUTER).unwrap().gain,
+            t2.link(ALICE, ROUTER).unwrap().gain
+        );
+    }
+
+    #[test]
+    fn links_iterator_counts() {
+        let t = Topology::chain(&mut rng(), &ChannelDraw::default());
+        assert_eq!(t.links().count(), 6); // 3 symmetric pairs
+    }
+}

@@ -1,0 +1,62 @@
+//! The chain pipeline (Fig. 2c): unidirectional flow N1 → N2 → N3 → N4
+//! where N1 and N3 transmit *simultaneously* and N2 survives the
+//! collision because it already knows N3's packet — it forwarded it.
+//!
+//! This is the scenario digital network coding cannot help with
+//! (§2b) and where ANC also dissolves the hidden-terminal problem.
+//!
+//! ```text
+//! cargo run --release --example chain_relay
+//! ```
+
+use anc::prelude::*;
+
+fn main() {
+    // Run the full signal-level chain simulation for both schemes on
+    // the same channel realization and compare.
+    let cfg = RunConfig {
+        seed: 11,
+        packets_per_flow: 30,
+        payload_bits: 4096,
+        ..Default::default()
+    };
+
+    println!("Running traditional routing (3 slots per packet, Fig. 2b) ...");
+    let trad = run_chain(Scheme::Traditional, &cfg);
+    println!(
+        "  delivered {}/{} packets, throughput {:.4} payload bits/sample",
+        trad.account.delivered,
+        trad.account.delivered + trad.account.lost,
+        trad.account.throughput()
+    );
+
+    println!("Running ANC pipeline (2 slots per packet, Fig. 2c) ...");
+    let anc = run_chain(Scheme::Anc, &cfg);
+    println!(
+        "  delivered {}/{} packets, throughput {:.4} payload bits/sample",
+        anc.account.delivered,
+        anc.account.delivered + anc.account.lost,
+        anc.account.throughput()
+    );
+    println!(
+        "  BER at the decoding relay N2: mean {:.3}% over {} interfered packets",
+        100.0 * anc.mean_ber(),
+        anc.packet_bers.len()
+    );
+    println!(
+        "  mean overlap between N1's and N3's packets: {:.0}%",
+        100.0 * anc.mean_overlap()
+    );
+
+    let gain = anc.account.throughput() / trad.account.throughput();
+    println!();
+    println!(
+        "Throughput gain: {gain:.2}× (theoretical ceiling 1.5 = 3 slots → 2; \
+         the paper measured ≈ 1.36, §11.6)"
+    );
+    println!(
+        "Note: N2's BER is *lower* than the Alice-Bob case in the paper because \
+         the chain decodes the interference where it first lands — no relay \
+         re-amplifies its own receiver noise (§11.6)."
+    );
+}

@@ -1,0 +1,113 @@
+//! §4's generality claim, demonstrated: *"the ideas we develop in this
+//! paper, especially §6.1, are applicable to any phase shift keying
+//! modulation."*
+//!
+//! The Lemma-6.1 solver and the §6.3 matcher never assume MSK — they
+//! only need the known sender's per-interval phase differences. Here we
+//! interfere two **DBPSK** packets (Δθ ∈ {0, π}) and two **DQPSK**
+//! packets (Δθ ∈ {±π/4, ±3π/4}) and decode them with the *same*
+//! matcher used for MSK, swapping only the phase-difference alphabet
+//! and the final bit-decision rule.
+//!
+//! ```text
+//! cargo run --release --example psk_generality
+//! ```
+
+use anc::prelude::*;
+use anc_dsp::wrap_pi;
+use std::f64::consts::{FRAC_PI_4, PI};
+
+/// Interfere two waveforms with channel phases, CFO on the second, and
+/// light noise.
+fn interfere(rng: &mut DspRng, sa: &[Cplx], sb: &[Cplx]) -> Vec<Cplx> {
+    let (ga, gb) = (rng.phase(), rng.phase());
+    let cfo = 0.015;
+    sa.iter()
+        .zip(sb)
+        .enumerate()
+        .map(|(n, (&x, &y))| {
+            x.rotate(ga) + y.rotate(gb + cfo * n as f64) + rng.complex_gaussian(1e-3)
+        })
+        .collect()
+}
+
+fn ber_pct(errors: usize, total: usize) -> f64 {
+    100.0 * errors as f64 / total as f64
+}
+
+fn main() {
+    let mut rng = DspRng::seed_from(64);
+    let n_bits = 2000;
+
+    // ---------------- DBPSK ----------------
+    let modem = DbpskModem::default();
+    let a_bits = rng.bits(n_bits);
+    let b_bits = rng.bits(n_bits);
+    let rx = interfere(
+        &mut rng,
+        &modem.modulate(&a_bits),
+        &modem.modulate(&b_bits),
+    );
+    // Known phase differences for DBPSK: bit → {π, 0}.
+    let known: Vec<f64> = a_bits.iter().map(|&b| if b { PI } else { 0.0 }).collect();
+    let matched = match_phase_differences(&rx, &known, 1.0, 1.0);
+    // DBPSK decision: a phase change nearer π than 0 is a "1".
+    let decoded: Vec<bool> = matched.dphi.iter().map(|&d| d.abs() > PI / 2.0).collect();
+    let errors = decoded.iter().zip(&b_bits).filter(|(x, y)| x != y).count();
+    println!(
+        "DBPSK interference decode: {errors}/{n_bits} errors (BER {:.2}%)",
+        ber_pct(errors, n_bits)
+    );
+
+    // ---------------- DQPSK ----------------
+    let modem = DqpskModem::default();
+    let a_bits = rng.bits(n_bits);
+    let b_bits = rng.bits(n_bits);
+    let rx = interfere(
+        &mut rng,
+        &modem.modulate(&a_bits),
+        &modem.modulate(&b_bits),
+    );
+    // Known per-symbol phase changes for π/4-DQPSK, Gray mapped.
+    let dibit_phase = |b0: bool, b1: bool| match (b0, b1) {
+        (false, false) => FRAC_PI_4,
+        (false, true) => 3.0 * FRAC_PI_4,
+        (true, true) => -3.0 * FRAC_PI_4,
+        (true, false) => -FRAC_PI_4,
+    };
+    let known: Vec<f64> = a_bits
+        .chunks(2)
+        .map(|c| dibit_phase(c[0], c.get(1).copied().unwrap_or(false)))
+        .collect();
+    let matched = match_phase_differences(&rx, &known, 1.0, 1.0);
+    // DQPSK decision: nearest constellation change, back to the dibit.
+    let mut decoded = Vec::with_capacity(n_bits);
+    for &d in &matched.dphi {
+        let mut best = (false, false);
+        let mut best_err = f64::INFINITY;
+        for (b0, b1) in [(false, false), (false, true), (true, true), (true, false)] {
+            let err = wrap_pi(d - dibit_phase(b0, b1)).abs();
+            if err < best_err {
+                best_err = err;
+                best = (b0, b1);
+            }
+        }
+        decoded.push(best.0);
+        decoded.push(best.1);
+    }
+    let errors = decoded
+        .iter()
+        .zip(&b_bits)
+        .filter(|(x, y)| x != y)
+        .count();
+    println!(
+        "DQPSK interference decode: {errors}/{n_bits} errors (BER {:.2}%)",
+        ber_pct(errors, n_bits)
+    );
+    println!();
+    println!(
+        "Same Lemma-6.1 solver, same §6.3 matcher — only the phase alphabet \
+         and the decision rule changed. DQPSK's denser alphabet pays a higher \
+         BER, as §4 would predict; MSK remains the paper's sweet spot."
+    );
+}

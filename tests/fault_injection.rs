@@ -1,0 +1,193 @@
+//! Fault-injection tests: the decoder under channel impairments the
+//! paper's model ignores but real deployments meet (smoltcp-style
+//! adverse-condition testing). The point is *graceful* degradation —
+//! bounded BER growth or explicit decode failure, never panics or
+//! silent corruption of the recovered identity.
+
+use anc::channel::fault::{BlockFading, CarrierOffset, Clipper, GainDrift, Impairment};
+use anc::prelude::*;
+use anc_core::decoder::{DecodeError, DecoderConfig};
+use anc_core::detect::DetectorConfig;
+use anc_modem::ber::ber;
+
+const NOISE: f64 = 1e-3;
+
+struct Scenario {
+    rx: Vec<Cplx>,
+    known_bits: Vec<bool>,
+    unknown: Frame,
+}
+
+/// A standard staggered interfered reception, before impairment.
+fn scenario(seed: u64) -> Scenario {
+    let mut rng = DspRng::seed_from(seed);
+    let cfg = FrameConfig::default();
+    let modem = MskModem::default();
+    let known = Frame::new(Header::new(1, 2, 1, 0), rng.bits(1024));
+    let unknown = Frame::new(Header::new(2, 1, 1, 0), rng.bits(1024));
+    let kb = known.to_bits(&cfg);
+    let ub = unknown.to_bits(&cfg);
+    let sk = modem.modulate(&kb);
+    let su = modem.modulate(&ub);
+    let (gk, gu) = (rng.phase(), rng.phase());
+    let lead = 300;
+    let span = lead + su.len();
+    let mut rx: Vec<Cplx> = (0..128).map(|_| rng.complex_gaussian(NOISE)).collect();
+    rx.extend((0..span).map(|t| {
+        let mut s = rng.complex_gaussian(NOISE);
+        if t < sk.len() {
+            s += sk[t].rotate(gk);
+        }
+        if t >= lead {
+            let k = t - lead;
+            s += su[k].rotate(gu + 0.02 * k as f64);
+        }
+        s
+    }));
+    rx.extend((0..128).map(|_| rng.complex_gaussian(NOISE)));
+    Scenario {
+        rx,
+        known_bits: kb,
+        unknown,
+    }
+}
+
+fn decoder() -> AncDecoder {
+    AncDecoder::new(DecoderConfig {
+        detector: DetectorConfig {
+            noise_floor: NOISE,
+            ..Default::default()
+        },
+        ..Default::default()
+    })
+}
+
+/// Decode and measure payload BER; `None` when the decode or parse
+/// failed outright (an acceptable outcome under faults).
+fn try_decode(s: &Scenario) -> Option<f64> {
+    let out = decoder().decode_forward(&s.rx, &s.known_bits).ok()?;
+    let (frame, _, _) = Frame::parse_lenient(&out.bits, &FrameConfig::default()).ok()?;
+    // Identity must never be fabricated: either the right packet or
+    // nothing.
+    assert_eq!(frame.header.key(), s.unknown.header.key());
+    Some(ber(&frame.payload, &s.unknown.payload))
+}
+
+#[test]
+fn baseline_without_faults() {
+    let s = scenario(1);
+    let b = try_decode(&s).expect("clean scenario decodes");
+    assert!(b < 0.03, "baseline BER {b}");
+}
+
+#[test]
+fn survives_receiver_cfo() {
+    // A common CFO at the receiver rotates *everything*; differential
+    // processing should shrug it off.
+    let mut s = scenario(2);
+    CarrierOffset::new(0.01).apply(&mut s.rx);
+    let b = try_decode(&s).expect("decodes under mild receiver CFO");
+    assert!(b < 0.08, "BER under receiver CFO: {b}");
+}
+
+#[test]
+fn degrades_gracefully_under_heavy_cfo() {
+    // Heavy drift: decode may fail, but must not panic or mislabel.
+    let mut s = scenario(3);
+    CarrierOffset::new(0.2).apply(&mut s.rx);
+    if let Some(b) = try_decode(&s) {
+        assert!(b <= 0.6, "BER bounded even under heavy CFO: {b}");
+    }
+}
+
+#[test]
+fn survives_light_clipping() {
+    // ADC saturation at 1.8× unit amplitude only shaves the rarest
+    // constructive peaks (|y| ≤ 2 for two unit signals).
+    let mut s = scenario(4);
+    Clipper { ceiling: 1.8 }.apply(&mut s.rx);
+    let b = try_decode(&s).expect("decodes under light clipping");
+    assert!(b < 0.05, "BER under light clipping: {b}");
+}
+
+#[test]
+fn moderate_clipping_hurts_anc_specifically() {
+    // A finding worth pinning: plain MSK is amplitude-blind, but the
+    // *ANC decoder* is not — Lemma 6.1 reads cos(θ−φ) from |y|², so
+    // flattening the constructive peaks at 1.3× corrupts D and costs
+    // on the order of 10 % BER. Receivers deploying ANC need more ADC
+    // headroom than their MSK front end alone would suggest.
+    let mut s = scenario(4);
+    Clipper { ceiling: 1.3 }.apply(&mut s.rx);
+    let b = try_decode(&s).expect("still decodes, degraded");
+    assert!(
+        (0.03..0.25).contains(&b),
+        "expected visible-but-bounded degradation, got {b}"
+    );
+}
+
+#[test]
+fn hard_limiting_still_finds_identity() {
+    // Brutal 1.0-ceiling limiting destroys the amplitude statistics the
+    // §6.2 estimator uses; decode may fail, but any success must carry
+    // the right identity (asserted inside try_decode).
+    let mut s = scenario(5);
+    Clipper { ceiling: 1.0 }.apply(&mut s.rx);
+    let _ = try_decode(&s);
+}
+
+#[test]
+fn survives_slow_gain_drift() {
+    let mut s = scenario(6);
+    GainDrift::new(0.001, 99).apply(&mut s.rx);
+    let b = try_decode(&s).expect("decodes under slow gain drift");
+    assert!(b < 0.1, "BER under gain drift: {b}");
+}
+
+#[test]
+fn block_fading_fails_loud_not_wrong() {
+    // Rayleigh block fading every 256 samples violates the
+    // constant-channel-per-packet assumption fundamentally. Whatever
+    // happens must be a clean failure or a labeled decode.
+    let mut s = scenario(7);
+    BlockFading::new(256, 5).apply(&mut s.rx);
+    let _ = try_decode(&s); // assertion on identity lives inside
+}
+
+#[test]
+fn silence_and_garbage_inputs_do_not_panic() {
+    let dec = decoder();
+    // All-zero input.
+    assert_eq!(
+        dec.decode_forward(&[Cplx::ZERO; 4096], &[true; 100])
+            .unwrap_err(),
+        DecodeError::NoSignal
+    );
+    // Tiny input.
+    assert!(dec.decode_forward(&[Cplx::ONE; 3], &[true; 10]).is_err());
+    // NaN-free handling of a DC spike.
+    let mut rx = vec![Cplx::ZERO; 2048];
+    for s in rx[1000..1100].iter_mut() {
+        *s = Cplx::new(50.0, 0.0);
+    }
+    let _ = dec.decode_forward(&rx, &[true; 64]);
+}
+
+#[test]
+fn end_to_end_run_survives_fault_heavy_channel() {
+    // Full Alice-Bob run with stronger noise: delivery drops but the
+    // run completes, accounts correctly, and never double-counts.
+    let cfg = RunConfig {
+        seed: 8,
+        packets_per_flow: 8,
+        payload_bits: 2048,
+        noise_power: 2e-3,
+        ..Default::default()
+    };
+    let m = run_alice_bob(Scheme::Anc, &cfg);
+    assert_eq!(m.account.delivered + m.account.lost, 16);
+    assert!(m.account.time_samples > 0.0);
+    for &b in &m.packet_bers {
+        assert!((0.0..=1.0).contains(&b));
+    }
+}
