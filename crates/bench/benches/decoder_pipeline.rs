@@ -93,7 +93,10 @@ fn bench_clean(c: &mut Criterion) {
     let wave = modem.modulate(&f.to_bits(&cfg));
     let g0 = rng.phase();
     let mut rx: Vec<Cplx> = (0..128).map(|_| rng.complex_gaussian(NOISE)).collect();
-    rx.extend(wave.iter().map(|&s| s.rotate(g0) + rng.complex_gaussian(NOISE)));
+    rx.extend(
+        wave.iter()
+            .map(|&s| s.rotate(g0) + rng.complex_gaussian(NOISE)),
+    );
     rx.extend((0..128).map(|_| rng.complex_gaussian(NOISE)));
     let dec = decoder();
     c.bench_function("clean_decode_4096", |b| {

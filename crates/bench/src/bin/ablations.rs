@@ -161,11 +161,7 @@ fn ablation_window(rng: &mut DspRng, trials: usize) -> FigureSeries {
             let dtheta = modem.phase_differences(&a_bits);
             let m = match_phase_differences(&mix, &dtheta, a.max(0.05), b.max(0.05));
             let decoded = m.bits();
-            errs += decoded
-                .iter()
-                .zip(&b_bits)
-                .filter(|(x, y)| x != y)
-                .count();
+            errs += decoded.iter().zip(&b_bits).filter(|(x, y)| x != y).count();
             bits_total += decoded.len().min(b_bits.len());
         }
         let mean_ber = if bits_total == 0 {
@@ -265,9 +261,7 @@ fn ablation_subtract(rng: &mut DspRng, trials: usize) -> FigureSeries {
                 .collect();
             // Naive path: align is exact (mix[0] = known waveform start).
             if let Some(bits) = naive_decode(&mix, &sk, 250) {
-                if let Ok((frame, _, _)) =
-                    Frame::parse_lenient(&bits, &FrameConfig::default())
-                {
+                if let Ok((frame, _, _)) = Frame::parse_lenient(&bits, &FrameConfig::default()) {
                     if frame.header.key() == uf.header.key() {
                         naive_bers.push(ber(&frame.payload, &uf.payload));
                     } else {
@@ -313,8 +307,7 @@ fn ablation_backward(rng: &mut DspRng, trials: usize) -> FigureSeries {
         let mix = mixture(rng, &ub, &kb, 300, 0.0, 0.02, NOISE);
         let rx = pad(rng, mix);
         if let Ok(out) = dec.decode_backward(&rx, &kb) {
-            if let Ok((frame, _, _)) = Frame::parse_lenient(&out.bits, &FrameConfig::default())
-            {
+            if let Ok((frame, _, _)) = Frame::parse_lenient(&out.bits, &FrameConfig::default()) {
                 if frame.header.key() == uf.header.key() {
                     bwd.push(ber(&frame.payload, &uf.payload));
                 }

@@ -45,7 +45,10 @@ fn main() {
         .param("payload_bits", args.payload_bits as f64)
         .param("seed", args.seed as f64);
     report
-        .stat("alice_bob_gain_over_traditional", ab.mean_gain_traditional())
+        .stat(
+            "alice_bob_gain_over_traditional",
+            ab.mean_gain_traditional(),
+        )
         .stat("alice_bob_gain_over_cope", ab.mean_gain_cope())
         .stat("alice_bob_mean_ber", ab.mean_ber())
         .stat("x_gain_over_traditional", x.mean_gain_traditional())

@@ -134,8 +134,18 @@ mod tests {
     #[test]
     fn overrides() {
         let a = parse(&[
-            "--runs", "5", "--packets", "12", "--payload", "1024", "--seed", "99",
-            "--threads", "3", "--json", "/tmp/x.json",
+            "--runs",
+            "5",
+            "--packets",
+            "12",
+            "--payload",
+            "1024",
+            "--seed",
+            "99",
+            "--threads",
+            "3",
+            "--json",
+            "/tmp/x.json",
         ])
         .unwrap();
         assert_eq!(a.runs, 5);

@@ -216,8 +216,14 @@ mod tests {
 
     #[test]
     fn free_function_wrappers() {
-        assert_eq!(routing_upper_bound(10.0), CapacityModel::default().routing_upper(10.0));
-        assert_eq!(anc_lower_bound(10.0), CapacityModel::default().anc_lower(10.0));
+        assert_eq!(
+            routing_upper_bound(10.0),
+            CapacityModel::default().routing_upper(10.0)
+        );
+        assert_eq!(
+            anc_lower_bound(10.0),
+            CapacityModel::default().anc_lower(10.0)
+        );
         assert_eq!(gain_ratio(10.0), CapacityModel::default().gain(10.0));
     }
 

@@ -134,7 +134,11 @@ mod tests {
         let m = CapacityModel::default();
         let s = fig7_series(&m, 0.0, 300.0, 301);
         let last = s.last().unwrap();
-        assert!((last.gain - ASYMPTOTIC_GAIN).abs() < 0.05, "gain {}", last.gain);
+        assert!(
+            (last.gain - ASYMPTOTIC_GAIN).abs() < 0.05,
+            "gain {}",
+            last.gain
+        );
         let mid = &s[120];
         assert!(mid.gain < last.gain);
         // The paper-range endpoint:

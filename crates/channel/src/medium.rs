@@ -106,10 +106,7 @@ mod tests {
     fn single_transmission_noise_free() {
         let sig = vec![Cplx::ONE, Cplx::I];
         let mut m = Medium::new(0.0, 0);
-        let rx = m.receive(
-            &[Transmission::new(sig.clone(), 2, Link::ideal())],
-            6,
-        );
+        let rx = m.receive(&[Transmission::new(sig.clone(), 2, Link::ideal())], 6);
         assert_eq!(rx[0], Cplx::ZERO);
         assert_eq!(rx[1], Cplx::ZERO);
         assert_eq!(rx[2], Cplx::ONE);

@@ -75,9 +75,7 @@ mod tests {
     #[test]
     fn output_power_is_target() {
         let mut rng = DspRng::seed_from(1);
-        let rx: Vec<Cplx> = (0..10_000)
-            .map(|_| rng.complex_gaussian(3.7))
-            .collect();
+        let rx: Vec<Cplx> = (0..10_000).map(|_| rng.complex_gaussian(3.7)).collect();
         let relay = AmplifyForward::new(1.0);
         let (out, _) = relay.amplify(&rx);
         let p = Cplx::mean_energy(&out);

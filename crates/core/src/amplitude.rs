@@ -135,9 +135,7 @@ mod tests {
             .zip(&sb)
             .enumerate()
             .map(|(n, (&x, &y))| {
-                x.rotate(ra)
-                    + y.rotate(rb + cfo * n as f64)
-                    + rng.complex_gaussian(noise)
+                x.rotate(ra) + y.rotate(rb + cfo * n as f64) + rng.complex_gaussian(noise)
             })
             .collect()
     }

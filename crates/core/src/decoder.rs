@@ -258,9 +258,7 @@ impl AncDecoder {
             // Direct measurements first: A from the clean prefix, B via
             // Eq. 5 (µ = A² + B²). The pure Eq. 5/6 moment pair is the
             // fallback for receptions with no usable clean prefix.
-            (_, Some(hint)) if mu > hint * hint * 1.02 => {
-                (hint, (mu - hint * hint).sqrt())
-            }
+            (_, Some(hint)) if mu > hint * hint * 1.02 => (hint, (mu - hint * hint).sqrt()),
             (Some(e), Some(hint)) => e.assign(hint),
             (Some(e), None) => (e.larger, e.smaller),
             (None, _) => return Err(DecodeError::AmplitudeEstimation),
@@ -273,7 +271,9 @@ impl AncDecoder {
         // Interval n (absolute) uses known_dtheta[n - f0]; we start at
         // the onset interval and run to the end of the known frame.
         let start_int = onset.max(f0);
-        let known_dtheta = self.modem.phase_differences(&known_bits[(start_int - f0)..]);
+        let known_dtheta = self
+            .modem
+            .phase_differences(&known_bits[(start_int - f0)..]);
         // known_last is already clamped into the sample range.
         let y = &samples[start_int..=known_last];
         let matched = match_phase_differences(y, &known_dtheta, a, b);
@@ -442,8 +442,16 @@ mod tests {
         let out = dec.decode_forward(&rx, &kb).expect("decode");
         let d = out.diagnostics;
         // Amplitudes near 1.
-        assert!((d.known_amplitude - 1.0).abs() < 0.2, "A {}", d.known_amplitude);
-        assert!((d.unknown_amplitude - 1.0).abs() < 0.2, "B {}", d.unknown_amplitude);
+        assert!(
+            (d.known_amplitude - 1.0).abs() < 0.2,
+            "A {}",
+            d.known_amplitude
+        );
+        assert!(
+            (d.unknown_amplitude - 1.0).abs() < 0.2,
+            "B {}",
+            d.unknown_amplitude
+        );
         // Overlap fraction ≈ (known_len − lead)/known_len.
         let expect = (kb.len() - lead) as f64 / kb.len() as f64;
         assert!(

@@ -182,7 +182,11 @@ impl SignalDetector {
             vw.push(s);
             if vw.is_full() {
                 let m = vw.mean();
-                let nv = if m > 0.0 { vw.variance() / (m * m) } else { 0.0 };
+                let nv = if m > 0.0 {
+                    vw.variance() / (m * m)
+                } else {
+                    0.0
+                };
                 if nv > self.cfg.variance_threshold {
                     // The whole trailing window is implicated.
                     let lo = i + 1 - w;
@@ -205,7 +209,7 @@ pub fn estimate_noise_floor(quiet: &[Cplx]) -> f64 {
 mod tests {
     use super::*;
     use anc_dsp::DspRng;
-    use anc_modem::{Modem, MskConfig, MskModem};
+    use anc_modem::{Modem, MskModem};
 
     const NOISE: f64 = 1e-4; // 40 dB below unit signal
 
@@ -228,7 +232,11 @@ mod tests {
         let mut rx = noise_vec(&mut rng, 200);
         let start = rx.len();
         let end = start + sig.len();
-        rx.extend(sig.iter().zip(noise_vec(&mut rng, 9999)).map(|(&s, n)| s + n));
+        rx.extend(
+            sig.iter()
+                .zip(noise_vec(&mut rng, 9999))
+                .map(|(&s, n)| s + n),
+        );
         rx.extend(noise_vec(&mut rng, 200));
         (rx, start, end)
     }

@@ -108,9 +108,10 @@ mod tests {
         let sol = solve_phases(y, a, b);
         // Tolerance 1e-6: near the tangent configurations (D → ±1) the
         // √(1−D²) term loses half the floating-point precision.
-        let ok = sol.pairs().iter().any(|p| {
-            wrap_pi(p.theta - theta).abs() < 1e-6 && wrap_pi(p.phi - phi).abs() < 1e-6
-        });
+        let ok = sol
+            .pairs()
+            .iter()
+            .any(|p| wrap_pi(p.theta - theta).abs() < 1e-6 && wrap_pi(p.phi - phi).abs() < 1e-6);
         assert!(
             ok,
             "phases not recovered: a={a} θ={theta} b={b} φ={phi}, got {sol:?}"

@@ -61,12 +61,7 @@ impl MatchOutput {
 ///
 /// # Panics
 /// Panics if either amplitude is not strictly positive.
-pub fn match_phase_differences(
-    y: &[Cplx],
-    known_dtheta: &[f64],
-    a: f64,
-    b: f64,
-) -> MatchOutput {
+pub fn match_phase_differences(y: &[Cplx], known_dtheta: &[f64], a: f64, b: f64) -> MatchOutput {
     assert!(a > 0.0 && b > 0.0, "amplitudes must be positive");
     let intervals = known_dtheta.len().min(y.len().saturating_sub(1));
     let mut out = MatchOutput {
@@ -106,7 +101,7 @@ pub fn match_phase_differences(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use anc_dsp::{DspRng, Cplx};
+    use anc_dsp::{Cplx, DspRng};
     use anc_modem::{Modem, MskConfig, MskModem};
     use std::f64::consts::FRAC_PI_2;
 
@@ -136,9 +131,7 @@ mod tests {
             .zip(&sb)
             .enumerate()
             .map(|(n, (&x, &y))| {
-                x.rotate(ga)
-                    + y.rotate(gb + cfo * n as f64)
-                    + rng.complex_gaussian(noise)
+                x.rotate(ga) + y.rotate(gb + cfo * n as f64) + rng.complex_gaussian(noise)
             })
             .collect();
         let dtheta = ma.phase_differences(&alice_bits);

@@ -47,11 +47,7 @@ pub fn estimate_channel(rx: &[Cplx], reference: &[Cplx]) -> Option<Cplx> {
 /// * `channel` — the estimated coefficient for the known signal.
 ///
 /// Returns the demodulated residual bit stream.
-pub fn subtract_and_demodulate(
-    rx: &[Cplx],
-    known_waveform: &[Cplx],
-    channel: Cplx,
-) -> Vec<bool> {
+pub fn subtract_and_demodulate(rx: &[Cplx], known_waveform: &[Cplx], channel: Cplx) -> Vec<bool> {
     let residual: Vec<Cplx> = rx
         .iter()
         .enumerate()
@@ -68,11 +64,7 @@ pub fn subtract_and_demodulate(
 
 /// Convenience: estimate the channel on `[0, prefix_len)` (a clean,
 /// interference-free region) and subtract over the whole reception.
-pub fn naive_decode(
-    rx: &[Cplx],
-    known_waveform: &[Cplx],
-    prefix_len: usize,
-) -> Option<Vec<bool>> {
+pub fn naive_decode(rx: &[Cplx], known_waveform: &[Cplx], prefix_len: usize) -> Option<Vec<bool>> {
     let p = prefix_len.min(rx.len()).min(known_waveform.len());
     let c = estimate_channel(&rx[..p], &known_waveform[..p])?;
     Some(subtract_and_demodulate(rx, known_waveform, c))
@@ -190,7 +182,10 @@ mod tests {
         let b_wrong = ber(tail, &ub);
         let bits_right = subtract_and_demodulate(&rx, &sk, c);
         let b_right = ber(&bits_right[100..100 + 400], &ub);
-        assert!(b_right < 0.02, "correct coefficient should decode: {b_right}");
+        assert!(
+            b_right < 0.02,
+            "correct coefficient should decode: {b_right}"
+        );
         assert!(
             b_wrong > 0.10,
             "gross coefficient error must collapse decoding: {b_wrong}"

@@ -172,18 +172,13 @@ mod tests {
         // knows the strong packet from the network layer — decodes the
         // weak one cleanly.
         use crate::matcher::match_phase_differences;
-        use anc_modem::Modem;
+
         let weak_amp = 0.9;
         let (rx, strong, weak) = scenario_noise(weak_amp, 3000, 4, 5e-3);
         // ANC: the receiver knows the *strong* packet (its own) and
         // wants the weak one.
         let modem = MskModem::default();
-        let m = match_phase_differences(
-            &rx,
-            &modem.phase_differences(&strong),
-            1.0,
-            weak_amp,
-        );
+        let m = match_phase_differences(&rx, &modem.phase_differences(&strong), 1.0, weak_amp);
         let anc_ber = ber(&m.bits(), &weak);
         // SIC: blind.
         let sic = sic_decode(&rx).unwrap();

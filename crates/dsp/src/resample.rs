@@ -58,7 +58,12 @@ pub fn upsample_hold(signal: &[Cplx], factor: usize) -> Vec<Cplx> {
 /// alignment.
 pub fn decimate(signal: &[Cplx], factor: usize, offset: usize) -> Vec<Cplx> {
     assert!(factor >= 1, "decimation factor must be >= 1");
-    signal.iter().skip(offset).step_by(factor).copied().collect()
+    signal
+        .iter()
+        .skip(offset)
+        .step_by(factor)
+        .copied()
+        .collect()
 }
 
 #[cfg(test)]

@@ -2,23 +2,31 @@
 //!
 //! Everything stochastic in the reproduction — AWGN, channel draws, the
 //! random MAC delays of §7.2, payload generation — flows through
-//! [`DspRng`], a thin wrapper over `rand::rngs::StdRng` that adds the
-//! Gaussian and complex-Gaussian sampling the channel needs. Gaussian
-//! variates use the Box–Muller transform so the workspace does not need
-//! `rand_distr`.
+//! [`DspRng`], a self-contained xoshiro256** generator (seeded through
+//! SplitMix64) with the Gaussian and complex-Gaussian sampling the
+//! channel needs. Keeping the generator in-tree avoids an external
+//! `rand` dependency and freezes the stream across toolchain updates;
+//! Gaussian variates use the Box–Muller transform so the workspace does
+//! not need `rand_distr` either.
 //!
 //! Every experiment takes an explicit `u64` seed, making all paper
 //! figures regenerable bit-for-bit.
 
 use crate::cplx::Cplx;
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
 use std::f64::consts::PI;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
 
 /// Deterministic random source for channels, traffic, and MACs.
 #[derive(Debug, Clone)]
 pub struct DspRng {
-    inner: StdRng,
+    state: [u64; 4],
     /// Spare Gaussian variate from the last Box–Muller draw.
     spare: Option<f64>,
 }
@@ -26,10 +34,29 @@ pub struct DspRng {
 impl DspRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
         DspRng {
-            inner: StdRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
             spare: None,
         }
+    }
+
+    /// Next raw 64-bit output (xoshiro256**).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.state[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        result
     }
 
     /// Derives an independent child generator; used to give each node or
@@ -37,13 +64,13 @@ impl DspRng {
     /// another (important for paired "two consecutive runs" comparisons,
     /// §11.2).
     pub fn fork(&mut self, salt: u64) -> DspRng {
-        let s = self.inner.next_u64() ^ salt.wrapping_mul(0x9E3779B97F4A7C15);
+        let s = self.next_u64() ^ salt.wrapping_mul(0x9E3779B97F4A7C15);
         DspRng::seed_from(s)
     }
 
-    /// Uniform in `[0, 1)`.
+    /// Uniform in `[0, 1)` with 53 bits of precision.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform in `[lo, hi)`.
@@ -54,7 +81,14 @@ impl DspRng {
     /// Uniform integer in `[lo, hi]` (inclusive) — the §7.2 random delay
     /// "picking a random number between 1 and 32".
     pub fn uniform_int(&mut self, lo: u64, hi: u64) -> u64 {
-        self.inner.gen_range(lo..=hi)
+        assert!(lo <= hi, "uniform_int: empty range {lo}..={hi}");
+        let span = hi - lo + 1; // span == 0 means the full 2^64 range
+        if span == 0 {
+            return self.next_u64();
+        }
+        // Widening-multiply range reduction; bias is < 2^-64 per draw,
+        // far below anything the experiments can resolve.
+        lo + ((self.next_u64() as u128 * span as u128) >> 64) as u64
     }
 
     /// Bernoulli draw with probability `p`.
@@ -64,7 +98,7 @@ impl DspRng {
 
     /// A random bit.
     pub fn bit(&mut self) -> bool {
-        self.inner.gen::<bool>()
+        self.next_u64() & 1 == 1
     }
 
     /// `n` random bits (random payloads for the workload generators).
@@ -74,8 +108,12 @@ impl DspRng {
 
     /// `n` random bytes.
     pub fn bytes(&mut self, n: usize) -> Vec<u8> {
-        let mut v = vec![0u8; n];
-        self.inner.fill_bytes(&mut v);
+        let mut v = Vec::with_capacity(n);
+        while v.len() < n {
+            let chunk = self.next_u64().to_le_bytes();
+            let take = (n - v.len()).min(8);
+            v.extend_from_slice(&chunk[..take]);
+        }
         v
     }
 
@@ -207,5 +245,11 @@ mod tests {
         assert!((4000..6000).contains(&ones));
     }
 
-    use std::f64::consts::PI;
+    #[test]
+    fn bytes_have_exact_length() {
+        let mut rng = DspRng::seed_from(41);
+        for n in [0, 1, 7, 8, 9, 31] {
+            assert_eq!(rng.bytes(n).len(), n);
+        }
+    }
 }

@@ -3,7 +3,9 @@
 use anc_dsp::angle::{circular_diff, unwrap};
 use anc_dsp::corr::{best_match, hamming_distance};
 use anc_dsp::resample::{decimate, fractional_delay, upsample_hold};
-use anc_dsp::{percentile, wrap_pi, Cdf, Cplx, DspRng, EnergyWindow, Lfsr, RunningStats, VarianceWindow};
+use anc_dsp::{
+    percentile, wrap_pi, Cdf, Cplx, DspRng, EnergyWindow, Lfsr, RunningStats, VarianceWindow,
+};
 use proptest::prelude::*;
 use std::f64::consts::PI;
 

@@ -118,7 +118,13 @@ mod tests {
     #[test]
     fn missing_key_absent() {
         let buf = SentPacketBuffer::new(2);
-        assert!(buf.get(&PacketKey { src: 1, dst: 2, seq: 3 }).is_none());
+        assert!(buf
+            .get(&PacketKey {
+                src: 1,
+                dst: 2,
+                seq: 3
+            })
+            .is_none());
         assert!(buf.is_empty());
     }
 
@@ -129,9 +135,21 @@ mod tests {
         buf.insert(frame(1, 2, 2));
         buf.insert(frame(1, 2, 3)); // evicts seq 1
         assert_eq!(buf.len(), 2);
-        assert!(!buf.contains(&PacketKey { src: 1, dst: 2, seq: 1 }));
-        assert!(buf.contains(&PacketKey { src: 1, dst: 2, seq: 2 }));
-        assert!(buf.contains(&PacketKey { src: 1, dst: 2, seq: 3 }));
+        assert!(!buf.contains(&PacketKey {
+            src: 1,
+            dst: 2,
+            seq: 1
+        }));
+        assert!(buf.contains(&PacketKey {
+            src: 1,
+            dst: 2,
+            seq: 2
+        }));
+        assert!(buf.contains(&PacketKey {
+            src: 1,
+            dst: 2,
+            seq: 3
+        }));
     }
 
     #[test]
@@ -142,8 +160,16 @@ mod tests {
         // Re-insert seq 1: it becomes newest, so inserting seq 3 evicts 2.
         buf.insert(frame(1, 2, 1));
         buf.insert(frame(1, 2, 3));
-        assert!(buf.contains(&PacketKey { src: 1, dst: 2, seq: 1 }));
-        assert!(!buf.contains(&PacketKey { src: 1, dst: 2, seq: 2 }));
+        assert!(buf.contains(&PacketKey {
+            src: 1,
+            dst: 2,
+            seq: 1
+        }));
+        assert!(!buf.contains(&PacketKey {
+            src: 1,
+            dst: 2,
+            seq: 2
+        }));
     }
 
     #[test]

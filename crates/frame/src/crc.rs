@@ -99,10 +99,7 @@ mod tests {
         for i in 0..data.len() {
             let mut corrupted = data.clone();
             corrupted[i] = !corrupted[i];
-            assert!(
-                verify_crc16(&corrupted).is_none(),
-                "flip at {i} undetected"
-            );
+            assert!(verify_crc16(&corrupted).is_none(), "flip at {i} undetected");
         }
     }
 

@@ -114,8 +114,7 @@ impl Frame {
         }
         let c = crc16(&body);
 
-        let mut bits =
-            Vec::with_capacity(cfg.frame_bits(self.payload.len()));
+        let mut bits = Vec::with_capacity(cfg.frame_bits(self.payload.len()));
         bits.extend_from_slice(&pilot);
         bits.extend_from_slice(&header_bits);
         bits.extend_from_slice(&body);
@@ -136,16 +135,11 @@ impl Frame {
         }
         // Head pilot is assumed already located; verify loosely.
         let pilot = pilot_sequence(p);
-        let errors = pilot
-            .iter()
-            .zip(&bits[..p])
-            .filter(|(a, b)| a != b)
-            .count();
+        let errors = pilot.iter().zip(&bits[..p]).filter(|(a, b)| a != b).count();
         if errors > cfg.pilot_max_errors {
             return Err(FrameError::PilotNotFound);
         }
-        let header = Header::from_bits(&bits[p..p + HEADER_BITS])
-            .ok_or(FrameError::BadHeader)?;
+        let header = Header::from_bits(&bits[p..p + HEADER_BITS]).ok_or(FrameError::BadHeader)?;
         let len = header.len as usize;
         if bits.len() < cfg.frame_bits(len) {
             return Err(FrameError::LengthMismatch);
@@ -167,8 +161,7 @@ impl Frame {
         cfg: &FrameConfig,
     ) -> Result<(Frame, usize), FrameError> {
         let pilot = pilot_sequence(cfg.pilot_len);
-        let (off, err) =
-            best_match(bits, &pilot).ok_or(FrameError::TooShort)?;
+        let (off, err) = best_match(bits, &pilot).ok_or(FrameError::TooShort)?;
         if err > cfg.pilot_max_errors {
             return Err(FrameError::PilotNotFound);
         }
@@ -182,14 +175,10 @@ impl Frame {
     ///
     /// Returns the frame and the offset of the frame's *last* bit from
     /// the end of `bits`.
-    pub fn parse_backward(
-        bits: &[bool],
-        cfg: &FrameConfig,
-    ) -> Result<(Frame, usize), FrameError> {
+    pub fn parse_backward(bits: &[bool], cfg: &FrameConfig) -> Result<(Frame, usize), FrameError> {
         let reversed: Vec<bool> = bits.iter().rev().copied().collect();
         let pilot = pilot_sequence(cfg.pilot_len);
-        let (off, err) =
-            best_match(&reversed, &pilot).ok_or(FrameError::TooShort)?;
+        let (off, err) = best_match(&reversed, &pilot).ok_or(FrameError::TooShort)?;
         if err > cfg.pilot_max_errors {
             return Err(FrameError::PilotNotFound);
         }
@@ -198,8 +187,7 @@ impl Frame {
         if r.len() < cfg.overhead_bits() {
             return Err(FrameError::TooShort);
         }
-        let header =
-            Header::from_bits(&r[p..p + HEADER_BITS]).ok_or(FrameError::BadHeader)?;
+        let header = Header::from_bits(&r[p..p + HEADER_BITS]).ok_or(FrameError::BadHeader)?;
         let len = header.len as usize;
         if r.len() < cfg.frame_bits(len) {
             return Err(FrameError::LengthMismatch);
@@ -285,8 +273,7 @@ impl Frame {
                 // We do not know the length yet, so scan candidate tail
                 // positions: the tail pilot should also correlate.
                 let rev: Vec<bool> = r.iter().rev().copied().collect();
-                let (tail_off, tail_err) =
-                    best_match(&rev, &pilot).ok_or(FrameError::BadHeader)?;
+                let (tail_off, tail_err) = best_match(&rev, &pilot).ok_or(FrameError::BadHeader)?;
                 if tail_err > cfg.pilot_max_errors {
                     return Err(FrameError::BadHeader);
                 }

@@ -103,8 +103,8 @@ mod tests {
     fn bit_packing_msb_first() {
         assert_eq!(bits_to_bytes(&bits("10000000")), vec![0x80]);
         assert_eq!(bits_to_bytes(&bits("00000001")), vec![0x01]);
-        assert_eq!(bytes_to_bits(&[0x80])[0], true);
-        assert_eq!(bytes_to_bits(&[0x01])[7], true);
+        assert!(bytes_to_bits(&[0x80])[0]);
+        assert!(bytes_to_bits(&[0x01])[7]);
     }
 
     #[test]

@@ -177,10 +177,7 @@ impl Modem for GmskModem {
         let start = d.saturating_sub(s / 2);
         // A full waveform has n·s + pulse_len + 1 samples; recover n.
         // Truncated inputs yield proportionally fewer decisions.
-        let n_bits = samples
-            .len()
-            .saturating_sub(1 + self.pulse.len())
-            / s;
+        let n_bits = samples.len().saturating_sub(1 + self.pulse.len()) / s;
         (0..n_bits)
             .filter_map(|j| {
                 let k = start + j * s;
@@ -237,7 +234,11 @@ mod tests {
     fn constant_envelope() {
         let modem = GmskModem::default();
         for s in modem.modulate(&[true, false, false, true, true, false]) {
-            assert!((s.norm() - 1.0).abs() < 1e-12, "envelope broke: {}", s.norm());
+            assert!(
+                (s.norm() - 1.0).abs() < 1e-12,
+                "envelope broke: {}",
+                s.norm()
+            );
         }
     }
 
@@ -341,11 +342,7 @@ mod tests {
             .collect();
         let known = modem.phase_differences(&a_bits);
         let decided = match_like(&symbol_rate, &known, 1.0, 1.0);
-        let errors = decided
-            .iter()
-            .zip(&b_bits)
-            .filter(|(x, y)| x != y)
-            .count();
+        let errors = decided.iter().zip(&b_bits).filter(|(x, y)| x != y).count();
         let ber = errors as f64 / n as f64;
         assert!(ber < 0.08, "GMSK interference decode BER {ber}");
     }

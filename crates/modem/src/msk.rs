@@ -193,11 +193,7 @@ mod tests {
         for s in [2, 4, 8] {
             let modem = MskModem::new(MskConfig::oversampled(s));
             let data = bits("110010111101");
-            assert_eq!(
-                modem.demodulate(&modem.modulate(&data)),
-                data,
-                "S = {s}"
-            );
+            assert_eq!(modem.demodulate(&modem.modulate(&data)), data, "S = {s}");
         }
     }
 
@@ -263,10 +259,7 @@ mod tests {
         let modem = MskModem::default();
         let data = bits("100110101111000");
         let signal = modem.modulate(&data);
-        let distorted: Vec<Cplx> = signal
-            .iter()
-            .map(|&s| s.scale(0.1).rotate(2.1))
-            .collect();
+        let distorted: Vec<Cplx> = signal.iter().map(|&s| s.scale(0.1).rotate(2.1)).collect();
         assert_eq!(modem.demodulate(&distorted), data);
     }
 

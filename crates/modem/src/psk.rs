@@ -110,10 +110,10 @@ impl Default for DqpskModem {
 
 /// Gray mapping from a dibit to a phase change, and back.
 const DQPSK_PHASES: [(bool, bool, f64); 4] = [
-    (false, false, FRAC_PI_4),        // 00 -> +45°
-    (false, true, 3.0 * FRAC_PI_4),   // 01 -> +135°
-    (true, true, -3.0 * FRAC_PI_4),   // 11 -> -135°
-    (true, false, -FRAC_PI_4),        // 10 -> -45°
+    (false, false, FRAC_PI_4),      // 00 -> +45°
+    (false, true, 3.0 * FRAC_PI_4), // 01 -> +135°
+    (true, true, -3.0 * FRAC_PI_4), // 11 -> -135°
+    (true, false, -FRAC_PI_4),      // 10 -> -45°
 ];
 
 impl DqpskModem {
@@ -162,7 +162,11 @@ impl Modem for DqpskModem {
         let mut idx = 0;
         while idx < bits.len() {
             let b0 = bits[idx];
-            let b1 = if idx + 1 < bits.len() { bits[idx + 1] } else { false };
+            let b1 = if idx + 1 < bits.len() {
+                bits[idx + 1]
+            } else {
+                false
+            };
             phi = wrap_pi(phi + Self::dibit_to_phase(b0, b1));
             for _ in 0..s {
                 out.push(Cplx::from_polar(self.amplitude, phi));

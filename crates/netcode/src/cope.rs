@@ -12,8 +12,8 @@
 //! the longer one), so receivers know which buffered packet to XOR
 //! with — the role COPE's "reception reports"/headers play.
 
-use anc_frame::{Frame, Header, NodeId, PacketKey, SentPacketBuffer};
 use anc_frame::header::FLAG_XOR;
+use anc_frame::{Frame, Header, NodeId, PacketKey, SentPacketBuffer};
 
 /// Bits used to encode one [`PacketKey`] in a coded payload.
 pub const KEY_BITS: usize = 32;
@@ -86,8 +86,7 @@ impl CopeCoder {
         let mut payload = key_to_bits(&f1.header.key());
         payload.extend(key_to_bits(&f2.header.key()));
         payload.extend(xor_bits(&f1.payload, &f2.payload));
-        let header =
-            Header::new(router, anc_frame::header::BROADCAST, seq, 0).with_flags(FLAG_XOR);
+        let header = Header::new(router, anc_frame::header::BROADCAST, seq, 0).with_flags(FLAG_XOR);
         Frame::new(header, payload)
     }
 
@@ -108,11 +107,7 @@ impl CopeCoder {
     /// Endpoint side: recover the unknown native frame by XOR-ing the
     /// coded payload with a buffered native packet (§2: "Alice recovers
     /// Bob's packet by XOR-ing again with her own").
-    pub fn decode(
-        &self,
-        coded: &Frame,
-        buffer: &SentPacketBuffer,
-    ) -> Result<Frame, CopeError> {
+    pub fn decode(&self, coded: &Frame, buffer: &SentPacketBuffer) -> Result<Frame, CopeError> {
         let (k1, k2) = self.keys(coded)?;
         let (own_key, other_key) = if buffer.contains(&k1) {
             (k1, k2)

@@ -119,18 +119,38 @@ use nodes::*;
 pub fn alice_bob_plan(scheme: Scheme) -> SlotPlan {
     let steps = match scheme {
         Scheme::Traditional => vec![
-            SlotStep::Unicast { from: ALICE, to: ROUTER },
-            SlotStep::Unicast { from: ROUTER, to: BOB },
-            SlotStep::Unicast { from: BOB, to: ROUTER },
-            SlotStep::Unicast { from: ROUTER, to: ALICE },
+            SlotStep::Unicast {
+                from: ALICE,
+                to: ROUTER,
+            },
+            SlotStep::Unicast {
+                from: ROUTER,
+                to: BOB,
+            },
+            SlotStep::Unicast {
+                from: BOB,
+                to: ROUTER,
+            },
+            SlotStep::Unicast {
+                from: ROUTER,
+                to: ALICE,
+            },
         ],
         Scheme::Cope => vec![
-            SlotStep::Unicast { from: ALICE, to: ROUTER },
-            SlotStep::Unicast { from: BOB, to: ROUTER },
+            SlotStep::Unicast {
+                from: ALICE,
+                to: ROUTER,
+            },
+            SlotStep::Unicast {
+                from: BOB,
+                to: ROUTER,
+            },
             SlotStep::XorBroadcast { router: ROUTER },
         ],
         Scheme::Anc => vec![
-            SlotStep::Simultaneous { senders: [ALICE, BOB] },
+            SlotStep::Simultaneous {
+                senders: [ALICE, BOB],
+            },
             SlotStep::AmplifyBroadcast { router: ROUTER },
         ],
     };
@@ -174,14 +194,32 @@ pub fn chain_plan(scheme: Scheme) -> SlotPlan {
 pub fn x_topology_plan(scheme: Scheme) -> SlotPlan {
     let steps = match scheme {
         Scheme::Traditional => vec![
-            SlotStep::Unicast { from: X1, to: ROUTER },
-            SlotStep::Unicast { from: ROUTER, to: X4 },
-            SlotStep::Unicast { from: X3, to: ROUTER },
-            SlotStep::Unicast { from: ROUTER, to: X2 },
+            SlotStep::Unicast {
+                from: X1,
+                to: ROUTER,
+            },
+            SlotStep::Unicast {
+                from: ROUTER,
+                to: X4,
+            },
+            SlotStep::Unicast {
+                from: X3,
+                to: ROUTER,
+            },
+            SlotStep::Unicast {
+                from: ROUTER,
+                to: X2,
+            },
         ],
         Scheme::Cope => vec![
-            SlotStep::Unicast { from: X1, to: ROUTER }, // X2 overhears
-            SlotStep::Unicast { from: X3, to: ROUTER }, // X4 overhears
+            SlotStep::Unicast {
+                from: X1,
+                to: ROUTER,
+            }, // X2 overhears
+            SlotStep::Unicast {
+                from: X3,
+                to: ROUTER,
+            }, // X4 overhears
             SlotStep::XorBroadcast { router: ROUTER },
         ],
         Scheme::Anc => vec![

@@ -106,8 +106,7 @@ mod tests {
     fn delays_positive_and_bounded() {
         let mut m = mac(1);
         let cfg = *m.config();
-        let max_bits =
-            cfg.delay_slots as f64 * cfg.slot_bits as f64 + 8.0 * cfg.jitter_bits;
+        let max_bits = cfg.delay_slots as f64 * cfg.slot_bits as f64 + 8.0 * cfg.jitter_bits;
         for _ in 0..1000 {
             let d = m.draw_delay(1);
             assert!(d as f64 <= max_bits, "delay {d} too large");

@@ -143,8 +143,7 @@ impl Node {
     /// paper's "packet loss in overhearing").
     pub fn try_overhear(&mut self, rx: &[Cplx]) -> Option<(Frame, bool)> {
         let bits = self.rx.decoder().decode_clean(rx).ok()?;
-        let (frame, _, crc_ok) =
-            Frame::parse_lenient(&bits, self.tx.frame_config()).ok()?;
+        let (frame, _, crc_ok) = Frame::parse_lenient(&bits, self.tx.frame_config()).ok()?;
         self.buffer.insert(frame.clone());
         Some((frame, crc_ok))
     }

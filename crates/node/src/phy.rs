@@ -240,11 +240,7 @@ mod tests {
 
     /// Noise-padded reception of staggered (possibly overlapping)
     /// transmissions; each `(frame, start, gain, cfo)`.
-    fn reception(
-        rng: &mut DspRng,
-        tx: &TxChain,
-        items: &[(&Frame, usize, f64, f64)],
-    ) -> Vec<Cplx> {
+    fn reception(rng: &mut DspRng, tx: &TxChain, items: &[(&Frame, usize, f64, f64)]) -> Vec<Cplx> {
         let pre = 128;
         let end = items
             .iter()
@@ -345,17 +341,18 @@ mod tests {
         let tx = TxChain::new(FrameConfig::default());
         let fa = make_frame(&mut rng, 1, 2, 3, 200);
         let fb = make_frame(&mut rng, 2, 1, 5, 200);
-        let rx_samples = reception(
-            &mut rng,
-            &tx,
-            &[(&fa, 0, 1.0, 0.0), (&fb, 250, 0.9, 0.02)],
-        );
+        let rx_samples = reception(&mut rng, &tx, &[(&fa, 0, 1.0, 0.0), (&fb, 250, 0.9, 0.02)]);
         let rxc = RxChain::new(decoder_cfg());
         let buf = SentPacketBuffer::new(4);
         let mut policy = RouterPolicy::new();
         policy.add_relay_pair(1, 2);
         match rxc.process(&rx_samples, &buf, &policy) {
-            RxEvent::Relay { head, tail, start, end } => {
+            RxEvent::Relay {
+                head,
+                tail,
+                start,
+                end,
+            } => {
                 assert_eq!(head.unwrap().key(), fa.header.key());
                 assert_eq!(tail.unwrap().key(), fb.header.key());
                 assert!(end > start);
@@ -370,11 +367,7 @@ mod tests {
         let tx = TxChain::new(FrameConfig::default());
         let fa = make_frame(&mut rng, 8, 9, 1, 128);
         let fb = make_frame(&mut rng, 9, 8, 1, 128);
-        let rx_samples = reception(
-            &mut rng,
-            &tx,
-            &[(&fa, 0, 1.0, 0.0), (&fb, 200, 1.0, 0.02)],
-        );
+        let rx_samples = reception(&mut rng, &tx, &[(&fa, 0, 1.0, 0.0), (&fb, 200, 1.0, 0.02)]);
         let rxc = RxChain::new(decoder_cfg());
         let buf = SentPacketBuffer::new(4);
         // Policy knows nothing about the 8↔9 pair.

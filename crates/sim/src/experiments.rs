@@ -289,7 +289,9 @@ pub fn sir_sweep(cfg: &SirSweepConfig) -> Vec<SirPoint> {
             });
         }
     });
-    out.into_iter().map(|p| p.expect("point completed")).collect()
+    out.into_iter()
+        .map(|p| p.expect("point completed"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -311,7 +313,11 @@ mod tests {
         assert_eq!(r.runs, 3);
         assert_eq!(r.gains_vs_traditional.len(), 3);
         assert_eq!(r.gains_vs_cope.len(), 3);
-        assert!(r.mean_gain_traditional() > 1.0, "mean gain {}", r.mean_gain_traditional());
+        assert!(
+            r.mean_gain_traditional() > 1.0,
+            "mean gain {}",
+            r.mean_gain_traditional()
+        );
         assert!(!r.anc_packet_bers.is_empty());
         assert!(r.mean_overlap > 0.3 && r.mean_overlap <= 1.0);
     }

@@ -176,9 +176,7 @@ impl World {
             ncfg.decoder.detector.noise_floor = cfg.noise_power;
             let mut node = Node::new(ncfg, rng.fork(100 + i as u64));
             match kind {
-                TopologyKind::AliceBob => {
-                    node.policy.add_relay_pair(nodes::ALICE, nodes::BOB)
-                }
+                TopologyKind::AliceBob => node.policy.add_relay_pair(nodes::ALICE, nodes::BOB),
                 TopologyKind::X => node
                     .policy
                     .add_flow_pair((nodes::X1, nodes::X4), (nodes::X3, nodes::X2)),
@@ -280,7 +278,10 @@ impl World {
 
 fn clean_frame(evt: RxEvent) -> Option<Frame> {
     match evt {
-        RxEvent::Clean { frame, crc_ok: true } => Some(frame),
+        RxEvent::Clean {
+            frame,
+            crc_ok: true,
+        } => Some(frame),
         _ => None,
     }
 }
@@ -310,8 +311,7 @@ pub fn run_alice_bob(scheme: Scheme, cfg: &RunConfig) -> RunMetrics {
                 m.account
                     .tick(((da + wa.len()).max(db + wb.len())) as f64 + g);
                 // Slot 2: the router amplifies and broadcasts (§7.5).
-                let RxEvent::Relay { start, end, .. } = w.node_receive(ROUTER, &rx_r)
-                else {
+                let RxEvent::Relay { start, end, .. } = w.node_receive(ROUTER, &rx_r) else {
                     // Near-total overlap: neither header readable.
                     m.account.lose();
                     m.account.lose();
@@ -503,19 +503,15 @@ pub fn run_chain(scheme: Scheme, cfg: &RunConfig) -> RunMetrics {
                     .iter()
                     .map(|(id, wv, d)| (*id, wv.as_slice(), *d))
                     .collect();
-                let slot = txs
-                    .iter()
-                    .map(|(_, wv, d)| d + wv.len())
-                    .max()
-                    .unwrap_or(0) as f64
-                    + g;
+                let slot = txs.iter().map(|(_, wv, d)| d + wv.len()).max().unwrap_or(0) as f64 + g;
                 // N2 hears N1 (+ N3's known interference).
                 if let Some(truth) = &f1 {
                     let rx2 = w.receive_at(N2, &borrowed);
                     match w.node_receive(N2, &rx2) {
-                        RxEvent::Clean { frame, crc_ok: true }
-                            if frame.header.key() == truth.header.key() =>
-                        {
+                        RxEvent::Clean {
+                            frame,
+                            crc_ok: true,
+                        } if frame.header.key() == truth.header.key() => {
                             at_n2 = Some(frame);
                         }
                         RxEvent::AncDecoded {
@@ -589,8 +585,7 @@ pub fn run_x(scheme: Scheme, cfg: &RunConfig) -> RunMetrics {
                 let heard2 = w.try_overhear(X2, &rx2).is_some();
                 let heard4 = w.try_overhear(X4, &rx4).is_some();
                 // Slot 2: router amplifies and broadcasts.
-                let RxEvent::Relay { start, end, .. } = w.node_receive(ROUTER, &rx5)
-                else {
+                let RxEvent::Relay { start, end, .. } = w.node_receive(ROUTER, &rx5) else {
                     m.account.lose();
                     m.account.lose();
                     continue;

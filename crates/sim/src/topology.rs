@@ -80,16 +80,13 @@ impl Topology {
         // Reciprocal gain (same attenuation both ways), independent
         // phases — a reasonable line-of-sight model.
         let gain = rng.uniform_range(range.0, range.1);
-        self.links
-            .insert((a, b), Link::new(gain, rng.phase(), 0.0));
-        self.links
-            .insert((b, a), Link::new(gain, rng.phase(), 0.0));
+        self.links.insert((a, b), Link::new(gain, rng.phase(), 0.0));
+        self.links.insert((b, a), Link::new(gain, rng.phase(), 0.0));
     }
 
     fn add_dir(&mut self, a: NodeId, b: NodeId, rng: &mut DspRng, range: (f64, f64)) {
         let gain = rng.uniform_range(range.0, range.1);
-        self.links
-            .insert((a, b), Link::new(gain, rng.phase(), 0.0));
+        self.links.insert((a, b), Link::new(gain, rng.phase(), 0.0));
     }
 
     /// Draws an Alice-Bob topology (Fig. 1).
@@ -155,11 +152,9 @@ impl Topology {
 
     /// All directed links (for diagnostics).
     pub fn links(&self) -> impl Iterator<Item = LinkSpec> + '_ {
-        self.links.iter().map(|(&(from, to), &link)| LinkSpec {
-            from,
-            to,
-            link,
-        })
+        self.links
+            .iter()
+            .map(|(&(from, to), &link)| LinkSpec { from, to, link })
     }
 }
 
@@ -219,7 +214,10 @@ mod tests {
         assert!(over.gain >= draw.overhear_gain.0 && over.gain <= draw.overhear_gain.1);
         let weak = t.link(X3, X2).unwrap();
         assert!(weak.gain >= draw.weak_gain.0 && weak.gain <= draw.weak_gain.1);
-        assert!(weak.gain < over.gain, "interference weaker than overhearing");
+        assert!(
+            weak.gain < over.gain,
+            "interference weaker than overhearing"
+        );
     }
 
     #[test]

@@ -10,6 +10,12 @@ use anc::capacity::fig7::{fig7_series, find_crossover_db};
 use anc::prelude::*;
 
 fn main() {
+    run();
+}
+
+/// Prints the full capacity exploration; pure closed-form math, so the
+/// examples smoke test runs it at full scale.
+pub fn run() {
     let model = CapacityModel::default();
 
     println!("Theorem 8.1 — half-duplex two-way relay capacity bounds (α = 1/4, log2)");

@@ -12,12 +12,18 @@
 use anc::prelude::*;
 
 fn main() {
+    run(30, 4096);
+}
+
+/// Runs the chain comparison; the examples smoke test calls this with
+/// tiny packet counts.
+pub fn run(packets_per_flow: usize, payload_bits: usize) {
     // Run the full signal-level chain simulation for both schemes on
     // the same channel realization and compare.
     let cfg = RunConfig {
         seed: 11,
-        packets_per_flow: 30,
-        payload_bits: 4096,
+        packets_per_flow,
+        payload_bits,
         ..Default::default()
     };
 

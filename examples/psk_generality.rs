@@ -36,18 +36,19 @@ fn ber_pct(errors: usize, total: usize) -> f64 {
 }
 
 fn main() {
+    run(2000);
+}
+
+/// Runs both PSK decodes with `n_bits`-bit packets; the examples smoke
+/// test calls this with a tiny packet count.
+pub fn run(n_bits: usize) {
     let mut rng = DspRng::seed_from(64);
-    let n_bits = 2000;
 
     // ---------------- DBPSK ----------------
     let modem = DbpskModem::default();
     let a_bits = rng.bits(n_bits);
     let b_bits = rng.bits(n_bits);
-    let rx = interfere(
-        &mut rng,
-        &modem.modulate(&a_bits),
-        &modem.modulate(&b_bits),
-    );
+    let rx = interfere(&mut rng, &modem.modulate(&a_bits), &modem.modulate(&b_bits));
     // Known phase differences for DBPSK: bit → {π, 0}.
     let known: Vec<f64> = a_bits.iter().map(|&b| if b { PI } else { 0.0 }).collect();
     let matched = match_phase_differences(&rx, &known, 1.0, 1.0);
@@ -63,11 +64,7 @@ fn main() {
     let modem = DqpskModem::default();
     let a_bits = rng.bits(n_bits);
     let b_bits = rng.bits(n_bits);
-    let rx = interfere(
-        &mut rng,
-        &modem.modulate(&a_bits),
-        &modem.modulate(&b_bits),
-    );
+    let rx = interfere(&mut rng, &modem.modulate(&a_bits), &modem.modulate(&b_bits));
     // Known per-symbol phase changes for π/4-DQPSK, Gray mapped.
     let dibit_phase = |b0: bool, b1: bool| match (b0, b1) {
         (false, false) => FRAC_PI_4,
@@ -95,11 +92,7 @@ fn main() {
         decoded.push(best.0);
         decoded.push(best.1);
     }
-    let errors = decoded
-        .iter()
-        .zip(&b_bits)
-        .filter(|(x, y)| x != y)
-        .count();
+    let errors = decoded.iter().zip(&b_bits).filter(|(x, y)| x != y).count();
     println!(
         "DQPSK interference decode: {errors}/{n_bits} errors (BER {:.2}%)",
         ber_pct(errors, n_bits)

@@ -11,6 +11,13 @@
 use anc::prelude::*;
 
 fn main() {
+    run(1200);
+}
+
+/// Runs the walkthrough with `n_bits`-bit colliding packets; the
+/// examples smoke test calls this with a tiny packet so the example
+/// can never silently rot.
+pub fn run(n_bits: usize) {
     // --- 1. MSK modulation (§5.2, Fig. 3) -------------------------------
     let modem = MskModem::default();
     let fig3_bits: Vec<bool> = "1010111000".chars().map(|c| c == '1').collect();
@@ -25,8 +32,8 @@ fn main() {
 
     // --- 2. Let two packets collide (§2, Eq. 2) -------------------------
     let mut rng = DspRng::seed_from(2007);
-    let alice_bits = rng.bits(1200);
-    let bob_bits = rng.bits(1200);
+    let alice_bits = rng.bits(n_bits);
+    let bob_bits = rng.bits(n_bits);
     let sa = modem.modulate(&alice_bits);
     let sb = modem.modulate(&bob_bits);
     let (ga, gb) = (rng.phase(), rng.phase());

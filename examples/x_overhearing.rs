@@ -13,10 +13,16 @@
 use anc::prelude::*;
 
 fn main() {
+    run(30, 4096);
+}
+
+/// Runs the X-topology comparison; the examples smoke test calls this
+/// with tiny packet counts.
+pub fn run(packets_per_flow: usize, payload_bits: usize) {
     let cfg = RunConfig {
         seed: 23,
-        packets_per_flow: 30,
-        payload_bits: 4096,
+        packets_per_flow,
+        payload_bits,
         ..Default::default()
     };
 

@@ -52,7 +52,13 @@ fn alice_bob_full_exchange() {
     ];
     let at_router = medium.receive(&txs, Medium::span(&txs, 64));
 
-    let RxEvent::Relay { start, end, head, tail } = router.receive(&at_router) else {
+    let RxEvent::Relay {
+        start,
+        end,
+        head,
+        tail,
+    } = router.receive(&at_router)
+    else {
         panic!("router must classify as relay case");
     };
     assert_eq!(head.unwrap().key(), fa.header.key());

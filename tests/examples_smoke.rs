@@ -1,0 +1,57 @@
+//! Smoke tests for the `examples/` directory.
+//!
+//! Each example is compiled *into this test binary* as a `#[path]`
+//! module and its `run(...)` entry point executed at a tiny scale, so
+//! an example that stops compiling or panics fails `cargo test`
+//! immediately — examples can never silently rot. The `main` functions
+//! (which run the full-scale versions shown in each example's doc
+//! header) are unused here, hence the `dead_code` allowances.
+
+#[allow(dead_code)]
+#[path = "../examples/alice_bob.rs"]
+mod alice_bob;
+#[allow(dead_code)]
+#[path = "../examples/capacity_explorer.rs"]
+mod capacity_explorer;
+#[allow(dead_code)]
+#[path = "../examples/chain_relay.rs"]
+mod chain_relay;
+#[allow(dead_code)]
+#[path = "../examples/psk_generality.rs"]
+mod psk_generality;
+#[allow(dead_code)]
+#[path = "../examples/quickstart.rs"]
+mod quickstart;
+#[allow(dead_code)]
+#[path = "../examples/x_overhearing.rs"]
+mod x_overhearing;
+
+#[test]
+fn alice_bob_runs_tiny() {
+    alice_bob::run(512);
+}
+
+#[test]
+fn capacity_explorer_runs() {
+    capacity_explorer::run();
+}
+
+#[test]
+fn chain_relay_runs_tiny() {
+    chain_relay::run(2, 512);
+}
+
+#[test]
+fn psk_generality_runs_tiny() {
+    psk_generality::run(256);
+}
+
+#[test]
+fn quickstart_runs_tiny() {
+    quickstart::run(300);
+}
+
+#[test]
+fn x_overhearing_runs_tiny() {
+    x_overhearing::run(2, 512);
+}

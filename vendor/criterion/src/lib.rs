@@ -1,0 +1,194 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! groups, `Throughput`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros — backed by a quick
+//! adaptive wall-clock timer instead of criterion's statistical engine.
+//! Each benchmark warms up once, sizes its iteration count to roughly
+//! [`TARGET_MEASURE`], and prints mean ns/iter (plus throughput when
+//! declared). No `target/criterion` artifacts are written.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Per-benchmark measurement budget.
+pub const TARGET_MEASURE: Duration = Duration::from_millis(40);
+
+pub use std::hint::black_box;
+
+/// Declared work per iteration, used to print a rate next to ns/iter.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A benchmark identifier within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Drives one benchmark body.
+pub struct Bencher {
+    ns_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `f`: one warmup call, then enough iterations to fill the
+    /// measurement budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        let probe_start = Instant::now();
+        black_box(f());
+        let probe = probe_start.elapsed().max(Duration::from_nanos(1));
+        let iters = (TARGET_MEASURE.as_nanos() / probe.as_nanos()).clamp(1, 10_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let total = start.elapsed();
+        self.ns_per_iter = Some(total.as_nanos() as f64 / iters as f64);
+    }
+}
+
+fn report(label: &str, ns: f64, throughput: Option<Throughput>) {
+    let rate = throughput
+        .map(|t| {
+            let (n, unit) = match t {
+                Throughput::Elements(n) => (n, "elem"),
+                Throughput::Bytes(n) => (n, "B"),
+            };
+            let per_sec = n as f64 / (ns * 1e-9);
+            format!("  ({per_sec:.3e} {unit}/s)")
+        })
+        .unwrap_or_default();
+    println!("bench {label:<48} {ns:>14.1} ns/iter{rate}");
+}
+
+fn run_one(label: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { ns_per_iter: None };
+    f(&mut b);
+    report(label, b.ns_per_iter.unwrap_or(f64::NAN), throughput);
+}
+
+/// Entry point handed to `criterion_group!` target functions.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, None, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a throughput declaration.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(&format!("{}/{id}", self.name), self.throughput, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{id}", self.name), self.throughput, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes flags like `--bench`; the shim has no options.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher { ns_per_iter: None };
+        b.iter(|| black_box((0..100u64).sum::<u64>()));
+        let ns = b.ns_per_iter.unwrap();
+        assert!(ns.is_finite() && ns > 0.0);
+    }
+
+    fn target(c: &mut Criterion) {
+        c.bench_function("smoke", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(8));
+        g.bench_function("inner", |b| b.iter(|| black_box(2 * 2)));
+        g.bench_with_input(BenchmarkId::from_parameter(3), &3, |b, &x| {
+            b.iter(|| black_box(x * x))
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, target);
+
+    #[test]
+    fn group_macro_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,606 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset the workspace uses: the [`proptest!`] macro,
+//! `any::<T>()`, numeric range strategies, `collection::{vec,
+//! btree_set}`, and the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from real proptest, on purpose:
+//!
+//! - **No shrinking.** A failing case panics with its 64-bit seed; the
+//!   seed is also appended to `proptest-regressions/<file>.txt` in the
+//!   invoking crate so it replays first on every later run.
+//! - **Deterministic by default.** Case seeds derive from the test's
+//!   file/name and the case index, so `cargo test` is reproducible
+//!   bit-for-bit. Set `PROPTEST_CASES` to change the case count
+//!   (default 32).
+//! - `prop_assume!` skips the case instead of drawing a replacement.
+
+use std::fmt;
+use std::io::Write as _;
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        Strategy, TestCaseError, TestRng,
+    };
+}
+
+/// Number of generated cases per property when `PROPTEST_CASES` is unset.
+/// Kept modest so the whole workspace test run stays well under the
+/// two-minute budget documented in DESIGN.md.
+pub const DEFAULT_CASES: usize = 32;
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// xoshiro256** generator used to drive all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> TestRng {
+        let mut sm = seed;
+        TestRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            // Widening-multiply range reduction (Lemire); the tiny bias
+            // is irrelevant for test generation.
+            ((self.next_u64() as u128 * n as u128) >> 64) as u64
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------------
+
+/// A generator of test values. The shim's strategies generate directly;
+/// there is no shrinking tree.
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(
+            self.start < self.end,
+            "empty f64 range strategy {}..{}",
+            self.start,
+            self.end
+        );
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                // Real proptest rejects empty ranges loudly; so do we.
+                assert!(
+                    self.start < self.end,
+                    "empty integer range strategy {}..{}", self.start, self.end
+                );
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types with a canonical "anything" strategy, via [`any`].
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// The "any value of `T`" strategy.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Collection strategies: `vec` and `btree_set`.
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+    use std::collections::BTreeSet;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A `Vec` whose length is drawn from `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A `BTreeSet` with `size` distinct elements (best-effort: gives up
+    /// growing after a bounded number of duplicate draws).
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let n = self.size.sample(rng);
+            let mut set = BTreeSet::new();
+            let mut attempts = 0usize;
+            while set.len() < n && attempts < n * 50 + 100 {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+/// A collection size: either fixed or drawn from a half-open range.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        let span = (self.hi - self.lo) as u64;
+        self.lo + rng.below(span) as usize
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty size range {}..{}", r.start, r.end);
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+/// A failed (or rejected) test case.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    pub fn fail(msg: impl fmt::Display) -> TestCaseError {
+        TestCaseError(msg.to_string())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+fn fnv1a_64(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in text.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn case_count() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_CASES)
+}
+
+fn regression_path(manifest_dir: &str, file: &str) -> PathBuf {
+    let stem = Path::new(file)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "unknown".to_string());
+    Path::new(manifest_dir)
+        .join("proptest-regressions")
+        .join(format!("{stem}.txt"))
+}
+
+/// Reads persisted regression seeds for `test` from the crate's
+/// `proptest-regressions/` file. Lines look like `xs 12345 # test_name`;
+/// a line without a `# test_name` tag replays for every test in the file.
+fn regression_seeds(path: &Path, test: &str) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut seeds = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix("xs ") else {
+            continue;
+        };
+        let (num, tag) = match rest.split_once('#') {
+            Some((n, t)) => (n.trim(), Some(t.trim())),
+            None => (rest.trim(), None),
+        };
+        if let Ok(seed) = num.parse::<u64>() {
+            if tag.is_none() || tag == Some(test) {
+                seeds.push(seed);
+            }
+        }
+    }
+    seeds
+}
+
+fn persist_failure(path: &Path, seed: u64, test: &str) {
+    let _ = std::fs::create_dir_all(path.parent().unwrap_or(Path::new(".")));
+    let fresh = !path.exists();
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        if fresh {
+            let _ = writeln!(
+                f,
+                "# Seeds for failure cases proptest has generated in the past.\n\
+                 # It is automatically read and these particular cases re-run before\n\
+                 # any novel cases are generated. (Shim format: `xs <seed> # <test>`.)\n\
+                 #"
+            );
+        }
+        let _ = writeln!(f, "xs {seed} # {test}");
+    }
+}
+
+/// Drives one property: replays persisted regression seeds first, then
+/// runs `case_count()` fresh deterministic cases. Panics (after
+/// persisting the seed) on the first failure.
+pub fn run_proptest<F>(manifest_dir: &str, file: &str, test: &str, mut f: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let reg_path = regression_path(manifest_dir, file);
+    let base = fnv1a_64(&format!("{file}::{test}"));
+    let mut run_seed = |seed: u64, origin: &str, persist: bool| {
+        let mut rng = TestRng::from_seed(seed);
+        if let Err(e) = f(&mut rng) {
+            if persist {
+                persist_failure(&reg_path, seed, test);
+            }
+            panic!(
+                "proptest shim: `{test}` failed ({origin}, seed {seed}): {e}\n\
+                 replay: persisted in {}",
+                reg_path.display()
+            );
+        }
+    };
+    for seed in regression_seeds(&reg_path, test) {
+        run_seed(seed, "regression replay", false);
+    }
+    for i in 0..case_count() {
+        let mut sm = base.wrapping_add(i as u64);
+        let seed = splitmix64(&mut sm);
+        run_seed(seed, &format!("case {i}"), true);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_proptest(
+                    env!("CARGO_MANIFEST_DIR"),
+                    file!(),
+                    stringify!($name),
+                    |__rng: &mut $crate::TestRng| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $(let $arg = $crate::Strategy::generate(&($strat), __rng);)+
+                        $body
+                        ::std::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Like `assert!`, but reports the failing case through the proptest
+/// runner (which records the seed).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Like `assert_eq!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l == *__r,
+                    "assertion failed: `{} == {}` (left: {:?}, right: {:?})",
+                    stringify!($left),
+                    stringify!($right),
+                    __l,
+                    __r
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(*__l == *__r, $($fmt)*);
+            }
+        }
+    };
+}
+
+/// Like `assert_ne!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l != *__r,
+                    "assertion failed: `{} != {}` (both: {:?})",
+                    stringify!($left),
+                    stringify!($right),
+                    __l
+                );
+            }
+        }
+    };
+}
+
+/// Skips the current case when its precondition does not hold. (Real
+/// proptest rejects and redraws; the shim simply treats the case as
+/// passing, which is sound for the mild assumptions this workspace
+/// makes.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::from_seed(42);
+        let mut b = TestRng::from_seed(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::from_seed(7);
+        for _ in 0..1000 {
+            let x = Strategy::generate(&(-2.0f64..3.0), &mut rng);
+            assert!((-2.0..3.0).contains(&x));
+            let n = Strategy::generate(&(5usize..9), &mut rng);
+            assert!((5..9).contains(&n));
+            let s = Strategy::generate(&(-4i32..-1), &mut rng);
+            assert!((-4..-1).contains(&s));
+        }
+    }
+
+    #[test]
+    fn collections_respect_sizes() {
+        let mut rng = TestRng::from_seed(9);
+        for _ in 0..200 {
+            let v = Strategy::generate(&collection::vec(any::<bool>(), 3usize..7), &mut rng);
+            assert!((3..7).contains(&v.len()));
+            let fixed = Strategy::generate(&collection::vec(any::<u8>(), 16usize), &mut rng);
+            assert_eq!(fixed.len(), 16);
+            let s = Strategy::generate(&collection::btree_set(0usize..100, 1usize..4), &mut rng);
+            assert!((1..4).contains(&s.len()));
+        }
+    }
+
+    proptest! {
+        /// The macro itself works end to end.
+        #[test]
+        fn macro_smoke(x in 0u64..100, ys in collection::vec(any::<bool>(), 0..10)) {
+            prop_assert!(x < 100);
+            prop_assert!(ys.len() < 10);
+            prop_assume!(x != u64::MAX); // never rejects, exercise the path
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(x + 1, x);
+        }
+    }
+
+    #[test]
+    fn regression_file_parsing_filters_by_test() {
+        let dir = std::env::temp_dir().join("proptest_shim_parse_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("regs.txt");
+        std::fs::write(
+            &path,
+            "# header comment\nxs 17 # test_a\nxs 23 # test_b\nxs 31\nnot a seed line\n",
+        )
+        .unwrap();
+        assert_eq!(regression_seeds(&path, "test_a"), vec![17, 31]);
+        assert_eq!(regression_seeds(&path, "test_b"), vec![23, 31]);
+        assert_eq!(regression_seeds(&path, "test_c"), vec![31]);
+        assert_eq!(
+            regression_seeds(Path::new("/nonexistent/x.txt"), "t"),
+            Vec::<u64>::new()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn failures_persist_and_replay() {
+        let dir = std::env::temp_dir().join("proptest_shim_persist_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("suite.txt");
+        persist_failure(&path, 123456789, "some_test");
+        persist_failure(&path, 42, "other_test");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.starts_with("# Seeds for failure cases"),
+            "header written once"
+        );
+        assert_eq!(regression_seeds(&path, "some_test"), vec![123456789]);
+        assert_eq!(regression_seeds(&path, "other_test"), vec![42]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failing_property_panics_with_seed() {
+        let dir = std::env::temp_dir().join("proptest_shim_fail_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = dir.to_string_lossy().into_owned();
+        let result = std::panic::catch_unwind(|| {
+            run_proptest(&manifest, "tests/fail.rs", "always_fails", |_rng| {
+                Err(TestCaseError::fail("boom"))
+            });
+        });
+        assert!(result.is_err(), "failing property must panic");
+        let reg = dir.join("proptest-regressions").join("fail.txt");
+        assert!(
+            !regression_seeds(&reg, "always_fails").is_empty(),
+            "failing seed persisted to {}",
+            reg.display()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

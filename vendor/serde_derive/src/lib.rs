@@ -1,0 +1,157 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! only shape the workspace uses: plain named-field structs without
+//! generics or serde attributes. The derives expand to impls of the
+//! vendored `serde::Serialize` / `serde::Deserialize` traits, which are
+//! built around a JSON-like `serde::Value` model.
+//!
+//! Anything fancier (enums, tuple structs, generics, `#[serde(...)]`)
+//! is a deliberate compile error so that silent misbehavior is
+//! impossible.
+
+use proc_macro::{Delimiter, Spacing, TokenStream, TokenTree};
+
+/// The name and field list of a struct, extracted from the derive input.
+struct StructShape {
+    name: String,
+    fields: Vec<String>,
+}
+
+/// Parses `struct Name { [attrs] [pub] field: Type, ... }` from the raw
+/// token stream, without syn.
+fn parse_struct(input: TokenStream) -> StructShape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut name = None;
+    let mut body = None;
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Ident(id) if id.to_string() == "enum" || id.to_string() == "union" => {
+                panic!("vendored serde derive supports only structs, found `{id}`");
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                match tokens.get(i + 1) {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => panic!("expected struct name, found {other:?}"),
+                }
+                if let Some(TokenTree::Punct(p)) = tokens.get(i + 2) {
+                    if p.as_char() == '<' {
+                        panic!("vendored serde derive does not support generic structs");
+                    }
+                }
+                for t in &tokens[i + 2..] {
+                    if let TokenTree::Group(g) = t {
+                        if g.delimiter() == Delimiter::Brace {
+                            body = Some(g.stream());
+                            break;
+                        }
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            panic!("vendored serde derive does not support tuple structs");
+                        }
+                    }
+                }
+                break;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    let name = name.expect("derive input contains no struct");
+    let body = body.expect("struct has no braced field list");
+
+    // Walk the field list: a field name is an identifier followed by a
+    // lone `:` while not inside generic angle brackets, positioned at
+    // the start of a field (after `,`, attributes, and visibility).
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut angle: i32 = 0;
+    let mut at_field_start = true;
+    let mut j = 0;
+    while j < toks.len() {
+        match &toks[j] {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => at_field_start = true,
+                '#' if at_field_start => {
+                    // Skip the attribute's bracket group.
+                    if matches!(toks.get(j + 1), Some(TokenTree::Group(_))) {
+                        j += 1;
+                    }
+                }
+                _ => {}
+            },
+            TokenTree::Ident(id) if at_field_start && angle == 0 => {
+                if id.to_string() == "pub" {
+                    // Optional `pub` / `pub(crate)` visibility.
+                    if matches!(toks.get(j + 1), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                    {
+                        j += 1;
+                    }
+                } else {
+                    let followed_by_colon = matches!(
+                        toks.get(j + 1),
+                        Some(TokenTree::Punct(p))
+                            if p.as_char() == ':' && p.spacing() == Spacing::Alone
+                    );
+                    if followed_by_colon {
+                        fields.push(id.to_string());
+                        at_field_start = false;
+                    }
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    StructShape { name, fields }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_struct(input);
+    let mut inserts = String::new();
+    for f in &shape.fields {
+        inserts.push_str(&format!(
+            "m.insert({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}));\n"
+        ));
+    }
+    let code = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut m = ::std::collections::BTreeMap::new();\n\
+                 {inserts}\
+                 ::serde::Value::Object(m)\n\
+             }}\n\
+         }}",
+        name = shape.name,
+    );
+    code.parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_struct(input);
+    let mut builds = String::new();
+    for f in &shape.fields {
+        builds.push_str(&format!(
+            "{f}: ::serde::Deserialize::from_value(\n\
+                 m.get({f:?}).ok_or_else(|| ::serde::Error::missing_field({f:?}))?,\n\
+             )?,\n"
+        ));
+    }
+    let code = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 let m = match v {{\n\
+                     ::serde::Value::Object(m) => m,\n\
+                     other => return Err(::serde::Error::type_mismatch(\"object\", other)),\n\
+                 }};\n\
+                 Ok({name} {{ {builds} }})\n\
+             }}\n\
+         }}",
+        name = shape.name,
+    );
+    code.parse().expect("generated Deserialize impl parses")
+}
