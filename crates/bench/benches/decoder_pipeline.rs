@@ -1,84 +1,63 @@
 //! Criterion benchmarks of the full Alg.-1 interference decode — the
 //! per-packet cost an ANC receiver pays — forward and backward, at two
-//! frame sizes.
+//! frame sizes, with and without scratch reuse, plus the
+//! detect→lemma→matcher composite measured against a faithful copy of
+//! the pre-optimization (seed) kernels so the speedup stays measurable
+//! in CI (`BENCH_decoder_pipeline.json` tracks it; fixtures and the
+//! seed-reference kernels live in `anc_bench::fixtures`).
 
-use anc_core::decoder::{AncDecoder, DecoderConfig};
-use anc_core::detect::DetectorConfig;
+use anc_bench::fixtures::{
+    decode_fixture, fixture_decoder, fixture_detector, interfered_stream, seed_interference_mask,
+    FIXTURE_NOISE,
+};
+use anc_core::decoder::DecoderScratch;
+use anc_core::matcher::{match_bits_into, match_phase_differences};
 use anc_dsp::{Cplx, DspRng};
 use anc_frame::{Frame, FrameConfig, Header};
 use anc_modem::{Modem, MskModem};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-const NOISE: f64 = 1e-3;
-
-struct Fixture {
-    rx: Vec<Cplx>,
-    known_bits: Vec<bool>,
-}
-
-/// Builds a padded interfered reception; `known_first` selects whether
-/// the known frame leads (forward decode) or trails (backward decode).
-fn fixture(payload: usize, known_first: bool, seed: u64) -> Fixture {
-    let mut rng = DspRng::seed_from(seed);
-    let cfg = FrameConfig::default();
-    let modem = MskModem::default();
-    let kf = Frame::new(Header::new(1, 2, 1, 0), rng.bits(payload));
-    let uf = Frame::new(Header::new(2, 1, 1, 0), rng.bits(payload));
-    let kb = kf.to_bits(&cfg);
-    let ub = uf.to_bits(&cfg);
-    let (first, second) = if known_first { (&kb, &ub) } else { (&ub, &kb) };
-    let s1 = modem.modulate(first);
-    let s2 = modem.modulate(second);
-    let (g1, g2) = (rng.phase(), rng.phase());
-    let lead = 300;
-    let span = lead + s2.len();
-    let mut rx: Vec<Cplx> = (0..128).map(|_| rng.complex_gaussian(NOISE)).collect();
-    rx.extend((0..span).map(|t| {
-        let mut s = rng.complex_gaussian(NOISE);
-        if t < s1.len() {
-            s += s1[t].rotate(g1);
-        }
-        if t >= lead {
-            let k = t - lead;
-            s += s2[k].rotate(g2 + 0.02 * k as f64);
-        }
-        s
-    }));
-    rx.extend((0..128).map(|_| rng.complex_gaussian(NOISE)));
-    Fixture { rx, known_bits: kb }
-}
-
-fn decoder() -> AncDecoder {
-    AncDecoder::new(DecoderConfig {
-        detector: DetectorConfig {
-            noise_floor: NOISE,
-            ..Default::default()
-        },
-        ..Default::default()
-    })
-}
-
 fn bench_forward(c: &mut Criterion) {
-    let dec = decoder();
+    let dec = fixture_decoder();
     let mut g = c.benchmark_group("anc_decode_forward");
     for payload in [1024usize, 4096] {
-        let f = fixture(payload, true, 10 + payload as u64);
+        let f = decode_fixture(payload, true, 10 + payload as u64);
         g.throughput(Throughput::Elements(payload as u64));
         g.bench_with_input(BenchmarkId::from_parameter(payload), &f, |b, f| {
             b.iter(|| black_box(dec.decode_forward(black_box(&f.rx), black_box(&f.known_bits))))
+        });
+        let mut scratch = DecoderScratch::default();
+        g.bench_with_input(BenchmarkId::new("scratch", payload), &f, |b, f| {
+            b.iter(|| {
+                black_box(dec.decode_forward_with(
+                    black_box(&f.rx),
+                    black_box(&f.known_bits),
+                    &mut scratch,
+                ))
+            })
         });
     }
     g.finish();
 }
 
 fn bench_backward(c: &mut Criterion) {
-    let dec = decoder();
+    let dec = fixture_decoder();
     let mut g = c.benchmark_group("anc_decode_backward");
     for payload in [1024usize, 4096] {
-        let f = fixture(payload, false, 20 + payload as u64);
+        let f = decode_fixture(payload, false, 20 + payload as u64);
         g.throughput(Throughput::Elements(payload as u64));
         g.bench_with_input(BenchmarkId::from_parameter(payload), &f, |b, f| {
             b.iter(|| black_box(dec.decode_backward(black_box(&f.rx), black_box(&f.known_bits))))
+        });
+        let mut scratch = DecoderScratch::default();
+        g.bench_with_input(BenchmarkId::new("scratch", payload), &f, |b, f| {
+            b.iter(|| {
+                black_box(dec.decode_backward_with(
+                    black_box(&f.rx),
+                    black_box(&f.known_bits),
+                    &mut scratch,
+                ))
+            })
         });
     }
     g.finish();
@@ -92,17 +71,63 @@ fn bench_clean(c: &mut Criterion) {
     let f = Frame::new(Header::new(1, 2, 1, 0), rng.bits(4096));
     let wave = modem.modulate(&f.to_bits(&cfg));
     let g0 = rng.phase();
-    let mut rx: Vec<Cplx> = (0..128).map(|_| rng.complex_gaussian(NOISE)).collect();
+    let mut rx: Vec<Cplx> = (0..128)
+        .map(|_| rng.complex_gaussian(FIXTURE_NOISE))
+        .collect();
     rx.extend(
         wave.iter()
-            .map(|&s| s.rotate(g0) + rng.complex_gaussian(NOISE)),
+            .map(|&s| s.rotate(g0) + rng.complex_gaussian(FIXTURE_NOISE)),
     );
-    rx.extend((0..128).map(|_| rng.complex_gaussian(NOISE)));
-    let dec = decoder();
+    rx.extend((0..128).map(|_| rng.complex_gaussian(FIXTURE_NOISE)));
+    let dec = fixture_decoder();
     c.bench_function("clean_decode_4096", |b| {
         b.iter(|| black_box(dec.decode_clean(black_box(&rx))))
     });
 }
 
-criterion_group!(benches, bench_forward, bench_backward, bench_clean);
+/// The §7.1→§6.3 per-packet hot chain (interference detect → Lemma 6.1
+/// → matcher → bits) at paper scale, reference (seed) kernels versus
+/// the fused allocation-free path. Throughput is in samples through
+/// the chain.
+fn bench_pipeline(c: &mut Criterion) {
+    let n = 4096usize;
+    let (rx, dtheta) = interfered_stream(n, 40);
+    let det = fixture_detector();
+    let mut g = c.benchmark_group("pipeline");
+    g.throughput(Throughput::Elements(rx.len() as u64));
+    g.bench_function("detect_lemma_match_reference", |b| {
+        b.iter(|| {
+            let mask = seed_interference_mask(&det, black_box(&rx));
+            let m = match_phase_differences(black_box(&rx), black_box(&dtheta), 1.0, 1.0);
+            black_box((mask[n / 2], m.bits().len()))
+        })
+    });
+    let mut mask = Vec::new();
+    let mut err = Vec::new();
+    let mut bits = Vec::new();
+    g.bench_function("detect_lemma_match_fused", |b| {
+        b.iter(|| {
+            det.interference_mask_into(black_box(&rx), &mut mask);
+            bits.clear();
+            match_bits_into(
+                black_box(&rx),
+                black_box(&dtheta),
+                1.0,
+                1.0,
+                &mut err,
+                &mut bits,
+            );
+            black_box((mask[n / 2], bits.len()))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_forward,
+    bench_backward,
+    bench_clean,
+    bench_pipeline
+);
 criterion_main!(benches);

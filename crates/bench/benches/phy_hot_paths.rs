@@ -2,32 +2,13 @@
 //! demodulation, detection, and the per-sample Lemma-6.1 machinery the
 //! ANC decoder runs for every interfered symbol.
 
+use anc_bench::fixtures::{fixture_detector, interfered_stream};
 use anc_core::amplitude::estimate_amplitudes;
-use anc_core::detect::{DetectorConfig, SignalDetector};
-use anc_core::lemma::solve_phases;
-use anc_core::matcher::match_phase_differences;
+use anc_core::lemma::{solve_phases, LemmaKernel};
+use anc_core::matcher::{match_phase_differences, match_phase_differences_into, MatchOutput};
 use anc_dsp::{Cplx, DspRng};
 use anc_modem::{Modem, MskModem};
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-
-fn interfered_stream(n: usize, seed: u64) -> (Vec<Cplx>, Vec<f64>) {
-    let mut rng = DspRng::seed_from(seed);
-    let modem = MskModem::default();
-    let a_bits = rng.bits(n);
-    let b_bits = rng.bits(n);
-    let sa = modem.modulate(&a_bits);
-    let sb = modem.modulate(&b_bits);
-    let (ga, gb) = (rng.phase(), rng.phase());
-    let rx = sa
-        .iter()
-        .zip(&sb)
-        .enumerate()
-        .map(|(k, (&x, &y))| {
-            x.rotate(ga) + y.rotate(gb + 0.02 * k as f64) + rng.complex_gaussian(1e-3)
-        })
-        .collect();
-    (rx, modem.phase_differences(&a_bits))
-}
 
 fn bench_modulation(c: &mut Criterion) {
     let mut rng = DspRng::seed_from(1);
@@ -50,6 +31,10 @@ fn bench_lemma(c: &mut Criterion) {
     c.bench_function("lemma61_solve_phases", |b| {
         b.iter(|| black_box(solve_phases(black_box(y), 1.0, 0.8)))
     });
+    let kernel = LemmaKernel::new(1.0, 0.8);
+    c.bench_function("lemma61_candidate_vectors", |b| {
+        b.iter(|| black_box(kernel.candidate_vectors(black_box(y))))
+    });
 }
 
 fn bench_matcher(c: &mut Criterion) {
@@ -64,6 +49,13 @@ fn bench_matcher(c: &mut Criterion) {
                 1.0,
                 1.0,
             ))
+        })
+    });
+    let mut out = MatchOutput::default();
+    g.bench_function("match_4k_symbols_fused", |b| {
+        b.iter(|| {
+            match_phase_differences_into(black_box(&rx), black_box(&dtheta), 1.0, 1.0, &mut out);
+            black_box(out.dphi.len())
         })
     });
     g.finish();
@@ -82,14 +74,18 @@ fn bench_detector(c: &mut Criterion) {
     let mut rx: Vec<Cplx> = (0..256).map(|_| rng.complex_gaussian(1e-3)).collect();
     rx.extend(mix);
     rx.extend((0..256).map(|_| rng.complex_gaussian(1e-3)));
-    let det = SignalDetector::new(DetectorConfig {
-        noise_floor: 1e-3,
-        ..Default::default()
-    });
+    let det = fixture_detector();
     let mut g = c.benchmark_group("detector");
     g.throughput(Throughput::Elements(rx.len() as u64));
     g.bench_function("detect_and_classify_4k", |b| {
         b.iter(|| black_box(det.detect(black_box(&rx))))
+    });
+    let mut mask = Vec::new();
+    g.bench_function("interference_mask_4k", |b| {
+        b.iter(|| {
+            det.interference_mask_into(black_box(&rx), &mut mask);
+            black_box(mask.len())
+        })
     });
     g.finish();
 }

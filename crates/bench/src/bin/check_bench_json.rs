@@ -1,0 +1,36 @@
+//! Validates emitted `BENCH_*.json` / experiment / criterion-dump
+//! artifacts against their schemas, so CI fails loudly when a perf
+//! emitter breaks or a fused kernel regresses below its reference.
+//!
+//! ```text
+//! cargo run --release -p anc-bench --bin check_bench_json -- FILE [FILE...]
+//! ```
+//!
+//! Exits non-zero on the first invalid file; prints a one-line summary
+//! per valid file.
+
+use anc_bench::perf::validate_json;
+
+fn main() {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: check_bench_json FILE [FILE...]");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &files {
+        match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|t| validate_json(&t))
+        {
+            Ok(summary) => println!("ok {path}: {summary}"),
+            Err(e) => {
+                eprintln!("FAIL {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -23,6 +23,8 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod fixtures;
+pub mod perf;
 
 pub use cli::{from_env, parse_args, HarnessArgs};
 

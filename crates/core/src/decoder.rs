@@ -33,11 +33,11 @@
 
 use crate::amplitude::{estimate_amplitudes, estimate_single_amplitude};
 use crate::detect::{ClassifiedSignal, DetectorConfig, SignalDetector};
-use crate::matcher::match_phase_differences;
-use anc_dsp::corr::best_match;
+use crate::matcher::{match_bits_into, mean_residual};
+use anc_dsp::corr::best_match_bounded;
 use anc_dsp::Cplx;
 use anc_frame::FrameConfig;
-use anc_modem::{Modem, MskModem};
+use anc_modem::MskModem;
 
 /// Decoder configuration.
 #[derive(Debug, Clone, Copy)]
@@ -125,6 +125,34 @@ pub struct DecodeOutcome {
     pub diagnostics: DecodeDiagnostics,
 }
 
+/// Reusable working memory for the Alg.-1 decode hot path.
+///
+/// One decode touches several intermediate streams — demodulated head
+/// bits, the interference mask, the known sender's `Δθ_s`, the matcher
+/// output, and (backward decodes) the conjugate-reversed reception.
+/// Owning them here lets a receiver amortize every one of those
+/// allocations across a run: after the first packet, a decode performs
+/// a single allocation (the recovered bit vector it returns).
+///
+/// Create one per receiver (or per worker thread) and pass it to the
+/// `_with` decode variants; the scratch-free methods allocate a fresh
+/// one per call and exist for one-shot/diagnostic use.
+#[derive(Debug, Clone, Default)]
+pub struct DecoderScratch {
+    /// Demodulated clean-head bits (§7.2 pilot search).
+    head_bits: Vec<bool>,
+    /// Per-sample interference mask (§7.1).
+    mask: Vec<bool>,
+    /// Known sender's per-interval phase differences `Δθ_s` (§6.3).
+    known_dtheta: Vec<f64>,
+    /// Per-interval matching residuals from the fused kernel (§6.3).
+    match_err: Vec<f64>,
+    /// Conjugate-reversed reception for backward decodes (§7.4).
+    reversed: Vec<Cplx>,
+    /// Bit-reversed known frame for backward decodes (§7.4).
+    reversed_known: Vec<bool>,
+}
+
 /// The Alg. 1 decoder.
 #[derive(Debug, Clone)]
 pub struct AncDecoder {
@@ -159,26 +187,67 @@ impl AncDecoder {
     ///
     /// `known_bits` are the known frame's on-air bits
     /// (`Frame::to_bits`).
+    ///
+    /// Allocates fresh working memory per call; receivers on the hot
+    /// path should use [`AncDecoder::decode_forward_with`].
     pub fn decode_forward(
         &self,
         rx: &[Cplx],
         known_bits: &[bool],
     ) -> Result<DecodeOutcome, DecodeError> {
+        self.decode_forward_with(rx, known_bits, &mut DecoderScratch::default())
+    }
+
+    /// [`AncDecoder::decode_forward`] with caller-owned scratch
+    /// buffers, amortizing the pipeline's allocations across a run.
+    pub fn decode_forward_with(
+        &self,
+        rx: &[Cplx],
+        known_bits: &[bool],
+        scratch: &mut DecoderScratch,
+    ) -> Result<DecodeOutcome, DecodeError> {
         let region = self.detector.detect(rx).ok_or(DecodeError::NoSignal)?;
-        self.decode_in_region(rx, &region, known_bits)
+        self.decode_in_region(rx, &region, known_bits, scratch)
     }
 
     /// Decodes the unknown frame when the known frame started
     /// **second** (§7.4): conjugate-reverse the reception, bit-reverse
     /// the known frame, run the forward pipeline, un-reverse the output.
+    ///
+    /// Allocates fresh working memory per call; receivers on the hot
+    /// path should use [`AncDecoder::decode_backward_with`].
     pub fn decode_backward(
         &self,
         rx: &[Cplx],
         known_bits: &[bool],
     ) -> Result<DecodeOutcome, DecodeError> {
-        let transformed: Vec<Cplx> = rx.iter().rev().map(|s| s.conj()).collect();
-        let known_rev: Vec<bool> = known_bits.iter().rev().copied().collect();
-        let mut out = self.decode_forward(&transformed, &known_rev)?;
+        self.decode_backward_with(rx, known_bits, &mut DecoderScratch::default())
+    }
+
+    /// [`AncDecoder::decode_backward`] with caller-owned scratch
+    /// buffers. The conjugate-reversed reception — for any waveform
+    /// `conj(reverse(y))` is itself a valid MSK waveform of the
+    /// bit-reversed frames (module docs) — lands in a reusable scratch
+    /// buffer instead of materializing a second reception per call.
+    pub fn decode_backward_with(
+        &self,
+        rx: &[Cplx],
+        known_bits: &[bool],
+        scratch: &mut DecoderScratch,
+    ) -> Result<DecodeOutcome, DecodeError> {
+        // The reversed views are moved out of the scratch for the
+        // duration of the forward pass so the remaining scratch fields
+        // can be borrowed mutably alongside them.
+        let mut reversed = std::mem::take(&mut scratch.reversed);
+        let mut reversed_known = std::mem::take(&mut scratch.reversed_known);
+        reversed.clear();
+        reversed.extend(rx.iter().rev().map(|s| s.conj()));
+        reversed_known.clear();
+        reversed_known.extend(known_bits.iter().rev().copied());
+        let result = self.decode_forward_with(&reversed, &reversed_known, scratch);
+        scratch.reversed = reversed;
+        scratch.reversed_known = reversed_known;
+        let mut out = result?;
         out.bits.reverse();
         Ok(out)
     }
@@ -188,6 +257,7 @@ impl AncDecoder {
         rx: &[Cplx],
         region: &ClassifiedSignal,
         known_bits: &[bool],
+        scratch: &mut DecoderScratch,
     ) -> Result<DecodeOutcome, DecodeError> {
         let samples = &rx[region.start..region.end];
         if !region.interfered {
@@ -198,12 +268,17 @@ impl AncDecoder {
         let pilot_len = self.cfg.frame.pilot_len.min(known_bits.len());
         let known_pilot = &known_bits[..pilot_len];
         let head_len = (pilot_len + self.cfg.pilot_search_slack + 1).min(samples.len());
-        let head_bits = self.modem.demodulate(&samples[..head_len]);
-        let (pilot_off, errs) =
-            best_match(&head_bits, known_pilot).ok_or(DecodeError::KnownPilotNotFound)?;
-        if errs > self.cfg.frame.pilot_max_errors {
-            return Err(DecodeError::KnownPilotNotFound);
-        }
+        self.modem
+            .demodulate_into(&samples[..head_len], &mut scratch.head_bits);
+        // §7.2: "If Alice fails to find the pilot sequence, she drops
+        // the packet" — the error budget lets each candidate offset
+        // abort early instead of scanning the whole pilot.
+        let (pilot_off, _errs) = best_match_bounded(
+            &scratch.head_bits,
+            known_pilot,
+            self.cfg.frame.pilot_max_errors,
+        )
+        .ok_or(DecodeError::KnownPilotNotFound)?;
         // Known frame's bit 0 spans samples[f0 .. f0+1].
         let f0 = pilot_off;
         let known_len = known_bits.len();
@@ -216,7 +291,9 @@ impl AncDecoder {
         // search starts one detector window past the frame start. The
         // MAC's minimum stagger (≥ one slot ≫ one window, §7.2)
         // guarantees real interference cannot begin that early.
-        let mask = self.detector.interference_mask(samples);
+        self.detector
+            .interference_mask_into(samples, &mut scratch.mask);
+        let mask = &scratch.mask;
         let search_from = (f0 + self.cfg.detector.window).min(known_last);
         let onset = mask[search_from..known_last]
             .iter()
@@ -270,21 +347,29 @@ impl AncDecoder {
         // ---- Step 4: matcher over the overlapped intervals (§6.3). ----
         // Interval n (absolute) uses known_dtheta[n - f0]; we start at
         // the onset interval and run to the end of the known frame.
+        // Fused lemma/matcher batch kernel: residuals land in the
+        // scratch, the §6.4 bit decisions directly in the output
+        // vector — the decode's one allocation, returned to the caller.
         let start_int = onset.max(f0);
-        let known_dtheta = self
-            .modem
-            .phase_differences(&known_bits[(start_int - f0)..]);
+        self.modem
+            .phase_differences_into(&known_bits[(start_int - f0)..], &mut scratch.known_dtheta);
         // known_last is already clamped into the sample range.
         let y = &samples[start_int..=known_last];
-        let matched = match_phase_differences(y, &known_dtheta, a, b);
-        let overlap_symbols = matched.dphi.len();
-        let mut bits = matched.bits();
+        let tail_start = f0 + known_len;
+        let tail = samples.get(tail_start..).unwrap_or(&[]);
+        let mut bits = Vec::with_capacity(scratch.known_dtheta.len() + tail.len());
+        match_bits_into(
+            y,
+            &scratch.known_dtheta,
+            a,
+            b,
+            &mut scratch.match_err,
+            &mut bits,
+        );
+        let overlap_symbols = scratch.match_err.len();
 
         // ---- Step 5: clean tail — the unknown signal alone (§7.2). ----
-        let tail_start = f0 + known_len;
-        if tail_start < samples.len() {
-            bits.extend(self.modem.demodulate(&samples[tail_start..]));
-        }
+        self.modem.demodulate_extend(tail, &mut bits);
 
         let overlap_fraction = if known_len == 0 {
             0.0
@@ -298,7 +383,7 @@ impl AncDecoder {
                 unknown_amplitude: b,
                 interference_onset: region.start + onset,
                 overlap_symbols,
-                mean_match_error: matched.mean_err(),
+                mean_match_error: mean_residual(&scratch.match_err),
                 overlap_fraction: overlap_fraction.min(1.0),
             },
         })
@@ -308,9 +393,10 @@ impl AncDecoder {
     /// the raw bit stream of the region.
     pub fn decode_clean(&self, rx: &[Cplx]) -> Result<Vec<bool>, DecodeError> {
         let region = self.detector.detect(rx).ok_or(DecodeError::NoSignal)?;
-        Ok(self
-            .modem
-            .demodulate(&rx[region.start..region.end.min(rx.len())]))
+        let mut bits = Vec::new();
+        self.modem
+            .demodulate_into(&rx[region.start..region.end.min(rx.len())], &mut bits);
+        Ok(bits)
     }
 }
 
@@ -320,6 +406,7 @@ mod tests {
     use anc_dsp::DspRng;
     use anc_frame::{Frame, Header};
     use anc_modem::ber::ber;
+    use anc_modem::Modem;
 
     const NOISE: f64 = 1e-4;
 
@@ -513,6 +600,39 @@ mod tests {
             dec.decode_forward(&rx, &wrong).unwrap_err(),
             DecodeError::KnownPilotNotFound
         );
+    }
+
+    #[test]
+    fn scratch_reuse_is_equivalent() {
+        // One scratch carried across many decodes — forward and
+        // backward, different packet sizes — must produce exactly the
+        // outcomes of the allocate-per-call API.
+        let mut w = World::new(12);
+        let dec = AncDecoder::new(w.cfg);
+        let mut scratch = DecoderScratch::default();
+        for (i, payload) in [256usize, 128, 300, 256].iter().enumerate() {
+            let (_, kb) = w.frame(1, 2, i as u16, *payload);
+            let (_, ub) = w.frame(2, 1, i as u16, *payload);
+            let rx = w.reception(&kb, &ub, 150 + 17 * i, 1.0, 0.9);
+            let fresh = dec.decode_forward(&rx, &kb).expect("fresh decode");
+            let reused = dec
+                .decode_forward_with(&rx, &kb, &mut scratch)
+                .expect("scratch decode");
+            assert_eq!(fresh.bits, reused.bits, "forward packet {i}");
+            assert_eq!(fresh.diagnostics, reused.diagnostics);
+            // Same reception read from Bob's side: the unknown frame
+            // started first relative to the reversed stream.
+            let fresh_b = dec.decode_backward(&rx, &ub);
+            let reused_b = dec.decode_backward_with(&rx, &ub, &mut scratch);
+            match (fresh_b, reused_b) {
+                (Ok(f), Ok(r)) => {
+                    assert_eq!(f.bits, r.bits, "backward packet {i}");
+                    assert_eq!(f.diagnostics, r.diagnostics);
+                }
+                (Err(e), Err(g)) => assert_eq!(e, g),
+                (f, r) => panic!("diverged: {f:?} vs {r:?}"),
+            }
+        }
     }
 
     #[test]

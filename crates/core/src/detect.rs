@@ -155,9 +155,9 @@ impl SignalDetector {
         for &s in interior {
             vw.push(s);
             if vw.is_full() {
-                let m = vw.mean();
+                let (m, var) = vw.mean_and_variance();
                 if m > 0.0 {
-                    peak_nv = peak_nv.max(vw.variance() / (m * m));
+                    peak_nv = peak_nv.max(var / (m * m));
                 }
             }
         }
@@ -175,28 +175,40 @@ impl SignalDetector {
     /// threshold. Used by the decoder to find the interference onset
     /// (§7.2: where the second packet begins).
     pub fn interference_mask(&self, region: &[Cplx]) -> Vec<bool> {
+        let mut mask = Vec::new();
+        self.interference_mask_into(region, &mut mask);
+        mask
+    }
+
+    /// [`SignalDetector::interference_mask`] into a caller-owned
+    /// buffer (cleared, then filled to `region.len()`), so repeated
+    /// decodes amortize the allocation.
+    pub fn interference_mask_into(&self, region: &[Cplx], mask: &mut Vec<bool>) {
         let w = self.cfg.window.max(8);
         let mut vw = VarianceWindow::new(w);
-        let mut mask = vec![false; region.len()];
+        mask.clear();
+        mask.resize(region.len(), false);
+        // High-water mark of flags already set: a contiguously
+        // interfered stretch fires the threshold at every sample, and
+        // naively rewriting the whole trailing window each time costs
+        // O(n·w). Only indices at or above the mark are newly flagged,
+        // making the fill O(n) overall.
+        let mut flagged_to = 0usize; // one past the highest set index
         for (i, &s) in region.iter().enumerate() {
             vw.push(s);
             if vw.is_full() {
-                let m = vw.mean();
-                let nv = if m > 0.0 {
-                    vw.variance() / (m * m)
-                } else {
-                    0.0
-                };
+                let (m, var) = vw.mean_and_variance();
+                let nv = if m > 0.0 { var / (m * m) } else { 0.0 };
                 if nv > self.cfg.variance_threshold {
                     // The whole trailing window is implicated.
-                    let lo = i + 1 - w;
+                    let lo = (i + 1 - w).max(flagged_to);
                     for flag in mask[lo..=i].iter_mut() {
                         *flag = true;
                     }
+                    flagged_to = i + 1;
                 }
             }
         }
-        mask
     }
 }
 
@@ -345,6 +357,66 @@ mod tests {
             (head_flags as f64) < 0.2 * (stagger - 32) as f64,
             "clean head over-flagged: {head_flags}"
         );
+    }
+
+    /// The seed implementation of the mask fill (quadratic in the
+    /// window length): rewrite the whole trailing window at every
+    /// firing sample. The O(n) high-water-mark fill must produce the
+    /// same mask bit-for-bit.
+    fn reference_mask(det: &SignalDetector, region: &[Cplx]) -> Vec<bool> {
+        let w = det.config().window.max(8);
+        let mut vw = VarianceWindow::new(w);
+        let mut mask = vec![false; region.len()];
+        for (i, &s) in region.iter().enumerate() {
+            vw.push(s);
+            if vw.is_full() {
+                let (m, var) = vw.mean_and_variance();
+                let nv = if m > 0.0 { var / (m * m) } else { 0.0 };
+                if nv > det.config().variance_threshold {
+                    for flag in mask[i + 1 - w..=i].iter_mut() {
+                        *flag = true;
+                    }
+                }
+            }
+        }
+        mask
+    }
+
+    #[test]
+    fn linear_mask_fill_matches_quadratic_reference() {
+        let det = detector();
+        let mut rng = DspRng::seed_from(7);
+        let modem = MskModem::default();
+        for stagger in [0usize, 50, 200, 450] {
+            let a = modem.modulate(&rng.bits(500));
+            let b = modem.modulate(&rng.bits(500));
+            let rb = rng.phase();
+            let span = stagger + b.len();
+            let region: Vec<Cplx> = (0..span)
+                .map(|i| {
+                    let mut s = rng.complex_gaussian(NOISE);
+                    if i < a.len() {
+                        s += a[i];
+                    }
+                    if i >= stagger {
+                        s += b[i - stagger].rotate(rb + 0.02 * (i - stagger) as f64);
+                    }
+                    s
+                })
+                .collect();
+            assert_eq!(
+                det.interference_mask(&region),
+                reference_mask(&det, &region),
+                "stagger {stagger}"
+            );
+        }
+        // Reused (and dirty) buffer: a second fill on a shorter,
+        // interference-free region must shrink and fully reset it.
+        let mut buf = vec![true; 9000];
+        let lone = modem.modulate(&rng.bits(99));
+        det.interference_mask_into(&lone, &mut buf);
+        assert_eq!(buf.len(), lone.len());
+        assert!(buf.iter().all(|&f| !f));
     }
 
     #[test]

@@ -66,30 +66,94 @@ impl PhaseSolutions {
     }
 }
 
+/// Lemma 6.1 with the A/B-dependent constants hoisted out of the
+/// per-sample solve.
+///
+/// Constructing the kernel once per decode (instead of recomputing
+/// `A²`, `B²` and `2AB` — and re-validating the amplitudes — for every
+/// sample) is what makes the batch matcher kernel cheap; the scalar
+/// [`solve_phases`] delegates here too, so both paths share the exact
+/// same floating-point operations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LemmaKernel {
+    a: f64,
+    b: f64,
+    a2: f64,
+    b2: f64,
+    two_ab: f64,
+}
+
+impl LemmaKernel {
+    /// Builds a kernel for amplitudes `a` (known sender) and `b`
+    /// (unknown sender).
+    ///
+    /// # Panics
+    /// Panics if either amplitude is not strictly positive.
+    pub fn new(a: f64, b: f64) -> Self {
+        assert!(a > 0.0 && b > 0.0, "amplitudes must be positive");
+        LemmaKernel {
+            a,
+            b,
+            a2: a * a,
+            b2: b * b,
+            two_ab: 2.0 * a * b,
+        }
+    }
+
+    /// The two candidate decompositions of `y` as *unnormalized*
+    /// complex vectors: `u[k] ∥ e^{iθₖ}` and `v[k] ∥ e^{iφₖ}`, plus the
+    /// clamped `D = cos(θ−φ)`.
+    ///
+    /// Taking `arg` of each vector reproduces [`solve_phases`] exactly
+    /// (that is how it is implemented). The fused matcher instead
+    /// compares the vectors directly — phase *differences* become
+    /// complex products — which defers the four `atan2` calls per
+    /// sample to two per decided interval.
+    #[inline]
+    pub fn candidate_vectors(&self, y: Cplx) -> ([Cplx; 2], [Cplx; 2], f64) {
+        let d = ((y.norm_sq() - self.a2 - self.b2) / self.two_ab).clamp(-1.0, 1.0);
+        let s = (1.0 - d * d).max(0.0).sqrt();
+        let bd = self.b * d;
+        let ad = self.a * d;
+        let bs = self.b * s;
+        let a_s = self.a * s;
+        // u = y·(A + B·D ± i·B·s); v = y·(B + A·D ∓ i·A·s)
+        let u = [
+            y * Cplx::new(self.a + bd, bs),
+            y * Cplx::new(self.a + bd, -bs),
+        ];
+        let v = [
+            y * Cplx::new(self.b + ad, -a_s),
+            y * Cplx::new(self.b + ad, a_s),
+        ];
+        (u, v, d)
+    }
+
+    /// Solves Lemma 6.1 for one sample (the struct-returning scalar
+    /// form — the reference implementation the batch kernel is tested
+    /// against).
+    pub fn solve(&self, y: Cplx) -> PhaseSolutions {
+        let (u, v, d) = self.candidate_vectors(y);
+        PhaseSolutions {
+            first: PhasePair {
+                theta: u[0].arg(),
+                phi: v[0].arg(),
+            },
+            second: PhasePair {
+                theta: u[1].arg(),
+                phi: v[1].arg(),
+            },
+            d,
+        }
+    }
+}
+
 /// Solves Lemma 6.1 for a received sample `y` given amplitudes `a`, `b`.
 ///
 /// # Panics
 /// Panics if either amplitude is not strictly positive.
 pub fn solve_phases(y: Cplx, a: f64, b: f64) -> PhaseSolutions {
-    assert!(a > 0.0 && b > 0.0, "amplitudes must be positive");
-    let d = ((y.norm_sq() - a * a - b * b) / (2.0 * a * b)).clamp(-1.0, 1.0);
-    let s = (1.0 - d * d).max(0.0).sqrt();
-    // θ = arg(y·(A + B·D ± i·B·s)); φ = arg(y·(B + A·D ∓ i·A·s))
-    let theta1 = (y * Cplx::new(a + b * d, b * s)).arg();
-    let phi1 = (y * Cplx::new(b + a * d, -a * s)).arg();
-    let theta2 = (y * Cplx::new(a + b * d, -b * s)).arg();
-    let phi2 = (y * Cplx::new(b + a * d, a * s)).arg();
-    PhaseSolutions {
-        first: PhasePair {
-            theta: theta1,
-            phi: phi1,
-        },
-        second: PhasePair {
-            theta: theta2,
-            phi: phi2,
-        },
-        d,
-    }
+    LemmaKernel::new(a, b).solve(y)
 }
 
 #[cfg(test)]
@@ -231,5 +295,32 @@ mod tests {
     #[should_panic]
     fn zero_amplitude_rejected() {
         let _ = solve_phases(Cplx::ONE, 0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn kernel_zero_amplitude_rejected() {
+        let _ = LemmaKernel::new(1.0, 0.0);
+    }
+
+    #[test]
+    fn kernel_candidate_vectors_point_along_solutions() {
+        // arg(u[k]) and arg(v[k]) must be exactly the θ/φ the scalar
+        // solver reports — `solve` is defined through them, and the
+        // fused matcher relies on the vectors carrying the same phases.
+        let mut rng = DspRng::seed_from(17);
+        for _ in 0..500 {
+            let a = rng.uniform_range(0.05, 3.0);
+            let b = rng.uniform_range(0.05, 3.0);
+            let y = Cplx::from_polar(a, rng.phase()) + Cplx::from_polar(b, rng.phase());
+            let k = LemmaKernel::new(a, b);
+            let (u, v, d) = k.candidate_vectors(y);
+            let sol = solve_phases(y, a, b);
+            assert_eq!(sol.d.to_bits(), d.to_bits());
+            assert_eq!(sol.first.theta.to_bits(), u[0].arg().to_bits());
+            assert_eq!(sol.first.phi.to_bits(), v[0].arg().to_bits());
+            assert_eq!(sol.second.theta.to_bits(), u[1].arg().to_bits());
+            assert_eq!(sol.second.phi.to_bits(), v[1].arg().to_bits());
+        }
     }
 }

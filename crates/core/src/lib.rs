@@ -42,8 +42,10 @@ pub mod router;
 pub mod sic;
 
 pub use amplitude::{estimate_amplitudes, AmplitudeEstimate};
-pub use decoder::{AncDecoder, DecodeOutcome, DecoderConfig};
+pub use decoder::{AncDecoder, DecodeOutcome, DecoderConfig, DecoderScratch};
 pub use detect::{ClassifiedSignal, DetectorConfig, SignalDetector};
-pub use lemma::{solve_phases, PhasePair, PhaseSolutions};
-pub use matcher::{match_phase_differences, MatchOutput};
+pub use lemma::{solve_phases, LemmaKernel, PhasePair, PhaseSolutions};
+pub use matcher::{
+    match_bits_into, match_phase_differences, match_phase_differences_into, MatchOutput,
+};
 pub use router::{RouterAction, RouterPolicy};

@@ -1,8 +1,10 @@
 //! Property-based tests of the decoder's algebraic invariants.
 
 use anc_core::amplitude::estimate_amplitudes;
-use anc_core::lemma::solve_phases;
-use anc_core::matcher::match_phase_differences;
+use anc_core::lemma::{solve_phases, LemmaKernel};
+use anc_core::matcher::{
+    match_bits_into, match_phase_differences, match_phase_differences_into, MatchOutput,
+};
 use anc_dsp::angle::circular_distance;
 use anc_dsp::{Cplx, DspRng};
 use anc_modem::{Modem, MskConfig, MskModem};
@@ -102,6 +104,74 @@ proptest! {
         let (ea, eb) = est.assign(a);
         prop_assert!((ea - a).abs() / a < 0.15, "A: {ea} vs {a}");
         prop_assert!((eb - b).abs() / b.max(0.2) < 0.25, "B: {eb} vs {b}");
+    }
+
+    /// The batch Lemma-6.1 kernel's candidate vectors carry exactly the
+    /// scalar solver's phases: `arg(u[k])`/`arg(v[k])` are bit-identical
+    /// to `solve_phases`' θ/φ for any sample and amplitudes.
+    #[test]
+    fn fused_kernel_vectors_bitwise_match_scalar_lemma(
+        yr in -6.0f64..6.0, yi in -6.0f64..6.0,
+        a in 0.02f64..4.0, b in 0.02f64..4.0,
+    ) {
+        let y = Cplx::new(yr, yi);
+        let (u, v, d) = LemmaKernel::new(a, b).candidate_vectors(y);
+        let sol = solve_phases(y, a, b);
+        prop_assert_eq!(sol.d.to_bits(), d.to_bits());
+        prop_assert_eq!(sol.first.theta.to_bits(), u[0].arg().to_bits());
+        prop_assert_eq!(sol.first.phi.to_bits(), v[0].arg().to_bits());
+        prop_assert_eq!(sol.second.theta.to_bits(), u[1].arg().to_bits());
+        prop_assert_eq!(sol.second.phi.to_bits(), v[1].arg().to_bits());
+    }
+
+    /// Equivalence of the fused batch lemma/matcher kernel with the
+    /// scalar `solve_phases` + `match_phase_differences` reference over
+    /// realistic interfered MSK receptions: the decided *bit stream* is
+    /// identical bit-for-bit, and the emitted Δφ/Δθ/err streams agree
+    /// to floating-point rounding (the kernel evaluates the same
+    /// candidates through complex products instead of angle
+    /// subtraction).
+    #[test]
+    fn fused_matcher_equivalent_to_scalar_reference(
+        a in 0.3f64..2.0, ratio in 0.3f64..1.0,
+        noise in 0.0f64..0.02, cfo in 0.0f64..0.04,
+        n in 16usize..400, seed in any::<u64>(),
+    ) {
+        let b = a * ratio;
+        let mut rng = DspRng::seed_from(seed);
+        let ma = MskModem::new(MskConfig::with_amplitude(a));
+        let mb = MskModem::new(MskConfig::with_amplitude(b));
+        let alice = rng.bits(n);
+        let bob = rng.bits(n);
+        let sa = ma.modulate(&alice);
+        let sb = mb.modulate(&bob);
+        let (ga, gb) = (rng.phase(), rng.phase());
+        let rx: Vec<Cplx> = sa.iter().zip(&sb).enumerate().map(|(k, (&x, &y))| {
+            x.rotate(ga) + y.rotate(gb + cfo * k as f64) + rng.complex_gaussian(noise)
+        }).collect();
+        let dtheta = ma.phase_differences(&alice);
+        let reference = match_phase_differences(&rx, &dtheta, a, b);
+        let mut fused = MatchOutput::default();
+        match_phase_differences_into(&rx, &dtheta, a, b, &mut fused);
+        prop_assert_eq!(fused.bits(), reference.bits());
+        prop_assert_eq!(fused.dphi.len(), reference.dphi.len());
+        for k in 0..reference.dphi.len() {
+            prop_assert!(circular_distance(fused.dphi[k], reference.dphi[k]) < 1e-9,
+                "dphi[{}]: {} vs {}", k, fused.dphi[k], reference.dphi[k]);
+            prop_assert!(circular_distance(fused.dtheta[k], reference.dtheta[k]) < 1e-9,
+                "dtheta[{}]", k);
+            prop_assert!((fused.err[k] - reference.err[k]).abs() < 1e-9, "err[{}]", k);
+        }
+        // The decoder's production kernel: same decisions again, with
+        // the bits appended straight to a caller-owned vector.
+        let mut err = Vec::new();
+        let mut bits = Vec::new();
+        match_bits_into(&rx, &dtheta, a, b, &mut err, &mut bits);
+        prop_assert_eq!(bits, reference.bits());
+        prop_assert_eq!(err.len(), reference.err.len());
+        for (k, (&e, &r)) in err.iter().zip(&reference.err).enumerate() {
+            prop_assert!((e - r).abs() < 1e-9, "bits-kernel err[{}]", k);
+        }
     }
 
     /// The matcher's output lengths are always consistent and its

@@ -55,6 +55,54 @@ pub fn best_match(haystack: &[bool], needle: &[bool]) -> Option<(usize, usize)> 
     best
 }
 
+/// Like [`best_match`], but with an error budget: an offset can only
+/// be *used* by callers that tolerate at most `max_errors` mismatches,
+/// so each candidate stops counting once past the budget (or past the
+/// current best) instead of scanning the full needle. Returns the
+/// earliest offset achieving the minimum distance within the budget,
+/// as `(offset, errors)`, or `None` when no offset qualifies.
+///
+/// Decision-equivalent to
+/// `best_match(haystack, needle).filter(|&(_, e)| e <= max_errors)`:
+/// both reject the same receptions and return the same offset whenever
+/// one qualifies (§7.2's pilot alignment), but the early abort makes a
+/// failed candidate cost O(budget) instead of O(needle).
+pub fn best_match_bounded(
+    haystack: &[bool],
+    needle: &[bool],
+    max_errors: usize,
+) -> Option<(usize, usize)> {
+    if needle.is_empty() || haystack.len() < needle.len() {
+        return None;
+    }
+    let mut best: Option<(usize, usize)> = None;
+    for off in 0..=haystack.len() - needle.len() {
+        // A candidate displaces `best` only with strictly fewer errors
+        // (ties keep the earliest offset, as in `best_match`), and can
+        // never qualify with more than the budget.
+        let bound = match best {
+            Some((_, bd)) => bd.saturating_sub(1).min(max_errors),
+            None => max_errors,
+        };
+        let mut d = 0usize;
+        for (x, y) in haystack[off..off + needle.len()].iter().zip(needle) {
+            if x != y {
+                d += 1;
+                if d > bound {
+                    break;
+                }
+            }
+        }
+        if d <= bound {
+            best = Some((off, d));
+            if d == 0 {
+                break; // cannot improve
+            }
+        }
+    }
+    best
+}
+
 /// Finds the *last* offset where `needle` matches with at most
 /// `max_errors` errors — used by Bob's backward decode (§7.4), which
 /// locates the mirrored pilot at the frame tail.
@@ -145,6 +193,44 @@ mod tests {
         let (off, err) = best_match(&hay, &bits("1010")).unwrap();
         assert_eq!(off, 2);
         assert_eq!(err, 1);
+    }
+
+    #[test]
+    fn bounded_matches_filtered_best_match() {
+        // The budgeted scan must agree with the unbounded scan + filter
+        // on every (haystack, needle, budget) it is asked about.
+        let mut h = Lfsr::new(0xBEEF).bits(300);
+        let needle = pilot_sequence(32);
+        let true_off = 120;
+        h.splice(true_off..true_off + 32, needle.iter().copied());
+        h[true_off + 3] ^= true;
+        h[true_off + 17] ^= true;
+        for budget in 0..8 {
+            let want = best_match(&h, &needle).filter(|&(_, e)| e <= budget);
+            assert_eq!(
+                best_match_bounded(&h, &needle, budget),
+                want,
+                "budget {budget}"
+            );
+        }
+        // With the budget it qualifies under, the true offset wins.
+        assert_eq!(best_match_bounded(&h, &needle, 6), Some((true_off, 2)));
+    }
+
+    #[test]
+    fn bounded_ties_prefer_earliest() {
+        let hay = bits("10111011");
+        assert_eq!(best_match_bounded(&hay, &bits("1011"), 2), Some((0, 0)));
+        // Two offsets at distance 1: earliest reported.
+        let hay = bits("10011001");
+        assert_eq!(best_match_bounded(&hay, &bits("1011"), 1), Some((0, 1)));
+    }
+
+    #[test]
+    fn bounded_rejects_over_budget() {
+        assert_eq!(best_match_bounded(&bits("0000000"), &bits("1111"), 2), None);
+        assert_eq!(best_match_bounded(&bits("101"), &bits("10101"), 3), None);
+        assert_eq!(best_match_bounded(&bits("101"), &[], 3), None);
     }
 
     #[test]

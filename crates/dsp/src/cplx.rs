@@ -71,9 +71,14 @@ impl Cplx {
 
     /// Squared magnitude `|z|²` — the instantaneous *energy* of a sample
     /// (§7.1 footnote: "The energy of a complex sample A·e^{iθ} is A²").
+    ///
+    /// Fused multiply-add: one rounding step fewer than
+    /// `re·re + im·im`, and one instruction on FMA hardware. This is
+    /// the innermost operation of the energy detector (§7.1) and of
+    /// Lemma 6.1's `|y[n]|²` term.
     #[inline]
     pub fn norm_sq(self) -> f64 {
-        self.re * self.re + self.im * self.im
+        self.re.mul_add(self.re, self.im * self.im)
     }
 
     /// Argument (phase angle) in `(-π, π]` — the paper's `arg(x)`.
@@ -189,9 +194,12 @@ impl Mul for Cplx {
     type Output = Cplx;
     #[inline]
     fn mul(self, rhs: Cplx) -> Cplx {
+        // Each component is a fused multiply-accumulate — two roundings
+        // instead of three per component, one FMA + one MUL on hardware.
+        // This is the workhorse of `rotate` and of the Lemma-6.1 kernel.
         Cplx::new(
-            self.re * rhs.re - self.im * rhs.im,
-            self.re * rhs.im + self.im * rhs.re,
+            self.im.mul_add(-rhs.im, self.re * rhs.re),
+            self.im.mul_add(rhs.re, self.re * rhs.im),
         )
     }
 }
@@ -224,11 +232,12 @@ impl Div for Cplx {
     #[inline]
     fn div(self, rhs: Cplx) -> Cplx {
         // The MSK demodulator (Eq. 1) computes the ratio of consecutive
-        // samples; this is its workhorse.
+        // samples; this is its workhorse. Numerators use fused
+        // multiply-accumulate, as in `Mul`.
         let d = rhs.norm_sq();
         Cplx::new(
-            (self.re * rhs.re + self.im * rhs.im) / d,
-            (self.im * rhs.re - self.re * rhs.im) / d,
+            self.im.mul_add(rhs.im, self.re * rhs.re) / d,
+            self.im.mul_add(rhs.re, -(self.re * rhs.im)) / d,
         )
     }
 }

@@ -112,9 +112,18 @@ impl MskModem {
     /// sequence — the "known phase differences" `Δθ_s[n]` that the ANC
     /// decoder matches against (§6.3).
     pub fn phase_differences(&self, bits: &[bool]) -> Vec<f64> {
-        bits.iter()
-            .map(|&b| if b { FRAC_PI_2 } else { -FRAC_PI_2 })
-            .collect()
+        let mut out = Vec::new();
+        self.phase_differences_into(bits, &mut out);
+        out
+    }
+
+    /// [`MskModem::phase_differences`] into a caller-owned buffer, so a
+    /// decoder running many packets amortizes the allocation (the
+    /// buffer is cleared, then filled).
+    pub fn phase_differences_into(&self, bits: &[bool], out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(bits.len());
+        out.extend(bits.iter().map(|&b| if b { FRAC_PI_2 } else { -FRAC_PI_2 }));
     }
 
     /// Demodulates starting from an arbitrary sample offset; used after
@@ -143,6 +152,34 @@ impl MskModem {
             out.push((b / a).arg());
         }
         out
+    }
+
+    /// [`Modem::demodulate`] into a caller-owned buffer: clears `out`,
+    /// then appends the hard decisions. Skips the intermediate soft
+    /// vector entirely, so the decode hot path performs no allocation
+    /// once the buffer has grown to packet size.
+    pub fn demodulate_into(&self, samples: &[Cplx], out: &mut Vec<bool>) {
+        out.clear();
+        self.demodulate_extend(samples, out);
+    }
+
+    /// [`MskModem::demodulate_into`] without the clear: appends the
+    /// decisions after any bits already in `out`. The decoder uses this
+    /// to attach the clean-tail bits directly after the matcher's
+    /// overlap bits (§7.2 step 5).
+    pub fn demodulate_extend(&self, samples: &[Cplx], out: &mut Vec<bool>) {
+        let s = self.cfg.samples_per_symbol;
+        if samples.len() <= s {
+            return;
+        }
+        let n_sym = (samples.len() - 1) / s;
+        out.reserve(n_sym);
+        for k in 0..n_sym {
+            let a = samples[k * s];
+            let b = samples[(k + 1) * s];
+            // §5.3 / §6.4 decision rule: Δθ ≥ 0 → "1", else "0".
+            out.push((b / a).arg() >= 0.0);
+        }
     }
 }
 
@@ -293,6 +330,30 @@ mod tests {
         let modem = MskModem::default();
         let d = modem.phase_differences(&bits("110"));
         assert_eq!(d, vec![FRAC_PI_2, FRAC_PI_2, -FRAC_PI_2]);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_ones() {
+        let modem = MskModem::new(MskConfig::oversampled(2));
+        let mut rng = DspRng::seed_from(11);
+        let data = rng.bits(300);
+        let signal: Vec<Cplx> = modem
+            .modulate(&data)
+            .iter()
+            .map(|&s| s.rotate(0.9) + rng.complex_gaussian(0.01))
+            .collect();
+        // Buffers deliberately pre-dirtied: the _into contract clears.
+        let mut bit_buf = vec![true; 7];
+        modem.demodulate_into(&signal, &mut bit_buf);
+        assert_eq!(bit_buf, modem.demodulate(&signal));
+        let mut d_buf = vec![1.0; 3];
+        modem.phase_differences_into(&data, &mut d_buf);
+        assert_eq!(d_buf, modem.phase_differences(&data));
+        // Extend appends after existing content.
+        let mut appended = vec![false];
+        modem.demodulate_extend(&signal, &mut appended);
+        assert!(!appended[0]);
+        assert_eq!(&appended[1..], modem.demodulate(&signal).as_slice());
     }
 
     #[test]

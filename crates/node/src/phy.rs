@@ -6,9 +6,11 @@
 //! (amplify / drop) surfaces as an [`RxEvent`] so the owning node can
 //! act on it (§7.5).
 
-use anc_core::decoder::{AncDecoder, DecodeDiagnostics, DecodeError, DecoderConfig};
+use anc_core::decoder::{
+    AncDecoder, DecodeDiagnostics, DecodeError, DecoderConfig, DecoderScratch,
+};
 use anc_core::router::{RouterAction, RouterPolicy};
-use anc_dsp::corr::best_match;
+use anc_dsp::corr::best_match_bounded;
 use anc_dsp::lfsr::pilot_sequence;
 use anc_dsp::Cplx;
 use anc_frame::header::HEADER_BITS;
@@ -103,11 +105,17 @@ pub enum RxEvent {
 }
 
 /// The receiver side of Fig. 8.
+///
+/// Owns the [`DecoderScratch`] its decoder works in, so a node's
+/// per-packet decodes stop allocating once the buffers have grown to
+/// packet size — the receive path is driven per reception window, and
+/// the scratch persists across windows.
 #[derive(Debug, Clone)]
 pub struct RxChain {
     decoder: AncDecoder,
     frame_cfg: FrameConfig,
     modem: MskModem,
+    scratch: DecoderScratch,
 }
 
 impl RxChain {
@@ -117,6 +125,7 @@ impl RxChain {
             decoder: AncDecoder::new(cfg),
             frame_cfg: cfg.frame,
             modem: MskModem::default(),
+            scratch: DecoderScratch::default(),
         }
     }
 
@@ -131,10 +140,8 @@ impl RxChain {
         let p = self.frame_cfg.pilot_len;
         let pilot = pilot_sequence(p);
         let search = (p + HEADER_BITS + 512).min(bits.len());
-        let (off, err) = best_match(&bits[..search], &pilot)?;
-        if err > self.frame_cfg.pilot_max_errors {
-            return None;
-        }
+        let (off, _err) =
+            best_match_bounded(&bits[..search], &pilot, self.frame_cfg.pilot_max_errors)?;
         if off + p + HEADER_BITS > bits.len() {
             return None;
         }
@@ -158,9 +165,10 @@ impl RxChain {
     /// The full Alg.-1 receive path for one reception window.
     ///
     /// `buffer` holds the node's sent/overheard packets (§7.3);
-    /// `policy` its router knowledge (§7.5).
+    /// `policy` its router knowledge (§7.5). Takes `&mut self` because
+    /// the decode runs in the chain's own scratch buffers.
     pub fn process(
-        &self,
+        &mut self,
         rx: &[Cplx],
         buffer: &SentPacketBuffer,
         policy: &RouterPolicy,
@@ -187,9 +195,11 @@ impl RxChain {
                 let known_frame = buffer.get(&known).expect("policy checked membership");
                 let known_bits = known_frame.to_bits(&self.frame_cfg);
                 let result = if known_starts_first {
-                    self.decoder.decode_forward(rx, &known_bits)
+                    self.decoder
+                        .decode_forward_with(rx, &known_bits, &mut self.scratch)
                 } else {
-                    self.decoder.decode_backward(rx, &known_bits)
+                    self.decoder
+                        .decode_backward_with(rx, &known_bits, &mut self.scratch)
                 };
                 match result {
                     Ok(out) => match Frame::parse_lenient(&out.bits, &self.frame_cfg) {
@@ -265,7 +275,7 @@ mod tests {
         let tx = TxChain::new(FrameConfig::default());
         let f = make_frame(&mut rng, 1, 2, 1, 128);
         let rx_samples = reception(&mut rng, &tx, &[(&f, 0, 1.0, 0.0)]);
-        let rxc = RxChain::new(decoder_cfg());
+        let mut rxc = RxChain::new(decoder_cfg());
         let buf = SentPacketBuffer::new(4);
         match rxc.process(&rx_samples, &buf, &RouterPolicy::new()) {
             RxEvent::Clean { frame, crc_ok } => {
@@ -290,7 +300,7 @@ mod tests {
             &tx,
             &[(&mine, 0, 1.0, 0.0), (&theirs, 300, 1.0, 0.02)],
         );
-        let rxc = RxChain::new(decoder_cfg());
+        let mut rxc = RxChain::new(decoder_cfg());
         let mut buf = SentPacketBuffer::new(4);
         buf.insert(mine.clone());
         match rxc.process(&rx_samples, &buf, &RouterPolicy::new()) {
@@ -321,7 +331,7 @@ mod tests {
             &tx,
             &[(&theirs, 0, 1.0, 0.0), (&mine, 280, 1.0, 0.02)],
         );
-        let rxc = RxChain::new(decoder_cfg());
+        let mut rxc = RxChain::new(decoder_cfg());
         let mut buf = SentPacketBuffer::new(4);
         buf.insert(mine.clone());
         match rxc.process(&rx_samples, &buf, &RouterPolicy::new()) {
@@ -342,7 +352,7 @@ mod tests {
         let fa = make_frame(&mut rng, 1, 2, 3, 200);
         let fb = make_frame(&mut rng, 2, 1, 5, 200);
         let rx_samples = reception(&mut rng, &tx, &[(&fa, 0, 1.0, 0.0), (&fb, 250, 0.9, 0.02)]);
-        let rxc = RxChain::new(decoder_cfg());
+        let mut rxc = RxChain::new(decoder_cfg());
         let buf = SentPacketBuffer::new(4);
         let mut policy = RouterPolicy::new();
         policy.add_relay_pair(1, 2);
@@ -368,7 +378,7 @@ mod tests {
         let fa = make_frame(&mut rng, 8, 9, 1, 128);
         let fb = make_frame(&mut rng, 9, 8, 1, 128);
         let rx_samples = reception(&mut rng, &tx, &[(&fa, 0, 1.0, 0.0), (&fb, 200, 1.0, 0.02)]);
-        let rxc = RxChain::new(decoder_cfg());
+        let mut rxc = RxChain::new(decoder_cfg());
         let buf = SentPacketBuffer::new(4);
         // Policy knows nothing about the 8↔9 pair.
         match rxc.process(&rx_samples, &buf, &RouterPolicy::new()) {
@@ -381,7 +391,7 @@ mod tests {
     fn silence_is_no_signal() {
         let mut rng = DspRng::seed_from(6);
         let rx_samples: Vec<Cplx> = (0..2048).map(|_| rng.complex_gaussian(NOISE)).collect();
-        let rxc = RxChain::new(decoder_cfg());
+        let mut rxc = RxChain::new(decoder_cfg());
         let buf = SentPacketBuffer::new(4);
         match rxc.process(&rx_samples, &buf, &RouterPolicy::new()) {
             RxEvent::Dropped(DropReason::NoSignal) => {}
@@ -413,7 +423,7 @@ mod tests {
             &[(&alice_pkt, 0, 0.8, 0.0), (&bob_pkt, 300, 0.7, 0.02)],
         );
         // Router amplifies the detected region and re-broadcasts.
-        let rxc = RxChain::new(decoder_cfg());
+        let mut rxc = RxChain::new(decoder_cfg());
         let region = rxc.decoder().classify(&at_router).expect("detect");
         let relay = AmplifyForward::new(1.0);
         let (amplified, _) = relay.amplify_window(&at_router, region.start, region.end);

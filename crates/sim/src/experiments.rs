@@ -3,10 +3,12 @@
 //! Each driver repeats paired runs (same topology realization, all
 //! schemes) over fresh channel draws — the paper's "40 times" — and
 //! pools the per-run gains and per-packet BERs into the CDFs the
-//! figures plot. Runs are independent, so they execute on a scoped
-//! thread pool.
+//! figures plot. Runs are independent with per-repetition forked seeds,
+//! so they fan out on [`crate::pool`]'s scoped workers; results are
+//! bit-identical to a serial (`threads = 1`) execution.
 
 use crate::metrics::{gain, RunMetrics};
+use crate::pool::parallel_map_indexed;
 use crate::runs::{run_alice_bob, run_chain, run_x, RunConfig};
 use crate::topology::{nodes, TopologyKind};
 use anc_netcode::Scheme;
@@ -40,16 +42,6 @@ impl ExperimentConfig {
             runs: 4,
             base: RunConfig::quick(seed),
             threads: 0,
-        }
-    }
-
-    fn thread_count(&self) -> usize {
-        if self.threads > 0 {
-            self.threads
-        } else {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4)
         }
     }
 }
@@ -108,26 +100,11 @@ fn parallel_runs<F>(cfg: &ExperimentConfig, run_one: F) -> Vec<Vec<RunMetrics>>
 where
     F: Fn(RunConfig) -> Vec<RunMetrics> + Sync,
 {
-    let mut out: Vec<Option<Vec<RunMetrics>>> = (0..cfg.runs).map(|_| None).collect();
-    let threads = cfg.thread_count().max(1);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<std::sync::Mutex<&mut Option<Vec<RunMetrics>>>> =
-        out.iter_mut().map(std::sync::Mutex::new).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(cfg.runs.max(1)) {
-            scope.spawn(|| loop {
-                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if idx >= cfg.runs {
-                    break;
-                }
-                let mut rc = cfg.base.clone();
-                rc.seed = run_seed(cfg.base.seed, idx);
-                let result = run_one(rc);
-                **slots[idx].lock().expect("slot lock") = Some(result);
-            });
-        }
-    });
-    out.into_iter().map(|r| r.expect("run completed")).collect()
+    parallel_map_indexed(cfg.runs, cfg.threads, |idx| {
+        let mut rc = cfg.base.clone();
+        rc.seed = run_seed(cfg.base.seed, idx);
+        run_one(rc)
+    })
 }
 
 fn assemble(topology: TopologyKind, with_cope: bool, runs: Vec<Vec<RunMetrics>>) -> TopologyResult {
@@ -241,57 +218,32 @@ pub struct SirPoint {
 /// Link gains are pinned symmetric and Bob's transmit amplitude is
 /// scaled to realize each SIR (`SIR = P_Bob/P_Alice` at Alice, Eq. 9).
 pub fn sir_sweep(cfg: &SirSweepConfig) -> Vec<SirPoint> {
-    let threads = if cfg.threads > 0 {
-        cfg.threads
-    } else {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-    };
-    let points: Vec<(usize, f64)> = cfg.sir_db.iter().copied().enumerate().collect();
-    let mut out: Vec<Option<SirPoint>> = vec![None; points.len()];
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<std::sync::Mutex<&mut Option<SirPoint>>> =
-        out.iter_mut().map(std::sync::Mutex::new).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(points.len().max(1)) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= points.len() {
-                    break;
-                }
-                let (idx, sir) = points[i];
-                let mut bers = Vec::new();
-                let mut attempts = 0usize;
-                for r in 0..cfg.runs_per_point {
-                    let mut rc = cfg.base.clone();
-                    rc.seed = run_seed(cfg.base.seed.wrapping_add(idx as u64 * 7919), r);
-                    // Pin symmetric unit-ish links; scale Bob's transmit
-                    // amplitude so the received power ratio is the SIR.
-                    rc.channel.gain = (0.85, 0.85);
-                    rc.tx_amplitude_overrides =
-                        vec![(nodes::BOB, anc_dsp::db::db_to_amplitude(sir))];
-                    let m = run_alice_bob(Scheme::Anc, &rc);
-                    bers.extend(m.bers_at(nodes::ALICE));
-                    attempts += rc.packets_per_flow;
-                }
-                let point = SirPoint {
-                    sir_db: sir,
-                    mean_ber: mean(&bers),
-                    packets: bers.len(),
-                    decode_rate: if attempts == 0 {
-                        0.0
-                    } else {
-                        bers.len() as f64 / attempts as f64
-                    },
-                };
-                **slots[idx].lock().expect("slot lock") = Some(point);
-            });
+    parallel_map_indexed(cfg.sir_db.len(), cfg.threads, |idx| {
+        let sir = cfg.sir_db[idx];
+        let mut bers = Vec::new();
+        let mut attempts = 0usize;
+        for r in 0..cfg.runs_per_point {
+            let mut rc = cfg.base.clone();
+            rc.seed = run_seed(cfg.base.seed.wrapping_add(idx as u64 * 7919), r);
+            // Pin symmetric unit-ish links; scale Bob's transmit
+            // amplitude so the received power ratio is the SIR.
+            rc.channel.gain = (0.85, 0.85);
+            rc.tx_amplitude_overrides = vec![(nodes::BOB, anc_dsp::db::db_to_amplitude(sir))];
+            let m = run_alice_bob(Scheme::Anc, &rc);
+            bers.extend(m.bers_at(nodes::ALICE));
+            attempts += rc.packets_per_flow;
         }
-    });
-    out.into_iter()
-        .map(|p| p.expect("point completed"))
-        .collect()
+        SirPoint {
+            sir_db: sir,
+            mean_ber: mean(&bers),
+            packets: bers.len(),
+            decode_rate: if attempts == 0 {
+                0.0
+            } else {
+                bers.len() as f64 / attempts as f64
+            },
+        }
+    })
 }
 
 #[cfg(test)]
@@ -359,6 +311,38 @@ mod tests {
             assert!(p.packets > 0, "no packets at {} dB", p.sir_db);
             assert!(p.mean_ber >= 0.0 && p.mean_ber <= 0.5);
         }
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_serial() {
+        // The acceptance property of the threaded harness: same base
+        // seed → same forked per-repetition seeds → metrics equal to
+        // the last bit, regardless of worker count or completion order.
+        let base = ExperimentConfig {
+            runs: 3,
+            base: RunConfig {
+                packets_per_flow: 6,
+                payload_bits: 2048,
+                ..RunConfig::quick(13)
+            },
+            threads: 1,
+        };
+        let serial = alice_bob(&base);
+        let parallel = alice_bob(&ExperimentConfig {
+            threads: 3,
+            ..base.clone()
+        });
+        assert_eq!(serial.gains_vs_traditional, parallel.gains_vs_traditional);
+        assert_eq!(serial.gains_vs_cope, parallel.gains_vs_cope);
+        assert_eq!(serial.anc_packet_bers, parallel.anc_packet_bers);
+        assert_eq!(
+            serial.mean_overlap.to_bits(),
+            parallel.mean_overlap.to_bits()
+        );
+        assert_eq!(
+            serial.anc_delivery_rate.to_bits(),
+            parallel.anc_delivery_rate.to_bits()
+        );
     }
 
     #[test]

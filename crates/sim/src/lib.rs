@@ -20,12 +20,15 @@
 //!   §11.4.
 //! * [`report`] — JSON + fixed-width text rendering of each figure's
 //!   series (CDFs, sweeps) for EXPERIMENTS.md.
+//! * [`pool`] — the scoped worker pool the repeated-realization sweeps
+//!   fan out on; results are bit-identical to serial execution.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
 pub mod metrics;
+pub mod pool;
 pub mod report;
 pub mod runs;
 pub mod topology;

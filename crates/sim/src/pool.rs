@@ -1,0 +1,102 @@
+//! Scoped worker pool for the repeated-realization sweeps.
+//!
+//! The paper's experiments repeat independent runs over fresh channel
+//! realizations (§11.4: 1000 packets per direction, 40 repetitions).
+//! Each repetition derives its own seed from the base seed and its
+//! index, so repetitions are data-independent and can execute in any
+//! order; [`parallel_map_indexed`] fans them out over
+//! [`std::thread::scope`] workers and returns results **in index
+//! order** regardless of completion order. Sweep outputs are therefore
+//! bit-identical to a serial (`threads = 1`) execution of the same
+//! seeds — the property the experiment tests pin down.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolves a worker-count knob: `0` means one worker per available
+/// core.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads > 0 {
+        threads
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    }
+}
+
+/// Evaluates `f(0)`, `f(1)`, …, `f(n - 1)` across at most `threads`
+/// scoped workers (`0` = all cores) and returns the results in index
+/// order.
+///
+/// Work is handed out through an atomic cursor, so long and short
+/// repetitions interleave without static partitioning; with
+/// `threads <= 1` (or `n <= 1`) the closure runs inline on the calling
+/// thread — the serial baseline the parallel path is compared against.
+pub fn parallel_map_indexed<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = resolve_threads(threads).min(n.max(1));
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let next = AtomicUsize::new(0);
+    // One lock per slot: workers write disjoint indices, and the scope
+    // join makes the writes visible before `out` is read back.
+    let slots: Vec<Mutex<&mut Option<R>>> = out.iter_mut().map(Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= n {
+                    break;
+                }
+                let r = f(idx);
+                **slots[idx].lock().expect("slot lock") = Some(r);
+            });
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("every index completed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_index_order() {
+        // Uneven per-item work: late indices finish first under
+        // parallelism, results must still land in order.
+        let r = parallel_map_indexed(32, 4, |i| {
+            if i % 5 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            i * i
+        });
+        assert_eq!(r, (0..32).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let serial = parallel_map_indexed(17, 1, |i| i as u64 * 0x9E37_79B9);
+        let parallel = parallel_map_indexed(17, 3, |i| i as u64 * 0x9E37_79B9);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        assert!(parallel_map_indexed(0, 4, |i| i).is_empty());
+        assert_eq!(parallel_map_indexed(1, 0, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn resolve_threads_zero_means_cores() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+}

@@ -71,10 +71,12 @@ pub mod prelude {
     pub use anc_capacity::{anc_lower_bound, gain_ratio, routing_upper_bound, CapacityModel};
     pub use anc_channel::{AmplifyForward, Awgn, Link, Medium, Transmission};
     pub use anc_core::amplitude::{estimate_amplitudes, AmplitudeEstimate};
-    pub use anc_core::decoder::{AncDecoder, DecodeOutcome, DecoderConfig};
+    pub use anc_core::decoder::{AncDecoder, DecodeOutcome, DecoderConfig, DecoderScratch};
     pub use anc_core::detect::{DetectorConfig, SignalDetector};
-    pub use anc_core::lemma::{solve_phases, PhaseSolutions};
-    pub use anc_core::matcher::{match_phase_differences, MatchOutput};
+    pub use anc_core::lemma::{solve_phases, LemmaKernel, PhaseSolutions};
+    pub use anc_core::matcher::{
+        match_bits_into, match_phase_differences, match_phase_differences_into, MatchOutput,
+    };
     pub use anc_core::router::{RouterAction, RouterPolicy};
     pub use anc_dsp::{wrap_pi, Cdf, Cplx, DspRng, Lfsr};
     pub use anc_frame::{Frame, FrameConfig, Header, PacketKey, SentPacketBuffer};

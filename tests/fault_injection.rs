@@ -64,8 +64,35 @@ fn decoder() -> AncDecoder {
 
 /// Decode and measure payload BER; `None` when the decode or parse
 /// failed outright (an acceptable outcome under faults).
+///
+/// Runs the decode through a reused [`DecoderScratch`] — the
+/// production hot path — and cross-checks it against the
+/// allocate-per-call API: the two must agree bit-for-bit even on
+/// impaired receptions, where buffer-reuse bugs (stale masks, stale
+/// residuals) would be likeliest to surface.
 fn try_decode(s: &Scenario) -> Option<f64> {
-    let out = decoder().decode_forward(&s.rx, &s.known_bits).ok()?;
+    // Dirty the scratch with an unrelated decode first so carryover
+    // state from a previous packet is part of the test (the dirtying
+    // reception never changes, so it is synthesized once).
+    static DIRTYING_RX: std::sync::OnceLock<Scenario> = std::sync::OnceLock::new();
+    let dirty = DIRTYING_RX.get_or_init(|| scenario(99));
+    let dec = decoder();
+    let mut scratch = DecoderScratch::default();
+    let _ = dec.decode_forward_with(&dirty.rx, &dirty.known_bits, &mut scratch);
+    let with_scratch = dec.decode_forward_with(&s.rx, &s.known_bits, &mut scratch);
+    let fresh = dec.decode_forward(&s.rx, &s.known_bits);
+    let out = match (with_scratch, fresh) {
+        (Ok(a), Ok(b)) => {
+            assert_eq!(a.bits, b.bits, "scratch reuse changed decoded bits");
+            assert_eq!(a.diagnostics, b.diagnostics);
+            a
+        }
+        (Err(a), Err(b)) => {
+            assert_eq!(a, b, "scratch reuse changed the failure mode");
+            return None;
+        }
+        (a, b) => panic!("scratch/fresh decode diverged: {a:?} vs {b:?}"),
+    };
     let (frame, _, _) = Frame::parse_lenient(&out.bits, &FrameConfig::default()).ok()?;
     // Identity must never be fabricated: either the right packet or
     // nothing.

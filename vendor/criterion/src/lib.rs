@@ -6,9 +6,13 @@
 //! adaptive wall-clock timer instead of criterion's statistical engine.
 //! Each benchmark warms up once, sizes its iteration count to roughly
 //! [`TARGET_MEASURE`], and prints mean ns/iter (plus throughput when
-//! declared). No `target/criterion` artifacts are written.
+//! declared). No `target/criterion` artifacts are written, but when the
+//! environment variable [`JSON_ENV`] names a path, `criterion_main!`
+//! writes every measurement of the process as a machine-readable JSON
+//! file (the `BENCH_*.json` perf-trajectory artifacts CI validates).
 
 use std::fmt;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Per-benchmark measurement budget.
@@ -66,18 +70,86 @@ impl Bencher {
     }
 }
 
+/// Environment variable naming the JSON artifact `criterion_main!`
+/// writes after all groups have run; unset means text output only.
+pub const JSON_ENV: &str = "ANC_BENCH_JSON";
+
+/// One finished measurement, held until the JSON flush.
+struct Record {
+    label: String,
+    ns_per_iter: f64,
+    /// Declared work per iteration and its unit (`elem` / `B`).
+    work: Option<(u64, &'static str)>,
+}
+
+fn records() -> &'static Mutex<Vec<Record>> {
+    static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+    &RECORDS
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Writes the process's accumulated measurements to the path named by
+/// [`JSON_ENV`], if set. Called by `criterion_main!` after every group
+/// has run; a no-op when the variable is absent. Panics (failing the
+/// bench run loudly) when the file cannot be written.
+pub fn flush_json() {
+    let Ok(path) = std::env::var(JSON_ENV) else {
+        return;
+    };
+    let recs = records().lock().expect("bench records lock");
+    let mut body = String::from("{\n  \"schema\": \"anc-bench-criterion/v1\",\n  \"records\": [\n");
+    for (i, r) in recs.iter().enumerate() {
+        let per_sec = r
+            .work
+            .map(|(n, unit)| {
+                format!(
+                    ", \"work_per_iter\": {}, \"work_unit\": \"{}\", \"work_per_sec\": {:.6e}",
+                    n,
+                    unit,
+                    n as f64 / (r.ns_per_iter * 1e-9)
+                )
+            })
+            .unwrap_or_default();
+        body.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ns_per_iter\": {:.3}{}}}{}\n",
+            json_escape(&r.label),
+            r.ns_per_iter,
+            per_sec,
+            if i + 1 < recs.len() { "," } else { "" }
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    std::fs::write(&path, body).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    eprintln!("wrote {path}");
+}
+
 fn report(label: &str, ns: f64, throughput: Option<Throughput>) {
-    let rate = throughput
-        .map(|t| {
-            let (n, unit) = match t {
-                Throughput::Elements(n) => (n, "elem"),
-                Throughput::Bytes(n) => (n, "B"),
-            };
+    let work = throughput.map(|t| match t {
+        Throughput::Elements(n) => (n, "elem"),
+        Throughput::Bytes(n) => (n, "B"),
+    });
+    let rate = work
+        .map(|(n, unit)| {
             let per_sec = n as f64 / (ns * 1e-9);
             format!("  ({per_sec:.3e} {unit}/s)")
         })
         .unwrap_or_default();
     println!("bench {label:<48} {ns:>14.1} ns/iter{rate}");
+    records().lock().expect("bench records lock").push(Record {
+        label: label.to_string(),
+        ns_per_iter: ns,
+        work,
+    });
 }
 
 fn run_one(label: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
@@ -151,13 +223,15 @@ macro_rules! criterion_group {
     };
 }
 
-/// Emits `main` for a `harness = false` bench target.
+/// Emits `main` for a `harness = false` bench target. After all groups
+/// run, measurements are flushed as JSON when [`JSON_ENV`] is set.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             // Cargo passes flags like `--bench`; the shim has no options.
             $($group();)+
+            $crate::flush_json();
         }
     };
 }
@@ -190,5 +264,32 @@ mod tests {
     #[test]
     fn group_macro_runs() {
         benches();
+    }
+
+    #[test]
+    fn json_flush_writes_records() {
+        // Run a couple of benches, point JSON_ENV at a temp file, and
+        // check the artifact parses structurally. Env mutation is safe:
+        // the test harness may interleave other tests, but none read
+        // the variable except flush_json here.
+        run_one("json_smoke/plain", None, &mut |b| {
+            b.iter(|| black_box(3 * 3))
+        });
+        run_one(
+            "json_smoke/throughput",
+            Some(Throughput::Elements(64)),
+            &mut |b| b.iter(|| black_box((0..64u64).sum::<u64>())),
+        );
+        let path = std::env::temp_dir().join("anc_criterion_shim_test.json");
+        std::env::set_var(JSON_ENV, &path);
+        flush_json();
+        std::env::remove_var(JSON_ENV);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(text.contains("\"schema\": \"anc-bench-criterion/v1\""));
+        assert!(text.contains("\"name\": \"json_smoke/plain\""));
+        assert!(text.contains("\"work_per_sec\""));
+        // Names with quotes/backslashes must stay valid JSON.
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
     }
 }

@@ -1,9 +1,13 @@
 //! Offline stand-in for `serde_json`: prints and parses the vendored
 //! `serde::Value` tree as standard JSON.
 
-use serde::{Deserialize, Error, Serialize, Value};
+use serde::{Deserialize, Error, Serialize};
 
 pub use serde::Error as JsonError;
+/// Re-export of the shim's JSON tree, mirroring `serde_json::Value` —
+/// parse untyped documents with `from_str::<Value>` and match on the
+/// variants.
+pub use serde::Value;
 
 /// Serializes a value as compact JSON.
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
