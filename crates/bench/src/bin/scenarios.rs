@@ -1,0 +1,102 @@
+//! The post-paper scenario suite — everything the scenario/engine
+//! layer runs that the paper's testbed never did:
+//!
+//! * **parking lot** — length-N chains (throughput vs hop count; the
+//!   pipelined ANC schedule stays at ~2 slots/packet while
+//!   store-and-forward pays one slot per hop);
+//! * **random mesh** — crossing flows routed through the
+//!   best-connected node of a random geometric graph;
+//! * **asymmetric X** — Fig. 11 with unequal overhearing gains, one
+//!   robust side link and one marginal one.
+//!
+//! ```text
+//! cargo run --release -p anc-bench --bin scenarios -- --quick
+//! cargo run --release -p anc-bench --bin scenarios -- --json scenarios.json
+//! ```
+
+use anc_bench::{emit, experiment_config, from_env};
+use anc_sim::experiments::{
+    asymmetric_x, parking_lot_sweep, random_mesh, ParkingLotSweepConfig, TopologyResult,
+};
+use anc_sim::report::{ExperimentReport, FigureSeries};
+use anc_sim::MeshConfig;
+
+fn push_pair_result(r: &mut ExperimentReport, tag: &str, t: &TopologyResult) {
+    r.stat(
+        &format!("{tag}_mean_gain_over_traditional"),
+        t.mean_gain_traditional(),
+    );
+    r.stat(&format!("{tag}_mean_gain_over_cope"), t.mean_gain_cope());
+    r.stat(&format!("{tag}_mean_anc_packet_ber"), t.mean_ber());
+    r.stat(&format!("{tag}_anc_delivery_rate"), t.anc_delivery_rate);
+    r.push_series(FigureSeries::cdf(
+        &format!("{tag}_gain_over_traditional_cdf"),
+        "throughput_gain",
+        &t.gains_vs_traditional,
+    ));
+}
+
+fn main() {
+    let args = from_env();
+    let mut cfg = experiment_config(&args);
+    // Scenario diversity over repetition depth: a third of the paper
+    // figures' realization count per scenario keeps the full suite in
+    // the same wall-clock budget as one figure binary.
+    cfg.runs = (args.runs / 3).max(2);
+
+    let mut report = ExperimentReport::new("scenarios");
+    report
+        .param("runs_per_scenario", cfg.runs as f64)
+        .param("packets_per_flow", args.packets as f64)
+        .param("payload_bits", args.payload_bits as f64)
+        .param("seed", args.seed as f64);
+
+    // Parking lot: throughput vs hop count.
+    let sweep = parking_lot_sweep(&ParkingLotSweepConfig {
+        base: cfg.base.clone(),
+        relay_counts: vec![1, 2, 3, 4, 6, 8],
+        runs_per_point: cfg.runs.min(4),
+        threads: cfg.threads,
+    });
+    report.push_series(FigureSeries::sweep(
+        "parking_lot_gain_vs_hops",
+        "hops",
+        &[
+            "anc_gain_over_traditional",
+            "anc_throughput",
+            "traditional_throughput",
+            "anc_delivery_rate",
+        ],
+        sweep
+            .iter()
+            .map(|p| {
+                vec![
+                    p.hops as f64,
+                    p.mean_gain,
+                    p.anc_throughput,
+                    p.traditional_throughput,
+                    p.anc_delivery_rate,
+                ]
+            })
+            .collect(),
+    ));
+    if let Some(longest) = sweep.last() {
+        report.stat("parking_lot_longest_hops", longest.hops as f64);
+        report.stat("parking_lot_longest_gain", longest.mean_gain);
+    }
+
+    // Random mesh with crossing flows.
+    let mesh_cfg = MeshConfig {
+        seed: args.seed,
+        ..MeshConfig::default()
+    };
+    let mesh = random_mesh(&cfg, &mesh_cfg).expect("default mesh is schedulable");
+    report.param("mesh_nodes", mesh_cfg.nodes as f64);
+    push_pair_result(&mut report, "mesh", &mesh);
+
+    // Asymmetric X: one robust side link, one marginal one.
+    let asym = asymmetric_x(&cfg, (0.8, 0.95), (0.3, 0.45));
+    push_pair_result(&mut report, "asymmetric_x", &asym);
+
+    emit(&report, &args);
+}

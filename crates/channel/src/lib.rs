@@ -33,7 +33,7 @@ pub mod relay;
 
 pub use awgn::Awgn;
 pub use link::Link;
-pub use medium::{Medium, Transmission};
+pub use medium::{Medium, Transmission, TransmissionRef};
 pub use relay::AmplifyForward;
 
 use anc_dsp::Cplx;

@@ -41,6 +41,29 @@ impl Transmission {
     pub fn end(&self) -> usize {
         self.start + self.samples.len() + self.link.delay.ceil() as usize
     }
+
+    /// A borrowed view of this transmission.
+    pub fn as_ref(&self) -> TransmissionRef<'_> {
+        TransmissionRef {
+            samples: &self.samples,
+            start: self.start,
+            link: self.link,
+        }
+    }
+}
+
+/// A [`Transmission`] that borrows its waveform. One slot's waveform
+/// reaches several receivers; borrowing lets each receiver's window be
+/// built without copying the samples (the engine's RX loop sends the
+/// same `ScheduledTx` waves to every receiver in range).
+#[derive(Debug, Clone, Copy)]
+pub struct TransmissionRef<'a> {
+    /// The transmitted baseband waveform.
+    pub samples: &'a [Cplx],
+    /// Receiver-clock sample index at which the waveform begins.
+    pub start: usize,
+    /// The propagation path from the sender to this receiver.
+    pub link: Link,
 }
 
 /// A receiver-side channel mixer with its own noise source.
@@ -76,9 +99,42 @@ impl Medium {
     /// arbitrary staggering: samples outside every transmission contain
     /// pure noise (the inter-packet noise floor §7.1 detects against).
     pub fn receive(&mut self, transmissions: &[Transmission], duration: usize) -> Vec<Cplx> {
-        let mut out = vec![Cplx::ZERO; duration];
+        let mut out = Vec::new();
+        self.receive_into(transmissions, duration, &mut out);
+        out
+    }
+
+    /// [`Self::receive`] into caller-owned scratch: `out` is cleared,
+    /// resized to `duration`, and filled with the superposition plus
+    /// noise. The engine's RX loop reuses one buffer per receiver so
+    /// per-slot receptions stop allocating once the buffer has grown to
+    /// window size (the allocation-free convention of the decode hot
+    /// path). Output is bit-identical to [`Self::receive`]:
+    /// transmissions are summed in slice order.
+    pub fn receive_into(
+        &mut self,
+        transmissions: &[Transmission],
+        duration: usize,
+        out: &mut Vec<Cplx>,
+    ) {
+        let refs: Vec<TransmissionRef<'_>> = transmissions.iter().map(|t| t.as_ref()).collect();
+        self.receive_refs_into(&refs, duration, out);
+    }
+
+    /// [`Self::receive_into`] over borrowed transmissions — the
+    /// zero-copy entry point for callers (the engine) that fan one
+    /// waveform out to many receivers. Bit-identical to the owned
+    /// variants: same summation order, same float expressions.
+    pub fn receive_refs_into(
+        &mut self,
+        transmissions: &[TransmissionRef<'_>],
+        duration: usize,
+        out: &mut Vec<Cplx>,
+    ) {
+        out.clear();
+        out.resize(duration, Cplx::ZERO);
         for tx in transmissions {
-            let propagated = tx.link.apply(&tx.samples);
+            let propagated = tx.link.apply(tx.samples);
             for (i, &s) in propagated.iter().enumerate() {
                 let t = tx.start + i;
                 if t < duration {
@@ -86,8 +142,7 @@ impl Medium {
                 }
             }
         }
-        self.noise.add_to(&mut out);
-        out
+        self.noise.add_to(out);
     }
 
     /// Duration that covers all transmissions plus `tail` trailing noise

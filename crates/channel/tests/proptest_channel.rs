@@ -1,0 +1,118 @@
+//! Property-based tests for the channel layer.
+//!
+//! The load-bearing property is Eq.-2 linearity: with noise off, the
+//! medium is a linear operator over transmission sets, so the
+//! superposition of two groups equals the sample-wise sum of each
+//! group received alone. The engine's per-receiver reception windows
+//! lean on this — splitting a slot's transmissions across windows can
+//! never change what a receiver hears.
+
+use anc_channel::{Link, Medium, Transmission, TransmissionRef};
+use anc_dsp::{Cplx, DspRng};
+use proptest::prelude::*;
+
+/// Builds a deterministic transmission from a compact description.
+fn tx(seed: u64, len: usize, start: usize, gain: f64, phase: f64, delay: f64) -> Transmission {
+    let mut rng = DspRng::seed_from(seed);
+    let samples: Vec<Cplx> = (0..len)
+        .map(|_| Cplx::new(rng.uniform_range(-1.0, 1.0), rng.uniform_range(-1.0, 1.0)))
+        .collect();
+    Transmission::new(samples, start, Link::new(gain, phase, delay))
+}
+
+proptest! {
+    /// receive(A ∪ B) == receive(A) + receive(B) with noise off.
+    #[test]
+    fn superposition_is_linear(
+        seed_a in 0u64..1_000, seed_b in 1_000u64..2_000,
+        len_a in 1usize..96, len_b in 1usize..96,
+        start_a in 0usize..64, start_b in 0usize..64,
+        gain_a in 0.05f64..2.0, gain_b in 0.05f64..2.0,
+        phase_a in -3.1f64..3.1, phase_b in -3.1f64..3.1,
+        delay_b in 0.0f64..4.0,
+    ) {
+        let a = tx(seed_a, len_a, start_a, gain_a, phase_a, 0.0);
+        let b = tx(seed_b, len_b, start_b, gain_b, phase_b, delay_b);
+        let duration = a.end().max(b.end()) + 8;
+        let both = Medium::new(0.0, 0).receive(&[a.clone(), b.clone()], duration);
+        let only_a = Medium::new(0.0, 0).receive(&[a], duration);
+        let only_b = Medium::new(0.0, 0).receive(&[b], duration);
+        prop_assert_eq!(both.len(), duration);
+        for t in 0..duration {
+            let sum = only_a[t] + only_b[t];
+            // Starting each accumulator from Cplx::ZERO makes the split
+            // and joint sums the same float expression, so this holds
+            // bitwise, not just approximately.
+            prop_assert_eq!(both[t], sum, "sample {} differs", t);
+        }
+    }
+
+    /// receive_into is bit-identical to receive, including when the
+    /// scratch buffer carries garbage from a previous longer window.
+    #[test]
+    fn receive_into_matches_receive(
+        seed in 0u64..5_000,
+        len in 1usize..128,
+        start in 0usize..96,
+        gain in 0.05f64..2.0,
+        noise_seed in 0u64..1_000,
+        stale_len in 0usize..256,
+    ) {
+        let t = tx(seed, len, start, gain, 0.7, 0.0);
+        let duration = t.end() + 16;
+        let fresh = Medium::from_rng(1e-3, DspRng::seed_from(noise_seed))
+            .receive(std::slice::from_ref(&t), duration);
+        let mut scratch = vec![Cplx::new(9.0, -9.0); stale_len];
+        Medium::from_rng(1e-3, DspRng::seed_from(noise_seed))
+            .receive_into(&[t], duration, &mut scratch);
+        prop_assert_eq!(scratch.len(), duration);
+        for i in 0..duration {
+            prop_assert_eq!(fresh[i], scratch[i]);
+        }
+    }
+
+    /// The borrowed-transmission path (the engine's zero-copy RX loop)
+    /// is bit-identical to the owned path.
+    #[test]
+    fn receive_refs_matches_owned(
+        seed_a in 0u64..1_000, seed_b in 1_000u64..2_000,
+        len_a in 1usize..96, len_b in 1usize..96,
+        start_b in 0usize..64,
+        noise_seed in 0u64..1_000,
+    ) {
+        let a = tx(seed_a, len_a, 0, 0.9, 0.4, 0.0);
+        let b = tx(seed_b, len_b, start_b, 0.7, -1.1, 0.0);
+        let duration = a.end().max(b.end()) + 8;
+        let owned = Medium::from_rng(1e-3, DspRng::seed_from(noise_seed))
+            .receive(&[a.clone(), b.clone()], duration);
+        let refs = [
+            TransmissionRef { samples: &a.samples, start: a.start, link: a.link },
+            TransmissionRef { samples: &b.samples, start: b.start, link: b.link },
+        ];
+        let mut borrowed = Vec::new();
+        Medium::from_rng(1e-3, DspRng::seed_from(noise_seed))
+            .receive_refs_into(&refs, duration, &mut borrowed);
+        prop_assert_eq!(owned.len(), borrowed.len());
+        for i in 0..duration {
+            prop_assert_eq!(owned[i], borrowed[i]);
+        }
+    }
+
+    /// Transmissions fully outside the window leave only noise, and the
+    /// window length is always exactly `duration`.
+    #[test]
+    fn window_truncation(
+        len in 1usize..64,
+        start in 0usize..64,
+        duration in 1usize..64,
+    ) {
+        let t = tx(1, len, start, 1.0, 0.0, 0.0);
+        let rx = Medium::new(0.0, 0).receive(&[t], duration);
+        prop_assert_eq!(rx.len(), duration);
+        for (i, s) in rx.iter().enumerate() {
+            if i < start {
+                prop_assert_eq!(*s, Cplx::ZERO);
+            }
+        }
+    }
+}

@@ -12,9 +12,11 @@
 //!   (3 slots, Fig. 1c); each endpoint XORs with its own packet to
 //!   recover the other's ([`cope::CopeCoder`]).
 //!
-//! [`schedule`] provides the slot schedules for each scheme on each of
-//! the paper's three topologies, which the simulator executes literally
-//! — transmissions, channels and demodulation included.
+//! [`schedule`] derives the slot schedule for each scheme from a list
+//! of flow routes ([`schedule::derive_plan`]) — the paper's three
+//! topologies are canonical instances — and the simulator executes the
+//! derived plans literally: transmissions, channels and demodulation
+//! included.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,4 +25,4 @@ pub mod cope;
 pub mod schedule;
 
 pub use cope::CopeCoder;
-pub use schedule::{Scheme, SlotPlan, SlotStep};
+pub use schedule::{derive_plan, FlowSpec, ScheduleError, Scheme, SlotPlan, SlotStep};

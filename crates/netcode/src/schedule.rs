@@ -10,6 +10,17 @@
 //! plans literally — every transmission is modulated and decoded — so
 //! the plans also document the theoretical slot counts the paper's
 //! gains derive from (4 vs 3 vs 2 for Alice-Bob; 3 vs 2 for the chain).
+//!
+//! Plans are **derived, not hard-coded**: [`derive_plan`] compiles a
+//! list of [`FlowSpec`] routes into the optimal slot pattern for any
+//! scheme — sequential hops for traditional routing, the 3-slot XOR
+//! relay for COPE pairs, the 2-slot simultaneous/amplify cycle for ANC
+//! pairs, and the alternating-parity pipeline for ANC chains of *any*
+//! length (the parking-lot generalization: every other node transmits
+//! each slot, and each relay cancels the packet it forwarded two slots
+//! earlier). The three paper topologies ([`alice_bob_plan`],
+//! [`chain_plan`], [`x_topology_plan`]) are now thin wrappers over the
+//! general derivation.
 
 use anc_frame::NodeId;
 
@@ -51,10 +62,12 @@ pub enum SlotStep {
         /// The coding router.
         router: NodeId,
     },
-    /// Two senders transmit *simultaneously* (the ANC slot).
+    /// Two or more senders transmit *simultaneously* (the ANC slot).
+    /// The paper's topologies always pair exactly two; the pipelined
+    /// parking-lot chain interferes every other relay at once.
     Simultaneous {
-        /// The two interfering transmitters.
-        senders: [NodeId; 2],
+        /// The interfering transmitters, in flow order.
+        senders: Vec<NodeId>,
     },
     /// The router amplifies and re-broadcasts the interfered signal it
     /// captured in the previous slot (§7.5).
@@ -115,49 +128,197 @@ pub mod nodes {
 
 use nodes::*;
 
+/// One end-to-end flow: where packets originate, where they are
+/// consumed, and the node sequence they traverse.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct FlowSpec {
+    /// Originating endpoint.
+    pub src: NodeId,
+    /// Consuming endpoint.
+    pub dst: NodeId,
+    /// Full route, `src` first and `dst` last (length ≥ 2).
+    pub route: Vec<NodeId>,
+}
+
+impl FlowSpec {
+    /// Builds a flow from its route.
+    ///
+    /// # Panics
+    /// Panics on a route shorter than two nodes or with repeated nodes.
+    pub fn along(route: Vec<NodeId>) -> FlowSpec {
+        assert!(route.len() >= 2, "a flow needs at least src and dst");
+        for (i, a) in route.iter().enumerate() {
+            assert!(!route[i + 1..].contains(a), "route visits node {a} twice");
+        }
+        FlowSpec {
+            src: route[0],
+            dst: *route.last().expect("non-empty route"),
+            route,
+        }
+    }
+
+    /// Number of link-layer hops.
+    pub fn hops(&self) -> usize {
+        self.route.len() - 1
+    }
+}
+
+/// Why a flow set cannot be scheduled under a scheme.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// No flows were given.
+    Empty,
+    /// COPE/ANC pair scheduling needs exactly two flows crossing at one
+    /// shared relay; the description says what was found instead.
+    UnsupportedShape(String),
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::Empty => write!(f, "no flows to schedule"),
+            ScheduleError::UnsupportedShape(s) => write!(f, "unschedulable flow shape: {s}"),
+        }
+    }
+}
+
+/// The shared middle relay of two 2-hop flows, if the pair crosses at
+/// exactly one — the shape Alice-Bob, the "X", and mesh crossing
+/// flows all share. The scenario compiler uses the same classifier so
+/// scheduling and execution can never disagree about what is a pair.
+pub fn crossing_router(flows: &[FlowSpec]) -> Option<NodeId> {
+    match flows {
+        [a, b] if a.route.len() == 3 && b.route.len() == 3 && a.route[1] == b.route[1] => {
+            Some(a.route[1])
+        }
+        _ => None,
+    }
+}
+
+/// Compiles flow routes into the optimal-MAC slot pattern for `scheme`
+/// (§11.1) — the generalization of the paper's three hand-built plans
+/// to arbitrary graphs:
+///
+/// * **Traditional** — every flow's hops in sequence, one slot each.
+/// * **COPE** — exactly two flows crossing at one relay: both uplinks,
+///   then the XOR broadcast.
+/// * **ANC, crossing pair** — both sources transmit simultaneously,
+///   then the relay amplify-broadcasts (Alice-Bob when the flows are
+///   reverses of each other, "X" when they merely intersect).
+/// * **ANC, single chain** — the alternating-parity pipeline: slot A
+///   carries the odd-position relays, slot B the even positions, so a
+///   chain of any length moves one packet per 2-slot period and every
+///   collision lands on a relay that already knows one of the packets.
+pub fn derive_plan(flows: &[FlowSpec], scheme: Scheme) -> Result<SlotPlan, ScheduleError> {
+    if flows.is_empty() {
+        return Err(ScheduleError::Empty);
+    }
+    let steps = match scheme {
+        Scheme::Traditional => flows
+            .iter()
+            .flat_map(|f| {
+                f.route.windows(2).map(|hop| SlotStep::Unicast {
+                    from: hop[0],
+                    to: hop[1],
+                })
+            })
+            .collect(),
+        Scheme::Cope => {
+            let router = crossing_router(flows).ok_or_else(|| {
+                ScheduleError::UnsupportedShape(
+                    "COPE needs exactly two 2-hop flows crossing at one relay".to_string(),
+                )
+            })?;
+            vec![
+                SlotStep::Unicast {
+                    from: flows[0].src,
+                    to: router,
+                },
+                SlotStep::Unicast {
+                    from: flows[1].src,
+                    to: router,
+                },
+                SlotStep::XorBroadcast { router },
+            ]
+        }
+        Scheme::Anc => {
+            if let Some(router) = crossing_router(flows) {
+                vec![
+                    SlotStep::Simultaneous {
+                        senders: flows.iter().map(|f| f.src).collect(),
+                    },
+                    SlotStep::AmplifyBroadcast { router },
+                ]
+            } else if let [f] = flows {
+                if f.route.len() < 3 {
+                    return Err(ScheduleError::UnsupportedShape(
+                        "single-hop flows gain nothing from ANC".to_string(),
+                    ));
+                }
+                // Alternating parity: positions 1, 3, 5, … forward in
+                // slot A; positions 0, 2, 4, … transmit in slot B. The
+                // destination never transmits. For the 4-node paper
+                // chain this is exactly Fig. 2c's {N2→N3; N1+N3}.
+                let senders_of = |parity: usize| -> Vec<NodeId> {
+                    f.route[..f.route.len() - 1]
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| i % 2 == parity)
+                        .map(|(_, &n)| n)
+                        .collect()
+                };
+                let mut steps = Vec::new();
+                for parity in [1usize, 0] {
+                    let senders = senders_of(parity);
+                    match senders.as_slice() {
+                        [] => {}
+                        [one] => steps.push(SlotStep::Unicast {
+                            from: *one,
+                            to: f.route
+                                [f.route.iter().position(|n| n == one).expect("on route") + 1],
+                        }),
+                        _ => steps.push(SlotStep::Simultaneous { senders }),
+                    }
+                }
+                steps
+            } else {
+                return Err(ScheduleError::UnsupportedShape(format!(
+                    "ANC schedules a crossing pair or one chain, got {} flows",
+                    flows.len()
+                )));
+            }
+        }
+    };
+    Ok(SlotPlan {
+        steps,
+        packets_per_period: flows.len(),
+    })
+}
+
+/// The canonical Alice-Bob flows (Fig. 1).
+pub fn alice_bob_flows() -> Vec<FlowSpec> {
+    vec![
+        FlowSpec::along(vec![ALICE, ROUTER, BOB]),
+        FlowSpec::along(vec![BOB, ROUTER, ALICE]),
+    ]
+}
+
+/// The canonical chain flow (Fig. 2).
+pub fn chain_flows() -> Vec<FlowSpec> {
+    vec![FlowSpec::along(vec![N1, N2, N3, N4])]
+}
+
+/// The canonical "X" flows (Fig. 11).
+pub fn x_topology_flows() -> Vec<FlowSpec> {
+    vec![
+        FlowSpec::along(vec![X1, ROUTER, X4]),
+        FlowSpec::along(vec![X3, ROUTER, X2]),
+    ]
+}
+
 /// Alice-Bob plans (Fig. 1): 4, 3 and 2 slots per exchanged pair.
 pub fn alice_bob_plan(scheme: Scheme) -> SlotPlan {
-    let steps = match scheme {
-        Scheme::Traditional => vec![
-            SlotStep::Unicast {
-                from: ALICE,
-                to: ROUTER,
-            },
-            SlotStep::Unicast {
-                from: ROUTER,
-                to: BOB,
-            },
-            SlotStep::Unicast {
-                from: BOB,
-                to: ROUTER,
-            },
-            SlotStep::Unicast {
-                from: ROUTER,
-                to: ALICE,
-            },
-        ],
-        Scheme::Cope => vec![
-            SlotStep::Unicast {
-                from: ALICE,
-                to: ROUTER,
-            },
-            SlotStep::Unicast {
-                from: BOB,
-                to: ROUTER,
-            },
-            SlotStep::XorBroadcast { router: ROUTER },
-        ],
-        Scheme::Anc => vec![
-            SlotStep::Simultaneous {
-                senders: [ALICE, BOB],
-            },
-            SlotStep::AmplifyBroadcast { router: ROUTER },
-        ],
-    };
-    SlotPlan {
-        steps,
-        packets_per_period: 2,
-    }
+    derive_plan(&alice_bob_flows(), scheme).expect("canonical Alice-Bob flows schedule")
 }
 
 /// Chain plans (Fig. 2): 3 slots/packet traditionally, 2 with ANC.
@@ -167,70 +328,18 @@ pub fn alice_bob_plan(scheme: Scheme) -> SlotPlan {
 /// # Panics
 /// Panics if `scheme == Scheme::Cope`.
 pub fn chain_plan(scheme: Scheme) -> SlotPlan {
-    let steps = match scheme {
-        Scheme::Traditional => vec![
-            SlotStep::Unicast { from: N1, to: N2 },
-            SlotStep::Unicast { from: N2, to: N3 },
-            SlotStep::Unicast { from: N3, to: N4 },
-        ],
-        Scheme::Anc => vec![
-            // Steady state (Fig. 2c): N2 forwards p_i to N3, then N1
-            // (p_{i+1}) and N3 (p_i) transmit together; N2 cancels the
-            // known p_i to receive p_{i+1}, N4 receives p_i cleanly.
-            SlotStep::Unicast { from: N2, to: N3 },
-            SlotStep::Simultaneous { senders: [N1, N3] },
-        ],
-        Scheme::Cope => panic!("COPE does not apply to unidirectional chains (§11.6)"),
-    };
-    SlotPlan {
-        steps,
-        packets_per_period: 1,
-    }
+    assert!(
+        scheme != Scheme::Cope,
+        "COPE does not apply to unidirectional chains (§11.6)"
+    );
+    derive_plan(&chain_flows(), scheme).expect("canonical chain flows schedule")
 }
 
 /// "X" topology plans (Fig. 11): like Alice-Bob but the side nodes know
 /// the interfering packet from overhearing rather than from having sent
 /// it.
 pub fn x_topology_plan(scheme: Scheme) -> SlotPlan {
-    let steps = match scheme {
-        Scheme::Traditional => vec![
-            SlotStep::Unicast {
-                from: X1,
-                to: ROUTER,
-            },
-            SlotStep::Unicast {
-                from: ROUTER,
-                to: X4,
-            },
-            SlotStep::Unicast {
-                from: X3,
-                to: ROUTER,
-            },
-            SlotStep::Unicast {
-                from: ROUTER,
-                to: X2,
-            },
-        ],
-        Scheme::Cope => vec![
-            SlotStep::Unicast {
-                from: X1,
-                to: ROUTER,
-            }, // X2 overhears
-            SlotStep::Unicast {
-                from: X3,
-                to: ROUTER,
-            }, // X4 overhears
-            SlotStep::XorBroadcast { router: ROUTER },
-        ],
-        Scheme::Anc => vec![
-            SlotStep::Simultaneous { senders: [X1, X3] }, // X2/X4 overhear
-            SlotStep::AmplifyBroadcast { router: ROUTER },
-        ],
-    };
-    SlotPlan {
-        steps,
-        packets_per_period: 2,
-    }
+    derive_plan(&x_topology_flows(), scheme).expect("canonical X flows schedule")
 }
 
 #[cfg(test)]
@@ -290,10 +399,104 @@ mod tests {
     #[test]
     fn chain_anc_simultaneous_pairs_n1_n3() {
         let plan = chain_plan(Scheme::Anc);
-        assert!(matches!(
+        assert_eq!(
             plan.steps[1],
-            SlotStep::Simultaneous { senders: [N1, N3] }
+            SlotStep::Simultaneous {
+                senders: vec![N1, N3]
+            }
+        );
+        assert_eq!(plan.steps[0], SlotStep::Unicast { from: N2, to: N3 });
+    }
+
+    #[test]
+    fn derived_plans_match_hand_built_shapes() {
+        // The derivation reproduces the paper's exact plans.
+        assert_eq!(
+            alice_bob_plan(Scheme::Anc).steps,
+            vec![
+                SlotStep::Simultaneous {
+                    senders: vec![ALICE, BOB]
+                },
+                SlotStep::AmplifyBroadcast { router: ROUTER },
+            ]
+        );
+        assert_eq!(
+            x_topology_plan(Scheme::Cope).steps,
+            vec![
+                SlotStep::Unicast {
+                    from: X1,
+                    to: ROUTER
+                },
+                SlotStep::Unicast {
+                    from: X3,
+                    to: ROUTER
+                },
+                SlotStep::XorBroadcast { router: ROUTER },
+            ]
+        );
+    }
+
+    #[test]
+    fn parking_lot_pipeline_any_length() {
+        // A 6-node parking lot: slot A = {N2, N4} (odd positions), slot
+        // B = {N1, N3, N5} (even positions); the destination (position
+        // 5) never transmits. Still one packet per 2-slot period.
+        let flow = FlowSpec::along(vec![1, 2, 3, 4, 5, 6]);
+        let plan = derive_plan(&[flow], Scheme::Anc).unwrap();
+        assert_eq!(plan.slots(), 2);
+        assert_eq!(
+            plan.steps[0],
+            SlotStep::Simultaneous {
+                senders: vec![2, 4]
+            }
+        );
+        assert_eq!(
+            plan.steps[1],
+            SlotStep::Simultaneous {
+                senders: vec![1, 3, 5]
+            }
+        );
+        // Slot efficiency is hop-count independent: 1 packet / 2 slots
+        // vs 1 / hops traditionally — the parking-lot throughput claim.
+        let trad = derive_plan(
+            &[FlowSpec::along(vec![1, 2, 3, 4, 5, 6])],
+            Scheme::Traditional,
+        )
+        .unwrap();
+        assert_eq!(trad.slots(), 5);
+        assert!((plan.packets_per_slot() / trad.packets_per_slot() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derive_plan_rejects_bad_shapes() {
+        assert_eq!(derive_plan(&[], Scheme::Anc), Err(ScheduleError::Empty));
+        let one_hop = FlowSpec::along(vec![1, 2]);
+        assert!(matches!(
+            derive_plan(std::slice::from_ref(&one_hop), Scheme::Anc),
+            Err(ScheduleError::UnsupportedShape(_))
         ));
+        assert!(matches!(
+            derive_plan(&[one_hop.clone(), one_hop], Scheme::Cope),
+            Err(ScheduleError::UnsupportedShape(_))
+        ));
+        // Three crossing flows: not an ANC pair.
+        let f = |a, b| FlowSpec::along(vec![a, 9, b]);
+        assert!(matches!(
+            derive_plan(&[f(1, 2), f(3, 4), f(5, 6)], Scheme::Anc),
+            Err(ScheduleError::UnsupportedShape(_))
+        ));
+    }
+
+    #[test]
+    fn flow_spec_accessors() {
+        let f = FlowSpec::along(vec![7, 8, 9]);
+        assert_eq!((f.src, f.dst, f.hops()), (7, 9, 2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn flow_spec_rejects_loops() {
+        let _ = FlowSpec::along(vec![1, 2, 1]);
     }
 
     #[test]

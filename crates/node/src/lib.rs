@@ -27,6 +27,6 @@ pub mod phy;
 pub mod trigger;
 
 pub use mac::{MacConfig, TriggerMac};
-pub use node::{Node, NodeConfig, NodeRole};
+pub use node::{FrontEnd, Node, NodeConfig, NodeRole};
 pub use phy::{RxChain, RxEvent, TxChain};
 pub use trigger::{detect_trigger, frame_with_trigger, trigger_sequence};

@@ -55,6 +55,28 @@ impl NodeConfig {
     }
 }
 
+/// The radio front end every transmission passes through: the node's
+/// oscillator offset (independent crystals, §11.4 / `anc-core::amplitude`
+/// docs) and transmit amplitude (unit by default; the Fig.-13 SIR sweep
+/// scales it). The simulation engine sets these at world construction
+/// and applies them via [`Node::apply_front_end`].
+#[derive(Debug, Clone, Copy)]
+pub struct FrontEnd {
+    /// Carrier frequency offset in rad/sample.
+    pub osc_offset: f64,
+    /// Transmit amplitude scale.
+    pub amplitude: f64,
+}
+
+impl Default for FrontEnd {
+    fn default() -> Self {
+        FrontEnd {
+            osc_offset: 0.0,
+            amplitude: 1.0,
+        }
+    }
+}
+
 /// One software radio.
 #[derive(Debug)]
 pub struct Node {
@@ -66,6 +88,8 @@ pub struct Node {
     pub policy: RouterPolicy,
     /// Sent + overheard packets (§7.3).
     pub buffer: SentPacketBuffer,
+    /// Radio impairments applied to every transmission.
+    pub front_end: FrontEnd,
     tx: TxChain,
     rx: RxChain,
     mac: TriggerMac,
@@ -84,12 +108,30 @@ impl Node {
             role: cfg.role,
             policy: RouterPolicy::new(),
             buffer: SentPacketBuffer::new(cfg.buffer_capacity),
+            front_end: FrontEnd::default(),
             tx: TxChain::new(cfg.decoder.frame),
             rx: RxChain::new(cfg.decoder),
             mac: TriggerMac::new(cfg.mac, rng),
             tx_queue: VecDeque::new(),
             delivered: Vec::new(),
             next_seq: 0,
+        }
+    }
+
+    /// Applies the radio front end to an outgoing baseband waveform:
+    /// amplitude scaling plus the carrier rotation `phase0 + Δω·k`
+    /// (§5.3's per-transmission phase `γ` and the oscillator drift the
+    /// amplitude tracker of §6 absorbs). `carrier_phase` is drawn by
+    /// the simulation engine so all transmitters share one stream.
+    pub fn apply_front_end(&self, wave: &mut [Cplx], carrier_phase: f64) {
+        let FrontEnd {
+            osc_offset,
+            amplitude,
+        } = self.front_end;
+        for (k, s) in wave.iter_mut().enumerate() {
+            *s = s
+                .scale(amplitude)
+                .rotate(carrier_phase + osc_offset * k as f64);
         }
     }
 
@@ -129,9 +171,19 @@ impl Node {
         self.buffer.insert(frame);
     }
 
-    /// Processes one reception window through the Alg.-1 RX chain.
-    pub fn receive(&mut self, rx: &[Cplx]) -> RxEvent {
+    /// One engine poll: processes a reception window through the
+    /// Alg.-1 RX chain against this node's buffer and policy. This is
+    /// the smoltcp-style entry point the simulation engine drives —
+    /// the engine owns the medium and the clock, the node owns its
+    /// protocol state.
+    pub fn poll(&mut self, rx: &[Cplx]) -> RxEvent {
         self.rx.process(rx, &self.buffer, &self.policy)
+    }
+
+    /// Processes one reception window through the Alg.-1 RX chain
+    /// (alias of [`Self::poll`], kept for direct-use call sites).
+    pub fn receive(&mut self, rx: &[Cplx]) -> RxEvent {
+        self.poll(rx)
     }
 
     /// Promiscuous overhearing (the "X" topology, §11.5): attempt a

@@ -1,0 +1,680 @@
+//! The event-driven simulation engine.
+//!
+//! One [`Engine`] owns everything the old hand-scheduled runs kept in
+//! closures: the realized [`Topology`] (an arbitrary directed link
+//! matrix), the [`Node`]s it drives through their poll interface, the
+//! per-node radio front ends and noise sources, the global sample
+//! clock, and an **event queue of scheduled transmissions**. Scenarios
+//! are compiled (by [`crate::scenario`]) into a [`Program`] — a
+//! repeating sequence of [`SlotSpec`]s whose transmit intents push
+//! [`ScheduledTx`] events into the queue and whose receive intents
+//! drain per-receiver superposition windows out of it — so adding a
+//! topology means *describing* it, not re-writing the TX/medium/RX
+//! choreography.
+//!
+//! # Determinism contract
+//!
+//! The engine is bit-reproducible and pinned by golden tests: for the
+//! three paper topologies it consumes every RNG stream (channel draws,
+//! oscillator offsets, carrier phases, MAC delays, payloads, per-node
+//! noise) in exactly the order the hand-coded runs did, so seeded
+//! [`RunMetrics`] are unchanged to the last bit. The load-bearing
+//! rules:
+//!
+//! * per-stream draw order is part of the contract — transmissions
+//!   fire in slot-listed order (carrier phases + payloads), receivers
+//!   fork their own noise stream once per reception window, and a
+//!   gated/skipped window forks nothing;
+//! * superposition sums transmissions in fired order (float addition
+//!   order matters);
+//! * every receiver's window spans the whole slot (`pad + span + pad`),
+//!   including transmissions it cannot hear — slots are globally
+//!   clocked.
+
+use crate::metrics::RunMetrics;
+use crate::runs::RunConfig;
+use crate::topology::{Topology, TopologyGraph};
+use anc_channel::{AmplifyForward, Medium, TransmissionRef};
+use anc_dsp::{Cplx, DspRng};
+use anc_frame::{Frame, Header, NodeId};
+use anc_modem::ber::ber;
+use anc_netcode::{CopeCoder, FlowSpec, Scheme};
+use anc_node::phy::RxEvent;
+use anc_node::{Node, NodeConfig, NodeRole};
+use std::collections::HashMap;
+
+/// Index of a flow within a [`Program`].
+pub type FlowId = usize;
+
+/// How a slot's length is charged to the medium clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotTiming {
+    /// A scheduled transmission slot: starts at offset 0 and pays the
+    /// per-transmission turnaround latency (§7.6/§11.4).
+    Scheduled,
+    /// A trigger-elicited simultaneous slot: every sender draws its
+    /// §7.2 random delay, which subsumes the turnaround.
+    Triggered,
+}
+
+/// What a transmit intent sends when it fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxSource {
+    /// Source a fresh frame from a flow (fires while packets remain).
+    SourceFrame {
+        /// The sourcing flow.
+        flow: FlowId,
+    },
+    /// Forward the frame this node holds (fires when holding one).
+    Forward,
+    /// Amplify-and-broadcast the mixture this router captured (§7.5).
+    AmplifyMixture,
+    /// XOR the two captured COPE uplinks and broadcast; if either
+    /// capture failed, both flows' packets are charged lost instead.
+    XorEncode {
+        /// The two coded flows, in capture order.
+        flows: [FlowId; 2],
+    },
+}
+
+/// One potential transmission in a slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxIntent {
+    /// Transmitting node.
+    pub sender: NodeId,
+    /// What it sends.
+    pub source: TxSource,
+}
+
+/// What a receive intent does with its reception window.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RxAction {
+    /// Router captures an interfered mixture for later amplification;
+    /// on failure every listed flow's in-flight packet is lost.
+    CaptureMixture {
+        /// Flows whose packets are inside the mixture.
+        flows: Vec<FlowId>,
+    },
+    /// Hold a cleanly decoded frame for forwarding (traditional hops,
+    /// clean pipeline hops). Any CRC-verified frame is accepted.
+    HoldClean,
+    /// Decode-and-forward relay poll: accept a clean *or*
+    /// ANC-decoded frame matching what `from` transmitted this slot;
+    /// ANC decodes record BER + overlap (Fig. 12b's metric).
+    HoldRelay {
+        /// The upstream sender whose frame is expected.
+        from: NodeId,
+    },
+    /// Destination decode of the amplified mixture (ANC pair flows).
+    DeliverAnc {
+        /// The flow being delivered.
+        flow: FlowId,
+        /// Gate on this round's overhearing success (§11.5: a packet
+        /// that was not overheard cannot be decoded either).
+        gated: bool,
+    },
+    /// Destination decode of a clean unicast (traditional final hop).
+    DeliverClean {
+        /// The flow being delivered.
+        flow: FlowId,
+        /// Whether the BER is tagged with the receiving node
+        /// (`RunMetrics::ber_by_receiver`); the Fig.-10 traditional
+        /// baseline pools BERs untagged and the golden tests pin that.
+        tag_receiver: bool,
+    },
+    /// Destination decode of a COPE XOR broadcast.
+    DeliverCope {
+        /// The flow being delivered.
+        flow: FlowId,
+        /// Gate on this round's overhearing success.
+        gated: bool,
+    },
+    /// Destination decode matched against any frame the flow has
+    /// sourced so far (pipelined chains deliver packets from earlier
+    /// rounds).
+    DeliverByKey {
+        /// The flow being delivered.
+        flow: FlowId,
+    },
+    /// Router captures one COPE uplink.
+    CopeCapture {
+        /// The captured flow.
+        flow: FlowId,
+    },
+    /// Promiscuous overhearing (§11.5): attempt a standard decode,
+    /// buffer the frame, and record this round's success flag.
+    Overhear,
+}
+
+/// One potential reception in a slot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RxIntent {
+    /// Receiving node.
+    pub receiver: NodeId,
+    /// What it does with the window.
+    pub action: RxAction,
+}
+
+/// One slot of a compiled scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotSpec {
+    /// Clock accounting mode.
+    pub timing: SlotTiming,
+    /// Transmit intents, in firing order (their order fixes the
+    /// carrier-phase and payload RNG streams and the superposition
+    /// summation order).
+    pub txs: Vec<TxIntent>,
+    /// Receive intents, in processing order (their order fixes the
+    /// goodput accumulation order).
+    pub rxs: Vec<RxIntent>,
+}
+
+/// How many times the slot sequence repeats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundMode {
+    /// Once per packet per flow (the paper's per-exchange cycles).
+    PerPacket,
+    /// Until a whole period fires no transmission (pipelined chains
+    /// drain in-flight packets after the sources run dry).
+    UntilIdle,
+}
+
+/// A compiled scenario: everything the engine needs to run one scheme
+/// on one topology graph.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Scenario name (reports).
+    pub name: String,
+    /// The scheme this program implements.
+    pub scheme: Scheme,
+    /// The declarative topology, realized per run.
+    pub graph: TopologyGraph,
+    /// Per-node roles, in `graph.node_ids` order.
+    pub roles: Vec<NodeRole>,
+    /// Crossing-flow pairs taught to every node's router policy (§7.6
+    /// assumes control packets distribute local traffic knowledge).
+    pub flow_pairs: Vec<((NodeId, NodeId), (NodeId, NodeId))>,
+    /// The flows, indexed by [`FlowId`].
+    pub flows: Vec<FlowSpec>,
+    /// Which flows keep their sourced-frame history (needed by
+    /// [`RxAction::DeliverByKey`]).
+    pub track_history: Vec<bool>,
+    /// The repeating slot sequence.
+    pub slots: Vec<SlotSpec>,
+    /// Repetition mode.
+    pub rounds: RoundMode,
+}
+
+/// A transmission scheduled into the engine's event queue: the
+/// front-end-processed waveform and its start offset (in samples) past
+/// the slot origin on the global clock.
+#[derive(Debug, Clone)]
+pub struct ScheduledTx {
+    /// Transmitting node.
+    pub sender: NodeId,
+    /// Waveform after the sender's front end (amplitude, oscillator,
+    /// carrier phase).
+    pub wave: Vec<Cplx>,
+    /// Start offset within the slot (MAC stagger; 0 when scheduled).
+    pub offset: usize,
+}
+
+/// Per-flow runtime state.
+struct FlowState {
+    /// Packets sourced so far.
+    sourced: usize,
+    /// The frame sourced this round (delivery truth for pair flows).
+    round_frame: Option<Frame>,
+    /// All sourced frames (kept only when `track_history`).
+    history: Vec<Frame>,
+}
+
+/// The discrete-event simulator (see module docs).
+pub struct Engine<'p> {
+    program: &'p Program,
+    cfg: RunConfig,
+    topo: Topology,
+    nodes: HashMap<NodeId, Node>,
+    noise: HashMap<NodeId, DspRng>,
+    carrier_rng: DspRng,
+    payload_rng: DspRng,
+    seq: HashMap<NodeId, u16>,
+    flows: Vec<FlowState>,
+    /// Frames held for decode-and-forward, per node.
+    held: HashMap<NodeId, Frame>,
+    /// Captured mixtures awaiting amplification: window + region.
+    mixture: HashMap<NodeId, (Vec<Cplx>, usize, usize)>,
+    /// COPE uplink captures awaiting the XOR slot.
+    cope_pending: Vec<Option<Frame>>,
+    cope_seq: HashMap<NodeId, u16>,
+    /// Per-round overhearing success flags.
+    heard: HashMap<NodeId, bool>,
+    /// What each sender transmitted this slot (relay expectations).
+    slot_frames: HashMap<NodeId, Frame>,
+    /// The slot's scheduled-transmission event queue.
+    events: Vec<ScheduledTx>,
+    /// Reused reception-window scratch (allocation-free RX loop).
+    rx_scratch: Vec<Cplx>,
+    metrics: RunMetrics,
+}
+
+impl<'p> Engine<'p> {
+    /// Builds the world for one run: realizes the channel, creates the
+    /// nodes, and assigns every RNG stream. The construction order —
+    /// topology fork, oscillator fork, then per-node node/noise forks
+    /// in `node_ids` order, then carrier and payload forks — is part of
+    /// the determinism contract.
+    pub fn new(program: &'p Program, cfg: &RunConfig) -> Engine<'p> {
+        let mut rng = DspRng::seed_from(cfg.seed);
+        let topo = program.graph.realize(&mut rng.fork(1), &cfg.channel);
+        let mut nodes = HashMap::new();
+        let mut noise = HashMap::new();
+        let mut osc_rng = rng.fork(2);
+        for (i, &id) in topo.node_ids.iter().enumerate() {
+            let role = program.roles.get(i).copied().unwrap_or(NodeRole::Endpoint);
+            let mut ncfg = NodeConfig::new(id, role);
+            ncfg.mac = cfg.mac;
+            ncfg.decoder.detector.noise_floor = cfg.noise_power;
+            let mut node = Node::new(ncfg, rng.fork(100 + i as u64));
+            for &(f1, f2) in &program.flow_pairs {
+                node.policy.add_flow_pair(f1, f2);
+            }
+            node.front_end.osc_offset =
+                osc_rng.uniform_range(-cfg.osc_offset_max, cfg.osc_offset_max);
+            nodes.insert(id, node);
+            noise.insert(id, rng.fork(200 + i as u64));
+        }
+        for &(id, amp) in &cfg.tx_amplitude_overrides {
+            if let Some(node) = nodes.get_mut(&id) {
+                node.front_end.amplitude = amp;
+            }
+        }
+        let flows = program
+            .flows
+            .iter()
+            .map(|_| FlowState {
+                sourced: 0,
+                round_frame: None,
+                history: Vec::new(),
+            })
+            .collect();
+        Engine {
+            program,
+            cfg: cfg.clone(),
+            topo,
+            nodes,
+            noise,
+            carrier_rng: rng.fork(3),
+            payload_rng: rng.fork(4),
+            seq: HashMap::new(),
+            flows,
+            held: HashMap::new(),
+            mixture: HashMap::new(),
+            cope_pending: vec![None; program.flows.len()],
+            cope_seq: HashMap::new(),
+            heard: HashMap::new(),
+            slot_frames: HashMap::new(),
+            events: Vec::new(),
+            rx_scratch: Vec::new(),
+            metrics: RunMetrics::new(program.scheme),
+        }
+    }
+
+    /// Runs a compiled program to completion and returns its metrics.
+    pub fn run(program: &Program, cfg: &RunConfig) -> RunMetrics {
+        let mut engine = Engine::new(program, cfg);
+        engine.execute();
+        engine.metrics
+    }
+
+    /// The realized topology of this run (diagnostics).
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    fn execute(&mut self) {
+        match self.program.rounds {
+            RoundMode::PerPacket => {
+                for _ in 0..self.cfg.packets_per_flow {
+                    self.run_period();
+                }
+            }
+            RoundMode::UntilIdle => while self.run_period() {},
+        }
+    }
+
+    /// Executes one period of the slot sequence; `true` if anything
+    /// transmitted.
+    fn run_period(&mut self) -> bool {
+        for f in &mut self.flows {
+            f.round_frame = None;
+        }
+        self.heard.clear();
+        let mut any = false;
+        for idx in 0..self.program.slots.len() {
+            any |= self.run_slot(idx);
+        }
+        any
+    }
+
+    /// Executes one slot: fire the transmit intents into the event
+    /// queue, advance the clock by the slot span, then drain the
+    /// queue into each receive intent's superposition window.
+    fn run_slot(&mut self, idx: usize) -> bool {
+        self.slot_frames.clear();
+        self.events.clear();
+        let timing = self.program.slots[idx].timing;
+        for t in 0..self.program.slots[idx].txs.len() {
+            let intent = self.program.slots[idx].txs[t].clone();
+            self.fire_tx(&intent, timing);
+        }
+        if self.events.is_empty() {
+            // Nothing had anything to send: the slot does not occupy
+            // the medium and receivers never open a window.
+            return false;
+        }
+        let span = self
+            .events
+            .iter()
+            .map(|e| e.offset + e.wave.len())
+            .max()
+            .expect("non-empty event queue");
+        let guard = self.cfg.guard_samples as f64;
+        let tick = match timing {
+            SlotTiming::Triggered => span as f64 + guard,
+            SlotTiming::Scheduled => span as f64 + guard + self.cfg.turnaround_bits as f64,
+        };
+        self.metrics.account.tick(tick);
+        for r in 0..self.program.slots[idx].rxs.len() {
+            let intent = self.program.slots[idx].rxs[r].clone();
+            self.handle_rx(&intent, span);
+        }
+        true
+    }
+
+    /// Creates the next frame of `src → dst` (engine-global sequence
+    /// numbers and payload stream, matching the original testbed).
+    fn make_frame(&mut self, src: NodeId, dst: NodeId) -> Frame {
+        let seq = self.seq.entry(src).or_insert(0);
+        let s = *seq;
+        *seq = seq.wrapping_add(1);
+        let payload = self.payload_rng.bits(self.cfg.payload_bits);
+        Frame::new(Header::new(src, dst, s, 0), payload)
+    }
+
+    /// Resolves a transmit intent; when it fires, the front-end-
+    /// processed waveform joins the slot's event queue.
+    fn fire_tx(&mut self, intent: &TxIntent, timing: SlotTiming) {
+        let sender = intent.sender;
+        let fired: Option<(Vec<Cplx>, Option<Frame>)> = match &intent.source {
+            TxSource::SourceFrame { flow } => {
+                if self.flows[*flow].sourced >= self.cfg.packets_per_flow {
+                    None
+                } else {
+                    let (src, dst) = (self.program.flows[*flow].src, self.program.flows[*flow].dst);
+                    let frame = self.make_frame(src, dst);
+                    let state = &mut self.flows[*flow];
+                    state.sourced += 1;
+                    state.round_frame = Some(frame.clone());
+                    if self.program.track_history[*flow] {
+                        state.history.push(frame.clone());
+                    }
+                    let wave = self.node_mut(sender).transmit_frame(&frame);
+                    Some((wave, Some(frame)))
+                }
+            }
+            TxSource::Forward => self.held.remove(&sender).map(|frame| {
+                let wave = self.node_mut(sender).transmit_frame(&frame);
+                (wave, Some(frame))
+            }),
+            TxSource::AmplifyMixture => self.mixture.remove(&sender).map(|(win, start, end)| {
+                let (amp, _) = AmplifyForward::new(1.0).amplify_window(&win, start, end);
+                (amp, None)
+            }),
+            TxSource::XorEncode { flows } => {
+                let a = self.cope_pending[flows[0]].take();
+                let b = self.cope_pending[flows[1]].take();
+                match (a, b) {
+                    (Some(ra), Some(rb)) => {
+                        let seq = self.cope_seq.entry(sender).or_insert(0);
+                        let s = *seq;
+                        *seq = seq.wrapping_add(1);
+                        let coded = CopeCoder.encode(&ra, &rb, sender, s);
+                        let wave = self.node_mut(sender).transmit_frame(&coded);
+                        Some((wave, Some(coded)))
+                    }
+                    _ => {
+                        // §11.1's optimal MAC still cannot code what the
+                        // router never received: both packets are lost.
+                        self.metrics.account.lose();
+                        self.metrics.account.lose();
+                        None
+                    }
+                }
+            }
+        };
+        let Some((mut wave, frame)) = fired else {
+            return;
+        };
+        let phase0 = self.carrier_rng.phase();
+        self.nodes
+            .get(&sender)
+            .expect("sender exists")
+            .apply_front_end(&mut wave, phase0);
+        let offset = match timing {
+            SlotTiming::Triggered => self.node_mut(sender).draw_delay(1),
+            SlotTiming::Scheduled => 0,
+        };
+        if let Some(f) = frame {
+            self.slot_frames.insert(sender, f);
+        }
+        self.events.push(ScheduledTx {
+            sender,
+            wave,
+            offset,
+        });
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        self.nodes.get_mut(&id).expect("node exists")
+    }
+
+    /// Resolves a receive intent: gate, build the superposition window
+    /// from the event queue (one noise fork per opened window), poll
+    /// the node, and account for the outcome.
+    fn handle_rx(&mut self, intent: &RxIntent, span: usize) {
+        let recv = intent.receiver;
+        // Gates that close the window before it opens (no noise fork).
+        match &intent.action {
+            RxAction::DeliverAnc { gated: true, .. }
+            | RxAction::DeliverCope { gated: true, .. }
+                if !self.heard.get(&recv).copied().unwrap_or(false) =>
+            {
+                // §11.5: without the overheard packet the interfered
+                // signal cannot be decoded either.
+                self.metrics.account.lose();
+                return;
+            }
+            RxAction::HoldRelay { from } if !self.slot_frames.contains_key(from) => return,
+            _ => {}
+        }
+        let audible = self
+            .events
+            .iter()
+            .any(|e| e.sender != recv && self.topo.link(e.sender, recv).is_some());
+        if !audible {
+            return;
+        }
+        // The window covers the whole slot plus noise padding on both
+        // sides, so detectors see a floor (§7.1). Waveforms are
+        // borrowed from the event queue — one slot's wave fans out to
+        // every receiver in range without being copied.
+        let pad = self.cfg.pad_samples;
+        let mut list = Vec::new();
+        for e in &self.events {
+            if e.sender == recv {
+                continue; // half-duplex: you cannot hear yourself
+            }
+            if let Some(link) = self.topo.link(e.sender, recv) {
+                list.push(TransmissionRef {
+                    samples: &e.wave,
+                    start: pad + e.offset,
+                    link: *link,
+                });
+            }
+        }
+        let duration = pad + span + pad;
+        let rng = self.noise.get_mut(&recv).expect("noise source").fork(0);
+        let mut scratch = std::mem::take(&mut self.rx_scratch);
+        Medium::from_rng(self.cfg.noise_power, rng).receive_refs_into(
+            &list,
+            duration,
+            &mut scratch,
+        );
+        drop(list);
+        self.process_window(intent, &scratch);
+        self.rx_scratch = scratch;
+    }
+
+    /// Applies a receive intent's action to a built window.
+    fn process_window(&mut self, intent: &RxIntent, window: &[Cplx]) {
+        let recv = intent.receiver;
+        match &intent.action {
+            RxAction::CaptureMixture { flows } => {
+                match self.node_mut(recv).poll(window) {
+                    RxEvent::Relay { start, end, .. } => {
+                        self.mixture.insert(recv, (window.to_vec(), start, end));
+                    }
+                    _ => {
+                        // Near-total overlap: neither header readable;
+                        // every packet inside the mixture is lost.
+                        for _ in flows {
+                            self.metrics.account.lose();
+                        }
+                    }
+                }
+            }
+            RxAction::HoldClean => match clean_frame(self.node_mut(recv).poll(window)) {
+                Some(frame) => {
+                    self.held.insert(recv, frame);
+                }
+                None => self.metrics.account.lose(),
+            },
+            RxAction::HoldRelay { from } => {
+                let expected = self.slot_frames.get(from).expect("gated above").clone();
+                match self.node_mut(recv).poll(window) {
+                    RxEvent::Clean {
+                        frame,
+                        crc_ok: true,
+                    } if frame.header.key() == expected.header.key() => {
+                        self.held.insert(recv, frame);
+                    }
+                    RxEvent::AncDecoded {
+                        frame, diagnostics, ..
+                    } if frame.header.key() == expected.header.key() => {
+                        // Fig. 12b's metric: BER where the interference
+                        // first lands.
+                        let b = ber(&frame.payload, &expected.payload);
+                        self.metrics.record_ber(recv, b);
+                        self.metrics.overlaps.push(diagnostics.overlap_fraction);
+                        self.held.insert(recv, frame);
+                    }
+                    _ => self.metrics.account.lose(),
+                }
+            }
+            RxAction::DeliverAnc { flow, .. } => {
+                let Some(theirs) = self.flows[*flow].round_frame.clone() else {
+                    self.metrics.account.lose();
+                    return;
+                };
+                match self.node_mut(recv).poll(window) {
+                    RxEvent::AncDecoded {
+                        frame, diagnostics, ..
+                    } if frame.header.key() == theirs.header.key() => {
+                        let b = ber(&frame.payload, &theirs.payload);
+                        self.metrics.account.deliver(self.cfg.payload_bits, b);
+                        self.metrics.record_ber(recv, b);
+                        self.metrics.overlaps.push(diagnostics.overlap_fraction);
+                    }
+                    _ => self.metrics.account.lose(),
+                }
+            }
+            RxAction::DeliverClean { flow, tag_receiver } => {
+                let Some(theirs) = self.flows[*flow].round_frame.clone() else {
+                    self.metrics.account.lose();
+                    return;
+                };
+                match self.node_mut(recv).poll(window) {
+                    RxEvent::Clean { frame, .. } if frame.header.key() == theirs.header.key() => {
+                        let b = ber(&frame.payload, &theirs.payload);
+                        self.metrics.account.deliver(self.cfg.payload_bits, b);
+                        if *tag_receiver {
+                            self.metrics.record_ber(recv, b);
+                        } else {
+                            self.metrics.packet_bers.push(b);
+                        }
+                    }
+                    _ => self.metrics.account.lose(),
+                }
+            }
+            RxAction::DeliverCope { flow, .. } => {
+                let Some(theirs) = self.flows[*flow].round_frame.clone() else {
+                    self.metrics.account.lose();
+                    return;
+                };
+                let decoded = match self.node_mut(recv).poll(window) {
+                    RxEvent::Clean { frame, .. } if frame.header.is_xor() => {
+                        let node = self.nodes.get(&recv).expect("node exists");
+                        CopeCoder.decode(&frame, &node.buffer).ok()
+                    }
+                    _ => None,
+                };
+                match decoded {
+                    Some(dec) if dec.header.key() == theirs.header.key() => {
+                        let b = ber(&dec.payload, &theirs.payload);
+                        self.metrics.account.deliver(self.cfg.payload_bits, b);
+                        self.metrics.record_ber(recv, b);
+                    }
+                    _ => self.metrics.account.lose(),
+                }
+            }
+            RxAction::DeliverByKey { flow } => match self.node_mut(recv).poll(window) {
+                RxEvent::Clean { frame, .. } => {
+                    let truth = self.flows[*flow]
+                        .history
+                        .iter()
+                        .find(|s| s.header.key() == frame.header.key());
+                    match truth {
+                        Some(t) => {
+                            let b = ber(&frame.payload, &t.payload);
+                            self.metrics.account.deliver(self.cfg.payload_bits, b);
+                        }
+                        None => self.metrics.account.lose(),
+                    }
+                }
+                _ => self.metrics.account.lose(),
+            },
+            RxAction::CopeCapture { flow } => {
+                if let Some(frame) = clean_frame(self.node_mut(recv).poll(window)) {
+                    self.cope_pending[*flow] = Some(frame);
+                }
+                // A missed uplink is charged when the XOR slot finds
+                // the capture missing (both coded packets are lost).
+            }
+            RxAction::Overhear => {
+                let got = self.node_mut(recv).try_overhear(window);
+                self.heard.insert(recv, got.is_some());
+            }
+        }
+    }
+}
+
+fn clean_frame(evt: RxEvent) -> Option<Frame> {
+    match evt {
+        RxEvent::Clean {
+            frame,
+            crc_ok: true,
+        } => Some(frame),
+        _ => None,
+    }
+}

@@ -1,4 +1,5 @@
-//! Multi-run experiment drivers — one per paper figure (§11).
+//! Multi-run experiment drivers — one per paper figure (§11), plus
+//! the post-paper scenarios the engine makes possible.
 //!
 //! Each driver repeats paired runs (same topology realization, all
 //! schemes) over fresh channel draws — the paper's "40 times" — and
@@ -6,10 +7,17 @@
 //! figures plot. Runs are independent with per-repetition forked seeds,
 //! so they fan out on [`crate::pool`]'s scoped workers; results are
 //! bit-identical to a serial (`threads = 1`) execution.
+//!
+//! Beyond the paper: [`scenario_experiment`] pools any crossing-pair
+//! [`ScenarioSpec`] the same way ([`asymmetric_x`], [`random_mesh`]),
+//! and [`parking_lot_sweep`] runs the length-N chain over a range of
+//! relay counts (throughput vs hop count).
 
+use crate::engine::Engine;
 use crate::metrics::{gain, RunMetrics};
 use crate::pool::parallel_map_indexed;
 use crate::runs::{run_alice_bob, run_chain, run_x, RunConfig};
+use crate::scenario::{MeshConfig, ScenarioError, ScenarioSpec};
 use crate::topology::{nodes, TopologyKind};
 use anc_netcode::Scheme;
 use serde::{Deserialize, Serialize};
@@ -107,9 +115,9 @@ where
     })
 }
 
-fn assemble(topology: TopologyKind, with_cope: bool, runs: Vec<Vec<RunMetrics>>) -> TopologyResult {
+fn assemble(topology: &str, with_cope: bool, runs: Vec<Vec<RunMetrics>>) -> TopologyResult {
     let mut result = TopologyResult {
-        topology: format!("{topology:?}"),
+        topology: topology.to_string(),
         gains_vs_traditional: Vec::new(),
         gains_vs_cope: Vec::new(),
         anc_packet_bers: Vec::new(),
@@ -150,7 +158,7 @@ pub fn alice_bob(cfg: &ExperimentConfig) -> TopologyResult {
             run_alice_bob(Scheme::Cope, &rc),
         ]
     });
-    assemble(TopologyKind::AliceBob, true, runs)
+    assemble(&format!("{:?}", TopologyKind::AliceBob), true, runs)
 }
 
 /// Figs. 10a/10b — the "X" topology experiment (§11.5).
@@ -162,7 +170,7 @@ pub fn x_topology(cfg: &ExperimentConfig) -> TopologyResult {
             run_x(Scheme::Cope, &rc),
         ]
     });
-    assemble(TopologyKind::X, true, runs)
+    assemble(&format!("{:?}", TopologyKind::X), true, runs)
 }
 
 /// Figs. 12a/12b — the unidirectional chain experiment (§11.6).
@@ -173,7 +181,139 @@ pub fn chain(cfg: &ExperimentConfig) -> TopologyResult {
             run_chain(Scheme::Traditional, &rc),
         ]
     });
-    assemble(TopologyKind::Chain, false, runs)
+    assemble(&format!("{:?}", TopologyKind::Chain), false, runs)
+}
+
+/// Pools any crossing-pair scenario over repeated channel
+/// realizations: ANC vs traditional (and COPE when `with_cope`), the
+/// same shape as the paper's per-figure drivers. Parallel results are
+/// bit-identical to serial.
+pub fn scenario_experiment(
+    spec: &ScenarioSpec,
+    cfg: &ExperimentConfig,
+    with_cope: bool,
+) -> Result<TopologyResult, ScenarioError> {
+    // Compile each scheme once; the workers share the programs (a
+    // Program is immutable — all per-run state lives in the Engine).
+    let anc = spec.compile(Scheme::Anc)?;
+    let trad = spec.compile(Scheme::Traditional)?;
+    let cope = if with_cope {
+        Some(spec.compile(Scheme::Cope)?)
+    } else {
+        None
+    };
+    let runs = parallel_runs(cfg, |rc| {
+        let mut pair = vec![Engine::run(&anc, &rc), Engine::run(&trad, &rc)];
+        if let Some(c) = &cope {
+            pair.push(Engine::run(c, &rc));
+        }
+        pair
+    });
+    Ok(assemble(&spec.name, with_cope, runs))
+}
+
+/// The asymmetric-X experiment: unequal overhearing gains, pooled like
+/// Fig. 10.
+pub fn asymmetric_x(
+    cfg: &ExperimentConfig,
+    strong: (f64, f64),
+    weak: (f64, f64),
+) -> TopologyResult {
+    scenario_experiment(&ScenarioSpec::asymmetric_x(strong, weak), cfg, true)
+        .expect("asymmetric X compiles for all schemes")
+}
+
+/// The random-mesh crossing-flows experiment.
+pub fn random_mesh(
+    cfg: &ExperimentConfig,
+    mesh: &MeshConfig,
+) -> Result<TopologyResult, ScenarioError> {
+    scenario_experiment(&ScenarioSpec::random_mesh(mesh)?, cfg, true)
+}
+
+/// Configuration of the parking-lot (length-N chain) sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ParkingLotSweepConfig {
+    /// Per-point run configuration.
+    pub base: RunConfig,
+    /// Relay counts to sweep (2 = the paper chain).
+    pub relay_counts: Vec<usize>,
+    /// Independent realizations pooled per point.
+    pub runs_per_point: usize,
+    /// Worker threads (0 = one per core).
+    pub threads: usize,
+}
+
+impl Default for ParkingLotSweepConfig {
+    fn default() -> Self {
+        ParkingLotSweepConfig {
+            base: RunConfig::default(),
+            relay_counts: vec![1, 2, 3, 4, 6, 8],
+            runs_per_point: 4,
+            threads: 0,
+        }
+    }
+}
+
+/// One point of the throughput-vs-hop-count series.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ParkingLotPoint {
+    /// Relays in the chain.
+    pub relays: usize,
+    /// Link-layer hops (`relays + 1`).
+    pub hops: usize,
+    /// Mean ANC throughput gain over traditional routing.
+    pub mean_gain: f64,
+    /// Mean ANC throughput (payload bits/sample).
+    pub anc_throughput: f64,
+    /// Mean traditional throughput.
+    pub traditional_throughput: f64,
+    /// ANC end-to-end delivery rate.
+    pub anc_delivery_rate: f64,
+}
+
+/// Throughput vs hop count on the pipelined parking-lot chain: the
+/// per-hop slot cost of store-and-forward grows linearly while the
+/// ANC pipeline stays at ~2 slots/packet, so the gain grows with
+/// length. Points fan out on the worker pool; parallel == serial bit
+/// for bit.
+pub fn parking_lot_sweep(cfg: &ParkingLotSweepConfig) -> Vec<ParkingLotPoint> {
+    parallel_map_indexed(cfg.relay_counts.len(), cfg.threads, |idx| {
+        let relays = cfg.relay_counts[idx];
+        let spec = ScenarioSpec::parking_lot(relays);
+        let anc_prog = spec.compile(Scheme::Anc).expect("parking lot compiles");
+        let trad_prog = spec
+            .compile(Scheme::Traditional)
+            .expect("parking lot compiles");
+        let mut gains = Vec::new();
+        let mut anc_tp = Vec::new();
+        let mut trad_tp = Vec::new();
+        let mut delivered = 0usize;
+        let mut attempted = 0usize;
+        for r in 0..cfg.runs_per_point {
+            let mut rc = cfg.base.clone();
+            rc.seed = run_seed(cfg.base.seed.wrapping_add(idx as u64 * 6367), r);
+            let a = Engine::run(&anc_prog, &rc);
+            let t = Engine::run(&trad_prog, &rc);
+            gains.push(gain(&a, &t));
+            anc_tp.push(a.account.throughput());
+            trad_tp.push(t.account.throughput());
+            delivered += a.account.delivered;
+            attempted += a.account.delivered + a.account.lost;
+        }
+        ParkingLotPoint {
+            relays,
+            hops: relays + 1,
+            mean_gain: mean(&gains),
+            anc_throughput: mean(&anc_tp),
+            traditional_throughput: mean(&trad_tp),
+            anc_delivery_rate: if attempted == 0 {
+                0.0
+            } else {
+                delivered as f64 / attempted as f64
+            },
+        }
+    })
 }
 
 /// Configuration of the Fig.-13 SIR sweep.
@@ -349,5 +489,113 @@ mod tests {
     fn seeds_differ_across_runs() {
         assert_ne!(run_seed(0, 0), run_seed(0, 1));
         assert_ne!(run_seed(5, 3), run_seed(6, 3));
+    }
+
+    fn tiny_experiment(seed: u64) -> ExperimentConfig {
+        ExperimentConfig {
+            runs: 2,
+            base: RunConfig {
+                packets_per_flow: 6,
+                payload_bits: 2048,
+                ..RunConfig::quick(seed)
+            },
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn asymmetric_x_experiment_shape() {
+        let r = asymmetric_x(&tiny_experiment(5), (0.8, 0.95), (0.25, 0.4));
+        assert_eq!(r.topology, "asymmetric_x");
+        assert_eq!(r.runs, 2);
+        assert_eq!(r.gains_vs_traditional.len(), 2);
+        assert_eq!(r.gains_vs_cope.len(), 2);
+    }
+
+    #[test]
+    fn random_mesh_experiment_runs() {
+        let r = random_mesh(&tiny_experiment(6), &MeshConfig::default()).unwrap();
+        assert_eq!(r.runs, 2);
+        assert!(r.topology.starts_with("mesh_"));
+    }
+
+    #[test]
+    fn scenario_experiment_rejects_unschedulable_specs() {
+        // A chain is not a crossing pair: COPE cannot schedule it.
+        let err = scenario_experiment(&ScenarioSpec::chain(), &tiny_experiment(7), true);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn parking_lot_sweep_gain_grows_with_length() {
+        let cfg = ParkingLotSweepConfig {
+            base: RunConfig {
+                packets_per_flow: 14,
+                payload_bits: 2048,
+                ..RunConfig::quick(8)
+            },
+            relay_counts: vec![2, 5],
+            runs_per_point: 1,
+            threads: 2,
+        };
+        let pts = parking_lot_sweep(&cfg);
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].hops, 3);
+        assert_eq!(pts[1].hops, 6);
+        assert!(
+            pts[1].mean_gain > pts[0].mean_gain,
+            "pipelining pays more on longer chains: {} vs {}",
+            pts[1].mean_gain,
+            pts[0].mean_gain
+        );
+        assert!(pts[0].mean_gain > 1.0);
+    }
+
+    #[test]
+    fn new_scenario_sweeps_are_bit_identical_serial_vs_parallel() {
+        let base = ParkingLotSweepConfig {
+            base: RunConfig {
+                packets_per_flow: 6,
+                payload_bits: 2048,
+                ..RunConfig::quick(9)
+            },
+            relay_counts: vec![1, 3],
+            runs_per_point: 2,
+            threads: 1,
+        };
+        let serial = parking_lot_sweep(&base);
+        let parallel = parking_lot_sweep(&ParkingLotSweepConfig {
+            threads: 3,
+            ..base.clone()
+        });
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.mean_gain.to_bits(), p.mean_gain.to_bits());
+            assert_eq!(s.anc_throughput.to_bits(), p.anc_throughput.to_bits());
+        }
+        let mesh_base = tiny_experiment(10);
+        let m1 = random_mesh(
+            &ExperimentConfig {
+                threads: 1,
+                ..mesh_base.clone()
+            },
+            &MeshConfig::default(),
+        )
+        .unwrap();
+        let m2 = random_mesh(
+            &ExperimentConfig {
+                threads: 3,
+                ..mesh_base
+            },
+            &MeshConfig::default(),
+        )
+        .unwrap();
+        // Bitwise comparison (a gain can be NaN if a realization's
+        // baseline starves, and NaN != NaN under f64 equality).
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(
+            bits(&m1.gains_vs_traditional),
+            bits(&m2.gains_vs_traditional)
+        );
+        assert_eq!(bits(&m1.anc_packet_bers), bits(&m2.anc_packet_bers));
     }
 }

@@ -9,12 +9,25 @@
 //! paper's metrics (§11.2): network throughput, gain over traditional,
 //! gain over COPE, and per-packet BER.
 //!
-//! * [`topology`] — the three paper topologies with per-link channel
-//!   draws.
+//! The testbed is layered as scenario → program → engine:
+//!
+//! * [`topology`] — declarative [`TopologyGraph`]s (arbitrary node/link
+//!   matrices with symbolic gain classes) realized into per-run
+//!   channels; the three paper topologies are canonical graphs.
+//! * [`scenario`] — [`scenario::ScenarioSpec`] (graph + flows) and the
+//!   compiler that derives roles, router knowledge, and slot schedules
+//!   for any scheme; ships the parking-lot chain, asymmetric-X, and
+//!   random-mesh scenarios beyond the paper's three.
+//! * [`engine`] — the event-driven simulator: nodes, link matrix,
+//!   event queue of scheduled transmissions, per-receiver superposition
+//!   windows, and the global sample clock. Bit-reproducible; golden
+//!   tests pin the paper runs' seeded metrics across the refactor.
 //! * [`runs`] — one experiment run = 1000 packets per flow per scheme
-//!   (paper default), seeded; 40 runs per figure.
-//! * [`experiments`] — per-figure drivers: `alice_bob`, `x_topology`,
-//!   `chain`, `sir_sweep`.
+//!   (paper default), seeded; 40 runs per figure. The paper runs are
+//!   thin scenario definitions on the engine.
+//! * [`experiments`] — per-figure drivers (`alice_bob`, `x_topology`,
+//!   `chain`, `sir_sweep`) plus the new-scenario drivers
+//!   (`parking_lot_sweep`, `asymmetric_x`, `random_mesh`).
 //! * [`metrics`] — throughput/gain/BER accounting, including the FEC
 //!   redundancy charge of §11.2 and the overlap-fraction bookkeeping of
 //!   §11.4.
@@ -26,15 +39,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod experiments;
 pub mod metrics;
 pub mod pool;
 pub mod report;
 pub mod runs;
+pub mod scenario;
 pub mod topology;
 
+pub use engine::{Engine, Program};
 pub use experiments::{alice_bob, chain, sir_sweep, x_topology};
 pub use metrics::{RunMetrics, ThroughputAccount};
 pub use report::{ExperimentReport, FigureSeries};
-pub use runs::{RunConfig, Scenario};
-pub use topology::{LinkSpec, Topology, TopologyKind};
+pub use runs::{run_spec, RunConfig, Scenario};
+pub use scenario::{MeshConfig, ScenarioError, ScenarioSpec};
+pub use topology::{LinkSpec, Topology, TopologyGraph, TopologyKind};

@@ -1,27 +1,22 @@
-//! Signal-level execution of one scheme on one topology realization.
-//!
-//! This module is the software testbed: every packet of every slot is
-//! framed, modulated, staggered by the MAC, passed through per-link
-//! channels with per-node oscillator offsets, superposed at each
-//! receiver with AWGN, and decoded through the full Alg.-1 RX chain.
-//! Time is counted in samples on a single global medium clock, so
-//! throughput ratios between schemes are physically meaningful.
+//! The paper's runs, as thin scenario definitions on the engine.
 //!
 //! One [`run_alice_bob`] / [`run_chain`] / [`run_x`] call = one "run"
 //! in the paper's sense (§11.4: 1000 packets per direction, repeated
-//! 40 times over fresh channel realizations).
+//! 40 times over fresh channel realizations). Each used to be a
+//! ~300-line hand-scheduled function; now each is a
+//! [`crate::scenario::ScenarioSpec`] compiled and executed by
+//! [`crate::engine::Engine`], and the golden-metric suite pins that
+//! the seeded metrics are unchanged to the bit. [`run_spec`] runs any
+//! other scenario the same way.
 
+use crate::engine::Engine;
 use crate::metrics::RunMetrics;
-use crate::topology::{nodes, ChannelDraw, Topology, TopologyKind};
-use anc_channel::{AmplifyForward, Medium, Transmission};
-use anc_dsp::{Cplx, DspRng};
-use anc_frame::{Frame, Header, NodeId};
-use anc_modem::ber::ber;
-use anc_netcode::{CopeCoder, Scheme};
-use anc_node::phy::RxEvent;
-use anc_node::{MacConfig, Node, NodeConfig, NodeRole};
+use crate::scenario::{ScenarioError, ScenarioSpec};
+use crate::topology::{ChannelDraw, TopologyKind};
+use anc_frame::NodeId;
+use anc_netcode::Scheme;
+use anc_node::MacConfig;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Parameters of one run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -40,7 +35,7 @@ pub struct RunConfig {
     /// range).
     pub noise_power: f64,
     /// Channel gain draw ranges.
-    pub channel: ChannelDrawConfig,
+    pub channel: ChannelDraw,
     /// MAC staggering parameters (§7.2/§7.6).
     pub mac: MacConfig,
     /// Maximum per-node oscillator offset (rad/sample); each node
@@ -65,38 +60,6 @@ pub struct RunConfig {
     pub tx_amplitude_overrides: Vec<(NodeId, f64)>,
 }
 
-/// Serde-friendly mirror of [`ChannelDraw`].
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
-pub struct ChannelDrawConfig {
-    /// Main link gain range.
-    pub gain: (f64, f64),
-    /// Overhearing link gain range ("X" topology).
-    pub overhear_gain: (f64, f64),
-    /// Weak cross-interference gain range ("X" topology).
-    pub weak_gain: (f64, f64),
-}
-
-impl Default for ChannelDrawConfig {
-    fn default() -> Self {
-        let d = ChannelDraw::default();
-        ChannelDrawConfig {
-            gain: d.gain,
-            overhear_gain: d.overhear_gain,
-            weak_gain: d.weak_gain,
-        }
-    }
-}
-
-impl From<ChannelDrawConfig> for ChannelDraw {
-    fn from(c: ChannelDrawConfig) -> ChannelDraw {
-        ChannelDraw {
-            gain: c.gain,
-            overhear_gain: c.overhear_gain,
-            weak_gain: c.weak_gain,
-        }
-    }
-}
-
 impl Default for RunConfig {
     fn default() -> Self {
         RunConfig {
@@ -104,7 +67,7 @@ impl Default for RunConfig {
             packets_per_flow: 200,
             payload_bits: 8192,
             noise_power: 1e-3,
-            channel: ChannelDrawConfig::default(),
+            channel: ChannelDraw::default(),
             mac: MacConfig::default(),
             osc_offset_max: 0.03,
             guard_samples: 64,
@@ -136,278 +99,19 @@ pub struct Scenario {
     pub scheme: Scheme,
 }
 
-/// The shared world: nodes, channels, oscillators, noise sources.
-struct World {
-    cfg: RunConfig,
-    topo: Topology,
-    nodes: HashMap<NodeId, Node>,
-    osc: HashMap<NodeId, f64>,
-    tx_amp: HashMap<NodeId, f64>,
-    noise: HashMap<NodeId, DspRng>,
-    carrier_rng: DspRng,
-    payload_rng: DspRng,
-    seq: HashMap<NodeId, u16>,
-}
-
-impl World {
-    fn new(kind: TopologyKind, cfg: &RunConfig) -> World {
-        let mut rng = DspRng::seed_from(cfg.seed);
-        let draw: ChannelDraw = cfg.channel.into();
-        let topo = match kind {
-            TopologyKind::AliceBob => Topology::alice_bob(&mut rng.fork(1), &draw),
-            TopologyKind::Chain => Topology::chain(&mut rng.fork(1), &draw),
-            TopologyKind::X => Topology::x(&mut rng.fork(1), &draw),
-        };
-        let mut nodes = HashMap::new();
-        let mut osc = HashMap::new();
-        let mut noise = HashMap::new();
-        let mut osc_rng = rng.fork(2);
-        for (i, &id) in topo.node_ids.iter().enumerate() {
-            let role = match (kind, id) {
-                (TopologyKind::AliceBob, nodes::ROUTER) => NodeRole::AmplifyRelay,
-                (TopologyKind::X, nodes::ROUTER) => NodeRole::AmplifyRelay,
-                (TopologyKind::Chain, nodes::N2) | (TopologyKind::Chain, nodes::N3) => {
-                    NodeRole::DecodeRelay
-                }
-                _ => NodeRole::Endpoint,
-            };
-            let mut ncfg = NodeConfig::new(id, role);
-            ncfg.mac = cfg.mac;
-            ncfg.decoder.detector.noise_floor = cfg.noise_power;
-            let mut node = Node::new(ncfg, rng.fork(100 + i as u64));
-            match kind {
-                TopologyKind::AliceBob => node.policy.add_relay_pair(nodes::ALICE, nodes::BOB),
-                TopologyKind::X => node
-                    .policy
-                    .add_flow_pair((nodes::X1, nodes::X4), (nodes::X3, nodes::X2)),
-                TopologyKind::Chain => {}
-            }
-            nodes.insert(id, node);
-            osc.insert(
-                id,
-                osc_rng.uniform_range(-cfg.osc_offset_max, cfg.osc_offset_max),
-            );
-            noise.insert(id, rng.fork(200 + i as u64));
-        }
-        let mut tx_amp: HashMap<NodeId, f64> = HashMap::new();
-        for &(id, amp) in &cfg.tx_amplitude_overrides {
-            tx_amp.insert(id, amp);
-        }
-        World {
-            cfg: cfg.clone(),
-            topo,
-            nodes,
-            osc,
-            tx_amp,
-            noise,
-            carrier_rng: rng.fork(3),
-            payload_rng: rng.fork(4),
-            seq: HashMap::new(),
-        }
-    }
-
-    fn make_frame(&mut self, src: NodeId, dst: NodeId) -> Frame {
-        let seq = self.seq.entry(src).or_insert(0);
-        let s = *seq;
-        *seq = seq.wrapping_add(1);
-        let payload = self.payload_rng.bits(self.cfg.payload_bits);
-        Frame::new(Header::new(src, dst, s, 0), payload)
-    }
-
-    /// Frames + buffers + modulates + applies the transmitter's carrier
-    /// phase, oscillator offset, and amplitude.
-    fn transmit(&mut self, id: NodeId, frame: &Frame) -> Vec<Cplx> {
-        let node = self.nodes.get_mut(&id).expect("node exists");
-        let wave = node.transmit_frame(frame);
-        self.apply_tx_front_end(id, wave)
-    }
-
-    /// Relay path: raw samples (not a frame) through the same TX front
-    /// end.
-    fn transmit_samples(&mut self, id: NodeId, samples: &[Cplx]) -> Vec<Cplx> {
-        self.apply_tx_front_end(id, samples.to_vec())
-    }
-
-    fn apply_tx_front_end(&mut self, id: NodeId, mut wave: Vec<Cplx>) -> Vec<Cplx> {
-        let phase0 = self.carrier_rng.phase();
-        let osc = self.osc[&id];
-        let amp = self.tx_amp.get(&id).copied().unwrap_or(1.0);
-        for (k, s) in wave.iter_mut().enumerate() {
-            *s = s.scale(amp).rotate(phase0 + osc * k as f64);
-        }
-        wave
-    }
-
-    /// Builds the reception at `to` from concurrent transmissions
-    /// `(from, waveform, start_offset_samples)`. Senders out of range
-    /// contribute nothing; the window is padded with noise on both
-    /// sides so detectors see a floor.
-    fn receive_at(&mut self, to: NodeId, txs: &[(NodeId, &[Cplx], usize)]) -> Vec<Cplx> {
-        let pad = self.cfg.pad_samples;
-        let mut list = Vec::new();
-        let mut span_end = 0usize;
-        for &(from, wave, off) in txs {
-            span_end = span_end.max(off + wave.len());
-            if from == to {
-                continue; // half-duplex: you cannot hear yourself
-            }
-            if let Some(link) = self.topo.link(from, to) {
-                list.push(Transmission::new(wave.to_vec(), pad + off, *link));
-            }
-        }
-        let duration = pad + span_end + pad;
-        let rng = self.noise.get_mut(&to).expect("noise source").fork(0);
-        Medium::from_rng(self.cfg.noise_power, rng).receive(&list, duration)
-    }
-
-    fn node_receive(&mut self, id: NodeId, rx: &[Cplx]) -> RxEvent {
-        self.nodes.get_mut(&id).expect("node exists").receive(rx)
-    }
-
-    fn try_overhear(&mut self, id: NodeId, rx: &[Cplx]) -> Option<(Frame, bool)> {
-        self.nodes
-            .get_mut(&id)
-            .expect("node exists")
-            .try_overhear(rx)
-    }
-
-    fn draw_delay(&mut self, id: NodeId) -> usize {
-        self.nodes.get_mut(&id).expect("node exists").draw_delay(1)
-    }
-}
-
-fn clean_frame(evt: RxEvent) -> Option<Frame> {
-    match evt {
-        RxEvent::Clean {
-            frame,
-            crc_ok: true,
-        } => Some(frame),
-        _ => None,
-    }
+/// Compiles and runs any scenario spec under one scheme.
+pub fn run_spec(
+    spec: &ScenarioSpec,
+    scheme: Scheme,
+    cfg: &RunConfig,
+) -> Result<RunMetrics, ScenarioError> {
+    let program = spec.compile(scheme)?;
+    Ok(Engine::run(&program, cfg))
 }
 
 /// Runs one scheme on one Alice-Bob realization (Fig. 1, §11.4).
 pub fn run_alice_bob(scheme: Scheme, cfg: &RunConfig) -> RunMetrics {
-    use nodes::{ALICE, BOB, ROUTER};
-    let mut w = World::new(TopologyKind::AliceBob, cfg);
-    let mut m = RunMetrics::new(scheme);
-    let g = cfg.guard_samples as f64;
-    let tau = cfg.turnaround_bits as f64;
-    let mut cope_seq: u16 = 0;
-
-    for _ in 0..cfg.packets_per_flow {
-        let fa = w.make_frame(ALICE, BOB);
-        let fb = w.make_frame(BOB, ALICE);
-        match scheme {
-            Scheme::Anc => {
-                // Slot 1: Alice and Bob transmit simultaneously after
-                // their random trigger delays (§7.6, Fig. 1d).
-                let wa = w.transmit(ALICE, &fa);
-                let wb = w.transmit(BOB, &fb);
-                let da = w.draw_delay(ALICE);
-                let db = w.draw_delay(BOB);
-                let txs = [(ALICE, wa.as_slice(), da), (BOB, wb.as_slice(), db)];
-                let rx_r = w.receive_at(ROUTER, &txs);
-                m.account
-                    .tick(((da + wa.len()).max(db + wb.len())) as f64 + g);
-                // Slot 2: the router amplifies and broadcasts (§7.5).
-                let RxEvent::Relay { start, end, .. } = w.node_receive(ROUTER, &rx_r) else {
-                    // Near-total overlap: neither header readable.
-                    m.account.lose();
-                    m.account.lose();
-                    continue;
-                };
-                let (amp, _) = AmplifyForward::new(1.0).amplify_window(&rx_r, start, end);
-                let relayed = w.transmit_samples(ROUTER, &amp);
-                m.account.tick(relayed.len() as f64 + g + tau);
-                for (me, theirs) in [(ALICE, &fb), (BOB, &fa)] {
-                    let rtx = [(ROUTER, relayed.as_slice(), 0usize)];
-                    let rx = w.receive_at(me, &rtx);
-                    match w.node_receive(me, &rx) {
-                        RxEvent::AncDecoded {
-                            frame, diagnostics, ..
-                        } if frame.header.key() == theirs.header.key() => {
-                            let b = ber(&frame.payload, &theirs.payload);
-                            m.account.deliver(cfg.payload_bits, b);
-                            m.record_ber(me, b);
-                            m.overlaps.push(diagnostics.overlap_fraction);
-                        }
-                        _ => m.account.lose(),
-                    }
-                }
-            }
-            Scheme::Cope => {
-                // Slots 1–2: sequential uplinks (Fig. 1c).
-                let wa = w.transmit(ALICE, &fa);
-                let atx = [(ALICE, wa.as_slice(), 0usize)];
-                let rx = w.receive_at(ROUTER, &atx);
-                m.account.tick(wa.len() as f64 + g + tau);
-                let got_a = clean_frame(w.node_receive(ROUTER, &rx));
-                let wb = w.transmit(BOB, &fb);
-                let btx = [(BOB, wb.as_slice(), 0usize)];
-                let rx = w.receive_at(ROUTER, &btx);
-                m.account.tick(wb.len() as f64 + g + tau);
-                let got_b = clean_frame(w.node_receive(ROUTER, &rx));
-                let (Some(ra), Some(rb)) = (got_a, got_b) else {
-                    m.account.lose();
-                    m.account.lose();
-                    continue;
-                };
-                // Slot 3: XOR broadcast.
-                let coded = CopeCoder.encode(&ra, &rb, ROUTER, cope_seq);
-                cope_seq = cope_seq.wrapping_add(1);
-                let wc = w.transmit(ROUTER, &coded);
-                m.account.tick(wc.len() as f64 + g + tau);
-                for (me, theirs) in [(ALICE, &fb), (BOB, &fa)] {
-                    let ctx = [(ROUTER, wc.as_slice(), 0usize)];
-                    let rx = w.receive_at(me, &ctx);
-                    let decoded = match w.node_receive(me, &rx) {
-                        RxEvent::Clean { frame, .. } if frame.header.is_xor() => {
-                            let node = w.nodes.get(&me).expect("node");
-                            CopeCoder.decode(&frame, &node.buffer).ok()
-                        }
-                        _ => None,
-                    };
-                    match decoded {
-                        Some(dec) if dec.header.key() == theirs.header.key() => {
-                            let b = ber(&dec.payload, &theirs.payload);
-                            m.account.deliver(cfg.payload_bits, b);
-                            m.record_ber(me, b);
-                        }
-                        _ => m.account.lose(),
-                    }
-                }
-            }
-            Scheme::Traditional => {
-                // Four unicast slots (Fig. 1b), optimal MAC.
-                for (src, dst, frame) in [(ALICE, BOB, &fa), (BOB, ALICE, &fb)] {
-                    let ws = w.transmit(src, frame);
-                    let stx = [(src, ws.as_slice(), 0usize)];
-                    let rx = w.receive_at(ROUTER, &stx);
-                    m.account.tick(ws.len() as f64 + g + tau);
-                    let Some(hop) = clean_frame(w.node_receive(ROUTER, &rx)) else {
-                        m.account.lose();
-                        continue;
-                    };
-                    let wr = w.transmit(ROUTER, &hop);
-                    let rtx = [(ROUTER, wr.as_slice(), 0usize)];
-                    let rx = w.receive_at(dst, &rtx);
-                    m.account.tick(wr.len() as f64 + g + tau);
-                    match w.node_receive(dst, &rx) {
-                        RxEvent::Clean { frame: got, .. }
-                            if got.header.key() == frame.header.key() =>
-                        {
-                            let b = ber(&got.payload, &frame.payload);
-                            m.account.deliver(cfg.payload_bits, b);
-                            m.record_ber(dst, b);
-                        }
-                        _ => m.account.lose(),
-                    }
-                }
-            }
-        }
-    }
-    m
+    run_spec(&ScenarioSpec::alice_bob(), scheme, cfg).expect("canonical Alice-Bob compiles")
 }
 
 /// Runs one scheme on one chain realization (Fig. 2, §11.6).
@@ -416,286 +120,16 @@ pub fn run_alice_bob(scheme: Scheme, cfg: &RunConfig) -> RunMetrics {
 /// Panics for [`Scheme::Cope`], which does not apply to unidirectional
 /// flows.
 pub fn run_chain(scheme: Scheme, cfg: &RunConfig) -> RunMetrics {
-    use nodes::{N1, N2, N3, N4};
     assert!(
         scheme != Scheme::Cope,
         "COPE does not apply to the unidirectional chain (§11.6)"
     );
-    let mut w = World::new(TopologyKind::Chain, cfg);
-    let mut m = RunMetrics::new(scheme);
-    let g = cfg.guard_samples as f64;
-    let tau = cfg.turnaround_bits as f64;
-
-    // Source frames, indexed by seq.
-    let sources: Vec<Frame> = (0..cfg.packets_per_flow)
-        .map(|_| w.make_frame(N1, N4))
-        .collect();
-
-    match scheme {
-        Scheme::Traditional => {
-            for f in &sources {
-                // N1 → N2 → N3 → N4, one slot each (Fig. 2b).
-                let mut carried = f.clone();
-                let mut alive = true;
-                for (src, dst) in [(N1, N2), (N2, N3), (N3, N4)] {
-                    if !alive {
-                        break;
-                    }
-                    let ws = w.transmit(src, &carried);
-                    let stx = [(src, ws.as_slice(), 0usize)];
-                    let rx = w.receive_at(dst, &stx);
-                    m.account.tick(ws.len() as f64 + g + tau);
-                    match clean_frame(w.node_receive(dst, &rx)) {
-                        Some(got) => carried = got,
-                        None => alive = false,
-                    }
-                }
-                if alive {
-                    let b = ber(&carried.payload, &f.payload);
-                    m.account.deliver(cfg.payload_bits, b);
-                    m.record_ber(N4, b);
-                } else {
-                    m.account.lose();
-                }
-            }
-        }
-        Scheme::Anc => {
-            // Pipeline (Fig. 2c). `at_n2` is the frame N2 holds, ready
-            // to forward; N2 obtained it by decoding N1's transmission
-            // (possibly through interference).
-            let mut at_n2: Option<Frame> = None;
-            let mut next = 0usize;
-            while next < sources.len() || at_n2.is_some() {
-                // Slot A: N2 forwards to N3 (clean hop).
-                let mut at_n3: Option<Frame> = None;
-                if let Some(f2) = at_n2.take() {
-                    let w2 = w.transmit(N2, &f2);
-                    let t2x = [(N2, w2.as_slice(), 0usize)];
-                    let rx3 = w.receive_at(N3, &t2x);
-                    m.account.tick(w2.len() as f64 + g + tau);
-                    at_n3 = clean_frame(w.node_receive(N3, &rx3));
-                    if at_n3.is_none() {
-                        m.account.lose();
-                    }
-                }
-                // Slot B: N1 (next packet) and N3 (forwarding) transmit
-                // together, triggered by N2 (§7.6).
-                let f1 = if next < sources.len() {
-                    Some(sources[next].clone())
-                } else {
-                    None
-                };
-                let mut txs: Vec<(NodeId, Vec<Cplx>, usize)> = Vec::new();
-                if let Some(f) = &f1 {
-                    let wv = w.transmit(N1, f);
-                    let d = w.draw_delay(N1);
-                    txs.push((N1, wv, d));
-                }
-                if let Some(f) = &at_n3 {
-                    let wv = w.transmit(N3, f);
-                    let d = w.draw_delay(N3);
-                    txs.push((N3, wv, d));
-                }
-                if txs.is_empty() {
-                    break;
-                }
-                let borrowed: Vec<(NodeId, &[Cplx], usize)> = txs
-                    .iter()
-                    .map(|(id, wv, d)| (*id, wv.as_slice(), *d))
-                    .collect();
-                let slot = txs.iter().map(|(_, wv, d)| d + wv.len()).max().unwrap_or(0) as f64 + g;
-                // N2 hears N1 (+ N3's known interference).
-                if let Some(truth) = &f1 {
-                    let rx2 = w.receive_at(N2, &borrowed);
-                    match w.node_receive(N2, &rx2) {
-                        RxEvent::Clean {
-                            frame,
-                            crc_ok: true,
-                        } if frame.header.key() == truth.header.key() => {
-                            at_n2 = Some(frame);
-                        }
-                        RxEvent::AncDecoded {
-                            frame, diagnostics, ..
-                        } if frame.header.key() == truth.header.key() => {
-                            // Fig. 12b's metric: BER at N2.
-                            let b = ber(&frame.payload, &truth.payload);
-                            m.record_ber(N2, b);
-                            m.overlaps.push(diagnostics.overlap_fraction);
-                            at_n2 = Some(frame);
-                        }
-                        _ => {
-                            m.account.lose();
-                        }
-                    }
-                    next += 1;
-                }
-                // N4 hears only N3 (N1 out of range): delivery.
-                if at_n3.is_some() {
-                    let rx4 = w.receive_at(N4, &borrowed);
-                    match w.node_receive(N4, &rx4) {
-                        RxEvent::Clean { frame, .. } => {
-                            let truth = sources
-                                .iter()
-                                .find(|s| s.header.key() == frame.header.key());
-                            match truth {
-                                Some(t) => {
-                                    let b = ber(&frame.payload, &t.payload);
-                                    m.account.deliver(cfg.payload_bits, b);
-                                }
-                                None => m.account.lose(),
-                            }
-                        }
-                        _ => m.account.lose(),
-                    }
-                }
-                m.account.tick(slot);
-            }
-        }
-        Scheme::Cope => unreachable!(),
-    }
-    m
+    run_spec(&ScenarioSpec::chain(), scheme, cfg).expect("canonical chain compiles")
 }
 
 /// Runs one scheme on one "X" realization (Fig. 11, §11.5).
 pub fn run_x(scheme: Scheme, cfg: &RunConfig) -> RunMetrics {
-    use nodes::{ROUTER, X1, X2, X3, X4};
-    let mut w = World::new(TopologyKind::X, cfg);
-    let mut m = RunMetrics::new(scheme);
-    let g = cfg.guard_samples as f64;
-    let tau = cfg.turnaround_bits as f64;
-    let mut cope_seq: u16 = 0;
-
-    for _ in 0..cfg.packets_per_flow {
-        let f1 = w.make_frame(X1, X4);
-        let f3 = w.make_frame(X3, X2);
-        match scheme {
-            Scheme::Anc => {
-                // Slot 1: X1 and X3 transmit simultaneously; X2/X4
-                // overhear (imperfectly — the far sender leaks in).
-                let w1 = w.transmit(X1, &f1);
-                let w3 = w.transmit(X3, &f3);
-                let d1 = w.draw_delay(X1);
-                let d3 = w.draw_delay(X3);
-                let txs = [(X1, w1.as_slice(), d1), (X3, w3.as_slice(), d3)];
-                let rx5 = w.receive_at(ROUTER, &txs);
-                let rx2 = w.receive_at(X2, &txs);
-                let rx4 = w.receive_at(X4, &txs);
-                m.account
-                    .tick(((d1 + w1.len()).max(d3 + w3.len())) as f64 + g);
-                let heard2 = w.try_overhear(X2, &rx2).is_some();
-                let heard4 = w.try_overhear(X4, &rx4).is_some();
-                // Slot 2: router amplifies and broadcasts.
-                let RxEvent::Relay { start, end, .. } = w.node_receive(ROUTER, &rx5) else {
-                    m.account.lose();
-                    m.account.lose();
-                    continue;
-                };
-                let (amp, _) = AmplifyForward::new(1.0).amplify_window(&rx5, start, end);
-                let relayed = w.transmit_samples(ROUTER, &amp);
-                m.account.tick(relayed.len() as f64 + g + tau);
-                for (me, heard, theirs) in [(X2, heard2, &f3), (X4, heard4, &f1)] {
-                    if !heard {
-                        // §11.5: "When a packet is not overheard, the
-                        // corresponding interfered signal cannot be
-                        // decoded either."
-                        m.account.lose();
-                        continue;
-                    }
-                    let rtx = [(ROUTER, relayed.as_slice(), 0usize)];
-                    let rx = w.receive_at(me, &rtx);
-                    match w.node_receive(me, &rx) {
-                        RxEvent::AncDecoded {
-                            frame, diagnostics, ..
-                        } if frame.header.key() == theirs.header.key() => {
-                            let b = ber(&frame.payload, &theirs.payload);
-                            m.account.deliver(cfg.payload_bits, b);
-                            m.record_ber(me, b);
-                            m.overlaps.push(diagnostics.overlap_fraction);
-                        }
-                        _ => m.account.lose(),
-                    }
-                }
-            }
-            Scheme::Cope => {
-                // Slot 1: X1 → router; X2 overhears cleanly.
-                let w1 = w.transmit(X1, &f1);
-                let t1 = [(X1, w1.as_slice(), 0usize)];
-                let rx5 = w.receive_at(ROUTER, &t1);
-                let rx2 = w.receive_at(X2, &t1);
-                m.account.tick(w1.len() as f64 + g + tau);
-                let got1 = clean_frame(w.node_receive(ROUTER, &rx5));
-                let heard2 = w.try_overhear(X2, &rx2).is_some();
-                // Slot 2: X3 → router; X4 overhears.
-                let w3 = w.transmit(X3, &f3);
-                let t3 = [(X3, w3.as_slice(), 0usize)];
-                let rx5 = w.receive_at(ROUTER, &t3);
-                let rx4 = w.receive_at(X4, &t3);
-                m.account.tick(w3.len() as f64 + g + tau);
-                let got3 = clean_frame(w.node_receive(ROUTER, &rx5));
-                let heard4 = w.try_overhear(X4, &rx4).is_some();
-                let (Some(r1), Some(r3)) = (got1, got3) else {
-                    m.account.lose();
-                    m.account.lose();
-                    continue;
-                };
-                // Slot 3: XOR broadcast.
-                let coded = CopeCoder.encode(&r1, &r3, ROUTER, cope_seq);
-                cope_seq = cope_seq.wrapping_add(1);
-                let wc = w.transmit(ROUTER, &coded);
-                m.account.tick(wc.len() as f64 + g + tau);
-                for (me, heard, theirs) in [(X2, heard2, &f3), (X4, heard4, &f1)] {
-                    if !heard {
-                        m.account.lose();
-                        continue;
-                    }
-                    let ctx = [(ROUTER, wc.as_slice(), 0usize)];
-                    let rx = w.receive_at(me, &ctx);
-                    let decoded = match w.node_receive(me, &rx) {
-                        RxEvent::Clean { frame, .. } if frame.header.is_xor() => {
-                            let node = w.nodes.get(&me).expect("node");
-                            CopeCoder.decode(&frame, &node.buffer).ok()
-                        }
-                        _ => None,
-                    };
-                    match decoded {
-                        Some(dec) if dec.header.key() == theirs.header.key() => {
-                            let b = ber(&dec.payload, &theirs.payload);
-                            m.account.deliver(cfg.payload_bits, b);
-                            m.record_ber(me, b);
-                        }
-                        _ => m.account.lose(),
-                    }
-                }
-            }
-            Scheme::Traditional => {
-                for (src, dst, frame) in [(X1, X4, &f1), (X3, X2, &f3)] {
-                    let ws = w.transmit(src, frame);
-                    let stx = [(src, ws.as_slice(), 0usize)];
-                    let rx = w.receive_at(ROUTER, &stx);
-                    m.account.tick(ws.len() as f64 + g + tau);
-                    let Some(hop) = clean_frame(w.node_receive(ROUTER, &rx)) else {
-                        m.account.lose();
-                        continue;
-                    };
-                    let wr = w.transmit(ROUTER, &hop);
-                    let rtx = [(ROUTER, wr.as_slice(), 0usize)];
-                    let rx = w.receive_at(dst, &rtx);
-                    m.account.tick(wr.len() as f64 + g + tau);
-                    match w.node_receive(dst, &rx) {
-                        RxEvent::Clean { frame: got, .. }
-                            if got.header.key() == frame.header.key() =>
-                        {
-                            let b = ber(&got.payload, &frame.payload);
-                            m.account.deliver(cfg.payload_bits, b);
-                            m.packet_bers.push(b);
-                        }
-                        _ => m.account.lose(),
-                    }
-                }
-            }
-        }
-    }
-    m
+    run_spec(&ScenarioSpec::x(), scheme, cfg).expect("canonical X compiles")
 }
 
 /// Dispatch helper: run `scenario` with the given config.
@@ -836,5 +270,11 @@ mod tests {
             &cfg,
         );
         assert!(m.account.delivered > 0);
+    }
+
+    #[test]
+    fn run_spec_surfaces_compile_errors() {
+        let r = run_spec(&ScenarioSpec::chain(), Scheme::Cope, &RunConfig::quick(12));
+        assert!(r.is_err());
     }
 }

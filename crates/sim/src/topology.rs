@@ -1,5 +1,14 @@
-//! The paper's three canonical topologies (§11), with per-run channel
-//! realizations.
+//! Topology graphs and their per-run channel realizations.
+//!
+//! A [`TopologyGraph`] is the *declarative* description of a network:
+//! node ids plus directed/symmetric links, each tagged with a
+//! [`LinkClass`] naming the gain regime it draws from. Realizing a
+//! graph ([`TopologyGraph::realize`]) rolls the per-run channel dice —
+//! one gain and independent phases per link — producing a [`Topology`]
+//! the engine runs against, so 40 runs sample 40 channel realizations
+//! exactly as the testbed's 40 repetitions did (§11.4).
+//!
+//! The paper's three §11 testbeds are canonical graphs:
 //!
 //! * **Alice-Bob** (Fig. 1): two endpoints out of each other's radio
 //!   range, one router between them.
@@ -11,18 +20,19 @@
 //!   the imperfect-overhearing effect §11.5 blames for the X
 //!   topology's higher BER tail.
 //!
-//! Every directed link carries a gain drawn per run (so 40 runs sample
-//! 40 channel realizations, as the testbed's 40 repetitions did) and a
-//! random phase.
+//! [`TopologyGraph::parking_lot`] generalizes the chain to any relay
+//! count, and the scenario layer builds asymmetric-X and random-mesh
+//! graphs on the same primitives.
 
 use anc_channel::Link;
 use anc_dsp::DspRng;
 use anc_frame::NodeId;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 pub use anc_netcode::schedule::nodes;
 
-/// Which canonical topology.
+/// Which canonical paper topology (the §11 testbeds).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TopologyKind {
     /// Fig. 1: Alice ↔ router ↔ Bob.
@@ -44,8 +54,10 @@ pub struct LinkSpec {
     pub link: Link,
 }
 
-/// Channel-draw parameters.
-#[derive(Debug, Clone, Copy)]
+/// Channel-draw parameters: the gain regimes links draw from, uniform
+/// per run. One serializable type shared by run configs, graphs, and
+/// experiment sweeps.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct ChannelDraw {
     /// Main-link amplitude gain range (uniform draw).
     pub gain: (f64, f64),
@@ -65,11 +77,245 @@ impl Default for ChannelDraw {
     }
 }
 
-/// A realized topology: nodes plus the directed link table.
+/// Which gain regime a graph link draws from at realization time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LinkClass {
+    /// A main traffic link ([`ChannelDraw::gain`]).
+    Main,
+    /// An overhearing side link ([`ChannelDraw::overhear_gain`]).
+    Overhear,
+    /// Weak cross-interference ([`ChannelDraw::weak_gain`]).
+    Weak,
+    /// An explicit gain range, independent of the run's `ChannelDraw`
+    /// (distance-derived mesh links, asymmetric-X overrides).
+    Custom {
+        /// Lower gain bound.
+        lo: f64,
+        /// Upper gain bound.
+        hi: f64,
+    },
+}
+
+impl LinkClass {
+    /// The gain range this class draws from under `draw`.
+    pub fn range(&self, draw: &ChannelDraw) -> (f64, f64) {
+        match self {
+            LinkClass::Main => draw.gain,
+            LinkClass::Overhear => draw.overhear_gain,
+            LinkClass::Weak => draw.weak_gain,
+            LinkClass::Custom { lo, hi } => (*lo, *hi),
+        }
+    }
+}
+
+// The vendored serde shim derives only plain structs, so the enum is
+// lowered by hand: a tag string plus the custom bounds when present.
+impl Serialize for LinkClass {
+    fn to_value(&self) -> serde::Value {
+        let mut obj = std::collections::BTreeMap::new();
+        let tag = match self {
+            LinkClass::Main => "main",
+            LinkClass::Overhear => "overhear",
+            LinkClass::Weak => "weak",
+            LinkClass::Custom { lo, hi } => {
+                obj.insert("lo".to_string(), serde::Value::Number(*lo));
+                obj.insert("hi".to_string(), serde::Value::Number(*hi));
+                "custom"
+            }
+        };
+        obj.insert("class".to_string(), serde::Value::String(tag.to_string()));
+        serde::Value::Object(obj)
+    }
+}
+
+impl Deserialize for LinkClass {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let serde::Value::Object(obj) = v else {
+            return Err(serde::Error::type_mismatch("object", v));
+        };
+        let tag = match obj.get("class") {
+            Some(serde::Value::String(s)) => s.as_str(),
+            _ => return Err(serde::Error::missing_field("class")),
+        };
+        let num = |key: &str| -> Result<f64, serde::Error> {
+            match obj.get(key) {
+                Some(serde::Value::Number(n)) => Ok(*n),
+                _ => Err(serde::Error::missing_field(key)),
+            }
+        };
+        match tag {
+            "main" => Ok(LinkClass::Main),
+            "overhear" => Ok(LinkClass::Overhear),
+            "weak" => Ok(LinkClass::Weak),
+            "custom" => Ok(LinkClass::Custom {
+                lo: num("lo")?,
+                hi: num("hi")?,
+            }),
+            other => Err(serde::Error::custom(format!("unknown link class {other}"))),
+        }
+    }
+}
+
+/// One declarative link of a [`TopologyGraph`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct GraphLink {
+    /// Transmitting node (or one end, when symmetric).
+    pub from: NodeId,
+    /// Receiving node (or the other end).
+    pub to: NodeId,
+    /// Gain regime drawn at realization time.
+    pub class: LinkClass,
+    /// Symmetric links share one gain draw both ways (reciprocal
+    /// attenuation, independent phases — a line-of-sight model);
+    /// directed links exist one way only.
+    pub symmetric: bool,
+}
+
+impl GraphLink {
+    /// A symmetric (reciprocal-gain) link.
+    pub fn sym(a: NodeId, b: NodeId, class: LinkClass) -> GraphLink {
+        GraphLink {
+            from: a,
+            to: b,
+            class,
+            symmetric: true,
+        }
+    }
+
+    /// A one-way link.
+    pub fn dir(from: NodeId, to: NodeId, class: LinkClass) -> GraphLink {
+        GraphLink {
+            from,
+            to,
+            class,
+            symmetric: false,
+        }
+    }
+}
+
+/// A declarative topology: N nodes and an arbitrary directed link
+/// matrix, realized into per-run channels by [`Self::realize`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TopologyGraph {
+    /// Human-readable topology name (reports, artifacts).
+    pub name: String,
+    /// All node ids, in a stable order. This order pins the engine's
+    /// per-node RNG stream assignment, so it is part of a scenario's
+    /// seeded identity.
+    pub node_ids: Vec<NodeId>,
+    /// The declarative link set, realized in listed order (also part
+    /// of the seeded identity: each link consumes gain/phase draws).
+    pub links: Vec<GraphLink>,
+}
+
+impl TopologyGraph {
+    /// Draws one channel realization of this graph.
+    pub fn realize(&self, rng: &mut DspRng, draw: &ChannelDraw) -> Topology {
+        let mut t = Topology {
+            name: self.name.clone(),
+            node_ids: self.node_ids.clone(),
+            links: HashMap::new(),
+        };
+        for l in &self.links {
+            let range = l.class.range(draw);
+            if l.symmetric {
+                t.add_sym(l.from, l.to, rng, range);
+            } else {
+                t.add_dir(l.from, l.to, rng, range);
+            }
+        }
+        t
+    }
+
+    /// `true` when a (directed) link is declared from `from` to `to`.
+    pub fn connects(&self, from: NodeId, to: NodeId) -> bool {
+        self.links.iter().any(|l| {
+            (l.from == from && l.to == to) || (l.symmetric && l.from == to && l.to == from)
+        })
+    }
+
+    /// The Fig.-1 Alice-Bob graph.
+    pub fn alice_bob() -> TopologyGraph {
+        use nodes::{ALICE, BOB, ROUTER};
+        TopologyGraph {
+            name: "alice_bob".to_string(),
+            node_ids: vec![ALICE, BOB, ROUTER],
+            links: vec![
+                GraphLink::sym(ALICE, ROUTER, LinkClass::Main),
+                GraphLink::sym(BOB, ROUTER, LinkClass::Main),
+                // No Alice↔Bob link: out of range by construction.
+            ],
+        }
+    }
+
+    /// The Fig.-2 chain graph.
+    pub fn chain() -> TopologyGraph {
+        use nodes::{N1, N2, N3, N4};
+        TopologyGraph {
+            name: "chain".to_string(),
+            node_ids: vec![N1, N2, N3, N4],
+            links: vec![
+                GraphLink::sym(N1, N2, LinkClass::Main),
+                GraphLink::sym(N2, N3, LinkClass::Main),
+                GraphLink::sym(N3, N4, LinkClass::Main),
+                // Non-adjacent nodes are out of range (no links) — in
+                // particular N1 ↛ N4 (the paper's premise for Fig. 2).
+            ],
+        }
+    }
+
+    /// The Fig.-11 "X" graph.
+    pub fn x() -> TopologyGraph {
+        use nodes::{ROUTER, X1, X2, X3, X4};
+        let mut links: Vec<GraphLink> = [X1, X2, X3, X4]
+            .iter()
+            .map(|&n| GraphLink::sym(n, ROUTER, LinkClass::Main))
+            .collect();
+        // Overhearing side links (§11.5): N2 hears N1, N4 hears N3.
+        links.push(GraphLink::dir(X1, X2, LinkClass::Overhear));
+        links.push(GraphLink::dir(X3, X4, LinkClass::Overhear));
+        // Weak cross-interference: the far sender is faintly audible,
+        // which is what makes overhearing imperfect.
+        links.push(GraphLink::dir(X3, X2, LinkClass::Weak));
+        links.push(GraphLink::dir(X1, X4, LinkClass::Weak));
+        TopologyGraph {
+            name: "x".to_string(),
+            node_ids: vec![X1, X2, X3, X4, ROUTER],
+            links,
+        }
+    }
+
+    /// A parking-lot chain with `relays` intermediate nodes (the Fig.-2
+    /// chain generalized to any length): source, `relays` relays, then
+    /// the destination, adjacent nodes linked symmetrically. Node ids
+    /// follow the chain block (`nodes::N1` onward), so `relays = 2` is
+    /// exactly the paper chain.
+    ///
+    /// # Panics
+    /// Panics if `relays == 0` (that is a single hop, not a chain) or
+    /// if the id block would overflow `u8`.
+    pub fn parking_lot(relays: usize) -> TopologyGraph {
+        assert!(relays >= 1, "a parking lot needs at least one relay");
+        let first = nodes::N1 as usize;
+        assert!(first + relays < u8::MAX as usize, "id block overflow");
+        let ids: Vec<NodeId> = (0..relays + 2).map(|i| (first + i) as NodeId).collect();
+        TopologyGraph {
+            name: format!("parking_lot_{relays}"),
+            node_ids: ids.clone(),
+            links: ids
+                .windows(2)
+                .map(|w| GraphLink::sym(w[0], w[1], LinkClass::Main))
+                .collect(),
+        }
+    }
+}
+
+/// A realized topology: nodes plus the directed link table with drawn
+/// gains and phases.
 #[derive(Debug, Clone)]
 pub struct Topology {
-    /// Which canonical shape this is.
-    pub kind: TopologyKind,
+    /// Name of the graph this realization came from.
+    pub name: String,
     /// All node ids, in a stable order.
     pub node_ids: Vec<NodeId>,
     links: HashMap<(NodeId, NodeId), Link>,
@@ -91,53 +337,17 @@ impl Topology {
 
     /// Draws an Alice-Bob topology (Fig. 1).
     pub fn alice_bob(rng: &mut DspRng, draw: &ChannelDraw) -> Topology {
-        use nodes::{ALICE, BOB, ROUTER};
-        let mut t = Topology {
-            kind: TopologyKind::AliceBob,
-            node_ids: vec![ALICE, BOB, ROUTER],
-            links: HashMap::new(),
-        };
-        t.add_sym(ALICE, ROUTER, rng, draw.gain);
-        t.add_sym(BOB, ROUTER, rng, draw.gain);
-        // No Alice↔Bob link: out of range by construction.
-        t
+        TopologyGraph::alice_bob().realize(rng, draw)
     }
 
     /// Draws a chain topology (Fig. 2).
     pub fn chain(rng: &mut DspRng, draw: &ChannelDraw) -> Topology {
-        use nodes::{N1, N2, N3, N4};
-        let mut t = Topology {
-            kind: TopologyKind::Chain,
-            node_ids: vec![N1, N2, N3, N4],
-            links: HashMap::new(),
-        };
-        t.add_sym(N1, N2, rng, draw.gain);
-        t.add_sym(N2, N3, rng, draw.gain);
-        t.add_sym(N3, N4, rng, draw.gain);
-        // Non-adjacent nodes are out of range (no links) — in
-        // particular N1 ↛ N4 (the paper's premise for Fig. 2).
-        t
+        TopologyGraph::chain().realize(rng, draw)
     }
 
     /// Draws an "X" topology (Fig. 11).
     pub fn x(rng: &mut DspRng, draw: &ChannelDraw) -> Topology {
-        use nodes::{ROUTER, X1, X2, X3, X4};
-        let mut t = Topology {
-            kind: TopologyKind::X,
-            node_ids: vec![X1, X2, X3, X4, ROUTER],
-            links: HashMap::new(),
-        };
-        for n in [X1, X2, X3, X4] {
-            t.add_sym(n, ROUTER, rng, draw.gain);
-        }
-        // Overhearing side links (§11.5): N2 hears N1, N4 hears N3.
-        t.add_dir(X1, X2, rng, draw.overhear_gain);
-        t.add_dir(X3, X4, rng, draw.overhear_gain);
-        // Weak cross-interference: the far sender is faintly audible,
-        // which is what makes overhearing imperfect.
-        t.add_dir(X3, X2, rng, draw.weak_gain);
-        t.add_dir(X1, X4, rng, draw.weak_gain);
-        t
+        TopologyGraph::x().realize(rng, draw)
     }
 
     /// The link from `from` to `to`, if the nodes are in range.
@@ -243,5 +453,65 @@ mod tests {
     fn links_iterator_counts() {
         let t = Topology::chain(&mut rng(), &ChannelDraw::default());
         assert_eq!(t.links().count(), 6); // 3 symmetric pairs
+    }
+
+    #[test]
+    fn parking_lot_two_relays_is_the_paper_chain() {
+        let g = TopologyGraph::parking_lot(2);
+        assert_eq!(g.node_ids, vec![N1, N2, N3, N4]);
+        let d = ChannelDraw::default();
+        // Identical graph → identical realization from the same seed.
+        let a = g.realize(&mut DspRng::seed_from(9), &d);
+        let b = TopologyGraph::chain().realize(&mut DspRng::seed_from(9), &d);
+        assert_eq!(a.link(N1, N2).unwrap().gain, b.link(N1, N2).unwrap().gain);
+    }
+
+    #[test]
+    fn parking_lot_scales() {
+        let g = TopologyGraph::parking_lot(5);
+        assert_eq!(g.node_ids.len(), 7);
+        let t = g.realize(&mut rng(), &ChannelDraw::default());
+        // Adjacent in range, two-apart out of range.
+        for w in g.node_ids.windows(2) {
+            assert!(t.connected(w[0], w[1]));
+            assert!(t.connected(w[1], w[0]));
+        }
+        for w in g.node_ids.windows(3) {
+            assert!(!t.connected(w[0], w[2]));
+        }
+    }
+
+    #[test]
+    fn graph_connects_respects_direction() {
+        let g = TopologyGraph::x();
+        assert!(g.connects(X1, X2));
+        assert!(!g.connects(X2, X1), "overhearing is one-way");
+        assert!(g.connects(ROUTER, X3), "symmetric works both ways");
+    }
+
+    #[test]
+    fn link_class_serde_roundtrip() {
+        use serde::{Deserialize as _, Serialize as _};
+        for class in [
+            LinkClass::Main,
+            LinkClass::Overhear,
+            LinkClass::Weak,
+            LinkClass::Custom { lo: 0.2, hi: 0.4 },
+        ] {
+            let v = class.to_value();
+            let back = LinkClass::from_value(&v).unwrap();
+            assert_eq!(back, class);
+        }
+    }
+
+    #[test]
+    fn graph_serde_roundtrip() {
+        let g = TopologyGraph::x();
+        let json = serde_json::to_string(&g).unwrap();
+        let back: TopologyGraph = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.name, g.name);
+        assert_eq!(back.node_ids, g.node_ids);
+        assert_eq!(back.links.len(), g.links.len());
+        assert!(back.connects(X1, X2));
     }
 }

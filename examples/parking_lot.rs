@@ -1,0 +1,46 @@
+//! The parking-lot chain: the Fig.-2 pipeline generalized to any
+//! length. Store-and-forward pays one slot per hop, so its throughput
+//! decays as `1/hops`; the pipelined ANC schedule keeps every other
+//! node transmitting each slot — each collision lands on a relay that
+//! already knows one of the two packets — and stays at ~2 slots per
+//! packet no matter how long the chain grows.
+//!
+//! ```text
+//! cargo run --release --example parking_lot
+//! ```
+
+use anc::prelude::*;
+
+fn main() {
+    run(16, 4096);
+}
+
+/// Runs the hop-count sweep; the examples smoke test calls this with
+/// tiny packet counts.
+pub fn run(packets_per_flow: usize, payload_bits: usize) {
+    let base = RunConfig {
+        seed: 17,
+        packets_per_flow,
+        payload_bits,
+        ..Default::default()
+    };
+    println!("relays  hops  traditional  anc      gain");
+    for relays in [1usize, 2, 4, 6] {
+        let spec = ScenarioSpec::parking_lot(relays);
+        let trad = run_spec(&spec, Scheme::Traditional, &base).expect("compiles");
+        let anc = run_spec(&spec, Scheme::Anc, &base).expect("compiles");
+        let gain = anc.account.throughput() / trad.account.throughput();
+        println!(
+            "{relays:>6}  {hops:>4}  {t:>11.4}  {a:>7.4}  {gain:.2}x",
+            hops = relays + 1,
+            t = trad.account.throughput(),
+            a = anc.account.throughput(),
+        );
+    }
+    println!();
+    println!(
+        "The gain approaches hops/2 as the chain grows (minus pipeline \
+         fill/drain and stagger overhead) — scenario diversity the \
+         paper's fixed 3-hop testbed could not measure."
+    );
+}

@@ -17,7 +17,7 @@
 //! | [`core`] | `anc-core` | **the ANC decoder** (§6–§7, Alg. 1) |
 //! | [`node`] | `anc-node` | Fig.-8 TX/RX chains, trigger MAC, node state |
 //! | [`netcode`] | `anc-netcode` | traditional-routing + COPE baselines |
-//! | [`sim`] | `anc-sim` | the software testbed: topologies, runs, metrics |
+//! | [`sim`] | `anc-sim` | the software testbed: scenario graphs, event engine, runs, metrics |
 //! | [`capacity`] | `anc-capacity` | Theorem 8.1 bounds, Fig. 7 |
 //!
 //! ## Quickstart
@@ -81,10 +81,15 @@ pub mod prelude {
     pub use anc_dsp::{wrap_pi, Cdf, Cplx, DspRng, Lfsr};
     pub use anc_frame::{Frame, FrameConfig, Header, PacketKey, SentPacketBuffer};
     pub use anc_modem::{ber, DbpskModem, DqpskModem, Modem, MskConfig, MskModem};
-    pub use anc_netcode::{CopeCoder, Scheme};
+    pub use anc_netcode::{derive_plan, CopeCoder, FlowSpec, Scheme};
     pub use anc_node::phy::{RxChain, RxEvent, TxChain};
-    pub use anc_node::{MacConfig, Node, NodeConfig, NodeRole, TriggerMac};
-    pub use anc_sim::experiments::{alice_bob, chain, sir_sweep, x_topology, ExperimentConfig};
-    pub use anc_sim::runs::{run_alice_bob, run_chain, run_x, RunConfig};
-    pub use anc_sim::topology::{nodes, Topology, TopologyKind};
+    pub use anc_node::{FrontEnd, MacConfig, Node, NodeConfig, NodeRole, TriggerMac};
+    pub use anc_sim::engine::{Engine, Program};
+    pub use anc_sim::experiments::{
+        alice_bob, chain, parking_lot_sweep, random_mesh, sir_sweep, x_topology, ExperimentConfig,
+        ParkingLotSweepConfig,
+    };
+    pub use anc_sim::runs::{run_alice_bob, run_chain, run_spec, run_x, RunConfig};
+    pub use anc_sim::scenario::{MeshConfig, ScenarioSpec};
+    pub use anc_sim::topology::{nodes, Topology, TopologyGraph, TopologyKind};
 }

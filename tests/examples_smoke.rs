@@ -17,6 +17,9 @@ mod capacity_explorer;
 #[path = "../examples/chain_relay.rs"]
 mod chain_relay;
 #[allow(dead_code)]
+#[path = "../examples/parking_lot.rs"]
+mod parking_lot;
+#[allow(dead_code)]
 #[path = "../examples/psk_generality.rs"]
 mod psk_generality;
 #[allow(dead_code)]
@@ -39,6 +42,11 @@ fn capacity_explorer_runs() {
 #[test]
 fn chain_relay_runs_tiny() {
     chain_relay::run(2, 512);
+}
+
+#[test]
+fn parking_lot_runs_tiny() {
+    parking_lot::run(2, 512);
 }
 
 #[test]
