@@ -4,31 +4,132 @@
 //!
 //! ```text
 //! cargo run --release -p anc-bench --bin check_bench_json -- FILE [FILE...]
+//! cargo run --release -p anc-bench --bin check_bench_json -- \
+//!     --against BENCH_decoder_pipeline.json --tolerance 25 FILE [FILE...]
 //! ```
 //!
-//! Exits non-zero on the first invalid file; prints a one-line summary
-//! per valid file.
+//! With `--against BASELINE`, every perf-schema FILE is additionally
+//! compared against the tracked baseline: a gated metric worse than
+//! the baseline by more than `--tolerance` percent (default 25) fails
+//! the run, and so does gating *nothing* (a `--against` invocation
+//! whose FILE list contains no perf report is a misconfiguration, not
+//! a pass). By default only machine-transferable ratio metrics (the
+//! kernel speedups of the `kernels`/`end_to_end` sections — the
+//! wall-clock `sweep` section is excluded as scheduler noise) are
+//! gated; `--gate-absolute` extends the gate to absolute latencies
+//! and rates for same-machine comparisons.
+//!
+//! Exits non-zero on the first invalid file or any regression; prints
+//! a one-line summary per valid file.
 
-use anc_bench::perf::validate_json;
+use anc_bench::perf::{compare_reports, is_perf_report, validate_json};
+
+struct Args {
+    files: Vec<String>,
+    against: Option<String>,
+    tolerance: f64,
+    gate_absolute: bool,
+}
+
+fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
+    let mut out = Args {
+        files: Vec::new(),
+        against: None,
+        tolerance: 25.0,
+        gate_absolute: false,
+    };
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--against" => {
+                out.against = Some(it.next().ok_or("--against needs a baseline path")?);
+            }
+            "--tolerance" => {
+                let v = it.next().ok_or("--tolerance needs a percentage")?;
+                out.tolerance = v.parse::<f64>().map_err(|e| format!("--tolerance: {e}"))?;
+                if !(out.tolerance.is_finite() && out.tolerance >= 0.0) {
+                    return Err(format!("--tolerance must be >= 0, got {v}"));
+                }
+            }
+            "--gate-absolute" => out.gate_absolute = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: check_bench_json [--against BASELINE.json] [--tolerance PCT] \
+                     [--gate-absolute] FILE [FILE...]"
+                        .to_string(),
+                )
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
+            _ => out.files.push(arg),
+        }
+    }
+    if out.files.is_empty() {
+        return Err(
+            "usage: check_bench_json [--against BASELINE.json] [--tolerance PCT] \
+                    [--gate-absolute] FILE [FILE...]"
+                .to_string(),
+        );
+    }
+    Ok(out)
+}
 
 fn main() {
-    let files: Vec<String> = std::env::args().skip(1).collect();
-    if files.is_empty() {
-        eprintln!("usage: check_bench_json FILE [FILE...]");
-        std::process::exit(2);
-    }
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let baseline = args
+        .against
+        .as_ref()
+        .map(|path| match std::fs::read_to_string(path) {
+            Ok(text) if is_perf_report(&text) => (path.clone(), text),
+            Ok(_) => {
+                eprintln!("FAIL {path}: --against baseline is not a perf report");
+                std::process::exit(2);
+            }
+            Err(e) => {
+                eprintln!("FAIL {path}: cannot read baseline: {e}");
+                std::process::exit(2);
+            }
+        });
     let mut failed = false;
-    for path in &files {
-        match std::fs::read_to_string(path)
-            .map_err(|e| e.to_string())
-            .and_then(|t| validate_json(&t))
-        {
+    let mut gated_any = false;
+    for path in &args.files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("FAIL {path}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match validate_json(&text) {
             Ok(summary) => println!("ok {path}: {summary}"),
             Err(e) => {
                 eprintln!("FAIL {path}: {e}");
                 failed = true;
+                continue;
             }
         }
+        if let Some((base_path, base_text)) = &baseline {
+            if is_perf_report(&text) {
+                gated_any = true;
+                match compare_reports(&text, base_text, args.tolerance, args.gate_absolute) {
+                    Ok(summary) => println!("ok {path}: {summary} (baseline {base_path})"),
+                    Err(e) => {
+                        eprintln!("FAIL {path}: {e}");
+                        failed = true;
+                    }
+                }
+            }
+        }
+    }
+    if baseline.is_some() && !gated_any {
+        eprintln!("FAIL: --against was given but no perf-schema candidate was gated");
+        failed = true;
     }
     if failed {
         std::process::exit(1);

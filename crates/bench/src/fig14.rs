@@ -1,0 +1,317 @@
+//! The **Fig.-14-style Monte Carlo BER curves**: BER vs SNR, SIR, and
+//! carrier-frequency offset on *time-varying* channels.
+//!
+//! Where `fig13_sir_sweep` measures one seeded realization per point,
+//! this driver layers the Monte Carlo machinery on top: every point
+//! pools independent trials ([`mod@anc_sim::monte_carlo`]) on channels
+//! with per-packet re-draws, CFO walks, and timing jitter
+//! ([`anc_channel::ImpairmentSpec`]). Three sweeps:
+//!
+//! * **BER vs SNR** across all eight paper topology × scheme combos
+//!   (Alice-Bob/X × {ANC, traditional, COPE}, chain × {ANC,
+//!   traditional}) plus the three post-paper scenarios (parking lot,
+//!   random mesh, asymmetric X) under ANC — the paper's qualitative
+//!   claim that ANC BER degrades *gracefully* while baselines stay
+//!   near zero until the floor collapses;
+//! * **BER vs SIR** at Alice — only Alice's decodes count, like the
+//!   Fig.-13 sweep (Bob simultaneously sits at `−sir_db`, so pooling
+//!   both receivers would symmetrize the curve) — with confidence
+//!   intervals and impairments;
+//! * **BER vs residual CFO** (the §6 time-variation the amplitude
+//!   tracker absorbs).
+//!
+//! The (point × combo) grid fans out over the worker pool with one
+//! worker per grid cell (trials inside a cell run serially), so the
+//! sweep scales with cores; seeds are keyed per cell and results land
+//! in grid order, keeping parallel output bit-identical to serial.
+//!
+//! Points whose trials decode nothing report `NaN` means; the JSON
+//! layer lowers those to `null` (the shim's documented convention), so
+//! artifacts stay schema-valid at the collapse edge of a sweep.
+
+use crate::cli::HarnessArgs;
+use anc_channel::ImpairmentSpec;
+use anc_dsp::db::{db_to_amplitude, db_to_linear};
+use anc_netcode::Scheme;
+use anc_sim::monte_carlo::{monte_carlo, monte_carlo_trials, Ci, MonteCarloConfig};
+use anc_sim::pool::parallel_map_indexed;
+use anc_sim::report::{ExperimentReport, FigureSeries};
+use anc_sim::runs::RunConfig;
+use anc_sim::scenario::MeshConfig;
+use anc_sim::ScenarioSpec;
+
+/// Parameters of the Fig.-14 sweep.
+#[derive(Debug, Clone)]
+pub struct Fig14Config {
+    /// Base seed.
+    pub seed: u64,
+    /// Trials pooled per (point, combo).
+    pub trials: usize,
+    /// Packets per flow per trial.
+    pub packets: usize,
+    /// Payload bits per packet.
+    pub payload_bits: usize,
+    /// Worker threads for the sweep grid (0 = all cores).
+    pub threads: usize,
+    /// SNR points (dB). The §7.1 packet detector gates at ≈ 20 dB
+    /// above the noise floor, so points below ~21 dB probe the
+    /// detection collapse itself.
+    pub snr_db: Vec<f64>,
+    /// SIR points (dB), swept via Bob's transmit amplitude (Eq. 9).
+    pub sir_db: Vec<f64>,
+    /// Residual per-exchange CFO bounds (rad/sample).
+    pub cfo_bounds: Vec<f64>,
+}
+
+impl Fig14Config {
+    /// Derives sweep settings from the shared harness args: `--quick`
+    /// (8 runs × 60 packets) maps to 2 trials × 10 packets per point,
+    /// paper scale (40 × 1000) to 10 trials × 166 packets.
+    pub fn from_args(args: &HarnessArgs) -> Fig14Config {
+        Fig14Config {
+            seed: args.seed,
+            trials: (args.runs / 4).max(2),
+            packets: (args.packets / 6).max(5),
+            payload_bits: args.payload_bits,
+            threads: args.threads,
+            snr_db: vec![22.0, 25.0, 28.0, 31.0],
+            sir_db: vec![-3.0, 0.0, 3.0],
+            cfo_bounds: vec![0.0, 0.02, 0.05],
+        }
+    }
+
+    /// The time-varying channel every sweep point runs on: per-packet
+    /// phase re-draws plus mild CFO and timing jitter (the baseline
+    /// impairment regime; the CFO sweep scales its own bound).
+    fn base_impairments(&self) -> ImpairmentSpec {
+        ImpairmentSpec::phase_redraw()
+            .with_cfo(0.005)
+            .with_jitter(4.0)
+    }
+
+    /// Noise power realizing `snr_db` against the mean received power
+    /// of a main link under `channel.gain` (uniform draw: `E[g²] =
+    /// (a² + ab + b²)/3`).
+    fn noise_for_snr(&self, base: &RunConfig, snr_db: f64) -> f64 {
+        let (a, b) = base.channel.gain;
+        let mean_rx_power = (a * a + a * b + b * b) / 3.0;
+        mean_rx_power / db_to_linear(snr_db)
+    }
+
+    /// Per-cell Monte Carlo config. Trials run serially (`threads: 1`)
+    /// because the sweep parallelizes across grid cells instead —
+    /// many independent cells beat nested pools fighting over cores.
+    fn mc_config(&self, seed_salt: u64) -> MonteCarloConfig {
+        MonteCarloConfig {
+            trials: self.trials,
+            base: RunConfig {
+                seed: self.seed.wrapping_add(seed_salt),
+                packets_per_flow: self.packets,
+                payload_bits: self.payload_bits,
+                ..RunConfig::default()
+            },
+            threads: 1,
+        }
+    }
+}
+
+/// The scenario × scheme combos of the BER-vs-SNR sweep: the eight
+/// paper combos plus the three post-paper scenarios under ANC.
+pub fn snr_combos() -> Vec<(ScenarioSpec, Scheme, String)> {
+    let mut combos = Vec::new();
+    for scheme in [Scheme::Anc, Scheme::Traditional, Scheme::Cope] {
+        combos.push((
+            ScenarioSpec::alice_bob(),
+            scheme,
+            format!("alice_bob_{}", scheme.name()),
+        ));
+        combos.push((ScenarioSpec::x(), scheme, format!("x_{}", scheme.name())));
+    }
+    for scheme in [Scheme::Anc, Scheme::Traditional] {
+        combos.push((
+            ScenarioSpec::chain(),
+            scheme,
+            format!("chain_{}", scheme.name()),
+        ));
+    }
+    combos.push((
+        ScenarioSpec::parking_lot(3),
+        Scheme::Anc,
+        "parking_lot_3_anc".to_string(),
+    ));
+    combos.push((
+        ScenarioSpec::random_mesh(&MeshConfig::default()).expect("default mesh builds"),
+        Scheme::Anc,
+        "mesh_anc".to_string(),
+    ));
+    combos.push((
+        ScenarioSpec::asymmetric_x((0.8, 0.95), (0.3, 0.45)),
+        Scheme::Anc,
+        "asymmetric_x_anc".to_string(),
+    ));
+    combos
+}
+
+/// One pooled (BER, delivery) cell of the SNR grid.
+struct CellStats {
+    ber: Ci,
+    delivery: Ci,
+}
+
+/// Runs the full Fig.-14 sweep and assembles the report artifact.
+pub fn run(cfg: &Fig14Config) -> ExperimentReport {
+    let mut report = ExperimentReport::new("fig14_ber_curves");
+    report
+        .param("trials_per_point", cfg.trials as f64)
+        .param("packets_per_flow", cfg.packets as f64)
+        .param("payload_bits", cfg.payload_bits as f64)
+        .param("seed", cfg.seed as f64);
+
+    // --- BER vs SNR across every combo -------------------------------
+    // The whole (SNR × combo) grid fans out over the pool; each cell
+    // is an independent Monte Carlo sweep with its own derived seed.
+    let combos = snr_combos();
+    let imp = cfg.base_impairments();
+    let grid: Vec<(usize, usize)> = (0..cfg.snr_db.len())
+        .flat_map(|si| (0..combos.len()).map(move |ci| (si, ci)))
+        .collect();
+    let cells: Vec<CellStats> = parallel_map_indexed(grid.len(), cfg.threads, |g| {
+        let (si, ci) = grid[g];
+        let (spec, scheme, _) = &combos[ci];
+        let mut mc = cfg.mc_config((si as u64) * 7919 + (ci as u64) * 6367);
+        mc.base.noise_power = cfg.noise_for_snr(&mc.base, cfg.snr_db[si]);
+        let r = monte_carlo(&spec.clone().with_impairments(imp), *scheme, &mc)
+            .expect("sweep combos compile");
+        CellStats {
+            ber: r.ber,
+            delivery: r.delivery_rate,
+        }
+    });
+    let mut ber_rows = Vec::new();
+    let mut delivery_rows = Vec::new();
+    for (si, &snr) in cfg.snr_db.iter().enumerate() {
+        let mut ber_row = vec![snr];
+        let mut del_row = vec![snr];
+        for (ci, (_, _, label)) in combos.iter().enumerate() {
+            let cell = &cells[si * combos.len() + ci];
+            ber_row.push(cell.ber.mean);
+            del_row.push(cell.delivery.mean);
+            if si + 1 == cfg.snr_db.len() {
+                report.stat(&format!("{label}_ber_at_high_snr"), cell.ber.mean);
+            }
+            if si == 0 && label == "alice_bob_anc" {
+                report.stat("alice_bob_anc_ber_at_low_snr", cell.ber.mean);
+                report.stat("alice_bob_anc_delivery_at_low_snr", cell.delivery.mean);
+            }
+        }
+        ber_rows.push(ber_row);
+        delivery_rows.push(del_row);
+    }
+    let labels: Vec<&str> = combos.iter().map(|(_, _, l)| l.as_str()).collect();
+    report.push_series(FigureSeries::sweep(
+        "ber_vs_snr",
+        "snr_db",
+        &labels,
+        ber_rows,
+    ));
+    report.push_series(FigureSeries::sweep(
+        "delivery_vs_snr",
+        "snr_db",
+        &labels,
+        delivery_rows,
+    ));
+
+    // --- BER vs SIR at Alice, with confidence intervals --------------
+    // Only Alice's decodes count (Fig. 13's metric): Bob's amplitude
+    // realizes `sir_db` at Alice, which puts Bob's own receiver at
+    // `−sir_db` — pooling both would cancel the sweep's asymmetry.
+    let sir_rows: Vec<Vec<f64>> = parallel_map_indexed(cfg.sir_db.len(), cfg.threads, |i| {
+        let sir = cfg.sir_db[i];
+        let mut mc = cfg.mc_config(1_000_003 + i as u64 * 7919);
+        // Pin symmetric links and scale Bob's amplitude so the
+        // received power ratio at Alice is the SIR (Eq. 9) — the
+        // Fig.-13 setup, now pooled over impairment realizations.
+        mc.base.channel.gain = (0.85, 0.85);
+        mc.base.tx_amplitude_overrides =
+            vec![(anc_sim::topology::nodes::BOB, db_to_amplitude(sir))];
+        let spec = ScenarioSpec::alice_bob().with_impairments(imp);
+        let trials = monte_carlo_trials(&spec, Scheme::Anc, &mc).expect("alice_bob compiles");
+        let per_trial_alice_ber: Vec<f64> = trials
+            .iter()
+            .filter_map(|m| {
+                let bers = m.bers_at(anc_sim::topology::nodes::ALICE);
+                (!bers.is_empty()).then(|| bers.iter().sum::<f64>() / bers.len() as f64)
+            })
+            .collect();
+        let alice_decodes: usize = trials
+            .iter()
+            .map(|m| m.bers_at(anc_sim::topology::nodes::ALICE).len())
+            .sum();
+        let ber = Ci::from_samples(&per_trial_alice_ber);
+        let decode_rate = alice_decodes as f64 / (cfg.trials * cfg.packets) as f64;
+        vec![sir, ber.mean, ber.half_width, decode_rate]
+    });
+    for row in &sir_rows {
+        if row[0].abs() < 1e-9 {
+            report.stat("anc_ber_at_0db_sir", row[1]);
+        }
+    }
+    report.push_series(FigureSeries::sweep(
+        "ber_vs_sir",
+        "sir_db",
+        &["alice_mean_ber", "ber_ci95_half_width", "alice_decode_rate"],
+        sir_rows,
+    ));
+
+    // --- BER vs residual CFO -----------------------------------------
+    let cfo_specs = [
+        (ScenarioSpec::alice_bob(), "alice_bob"),
+        (ScenarioSpec::chain(), "chain"),
+    ];
+    let cfo_grid: Vec<(usize, usize)> = (0..cfg.cfo_bounds.len())
+        .flat_map(|i| (0..cfo_specs.len()).map(move |j| (i, j)))
+        .collect();
+    let cfo_cells: Vec<CellStats> = parallel_map_indexed(cfo_grid.len(), cfg.threads, |g| {
+        let (i, j) = cfo_grid[g];
+        let imp = ImpairmentSpec::phase_redraw()
+            .with_cfo(cfg.cfo_bounds[i])
+            .with_jitter(4.0);
+        let mc = cfg.mc_config(2_000_003 + i as u64 * 7919 + j as u64 * 6367);
+        // Default noise: the paper's WLAN operating point.
+        let r = monte_carlo(
+            &cfo_specs[j].0.clone().with_impairments(imp),
+            Scheme::Anc,
+            &mc,
+        )
+        .expect("CFO sweep scenarios compile");
+        CellStats {
+            ber: r.ber,
+            delivery: r.delivery_rate,
+        }
+    });
+    let mut cfo_rows = Vec::new();
+    for (i, &bound) in cfg.cfo_bounds.iter().enumerate() {
+        let mut row = vec![bound];
+        for (j, (_, label)) in cfo_specs.iter().enumerate() {
+            let cell = &cfo_cells[i * cfo_specs.len() + j];
+            row.push(cell.ber.mean);
+            row.push(cell.delivery.mean);
+            if i + 1 == cfg.cfo_bounds.len() && *label == "alice_bob" {
+                report.stat("alice_bob_anc_ber_at_max_cfo", cell.ber.mean);
+            }
+        }
+        cfo_rows.push(row);
+    }
+    report.push_series(FigureSeries::sweep(
+        "ber_vs_cfo",
+        "cfo_max_rad_per_sample",
+        &[
+            "alice_bob_anc_ber",
+            "alice_bob_anc_delivery",
+            "chain_anc_ber",
+            "chain_anc_delivery",
+        ],
+        cfo_rows,
+    ));
+    report
+}

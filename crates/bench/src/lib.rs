@@ -9,6 +9,7 @@
 //! | `fig10_x_topology`| Fig. 10a/10b "X" topology CDFs |
 //! | `fig12_chain`     | Fig. 12a/12b chain topology CDFs |
 //! | `fig13_sir_sweep` | Fig. 13 BER vs SIR |
+//! | `fig14_ber_curves`| Fig.-14-style Monte Carlo BER/SIR/CFO curves |
 //! | `summary_table`   | §11.3 summary of results |
 //! | `ablations`       | DESIGN.md §5 design-choice ablations |
 //!
@@ -23,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod fig14;
 pub mod fixtures;
 pub mod perf;
 

@@ -267,6 +267,113 @@ fn validate_experiment(value: &Value) -> Result<String, String> {
     ))
 }
 
+/// Which way a perf metric improves, for regression gating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    /// Smaller is better (latencies: `*_ns`, `*_ns_per_sample`).
+    Lower,
+    /// Larger is better (rates and ratios: `*_per_sec`, `*speedup*`).
+    Higher,
+}
+
+/// `true` for metrics that are in-process ratios (a fused kernel vs
+/// its reference, a parallel sweep vs serial). Ratios transfer across
+/// machines, so they are gated by default; absolute latencies/rates
+/// depend on the host that recorded the tracked artifact and are only
+/// gated on request.
+fn is_ratio_metric(key: &str) -> bool {
+    key.contains("speedup")
+}
+
+fn metric_direction(key: &str) -> Option<Direction> {
+    if key.contains("per_sec") || key.contains("speedup") {
+        Some(Direction::Higher)
+    } else if key.ends_with("_ns") || key.contains("ns_per") {
+        Some(Direction::Lower)
+    } else {
+        None
+    }
+}
+
+/// Compares a candidate [`PerfReport`] against a tracked baseline
+/// artifact: any gated metric that is worse than the baseline's
+/// current value by more than `tolerance_pct` percent is a regression
+/// and fails the comparison (all offenders listed).
+///
+/// By default only **ratio** metrics (the `kernels`/`end_to_end`
+/// speedups) are gated — they compare a kernel against its in-process
+/// reference, so they hold across machines (CI runners vs the host
+/// that recorded the tracked file). The `sweep` section is never
+/// gated here: its wall-clock ratios sit inside scheduler noise at
+/// quick scale, and [`validate_json`] already machine-checks them
+/// with the scale/core guards that comparison needs. `gate_absolute`
+/// additionally gates absolute latencies and rates (`*_ns*`,
+/// `*_per_sec`) for same-machine comparisons.
+pub fn compare_reports(
+    candidate: &str,
+    baseline: &str,
+    tolerance_pct: f64,
+    gate_absolute: bool,
+) -> Result<String, String> {
+    if !(tolerance_pct.is_finite() && tolerance_pct >= 0.0) {
+        return Err(format!("tolerance must be >= 0, got {tolerance_pct}"));
+    }
+    let cand: PerfReport =
+        serde_json::from_str(candidate).map_err(|e| format!("candidate does not parse: {e}"))?;
+    let base: PerfReport =
+        serde_json::from_str(baseline).map_err(|e| format!("baseline does not parse: {e}"))?;
+    let mut regressions = Vec::new();
+    let mut gated = 0usize;
+    for (section, cmap, bmap) in [
+        ("kernels", &cand.kernels, &base.kernels),
+        ("end_to_end", &cand.end_to_end, &base.end_to_end),
+    ] {
+        for (key, &b) in bmap {
+            let Some(dir) = metric_direction(key) else {
+                continue;
+            };
+            if !gate_absolute && !is_ratio_metric(key) {
+                continue;
+            }
+            if !(b.is_finite() && b > 0.0) {
+                continue;
+            }
+            let Some(&c) = cmap.get(key) else {
+                regressions.push(format!(
+                    "{section}.{key}: tracked at {b:.3} but missing from the candidate"
+                ));
+                continue;
+            };
+            gated += 1;
+            let change_pct = (c / b - 1.0) * 100.0;
+            let regressed = match dir {
+                Direction::Lower => change_pct > tolerance_pct,
+                Direction::Higher => change_pct < -tolerance_pct,
+            };
+            if regressed {
+                regressions.push(format!(
+                    "{section}.{key}: {c:.3} vs tracked {b:.3} ({change_pct:+.1}%, tolerance ±{tolerance_pct}%)"
+                ));
+            }
+        }
+    }
+    if gated == 0 && regressions.is_empty() {
+        return Err("no gated metrics shared with the baseline".to_string());
+    }
+    if regressions.is_empty() {
+        Ok(format!(
+            "perf gate: {gated} metric(s) within ±{tolerance_pct}% of '{}'",
+            base.title
+        ))
+    } else {
+        Err(format!(
+            "perf regression vs tracked '{}':\n  {}",
+            base.title,
+            regressions.join("\n  ")
+        ))
+    }
+}
+
 /// Validates one emitted JSON artifact, sniffing which of the three
 /// kinds it is from its schema/shape: a [`PerfReport`], a criterion
 /// shim dump, or an `anc-sim` experiment report. Returns a one-line
@@ -280,6 +387,19 @@ pub fn validate_json(text: &str) -> Result<String, String> {
         None if field(&value, "series").is_some() => validate_experiment(&value),
         None => Err("JSON has neither a schema tag nor experiment series".to_string()),
     }
+}
+
+/// `true` when the JSON text carries the [`PERF_SCHEMA`] tag (the only
+/// artifact kind the `--against` regression gate applies to).
+pub fn is_perf_report(text: &str) -> bool {
+    serde_json::from_str::<Value>(text)
+        .ok()
+        .and_then(|v| {
+            field(&v, "schema")
+                .and_then(as_str)
+                .map(|s| s == PERF_SCHEMA)
+        })
+        .unwrap_or(false)
 }
 
 #[cfg(test)]
@@ -381,6 +501,104 @@ mod tests {
         assert!(validate_json("not json").is_err());
         assert!(validate_json(r#"{"schema": "bogus/v9"}"#).is_err());
         assert!(validate_json(r#"{"x": 1}"#).is_err());
+    }
+
+    fn json(r: &PerfReport) -> String {
+        serde_json::to_string(r).unwrap()
+    }
+
+    #[test]
+    fn gate_passes_when_within_tolerance() {
+        let base = sample_report();
+        let mut cand = sample_report();
+        // 5 % worse kernel speedup: inside a 20 % tolerance.
+        cand.kernels
+            .insert("detect_lemma_match_speedup".into(), 2.21);
+        let summary = compare_reports(&json(&cand), &json(&base), 20.0, false).unwrap();
+        assert!(summary.contains("within"), "{summary}");
+    }
+
+    #[test]
+    fn gate_fails_on_injected_kernel_regression() {
+        // The acceptance scenario: a quick-mode run whose fused kernel
+        // lost its edge versus the tracked history must fail the gate.
+        let base = sample_report(); // tracked speedup 2.33
+        let mut cand = sample_report();
+        cand.kernels
+            .insert("detect_lemma_match_speedup".into(), 1.1);
+        let err = compare_reports(&json(&cand), &json(&base), 20.0, false).unwrap_err();
+        assert!(err.contains("perf regression"), "{err}");
+        assert!(err.contains("detect_lemma_match_speedup"), "{err}");
+        // The same numbers clear a huge tolerance.
+        assert!(compare_reports(&json(&cand), &json(&base), 95.0, false).is_ok());
+    }
+
+    #[test]
+    fn gate_absolute_mode_covers_latencies_and_rates() {
+        let base = sample_report();
+        let mut cand = sample_report();
+        cand.end_to_end.insert("decode_forward_ns".into(), 3.0e6); // 3× slower
+                                                                   // Default (ratio-only) gate does not look at absolutes…
+        assert!(compare_reports(&json(&cand), &json(&base), 20.0, false).is_ok());
+        // …the absolute gate does, in both directions.
+        let err = compare_reports(&json(&cand), &json(&base), 20.0, true).unwrap_err();
+        assert!(err.contains("decode_forward_ns"), "{err}");
+        let mut slow_rate = sample_report();
+        slow_rate.end_to_end.insert("decodes_per_sec".into(), 400.0);
+        let err = compare_reports(&json(&slow_rate), &json(&base), 20.0, true).unwrap_err();
+        assert!(err.contains("decodes_per_sec"), "{err}");
+        // Improvements never trip the gate.
+        let mut faster = sample_report();
+        faster.end_to_end.insert("decode_forward_ns".into(), 0.5e6);
+        faster
+            .kernels
+            .insert("detect_lemma_match_speedup".into(), 3.0);
+        assert!(compare_reports(&json(&faster), &json(&base), 20.0, true).is_ok());
+    }
+
+    #[test]
+    fn gate_flags_missing_tracked_metrics() {
+        let base = sample_report();
+        let mut cand = sample_report();
+        cand.kernels.remove("detect_lemma_match_speedup");
+        let err = compare_reports(&json(&cand), &json(&base), 20.0, false).unwrap_err();
+        assert!(err.contains("missing from the candidate"), "{err}");
+    }
+
+    #[test]
+    fn gate_rejects_bad_inputs() {
+        let base = sample_report();
+        assert!(compare_reports("not json", &json(&base), 20.0, false).is_err());
+        assert!(compare_reports(&json(&base), "not json", 20.0, false).is_err());
+        assert!(compare_reports(&json(&base), &json(&base), f64::NAN, false).is_err());
+    }
+
+    #[test]
+    fn gate_applies_to_the_tracked_repo_artifact() {
+        // The checked-in trajectory file must be usable as a baseline:
+        // compared against itself it passes at any tolerance.
+        let tracked = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_decoder_pipeline.json"
+        ))
+        .expect("tracked artifact exists");
+        assert!(is_perf_report(&tracked));
+        let summary = compare_reports(&tracked, &tracked, 0.0, true).unwrap();
+        assert!(summary.contains("perf gate"), "{summary}");
+        // And an injected >tolerance regression against it fails.
+        let mut worse: PerfReport = serde_json::from_str(&tracked).unwrap();
+        let speedup = worse.kernels["detect_lemma_match_speedup"];
+        worse
+            .kernels
+            .insert("detect_lemma_match_speedup".into(), speedup * 0.5);
+        assert!(compare_reports(&json(&worse), &tracked, 25.0, false).is_err());
+    }
+
+    #[test]
+    fn perf_schema_sniffing() {
+        assert!(is_perf_report(&json(&sample_report())));
+        assert!(!is_perf_report(r#"{"title": "fig9", "series": []}"#));
+        assert!(!is_perf_report("not json"));
     }
 
     #[test]

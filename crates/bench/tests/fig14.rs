@@ -1,0 +1,133 @@
+//! Acceptance tests for the Fig.-14 Monte Carlo BER curves: the
+//! artifact is schema-valid and the measured curves sit inside the
+//! paper's qualitative envelope (ANC BER small at the operating point
+//! and degrading gracefully, baselines near zero while detectable).
+
+use anc_bench::fig14::{run, snr_combos, Fig14Config};
+use anc_bench::perf::validate_json;
+
+fn tiny() -> Fig14Config {
+    Fig14Config {
+        seed: 7,
+        trials: 2,
+        packets: 6,
+        payload_bits: 1024,
+        threads: 0,
+        snr_db: vec![22.0, 26.0, 30.0],
+        sir_db: vec![0.0],
+        cfo_bounds: vec![0.0, 0.04],
+    }
+}
+
+#[test]
+fn sweep_covers_all_paper_combos() {
+    let combos = snr_combos();
+    let labels: Vec<&str> = combos.iter().map(|(_, _, l)| l.as_str()).collect();
+    // Eight paper topology × scheme combos…
+    for expect in [
+        "alice_bob_anc",
+        "alice_bob_traditional",
+        "alice_bob_cope",
+        "x_anc",
+        "x_traditional",
+        "x_cope",
+        "chain_anc",
+        "chain_traditional",
+    ] {
+        assert!(labels.contains(&expect), "missing combo {expect}");
+    }
+    // …plus the three post-paper scenarios.
+    for expect in ["parking_lot_3_anc", "mesh_anc", "asymmetric_x_anc"] {
+        assert!(labels.contains(&expect), "missing scenario {expect}");
+    }
+    assert_eq!(combos.len(), 11);
+}
+
+#[test]
+fn artifact_is_schema_valid_and_inside_the_paper_envelope() {
+    let cfg = tiny();
+    let report = run(&cfg);
+
+    // The emitted JSON must pass the same validator CI runs.
+    let summary = validate_json(&report.to_json()).expect("fig14 artifact validates");
+    assert!(summary.contains("fig14_ber_curves"), "{summary}");
+
+    // ≥ 3 SNR points × all combos present in the headline series.
+    let snr = report
+        .series
+        .iter()
+        .find(|s| s.name == "ber_vs_snr")
+        .expect("ber_vs_snr series");
+    assert!(snr.rows.len() >= 3, "need ≥3 SNR points");
+    assert_eq!(snr.columns.len(), 1 + snr_combos().len());
+
+    let col = |name: &str| {
+        snr.columns
+            .iter()
+            .position(|c| c == name)
+            .unwrap_or_else(|| panic!("missing column {name}"))
+    };
+    let anc = col("alice_bob_anc");
+    let trad = col("alice_bob_traditional");
+
+    // Envelope at the operating point (last = highest SNR, ≈ 30 dB):
+    // ANC interfered-packet BER is small (paper: 2–4 % at 28 dB; the
+    // quick scale lands well under 12 %), the traditional baseline is
+    // essentially error-free.
+    let top = snr.rows.last().unwrap();
+    assert!(
+        top[anc].is_finite() && top[anc] < 0.12,
+        "ANC BER at high SNR: {}",
+        top[anc]
+    );
+    assert!(
+        top[trad].is_finite() && top[trad] < 0.01,
+        "traditional BER at high SNR: {}",
+        top[trad]
+    );
+
+    // Graceful degradation: walking the SNR axis down never *improves*
+    // ANC BER beyond noise, and it never cliff-dives past the coin-flip
+    // bound while packets still decode.
+    let bottom = &snr.rows[0];
+    if bottom[anc].is_finite() {
+        assert!(
+            bottom[anc] >= top[anc] - 0.02,
+            "BER should not improve as SNR drops: {} vs {}",
+            bottom[anc],
+            top[anc]
+        );
+        assert!(bottom[anc] <= 0.5, "BER beyond coin-flip: {}", bottom[anc]);
+    }
+
+    // Delivery companion series lines up row-for-row.
+    let delivery = report
+        .series
+        .iter()
+        .find(|s| s.name == "delivery_vs_snr")
+        .expect("delivery_vs_snr series");
+    assert_eq!(delivery.rows.len(), snr.rows.len());
+    let top_delivery = delivery.rows.last().unwrap()[anc];
+    assert!(
+        top_delivery > 0.5,
+        "ANC must mostly deliver at the operating point: {top_delivery}"
+    );
+
+    // SIR sweep at 0 dB: the paper's ≈ 2 % anchor, generously bounded
+    // at quick scale.
+    let ber_0db = report.summary.get("anc_ber_at_0db_sir").copied();
+    if let Some(b) = ber_0db {
+        if b.is_finite() {
+            assert!(b < 0.15, "BER at 0 dB SIR: {b}");
+        }
+    }
+
+    // CFO sweep exists with both scenarios' columns.
+    let cfo = report
+        .series
+        .iter()
+        .find(|s| s.name == "ber_vs_cfo")
+        .expect("ber_vs_cfo series");
+    assert_eq!(cfo.rows.len(), 2);
+    assert_eq!(cfo.columns.len(), 5);
+}

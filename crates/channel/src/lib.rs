@@ -21,17 +21,24 @@
 //! * [`fault`] — optional impairments (CFO, Rayleigh block fading,
 //!   clipping) for robustness testing, in the spirit of smoltcp's fault
 //!   injection options.
+//! * [`impairment`] — serializable time-varying channel *processes*
+//!   ([`impairment::ImpairmentSpec`]): per-packet channel re-draws,
+//!   Rayleigh block fading, CFO walks, timing jitter — realized per
+//!   exchange by the simulation engine from order-independent RNG
+//!   streams (the Monte Carlo layer).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod awgn;
 pub mod fault;
+pub mod impairment;
 pub mod link;
 pub mod medium;
 pub mod relay;
 
 pub use awgn::Awgn;
+pub use impairment::{ImpairmentSpec, TxImpairment};
 pub use link::Link;
 pub use medium::{Medium, Transmission, TransmissionRef};
 pub use relay::AmplifyForward;

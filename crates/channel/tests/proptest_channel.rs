@@ -7,7 +7,7 @@
 //! lean on this — splitting a slot's transmissions across windows can
 //! never change what a receiver hears.
 
-use anc_channel::{Link, Medium, Transmission, TransmissionRef};
+use anc_channel::{ImpairmentSpec, Link, Medium, Transmission, TransmissionRef};
 use anc_dsp::{Cplx, DspRng};
 use proptest::prelude::*;
 
@@ -96,6 +96,74 @@ proptest! {
         for i in 0..duration {
             prop_assert_eq!(owned[i], borrowed[i]);
         }
+    }
+
+    /// Impairment streams are deterministic per (seed, link, packet
+    /// index) **regardless of realization order** — the Monte Carlo
+    /// layer's load-bearing property. A set of realization coordinates
+    /// evaluated forward, reversed, and interleaved with unrelated
+    /// realizations must produce bit-identical links and TX
+    /// perturbations.
+    #[test]
+    fn impairment_streams_are_order_independent(
+        seed in 0u64..10_000,
+        from in 0u64..32, to in 32u64..64,
+        packets in proptest::collection::vec(0u64..10_000, 2usize..24),
+        cfo_max in 0.0f64..0.1,
+        jitter_max in 0.0f64..32.0,
+        shuffle_salt in 0u64..1_000,
+    ) {
+        let spec = ImpairmentSpec::rayleigh_fading()
+            .with_cfo(cfo_max)
+            .with_jitter(jitter_max);
+        let base = Link::new(0.85, 0.4, 0.0);
+        // Forward order.
+        let forward: Vec<(Link, _)> = packets
+            .iter()
+            .map(|&p| (
+                spec.impair_link(base, seed, from, to, p),
+                spec.tx_process(seed, from, p),
+            ))
+            .collect();
+        // Reverse order, with unrelated realizations interleaved (other
+        // links, other nodes, other seeds — none may perturb ours).
+        let mut backward = Vec::new();
+        for (i, &p) in packets.iter().enumerate().rev() {
+            let noise_key = shuffle_salt.wrapping_add(i as u64);
+            let _ = spec.impair_link(base, seed ^ 1, to, from, p ^ noise_key);
+            let _ = spec.tx_process(seed.wrapping_add(noise_key), to, p);
+            backward.push((
+                spec.impair_link(base, seed, from, to, p),
+                spec.tx_process(seed, from, p),
+            ));
+        }
+        backward.reverse();
+        for (f, b) in forward.iter().zip(&backward) {
+            prop_assert_eq!(f.0.gain.to_bits(), b.0.gain.to_bits());
+            prop_assert_eq!(f.0.phase.to_bits(), b.0.phase.to_bits());
+            prop_assert_eq!(f.1.cfo.to_bits(), b.1.cfo.to_bits());
+            prop_assert_eq!(
+                f.1.jitter_samples.to_bits(),
+                b.1.jitter_samples.to_bits()
+            );
+        }
+    }
+
+    /// A passive spec never perturbs the base link, and realized gains
+    /// stay positive (Link's invariant) under fading.
+    #[test]
+    fn impairment_respects_link_invariants(
+        seed in 0u64..10_000,
+        gain in 0.05f64..2.0,
+        phase in -3.1f64..3.1,
+        packet in 0u64..100_000,
+    ) {
+        let base = Link::new(gain, phase, 0.0);
+        let passive = ImpairmentSpec::default().impair_link(base, seed, 1, 2, packet);
+        prop_assert_eq!(passive, base);
+        let faded = ImpairmentSpec::rayleigh_fading().impair_link(base, seed, 1, 2, packet);
+        prop_assert!(faded.gain > 0.0);
+        prop_assert_eq!(faded.delay.to_bits(), base.delay.to_bits());
     }
 
     /// Transmissions fully outside the window leave only noise, and the

@@ -29,12 +29,20 @@
 //!   order matters);
 //! * every receiver's window spans the whole slot (`pad + span + pad`),
 //!   including transmissions it cannot hear — slots are globally
-//!   clocked.
+//!   clocked;
+//! * Monte Carlo impairment draws live **outside** these streams: each
+//!   per-exchange link/TX realization is a pure function of
+//!   `(seed, link-or-node, exchange)` via [`DspRng::from_path`], so
+//!   enabling impairments consumes nothing from the streams above (a
+//!   program with `impairments: None` is bit-identical to the
+//!   pre-impairment engine, which the golden tests pin) and trial
+//!   order can never change a draw.
 
 use crate::metrics::RunMetrics;
 use crate::runs::RunConfig;
 use crate::topology::{Topology, TopologyGraph};
-use anc_channel::{AmplifyForward, Medium, TransmissionRef};
+use anc_channel::fault::{CarrierOffset, Impairment};
+use anc_channel::{AmplifyForward, ImpairmentSpec, Medium, TransmissionRef};
 use anc_dsp::{Cplx, DspRng};
 use anc_frame::{Frame, Header, NodeId};
 use anc_modem::ber::ber;
@@ -203,6 +211,12 @@ pub struct Program {
     pub slots: Vec<SlotSpec>,
     /// Repetition mode.
     pub rounds: RoundMode,
+    /// Default time-varying impairment process (Monte Carlo layer).
+    /// Per-link graph overrides beat it for link-level processes
+    /// (phase re-draw, Rayleigh); TX-side processes (CFO, jitter) are
+    /// per-sender and come from this default only. `None` = the
+    /// paper's static per-run channel.
+    pub impairments: Option<ImpairmentSpec>,
 }
 
 /// A transmission scheduled into the engine's event queue: the
@@ -255,6 +269,19 @@ pub struct Engine<'p> {
     events: Vec<ScheduledTx>,
     /// Reused reception-window scratch (allocation-free RX loop).
     rx_scratch: Vec<Cplx>,
+    /// Resolved per-direction time-varying link processes (empty in
+    /// the paper's static-channel mode — the hot path skips a lookup
+    /// against an empty map).
+    link_impairments: HashMap<(NodeId, NodeId), ImpairmentSpec>,
+    /// Sender-side TX process (per-exchange CFO and timing jitter),
+    /// when the program enables one.
+    tx_impairments: Option<ImpairmentSpec>,
+    /// Packet-exchange index: increments once per slot-sequence period
+    /// and is the `packet` coordinate of every impairment stream, so
+    /// fading is block-constant over one exchange (coherence time =
+    /// one packet exchange) and every draw is reproducible from
+    /// `(seed, link/node, exchange)` alone.
+    exchange: u64,
     metrics: RunMetrics,
 }
 
@@ -316,6 +343,9 @@ impl<'p> Engine<'p> {
             slot_frames: HashMap::new(),
             events: Vec::new(),
             rx_scratch: Vec::new(),
+            link_impairments: program.graph.link_impairments(program.impairments),
+            tx_impairments: program.impairments.filter(|s| s.affects_tx()),
+            exchange: 0,
             metrics: RunMetrics::new(program.scheme),
         }
     }
@@ -354,6 +384,7 @@ impl<'p> Engine<'p> {
         for idx in 0..self.program.slots.len() {
             any |= self.run_slot(idx);
         }
+        self.exchange += 1;
         any
     }
 
@@ -461,10 +492,22 @@ impl<'p> Engine<'p> {
             .get(&sender)
             .expect("sender exists")
             .apply_front_end(&mut wave, phase0);
-        let offset = match timing {
+        let mut offset = match timing {
             SlotTiming::Triggered => self.node_mut(sender).draw_delay(1),
             SlotTiming::Scheduled => 0,
         };
+        // Monte Carlo TX process: this exchange's residual CFO and
+        // timing slip, realized from the sender's dedicated
+        // `(seed, node, exchange)` stream — independent of every other
+        // draw the engine makes, so enabling it never perturbs the
+        // carrier/payload/noise streams above.
+        if let Some(spec) = self.tx_impairments {
+            let tx = spec.tx_process(self.cfg.seed, sender as u64, self.exchange);
+            if tx.cfo != 0.0 {
+                CarrierOffset::new(tx.cfo).apply(&mut wave);
+            }
+            offset += tx.jitter_samples.round() as usize;
+        }
         if let Some(f) = frame {
             self.slot_frames.insert(sender, f);
         }
@@ -516,10 +559,25 @@ impl<'p> Engine<'p> {
                 continue; // half-duplex: you cannot hear yourself
             }
             if let Some(link) = self.topo.link(e.sender, recv) {
+                // Monte Carlo link process: replace the static per-run
+                // draw with this exchange's realization. Pure in
+                // (seed, from, to, exchange), so every receive intent
+                // that hears the same transmission this exchange sees
+                // the same channel state.
+                let link = match self.link_impairments.get(&(e.sender, recv)) {
+                    Some(spec) => spec.impair_link(
+                        *link,
+                        self.cfg.seed,
+                        e.sender as u64,
+                        recv as u64,
+                        self.exchange,
+                    ),
+                    None => *link,
+                };
                 list.push(TransmissionRef {
                     samples: &e.wave,
                     start: pad + e.offset,
-                    link: *link,
+                    link,
                 });
             }
         }

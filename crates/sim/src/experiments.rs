@@ -100,7 +100,9 @@ fn mean(xs: &[f64]) -> f64 {
 }
 
 /// Derives the per-run seed; a large odd stride keeps streams apart.
-fn run_seed(base: u64, idx: usize) -> u64 {
+/// Shared with [`crate::monte_carlo`] so a Monte Carlo trial `i` and a
+/// figure-driver repetition `i` sample the same realization.
+pub(crate) fn run_seed(base: u64, idx: usize) -> u64 {
     base.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(idx as u64 + 1))
 }
 

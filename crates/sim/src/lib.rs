@@ -28,6 +28,10 @@
 //! * [`experiments`] — per-figure drivers (`alice_bob`, `x_topology`,
 //!   `chain`, `sir_sweep`) plus the new-scenario drivers
 //!   (`parking_lot_sweep`, `asymmetric_x`, `random_mesh`).
+//! * [`mod@monte_carlo`] — the Monte Carlo layer: many independent
+//!   realizations of one scenario × scheme (time-varying channels via
+//!   [`anc_channel::impairment`]) pooled into BER/throughput confidence
+//!   intervals; parallel trials are bit-identical to serial.
 //! * [`metrics`] — throughput/gain/BER accounting, including the FEC
 //!   redundancy charge of §11.2 and the overlap-fraction bookkeeping of
 //!   §11.4.
@@ -42,6 +46,7 @@
 pub mod engine;
 pub mod experiments;
 pub mod metrics;
+pub mod monte_carlo;
 pub mod pool;
 pub mod report;
 pub mod runs;
@@ -51,6 +56,7 @@ pub mod topology;
 pub use engine::{Engine, Program};
 pub use experiments::{alice_bob, chain, sir_sweep, x_topology};
 pub use metrics::{RunMetrics, ThroughputAccount};
+pub use monte_carlo::{monte_carlo, Ci, MonteCarloConfig, MonteCarloResult};
 pub use report::{ExperimentReport, FigureSeries};
 pub use runs::{run_spec, RunConfig, Scenario};
 pub use scenario::{MeshConfig, ScenarioError, ScenarioSpec};

@@ -1,0 +1,263 @@
+//! Monte Carlo trial driver: many independent realizations of one
+//! scenario × scheme, aggregated with confidence intervals.
+//!
+//! The paper's headline results (§8, Figs. 13–15) are *statistical* —
+//! BER and throughput measured over many packets on real, time-varying
+//! channels. [`monte_carlo`] is the software substitute: it compiles a
+//! [`ScenarioSpec`] once, fans `trials` independent realizations (each
+//! with its own derived seed, and therefore its own channel draw,
+//! impairment processes, payloads, and noise) across the
+//! [`crate::pool`] workers, and pools the per-trial metrics into
+//! [`Ci`] 95 % confidence intervals.
+//!
+//! Determinism: trial seeds derive from `(base seed, trial index)`
+//! exactly as the figure drivers' repetitions do, and results are
+//! aggregated in trial order regardless of completion order, so a
+//! parallel sweep is **bit-identical** to a serial one (pinned by the
+//! `monte_carlo` integration suite). Impairment draws inside each
+//! trial are keyed on coordinates, never on evaluation order (see
+//! [`anc_channel::impairment`]).
+
+use crate::engine::Engine;
+use crate::experiments::run_seed;
+use crate::metrics::RunMetrics;
+use crate::pool::parallel_map_indexed;
+use crate::runs::RunConfig;
+use crate::scenario::{ScenarioError, ScenarioSpec};
+use anc_netcode::Scheme;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one Monte Carlo sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MonteCarloConfig {
+    /// Independent trials (fresh channel/impairment realizations).
+    pub trials: usize,
+    /// Per-trial run configuration; each trial gets a derived seed.
+    pub base: RunConfig,
+    /// Worker threads (0 = one per available core).
+    pub threads: usize,
+}
+
+impl Default for MonteCarloConfig {
+    fn default() -> Self {
+        MonteCarloConfig {
+            trials: 40,
+            base: RunConfig::default(),
+            threads: 0,
+        }
+    }
+}
+
+impl MonteCarloConfig {
+    /// Scaled-down settings for tests.
+    pub fn quick(seed: u64) -> Self {
+        MonteCarloConfig {
+            trials: 4,
+            base: RunConfig::quick(seed),
+            threads: 0,
+        }
+    }
+}
+
+/// A mean with its 95 % confidence interval (normal approximation:
+/// `mean ± 1.96·s/√n`).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Ci {
+    /// Sample mean (NaN when no samples contributed).
+    pub mean: f64,
+    /// Half-width of the 95 % interval (0 for n ≤ 1).
+    pub half_width: f64,
+    /// Sample standard deviation (n − 1 denominator; 0 for n ≤ 1).
+    pub std_dev: f64,
+    /// Contributing samples.
+    pub n: usize,
+}
+
+impl Ci {
+    /// Computes mean and 95 % CI from samples.
+    pub fn from_samples(xs: &[f64]) -> Ci {
+        let n = xs.len();
+        if n == 0 {
+            return Ci {
+                mean: f64::NAN,
+                half_width: 0.0,
+                std_dev: 0.0,
+                n: 0,
+            };
+        }
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        if n == 1 {
+            return Ci {
+                mean,
+                half_width: 0.0,
+                std_dev: 0.0,
+                n,
+            };
+        }
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n as f64 - 1.0);
+        let std_dev = var.sqrt();
+        Ci {
+            mean,
+            half_width: 1.96 * std_dev / (n as f64).sqrt(),
+            std_dev,
+            n,
+        }
+    }
+
+    /// Lower edge of the interval.
+    pub fn lo(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// Upper edge of the interval.
+    pub fn hi(&self) -> f64 {
+        self.mean + self.half_width
+    }
+}
+
+/// Pooled outcome of one scenario × scheme Monte Carlo sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MonteCarloResult {
+    /// Scenario name.
+    pub scenario: String,
+    /// Scheme name (`RunMetrics::scheme`).
+    pub scheme: String,
+    /// Trials executed.
+    pub trials: usize,
+    /// Per-trial mean packet BER, over trials that decoded ≥ 1 packet
+    /// (a trial that delivered nothing contributes to `delivery_rate`,
+    /// not to the BER statistic).
+    pub ber: Ci,
+    /// Per-trial network throughput (payload bits / sample).
+    pub throughput: Ci,
+    /// Per-trial end-to-end delivery rate.
+    pub delivery_rate: Ci,
+    /// The per-trial mean BERs behind `ber` (CDF material).
+    pub per_trial_ber: Vec<f64>,
+    /// The per-trial throughputs behind `throughput`.
+    pub per_trial_throughput: Vec<f64>,
+    /// Every decoded packet's BER, pooled across trials in trial order
+    /// (the Fig.-14-style per-packet CDF).
+    pub pooled_packet_bers: Vec<f64>,
+}
+
+/// Runs `cfg.trials` independent realizations of `spec` under `scheme`
+/// and returns the raw per-trial metrics in trial order — for drivers
+/// that need receiver- or packet-level statistics beyond what
+/// [`aggregate`] pools (e.g. the Fig.-14 SIR sweep reads only Alice's
+/// decodes). Parallel execution is bit-identical to serial.
+pub fn monte_carlo_trials(
+    spec: &ScenarioSpec,
+    scheme: Scheme,
+    cfg: &MonteCarloConfig,
+) -> Result<Vec<RunMetrics>, ScenarioError> {
+    let program = spec.compile(scheme)?;
+    Ok(parallel_map_indexed(cfg.trials, cfg.threads, |idx| {
+        let mut rc = cfg.base.clone();
+        rc.seed = run_seed(cfg.base.seed, idx);
+        Engine::run(&program, &rc)
+    }))
+}
+
+/// Runs `cfg.trials` independent realizations of `spec` under `scheme`
+/// and pools them (see module docs). Parallel execution is
+/// bit-identical to serial.
+pub fn monte_carlo(
+    spec: &ScenarioSpec,
+    scheme: Scheme,
+    cfg: &MonteCarloConfig,
+) -> Result<MonteCarloResult, ScenarioError> {
+    let metrics = monte_carlo_trials(spec, scheme, cfg)?;
+    Ok(aggregate(&spec.name, &metrics))
+}
+
+/// Pools already-executed trial metrics (trial order = slice order).
+pub fn aggregate(scenario: &str, trials: &[RunMetrics]) -> MonteCarloResult {
+    let scheme = trials
+        .first()
+        .map(|m| m.scheme.clone())
+        .unwrap_or_else(|| "none".to_string());
+    let mut per_trial_ber = Vec::new();
+    let mut per_trial_throughput = Vec::with_capacity(trials.len());
+    let mut per_trial_delivery = Vec::with_capacity(trials.len());
+    let mut pooled = Vec::new();
+    for m in trials {
+        if !m.packet_bers.is_empty() {
+            per_trial_ber.push(m.mean_ber());
+        }
+        per_trial_throughput.push(m.account.throughput());
+        per_trial_delivery.push(m.account.delivery_rate());
+        pooled.extend_from_slice(&m.packet_bers);
+    }
+    MonteCarloResult {
+        scenario: scenario.to_string(),
+        scheme,
+        trials: trials.len(),
+        ber: Ci::from_samples(&per_trial_ber),
+        throughput: Ci::from_samples(&per_trial_throughput),
+        delivery_rate: Ci::from_samples(&per_trial_delivery),
+        per_trial_ber,
+        per_trial_throughput,
+        pooled_packet_bers: pooled,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ci_of_empty_and_single() {
+        let none = Ci::from_samples(&[]);
+        assert!(none.mean.is_nan());
+        assert_eq!(none.n, 0);
+        let one = Ci::from_samples(&[3.5]);
+        assert_eq!(one.mean, 3.5);
+        assert_eq!(one.half_width, 0.0);
+        assert_eq!(one.n, 1);
+    }
+
+    #[test]
+    fn ci_matches_hand_computation() {
+        // Samples 1..=5: mean 3, sample sd sqrt(2.5).
+        let ci = Ci::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!((ci.mean - 3.0).abs() < 1e-12);
+        assert!((ci.std_dev - 2.5f64.sqrt()).abs() < 1e-12);
+        let expect = 1.96 * 2.5f64.sqrt() / 5f64.sqrt();
+        assert!((ci.half_width - expect).abs() < 1e-12);
+        assert!((ci.hi() - ci.lo() - 2.0 * expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ci_shrinks_with_more_samples() {
+        let few: Vec<f64> = (0..8).map(|i| (i % 2) as f64).collect();
+        let many: Vec<f64> = (0..128).map(|i| (i % 2) as f64).collect();
+        let a = Ci::from_samples(&few);
+        let b = Ci::from_samples(&many);
+        assert!(b.half_width < a.half_width);
+    }
+
+    #[test]
+    fn constant_samples_have_zero_width() {
+        let ci = Ci::from_samples(&[0.25; 10]);
+        assert_eq!(ci.half_width, 0.0);
+        assert_eq!(ci.mean, 0.25);
+    }
+
+    #[test]
+    fn aggregate_skips_decode_free_trials_for_ber() {
+        use anc_netcode::Scheme;
+        let mut with = RunMetrics::new(Scheme::Anc);
+        with.packet_bers.push(0.04);
+        with.account.deliver(100, 0.04);
+        with.account.tick(10.0);
+        let mut without = RunMetrics::new(Scheme::Anc);
+        without.account.lose();
+        without.account.tick(10.0);
+        let r = aggregate("t", &[with, without]);
+        assert_eq!(r.trials, 2);
+        assert_eq!(r.ber.n, 1, "decode-free trial excluded from BER");
+        assert_eq!(r.delivery_rate.n, 2, "but counted for delivery");
+        assert_eq!(r.pooled_packet_bers, vec![0.04]);
+    }
+}

@@ -21,6 +21,7 @@ use crate::engine::{
     Program, RoundMode, RxAction, RxIntent, SlotSpec, SlotTiming, TxIntent, TxSource,
 };
 use crate::topology::{nodes, GraphLink, LinkClass, TopologyGraph};
+use anc_channel::ImpairmentSpec;
 use anc_dsp::DspRng;
 use anc_frame::NodeId;
 use anc_netcode::schedule::{alice_bob_flows, chain_flows, crossing_router, x_topology_flows};
@@ -67,7 +68,7 @@ impl From<ScheduleError> for ScenarioError {
 }
 
 /// A declarative scenario: topology graph + traffic pattern.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize)]
 pub struct ScenarioSpec {
     /// Scenario name (reports, artifacts).
     pub name: String,
@@ -81,6 +82,12 @@ pub struct ScenarioSpec {
     /// seeded-metric tests pin that behavior; new scenarios normally
     /// leave this `false`.
     pub untagged_traditional_bers: bool,
+    /// Default time-varying channel/radio process for every link and
+    /// sender (Monte Carlo sweeps); per-link
+    /// [`crate::topology::GraphLink::impairment`] overrides beat it.
+    /// `None` (the default) keeps the paper's static per-run channel —
+    /// the golden seeded metrics pin that nothing changes.
+    pub impairments: Option<ImpairmentSpec>,
 }
 
 impl ScenarioSpec {
@@ -90,7 +97,15 @@ impl ScenarioSpec {
             graph,
             flows,
             untagged_traditional_bers: false,
+            impairments: None,
         }
+    }
+
+    /// Attaches a default impairment process to every link and sender
+    /// (see [`ImpairmentSpec`]); builder-style for sweep drivers.
+    pub fn with_impairments(mut self, spec: ImpairmentSpec) -> ScenarioSpec {
+        self.impairments = Some(spec);
+        self
     }
 
     /// The Fig.-1 Alice-Bob scenario (§11.4).
@@ -199,6 +214,7 @@ impl ScenarioSpec {
             track_history,
             slots,
             rounds,
+            impairments: self.impairments,
         })
     }
 
@@ -503,6 +519,29 @@ impl ScenarioSpec {
             .collect();
         rxs.sort_by_key(|r| r.receiver);
         rxs
+    }
+}
+
+// Hand-written so a missing `impairments` key reads as `None`: the
+// field arrived after ScenarioSpec's JSON shape was first published,
+// and the vendored derive would reject pre-impairment scenario
+// artifacts with a missing-field error instead of loading them.
+impl Deserialize for ScenarioSpec {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let serde::Value::Object(obj) = v else {
+            return Err(serde::Error::type_mismatch("object", v));
+        };
+        let get = |key: &str| obj.get(key).ok_or_else(|| serde::Error::missing_field(key));
+        Ok(ScenarioSpec {
+            name: Deserialize::from_value(get("name")?)?,
+            graph: Deserialize::from_value(get("graph")?)?,
+            flows: Deserialize::from_value(get("flows")?)?,
+            untagged_traditional_bers: Deserialize::from_value(get("untagged_traditional_bers")?)?,
+            impairments: match obj.get("impairments") {
+                None => None,
+                Some(v) => Deserialize::from_value(v)?,
+            },
+        })
     }
 }
 
@@ -874,12 +913,27 @@ mod tests {
 
     #[test]
     fn scenario_spec_serde_roundtrip() {
-        let spec = ScenarioSpec::x();
+        let spec =
+            ScenarioSpec::x().with_impairments(ImpairmentSpec::rayleigh_fading().with_cfo(0.01));
         let json = serde_json::to_string(&spec).unwrap();
         let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(back.name, spec.name);
         assert_eq!(back.flows, spec.flows);
         assert!(back.untagged_traditional_bers);
+        assert_eq!(back.impairments, spec.impairments);
+        assert!(back.compile(Scheme::Anc).is_ok());
+    }
+
+    #[test]
+    fn pre_impairment_scenario_json_still_loads() {
+        use serde::{Deserialize as _, Serialize as _};
+        let mut v = ScenarioSpec::x().to_value();
+        // The JSON shape published before the Monte Carlo layer.
+        if let serde::Value::Object(obj) = &mut v {
+            obj.remove("impairments");
+        }
+        let back = ScenarioSpec::from_value(&v).unwrap();
+        assert!(back.impairments.is_none());
         assert!(back.compile(Scheme::Anc).is_ok());
     }
 }

@@ -24,7 +24,7 @@
 //! count, and the scenario layer builds asymmetric-X and random-mesh
 //! graphs on the same primitives.
 
-use anc_channel::Link;
+use anc_channel::{ImpairmentSpec, Link};
 use anc_dsp::DspRng;
 use anc_frame::NodeId;
 use serde::{Deserialize, Serialize};
@@ -157,7 +157,7 @@ impl Deserialize for LinkClass {
 }
 
 /// One declarative link of a [`TopologyGraph`].
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Serialize)]
 pub struct GraphLink {
     /// Transmitting node (or one end, when symmetric).
     pub from: NodeId,
@@ -169,6 +169,18 @@ pub struct GraphLink {
     /// attenuation, independent phases — a line-of-sight model);
     /// directed links exist one way only.
     pub symmetric: bool,
+    /// Per-link time-varying channel process. `Some` **replaces** the
+    /// scenario-level default ([`crate::scenario::ScenarioSpec`]'s
+    /// `impairments`) entirely for this link's channel-level processes
+    /// (phase re-draw, Rayleigh fading) — attach
+    /// [`ImpairmentSpec::passive`] to opt one link *out* of a scenario
+    /// default. TX-side fields (CFO, timing jitter) of a per-link spec
+    /// are ignored: those processes belong to the *sender*, not to one
+    /// of its links, and always resolve from the scenario default.
+    /// `None` inherits the default; the engine realizes the effective
+    /// spec per packet exchange from dedicated `(seed, link,
+    /// exchange)` RNG streams.
+    pub impairment: Option<ImpairmentSpec>,
 }
 
 impl GraphLink {
@@ -179,6 +191,7 @@ impl GraphLink {
             to: b,
             class,
             symmetric: true,
+            impairment: None,
         }
     }
 
@@ -189,7 +202,38 @@ impl GraphLink {
             to,
             class,
             symmetric: false,
+            impairment: None,
         }
+    }
+
+    /// Attaches a per-link impairment process (overrides the scenario
+    /// default for this link only, both directions when symmetric).
+    pub fn with_impairment(mut self, spec: ImpairmentSpec) -> GraphLink {
+        self.impairment = Some(spec);
+        self
+    }
+}
+
+// Hand-written so a missing `impairment` key reads as `None`: the
+// field arrived after GraphLink's JSON shape was first published, and
+// the vendored derive would reject pre-impairment graph artifacts
+// with a missing-field error instead of loading them.
+impl Deserialize for GraphLink {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let serde::Value::Object(obj) = v else {
+            return Err(serde::Error::type_mismatch("object", v));
+        };
+        let get = |key: &str| obj.get(key).ok_or_else(|| serde::Error::missing_field(key));
+        Ok(GraphLink {
+            from: Deserialize::from_value(get("from")?)?,
+            to: Deserialize::from_value(get("to")?)?,
+            class: Deserialize::from_value(get("class")?)?,
+            symmetric: Deserialize::from_value(get("symmetric")?)?,
+            impairment: match obj.get("impairment") {
+                None => None,
+                Some(v) => Deserialize::from_value(v)?,
+            },
+        })
     }
 }
 
@@ -225,6 +269,35 @@ impl TopologyGraph {
             }
         }
         t
+    }
+
+    /// Resolves the effective per-direction impairment table under a
+    /// scenario-level `default`: `(from, to) → spec` for every declared
+    /// direction whose effective spec enables a **link-level** process.
+    /// A per-link override *replaces* the default for its link (so a
+    /// passive — or TX-only — override opts that link out of the
+    /// default's channel processes); effective entries with no
+    /// link-level process are dropped so the engine's hot path skips
+    /// them entirely. TX processes are per-sender and resolve from the
+    /// scenario default alone — see [`GraphLink::impairment`].
+    pub fn link_impairments(
+        &self,
+        default: Option<ImpairmentSpec>,
+    ) -> HashMap<(NodeId, NodeId), ImpairmentSpec> {
+        let mut out = HashMap::new();
+        for l in &self.links {
+            let Some(spec) = l.impairment.or(default) else {
+                continue;
+            };
+            if !spec.affects_link() {
+                continue;
+            }
+            out.insert((l.from, l.to), spec);
+            if l.symmetric {
+                out.insert((l.to, l.from), spec);
+            }
+        }
+        out
     }
 
     /// `true` when a (directed) link is declared from `from` to `to`.
@@ -502,6 +575,71 @@ mod tests {
             let back = LinkClass::from_value(&v).unwrap();
             assert_eq!(back, class);
         }
+    }
+
+    #[test]
+    fn link_impairment_resolution() {
+        let mut g = TopologyGraph::alice_bob();
+        let over = ImpairmentSpec::rayleigh_fading();
+        g.links[1] = g.links[1].with_impairment(over);
+        // No default: only the override is active, both directions.
+        let t = g.link_impairments(None);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[&(BOB, ROUTER)], over);
+        assert_eq!(t[&(ROUTER, BOB)], over);
+        assert!(!t.contains_key(&(ALICE, ROUTER)));
+        // Default fills the rest; overrides still win.
+        let def = ImpairmentSpec::phase_redraw();
+        let t = g.link_impairments(Some(def));
+        assert_eq!(t.len(), 4);
+        assert_eq!(t[&(ALICE, ROUTER)], def);
+        assert_eq!(t[&(BOB, ROUTER)], over);
+        // A TX-only default has no link-level effect.
+        let tx_only = ImpairmentSpec::default().with_cfo(0.01);
+        assert!(TopologyGraph::chain()
+            .link_impairments(Some(tx_only))
+            .is_empty());
+        // A passive per-link override opts its link *out* of the
+        // default (replacement semantics, not merge).
+        let mut g = TopologyGraph::alice_bob();
+        g.links[0] = g.links[0].with_impairment(ImpairmentSpec::passive());
+        let t = g.link_impairments(Some(ImpairmentSpec::rayleigh_fading()));
+        assert!(!t.contains_key(&(ALICE, ROUTER)), "opted out");
+        assert!(t.contains_key(&(BOB, ROUTER)), "default still applies");
+    }
+
+    #[test]
+    fn pre_impairment_graph_json_still_loads() {
+        use serde::{Deserialize as _, Serialize as _};
+        let g = TopologyGraph::x();
+        let mut v = g.to_value();
+        // Strip the `impairment` key from every link — the JSON shape
+        // published before the Monte Carlo layer existed.
+        if let serde::Value::Object(obj) = &mut v {
+            if let Some(serde::Value::Array(links)) = obj.get_mut("links") {
+                for l in links {
+                    if let serde::Value::Object(lo) = l {
+                        lo.remove("impairment");
+                    }
+                }
+            }
+        }
+        let back = TopologyGraph::from_value(&v).unwrap();
+        assert_eq!(back.links.len(), g.links.len());
+        assert!(back.links.iter().all(|l| l.impairment.is_none()));
+    }
+
+    #[test]
+    fn graph_link_impairment_serde_roundtrip() {
+        let g = TopologyGraph {
+            name: "imp".to_string(),
+            node_ids: vec![1, 2],
+            links: vec![GraphLink::sym(1, 2, LinkClass::Main)
+                .with_impairment(ImpairmentSpec::rayleigh_fading().with_jitter(4.0))],
+        };
+        let json = serde_json::to_string(&g).unwrap();
+        let back: TopologyGraph = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.links[0].impairment, g.links[0].impairment);
     }
 
     #[test]
