@@ -1,0 +1,131 @@
+//! Closed-loop throughput vs offered load — the system-level axis of
+//! the paper's Figs. 9/10 (flow throughput as sources push harder),
+//! run with the MAC/ARQ layer on: per-flow queues, Poisson arrivals,
+//! bounded retransmissions with backoff, §7.6 implicit-ACK
+//! suppression, and carrier-sense serialization of partial contender
+//! sets.
+//!
+//! Covers the three paper topologies (Alice-Bob, "X", chain) plus the
+//! post-paper parking-lot and random-mesh scenarios, each under ANC
+//! and traditional routing (and COPE where the flow shape supports
+//! it). The saturation stats at the bottom are the Fig. 9/10 headline:
+//! at saturated offered load ANC out-throughputs traditional routing,
+//! ≈ 1.7× on Alice-Bob.
+//!
+//! ```text
+//! cargo run --release -p anc-bench --bin throughput_vs_load -- --quick
+//! cargo run --release -p anc-bench --bin throughput_vs_load -- --json load.json
+//! ```
+
+use anc_bench::{emit, from_env};
+use anc_netcode::{ArqConfig, Scheme};
+use anc_sim::experiments::{saturated_throughput, throughput_vs_load, LoadSweepConfig};
+use anc_sim::report::{ExperimentReport, FigureSeries};
+use anc_sim::runs::RunConfig;
+use anc_sim::{MeshConfig, ScenarioSpec};
+
+fn main() {
+    let args = from_env();
+    let base = RunConfig {
+        seed: args.seed,
+        // Each run's arrivals are capped at packets_per_flow; the
+        // closed loop then drains the queues, so a run is a bit longer
+        // than its open-loop counterpart. A third of the figure
+        // binaries' packet budget keeps the 13-combo sweep inside one
+        // figure's wall clock.
+        packets_per_flow: (args.packets / 3).max(10),
+        payload_bits: args.payload_bits,
+        ..RunConfig::default()
+    };
+    let runs_per_point = (args.runs / 4).max(2);
+    let arq = ArqConfig::default();
+    let sweep_cfg = LoadSweepConfig {
+        base: base.clone(),
+        loads: vec![0.2, 0.4, 0.6, 0.8, 1.0, 1.2],
+        arq,
+        runs_per_point,
+        threads: args.threads,
+    };
+
+    let mut report = ExperimentReport::new("throughput_vs_load");
+    report
+        .param("runs_per_point", runs_per_point as f64)
+        .param("packets_per_flow", base.packets_per_flow as f64)
+        .param("payload_bits", args.payload_bits as f64)
+        .param("max_retries", arq.max_retries as f64)
+        .param("seed", args.seed as f64);
+
+    let mesh = ScenarioSpec::random_mesh(&MeshConfig {
+        seed: args.seed,
+        ..MeshConfig::default()
+    })
+    .expect("default mesh is schedulable");
+    let topologies: Vec<(ScenarioSpec, Vec<Scheme>)> = vec![
+        (
+            ScenarioSpec::alice_bob(),
+            vec![Scheme::Anc, Scheme::Traditional, Scheme::Cope],
+        ),
+        (
+            ScenarioSpec::x(),
+            vec![Scheme::Anc, Scheme::Traditional, Scheme::Cope],
+        ),
+        (
+            ScenarioSpec::chain(),
+            vec![Scheme::Anc, Scheme::Traditional],
+        ),
+        (
+            ScenarioSpec::parking_lot(4),
+            vec![Scheme::Anc, Scheme::Traditional],
+        ),
+        (mesh, vec![Scheme::Anc, Scheme::Traditional, Scheme::Cope]),
+    ];
+
+    for (spec, schemes) in &topologies {
+        for &scheme in schemes {
+            let pts = throughput_vs_load(spec, scheme, &sweep_cfg)
+                .expect("validated scenario × scheme combination");
+            report.push_series(FigureSeries::sweep(
+                &format!("{}_{}_throughput_vs_load", spec.name, scheme.name()),
+                "offered_load",
+                &[
+                    "goodput_bits_per_sample",
+                    "delivery_rate",
+                    "mean_latency_samples",
+                    "retransmissions_per_packet",
+                    "dropped",
+                ],
+                pts.iter()
+                    .map(|p| {
+                        vec![
+                            p.offered_load,
+                            p.goodput_bits_per_sample,
+                            p.delivery_rate,
+                            p.mean_latency_samples,
+                            p.retransmissions_per_packet,
+                            p.dropped as f64,
+                        ]
+                    })
+                    .collect(),
+            ));
+        }
+        // The Fig. 9/10 headline: throughput ratios at saturation.
+        let sat = |scheme| {
+            saturated_throughput(spec, scheme, arq, &base, runs_per_point, args.threads)
+                .expect("validated scenario × scheme combination")
+        };
+        let anc = sat(Scheme::Anc);
+        let trad = sat(Scheme::Traditional);
+        report.stat(
+            &format!("{}_saturation_gain_over_traditional", spec.name),
+            anc / trad,
+        );
+        if schemes.contains(&Scheme::Cope) {
+            report.stat(
+                &format!("{}_saturation_gain_over_cope", spec.name),
+                anc / sat(Scheme::Cope),
+            );
+        }
+    }
+
+    emit(&report, &args);
+}

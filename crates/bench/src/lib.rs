@@ -10,6 +10,7 @@
 //! | `fig12_chain`     | Fig. 12a/12b chain topology CDFs |
 //! | `fig13_sir_sweep` | Fig. 13 BER vs SIR |
 //! | `fig14_ber_curves`| Fig.-14-style Monte Carlo BER/SIR/CFO curves |
+//! | `throughput_vs_load` | closed-loop MAC/ARQ throughput vs offered load |
 //! | `summary_table`   | §11.3 summary of results |
 //! | `ablations`       | DESIGN.md §5 design-choice ablations |
 //!

@@ -58,7 +58,9 @@ pub struct ImpairmentSpec {
     pub cfo_max: f64,
     /// Per-sender timing-jitter bound in samples; each exchange the
     /// sender's transmission start slips by a uniform draw in
-    /// `[0, jitter_max]` (scheduling and ramp-up slop, §7.2).
+    /// `[-jitter_max, jitter_max]` (scheduling and ramp-up slop,
+    /// §7.2/§11.4 — a slip can arrive *early* as well as late; the
+    /// engine saturates an early slip at the slot origin).
     pub jitter_max: f64,
 }
 
@@ -80,7 +82,7 @@ pub struct TxImpairment {
     /// Residual carrier-frequency offset for this exchange
     /// (rad/sample).
     pub cfo: f64,
-    /// Start-time slip for this exchange (samples).
+    /// Start-time slip for this exchange (samples; negative = early).
     pub jitter_samples: f64,
 }
 
@@ -178,9 +180,10 @@ impl ImpairmentSpec {
             return TxImpairment::default();
         }
         let mut rng = DspRng::from_path(seed, &[NODE_STREAM_DOMAIN, node, packet]);
-        // Fixed draw layout — CFO, then jitter.
+        // Fixed draw layout — CFO, then jitter. Both are signed: a
+        // timing slip arrives early as often as late.
         let u_cfo = rng.uniform_range(-1.0, 1.0);
-        let u_jit = rng.uniform();
+        let u_jit = rng.uniform_range(-1.0, 1.0);
         TxImpairment {
             cfo: u_cfo * self.cfo_max,
             jitter_samples: u_jit * self.jitter_max,
@@ -267,13 +270,28 @@ mod tests {
         for p in 0..500 {
             let t = spec.tx_process(5, 9, p);
             assert!(t.cfo.abs() <= 0.05);
-            assert!((0.0..=16.0).contains(&t.jitter_samples));
+            assert!(t.jitter_samples.abs() <= 16.0);
         }
         // The bounds are actually exercised, not stuck at zero.
         let spread: f64 = (0..500)
             .map(|p| spec.tx_process(5, 9, p).cfo.abs())
             .fold(0.0, f64::max);
         assert!(spread > 0.02);
+    }
+
+    #[test]
+    fn jitter_slips_both_early_and_late() {
+        // The timing slip is signed: over many exchanges both signs
+        // occur, and the mean sits near zero (no systematic lateness).
+        let spec = ImpairmentSpec::default().with_jitter(8.0);
+        let draws: Vec<f64> = (0..2000)
+            .map(|p| spec.tx_process(3, 1, p).jitter_samples)
+            .collect();
+        let early = draws.iter().filter(|&&j| j < 0.0).count();
+        let late = draws.iter().filter(|&&j| j > 0.0).count();
+        assert!(early > 600 && late > 600, "early {early} late {late}");
+        let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+        assert!(mean.abs() < 0.5, "mean slip {mean}");
     }
 
     #[test]

@@ -100,13 +100,16 @@ impl RunningStats {
 
 /// Linear-interpolated percentile of a sample set, `p` in `[0, 100]`.
 ///
-/// Returns NaN for an empty slice.
+/// NaN samples are ignored — pooled per-packet BER vectors carry NaN
+/// sentinels for packets that never decoded, and a summary percentile
+/// must neither panic on them nor let them land somewhere in the sort
+/// order. Returns NaN when no non-NaN sample remains.
 pub fn percentile(samples: &[f64], p: f64) -> f64 {
-    if samples.is_empty() {
+    let mut sorted: Vec<f64> = samples.iter().copied().filter(|x| !x.is_nan()).collect();
+    if sorted.is_empty() {
         return f64::NAN;
     }
-    let mut sorted: Vec<f64> = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    sorted.sort_by(f64::total_cmp);
     let p = p.clamp(0.0, 100.0);
     if sorted.len() == 1 {
         return sorted[0];
@@ -131,7 +134,7 @@ impl Cdf {
     /// Builds a CDF from samples (NaNs are dropped).
     pub fn from_samples(samples: &[f64]) -> Self {
         let mut sorted: Vec<f64> = samples.iter().copied().filter(|x| !x.is_nan()).collect();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
+        sorted.sort_by(f64::total_cmp);
         Cdf { sorted }
     }
 
@@ -268,6 +271,19 @@ mod tests {
     fn percentile_edge_cases() {
         assert!(percentile(&[], 50.0).is_nan());
         assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    fn percentile_ignores_nan_sentinels() {
+        // Pooled per-packet BER vectors mark never-decoded packets
+        // with NaN; the percentile must skip them, not panic or
+        // mis-sort.
+        let clean = [1.0, 2.0, 3.0, 4.0];
+        let dirty = [f64::NAN, 1.0, 2.0, f64::NAN, 3.0, 4.0, f64::NAN];
+        for p in [0.0, 25.0, 50.0, 90.0, 100.0] {
+            assert_eq!(percentile(&dirty, p), percentile(&clean, p), "p={p}");
+        }
+        assert!(percentile(&[f64::NAN, f64::NAN], 50.0).is_nan());
     }
 
     #[test]

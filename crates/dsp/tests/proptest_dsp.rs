@@ -126,6 +126,27 @@ proptest! {
         prop_assert!((lo - min).abs() < 1e-9 && (hi - max).abs() < 1e-9);
     }
 
+    /// NaN sentinels in a sample vector (never-decoded packets in a
+    /// pooled BER series) are invisible to the percentile: no panic,
+    /// and the result equals the percentile of the filtered vector.
+    #[test]
+    fn percentile_nan_sentinels_are_ignored(
+        xs in proptest::collection::vec(-1e3f64..1e3, 1..60),
+        nan_every in 1usize..5,
+        p in 0.0f64..100.0,
+    ) {
+        let mut dirty = Vec::new();
+        for (i, &x) in xs.iter().enumerate() {
+            if i % nan_every == 0 {
+                dirty.push(f64::NAN);
+            }
+            dirty.push(x);
+        }
+        let got = percentile(&dirty, p);
+        let want = percentile(&xs, p);
+        prop_assert!(got.to_bits() == want.to_bits(), "{got} vs {want}");
+    }
+
     /// CDF quantile and fraction_le are near-inverse.
     #[test]
     fn cdf_quantile_inverse(xs in proptest::collection::vec(0.0f64..100.0, 5..100)) {

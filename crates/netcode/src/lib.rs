@@ -17,12 +17,20 @@
 //! topologies are canonical instances — and the simulator executes the
 //! derived plans literally: transmissions, channels and demodulation
 //! included.
+//!
+//! [`arq`] closes the loop: per-flow packet queues with configurable
+//! offered load, bounded retransmissions with exponential backoff, and
+//! the §7.6 implicit-ACK suppression rule, packaged as the
+//! [`arq::DynamicScheduler`] the simulation engine consults each slot
+//! period instead of replaying a static plan.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arq;
 pub mod cope;
 pub mod schedule;
 
+pub use arq::{ArqConfig, ArqVerdict, DynamicScheduler, FlowArqStats, TrafficModel};
 pub use cope::CopeCoder;
 pub use schedule::{derive_plan, FlowSpec, ScheduleError, Scheme, SlotPlan, SlotStep};

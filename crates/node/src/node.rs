@@ -40,6 +40,11 @@ pub struct NodeConfig {
     pub mac: MacConfig,
     /// Sent/overheard packet buffer capacity (§7.3).
     pub buffer_capacity: usize,
+    /// Front-end oversampling factor: complex samples per bit-time in
+    /// both TX and RX chains (1 = the paper's symbol-rate processing).
+    /// MAC delay draws convert bit-times through this factor so slot
+    /// stagger stays in sample units whatever the radio's rate.
+    pub samples_per_symbol: usize,
 }
 
 impl NodeConfig {
@@ -51,6 +56,7 @@ impl NodeConfig {
             decoder: DecoderConfig::default(),
             mac: MacConfig::default(),
             buffer_capacity: 64,
+            samples_per_symbol: 1,
         }
     }
 }
@@ -109,8 +115,8 @@ impl Node {
             policy: RouterPolicy::new(),
             buffer: SentPacketBuffer::new(cfg.buffer_capacity),
             front_end: FrontEnd::default(),
-            tx: TxChain::new(cfg.decoder.frame),
-            rx: RxChain::new(cfg.decoder),
+            tx: TxChain::with_oversampling(cfg.decoder.frame, cfg.samples_per_symbol),
+            rx: RxChain::with_oversampling(cfg.decoder, cfg.samples_per_symbol),
             mac: TriggerMac::new(cfg.mac, rng),
             tx_queue: VecDeque::new(),
             delivered: Vec::new(),
@@ -205,6 +211,13 @@ impl Node {
         self.mac.draw_delay(samples_per_bit)
     }
 
+    /// On-air samples per bit-time of this node's radio — the factor
+    /// MAC delay draws must be scaled by (see
+    /// [`crate::phy::TxChain::samples_per_bit`]).
+    pub fn samples_per_bit(&self) -> usize {
+        self.tx.samples_per_bit()
+    }
+
     /// Accepts a frame destined to this node.
     pub fn deliver(&mut self, frame: Frame) {
         self.delivered.push(frame);
@@ -276,6 +289,32 @@ mod tests {
         let mut n = node(2);
         n.deliver(Frame::new(Header::new(1, 2, 0, 0), vec![true]));
         assert_eq!(n.delivered.len(), 1);
+    }
+
+    #[test]
+    fn oversampled_node_reports_and_scales_its_stagger() {
+        // The MAC delay draw must be fed the node's real front-end
+        // rate: an oversampled radio's stagger, in samples, is the
+        // symbol-rate draw scaled by the oversampling factor (modulo
+        // rounding of the Gaussian jitter term).
+        let mut base = node(1);
+        let mut over = Node::new(
+            NodeConfig {
+                samples_per_symbol: 4,
+                ..NodeConfig::new(1, NodeRole::Endpoint)
+            },
+            DspRng::seed_from(1),
+        );
+        assert_eq!(base.samples_per_bit(), 1);
+        assert_eq!(over.samples_per_bit(), 4);
+        for _ in 0..50 {
+            let d1 = base.draw_delay(base.samples_per_bit());
+            let d4 = over.draw_delay(over.samples_per_bit());
+            assert!(
+                (d4 as i64 - 4 * d1 as i64).abs() <= 4,
+                "stagger not proportional to samples-per-bit: {d1} vs {d4}"
+            );
+        }
     }
 
     #[test]

@@ -15,7 +15,7 @@ use anc_dsp::lfsr::pilot_sequence;
 use anc_dsp::Cplx;
 use anc_frame::header::HEADER_BITS;
 use anc_frame::{Frame, FrameConfig, Header, PacketKey, SentPacketBuffer};
-use anc_modem::{Modem, MskModem};
+use anc_modem::{Modem, MskConfig, MskModem};
 
 /// The transmitter side of Fig. 8: Framer → Modulator.
 #[derive(Debug, Clone)]
@@ -25,17 +25,34 @@ pub struct TxChain {
 }
 
 impl TxChain {
-    /// Creates a TX chain with the given frame layout.
+    /// Creates a TX chain with the given frame layout (symbol-rate
+    /// front end, one sample per bit).
     pub fn new(frame_cfg: FrameConfig) -> Self {
+        TxChain::with_oversampling(frame_cfg, 1)
+    }
+
+    /// Creates a TX chain whose front end emits `samples_per_symbol`
+    /// complex samples per bit (an oversampled radio).
+    ///
+    /// # Panics
+    /// Panics if `samples_per_symbol == 0`.
+    pub fn with_oversampling(frame_cfg: FrameConfig, samples_per_symbol: usize) -> Self {
         TxChain {
             frame_cfg,
-            modem: MskModem::default(),
+            modem: MskModem::new(MskConfig::oversampled(samples_per_symbol)),
         }
     }
 
     /// The frame configuration in use.
     pub fn frame_config(&self) -> &FrameConfig {
         &self.frame_cfg
+    }
+
+    /// On-air samples per bit-time — the unit conversion MAC delay
+    /// draws must use so staggering stays in sample units whatever the
+    /// front end's oversampling factor.
+    pub fn samples_per_bit(&self) -> usize {
+        self.modem.config().samples_per_symbol
     }
 
     /// Serializes and modulates a frame into baseband samples.
@@ -119,12 +136,22 @@ pub struct RxChain {
 }
 
 impl RxChain {
-    /// Creates an RX chain.
+    /// Creates an RX chain (symbol-rate, matching [`TxChain::new`]).
     pub fn new(cfg: DecoderConfig) -> Self {
+        RxChain::with_oversampling(cfg, 1)
+    }
+
+    /// Creates an RX chain whose demodulator expects
+    /// `samples_per_symbol` samples per bit, matching an oversampled
+    /// [`TxChain::with_oversampling`] front end.
+    ///
+    /// # Panics
+    /// Panics if `samples_per_symbol == 0`.
+    pub fn with_oversampling(cfg: DecoderConfig, samples_per_symbol: usize) -> Self {
         RxChain {
             decoder: AncDecoder::new(cfg),
             frame_cfg: cfg.frame,
-            modem: MskModem::default(),
+            modem: MskModem::new(MskConfig::oversampled(samples_per_symbol)),
             scratch: DecoderScratch::default(),
         }
     }

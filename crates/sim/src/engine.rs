@@ -38,18 +38,23 @@
 //!   pre-impairment engine, which the golden tests pin) and trial
 //!   order can never change a draw.
 
-use crate::metrics::RunMetrics;
+use crate::metrics::{FlowMetrics, RunMetrics};
 use crate::runs::RunConfig;
 use crate::topology::{Topology, TopologyGraph};
 use anc_channel::fault::{CarrierOffset, Impairment};
 use anc_channel::{AmplifyForward, ImpairmentSpec, Medium, TransmissionRef};
 use anc_dsp::{Cplx, DspRng};
-use anc_frame::{Frame, Header, NodeId};
+use anc_frame::{Frame, Header, NodeId, PacketKey};
 use anc_modem::ber::ber;
-use anc_netcode::{CopeCoder, FlowSpec, Scheme};
+use anc_netcode::{ArqConfig, ArqVerdict, CopeCoder, DynamicScheduler, FlowSpec, Scheme};
 use anc_node::phy::RxEvent;
 use anc_node::{Node, NodeConfig, NodeRole};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+
+/// Stream-path domain tag of the closed-loop traffic-arrival RNG —
+/// derived via [`DspRng::from_path`] so enabling ARQ consumes nothing
+/// from the open-loop streams (ARQ off stays bit-identical).
+const TRAFFIC_STREAM_DOMAIN: u64 = 0x414E_435F_5452_4631; // "ANC_TRF1"
 
 /// Index of a flow within a [`Program`].
 pub type FlowId = usize;
@@ -217,6 +222,19 @@ pub struct Program {
     /// per-sender and come from this default only. `None` = the
     /// paper's static per-run channel.
     pub impairments: Option<ImpairmentSpec>,
+    /// Closed-loop MAC/ARQ layer (§7.6/§11): `Some` switches the
+    /// engine from replaying the fixed slot sequence to consulting a
+    /// [`DynamicScheduler`] each slot period — per-flow queues with
+    /// the configured offered load, bounded retransmissions with
+    /// backoff, implicit-ACK suppression, and carrier-sense
+    /// serialization of partial contender sets. `None` (the default)
+    /// is the open-loop engine, bit-identical to the golden runs.
+    pub arq: Option<ArqConfig>,
+    /// Per-flow serialized fallback slot sequences (closed loop only;
+    /// empty otherwise): the clean store-and-forward path a lone
+    /// contender uses when the trigger protocol is carrier-sense-gated
+    /// because the other flow is idle or backing off.
+    pub solo_slots: Vec<Vec<SlotSpec>>,
 }
 
 /// A transmission scheduled into the engine's event queue: the
@@ -282,7 +300,37 @@ pub struct Engine<'p> {
     /// one packet exchange) and every draw is reproducible from
     /// `(seed, link/node, exchange)` alone.
     exchange: u64,
+    /// Closed-loop MAC/ARQ state (`Some` iff `program.arq` is). The
+    /// open-loop path never touches it.
+    cl: Option<ClosedLoop>,
     metrics: RunMetrics,
+}
+
+/// Runtime state of the closed-loop MAC/ARQ layer.
+struct ClosedLoop {
+    /// Queue + ARQ state machine the engine consults each period.
+    sched: DynamicScheduler,
+    /// Traffic-arrival stream (path-keyed; see
+    /// [`TRAFFIC_STREAM_DOMAIN`]).
+    traffic_rng: DspRng,
+    /// Queued frames per flow, aligned one-to-one with the scheduler's
+    /// timestamp queues (the head is the packet in service).
+    queues: Vec<VecDeque<Frame>>,
+    /// The head frame staged for this attempt; `TxSource::SourceFrame`
+    /// consumes it (exactly once per attempt, including across the
+    /// drain passes of chain programs).
+    pending_tx: Vec<Option<Frame>>,
+    /// Per-serve outcome: the relay's forward copy fired (the §7.6
+    /// implicit ACK).
+    forwarded: Vec<bool>,
+    /// Per-serve outcome: the destination decoded the packet.
+    delivered_now: Vec<bool>,
+    /// Keys delivered during the current serve (batched chain service
+    /// completes several pipelined packets per period, possibly out of
+    /// order when an older one dies mid-pipeline).
+    delivered_keys: Vec<PacketKey>,
+    /// Per-flow ledgers flushed into [`RunMetrics::flows`] at the end.
+    ledger: Vec<FlowMetrics>,
 }
 
 impl<'p> Engine<'p> {
@@ -302,6 +350,7 @@ impl<'p> Engine<'p> {
             let mut ncfg = NodeConfig::new(id, role);
             ncfg.mac = cfg.mac;
             ncfg.decoder.detector.noise_floor = cfg.noise_power;
+            ncfg.samples_per_symbol = cfg.samples_per_symbol.max(1);
             let mut node = Node::new(ncfg, rng.fork(100 + i as u64));
             for &(f1, f2) in &program.flow_pairs {
                 node.policy.add_flow_pair(f1, f2);
@@ -346,6 +395,24 @@ impl<'p> Engine<'p> {
             link_impairments: program.graph.link_impairments(program.impairments),
             tx_impairments: program.impairments.filter(|s| s.affects_tx()),
             exchange: 0,
+            cl: program.arq.map(|arq| {
+                let n = program.flows.len();
+                ClosedLoop {
+                    sched: DynamicScheduler::new(n, arq),
+                    traffic_rng: DspRng::from_path(cfg.seed, &[TRAFFIC_STREAM_DOMAIN]),
+                    queues: vec![VecDeque::new(); n],
+                    pending_tx: vec![None; n],
+                    forwarded: vec![false; n],
+                    delivered_now: vec![false; n],
+                    delivered_keys: Vec::new(),
+                    ledger: (0..n)
+                        .map(|flow| FlowMetrics {
+                            flow,
+                            ..FlowMetrics::default()
+                        })
+                        .collect(),
+                }
+            }),
             metrics: RunMetrics::new(program.scheme),
         }
     }
@@ -363,6 +430,10 @@ impl<'p> Engine<'p> {
     }
 
     fn execute(&mut self) {
+        if self.cl.is_some() {
+            self.execute_closed_loop();
+            return;
+        }
         match self.program.rounds {
             RoundMode::PerPacket => {
                 for _ in 0..self.cfg.packets_per_flow {
@@ -380,24 +451,34 @@ impl<'p> Engine<'p> {
             f.round_frame = None;
         }
         self.heard.clear();
+        let program = self.program;
         let mut any = false;
-        for idx in 0..self.program.slots.len() {
-            any |= self.run_slot(idx);
+        for slot in &program.slots {
+            any |= self.run_slot(slot);
         }
         self.exchange += 1;
+        any
+    }
+
+    /// Runs a slot list once (no per-period state reset); `true` if
+    /// anything transmitted.
+    fn run_slots_once(&mut self, slots: &'p [SlotSpec]) -> bool {
+        let mut any = false;
+        for slot in slots {
+            any |= self.run_slot(slot);
+        }
         any
     }
 
     /// Executes one slot: fire the transmit intents into the event
     /// queue, advance the clock by the slot span, then drain the
     /// queue into each receive intent's superposition window.
-    fn run_slot(&mut self, idx: usize) -> bool {
+    fn run_slot(&mut self, slot: &'p SlotSpec) -> bool {
         self.slot_frames.clear();
         self.events.clear();
-        let timing = self.program.slots[idx].timing;
-        for t in 0..self.program.slots[idx].txs.len() {
-            let intent = self.program.slots[idx].txs[t].clone();
-            self.fire_tx(&intent, timing);
+        let timing = slot.timing;
+        for intent in &slot.txs {
+            self.fire_tx(intent, timing);
         }
         if self.events.is_empty() {
             // Nothing had anything to send: the slot does not occupy
@@ -416,11 +497,295 @@ impl<'p> Engine<'p> {
             SlotTiming::Scheduled => span as f64 + guard + self.cfg.turnaround_bits as f64,
         };
         self.metrics.account.tick(tick);
-        for r in 0..self.program.slots[idx].rxs.len() {
-            let intent = self.program.slots[idx].rxs[r].clone();
-            self.handle_rx(&intent, span);
+        for intent in &slot.rxs {
+            self.handle_rx(intent, span);
         }
         true
+    }
+
+    /// The closed-loop driver (`program.arq` set): each slot period,
+    /// draw traffic arrivals, consult the [`DynamicScheduler`] for the
+    /// contender set, serve it — the full (trigger-elicited) program
+    /// when every flow contends, serialized per-flow store-and-forward
+    /// fallbacks otherwise (carrier sense) — then settle ACKs,
+    /// implicit ACKs, backoffs and drops.
+    fn execute_closed_loop(&mut self) {
+        let program = self.program;
+        let arq = program.arq.expect("closed-loop execution requires ARQ");
+        let nflows = program.flows.len();
+        let spb = self.cfg.samples_per_symbol.max(1);
+        let cap = self.cfg.packets_per_flow;
+        // The full program is multi-sender only for coding schemes; an
+        // optimal-MAC traditional program is already serialized, and a
+        // single flow (chain) always runs its own program.
+        let full_program_when_all = nflows == 1 || program.scheme != Scheme::Traditional;
+        // Hard stop so a scheduling bug can never hang a sweep: every
+        // packet completes within 1 + max_retries attempts, each
+        // attempt costs at most backoff_cap + 2 periods of medium or
+        // idle time, and flows serialize in the worst case.
+        // Pipelined (UntilIdle) chain programs serve a *batch* of
+        // packets per period — one injected per pass, Go-Back-N style
+        // — so the pipeline keeps its one-packet-per-two-slots cadence
+        // under ARQ instead of degrading to stop-and-wait. Crossing
+        // pairs exchange one packet per flow per period (window 1).
+        let window = if program.rounds == RoundMode::UntilIdle && nflows == 1 {
+            3 * program.flows[0].route.len().saturating_sub(1).max(1)
+        } else {
+            1
+        };
+        let backlog = match arq.traffic {
+            anc_netcode::TrafficModel::FixedBacklog { packets } => packets,
+            _ => cap,
+        } as u64;
+        let max_periods = (backlog.max(1))
+            .saturating_mul(nflows.max(1) as u64)
+            .saturating_mul(2 + arq.max_retries as u64)
+            .saturating_mul(3 + arq.backoff_cap_periods)
+            .saturating_add(64);
+        let mut period: u64 = 0;
+        while period < max_periods {
+            // --- Arrivals: frames enter the per-flow queues. ---
+            let now = self.metrics.account.time_samples;
+            let arrived: Vec<usize> = {
+                let cl = self.cl.as_mut().expect("closed-loop state");
+                let ClosedLoop {
+                    sched, traffic_rng, ..
+                } = cl;
+                (0..nflows)
+                    .map(|f| sched.offer(f, period, now, cap, window, || traffic_rng.uniform()))
+                    .collect()
+            };
+            for (f, &n) in arrived.iter().enumerate() {
+                for _ in 0..n {
+                    let (src, dst) = (program.flows[f].src, program.flows[f].dst);
+                    let frame = self.make_frame(src, dst);
+                    self.cl.as_mut().expect("closed-loop state").queues[f].push_back(frame);
+                }
+            }
+            // --- Decide: who contends this period? ---
+            let contenders = {
+                let cl = self.cl.as_ref().expect("closed-loop state");
+                cl.sched.contenders(period)
+            };
+            if contenders.is_empty() {
+                let cl = self.cl.as_ref().expect("closed-loop state");
+                let finished = cl.sched.all_drained()
+                    && (0..nflows).all(|f| cl.sched.source_exhausted(f, period, cap));
+                if finished {
+                    break;
+                }
+                // Everyone idle or backing off: the medium sits silent
+                // for one MAC slot; fading keeps evolving.
+                self.metrics
+                    .account
+                    .tick((self.cfg.mac.slot_bits * spb) as f64);
+                self.exchange += 1;
+                period += 1;
+                continue;
+            }
+            // --- Serve: the trigger protocol fires only when every
+            // flow contends; otherwise carrier sense serializes the
+            // ready flows through their store-and-forward fallbacks.
+            let serve_sets: Vec<Vec<usize>> = if contenders.len() == nflows && full_program_when_all
+            {
+                vec![contenders]
+            } else {
+                contenders.into_iter().map(|f| vec![f]).collect()
+            };
+            for set in &serve_sets {
+                let slots: &'p [SlotSpec] = if set.len() == nflows && full_program_when_all {
+                    &program.slots
+                } else {
+                    &program.solo_slots[set[0]]
+                };
+                {
+                    let cl = self.cl.as_mut().expect("closed-loop state");
+                    cl.forwarded.iter_mut().for_each(|b| *b = false);
+                    cl.delivered_now.iter_mut().for_each(|b| *b = false);
+                    cl.delivered_keys.clear();
+                    for &f in set {
+                        cl.sched.begin_attempt(f);
+                        let head = cl.queues[f].front().expect("ready flow has a head");
+                        cl.pending_tx[f] = Some(head.clone());
+                    }
+                }
+                for f in &mut self.flows {
+                    f.round_frame = None;
+                }
+                self.heard.clear();
+                match program.rounds {
+                    RoundMode::PerPacket => {
+                        self.run_slots_once(slots);
+                        self.exchange += 1;
+                        self.settle_attempts(set, period, &arq, spb);
+                    }
+                    RoundMode::UntilIdle => {
+                        // Pipelined chain: inject up to `window` queued
+                        // packets, one per pass (the pipeline's natural
+                        // cadence), then drain the batch to quiescence
+                        // before judging outcomes. Go-Back-N flavored:
+                        // only the head carries ARQ attempt state;
+                        // younger packets ride along uncharged.
+                        let f = set[0];
+                        let mut injected: Vec<PacketKey> = {
+                            let cl = self.cl.as_ref().expect("closed-loop state");
+                            vec![cl.queues[f].front().expect("staged head").header.key()]
+                        };
+                        loop {
+                            let fired = self.run_slots_once(slots);
+                            self.exchange += 1;
+                            if !fired {
+                                break;
+                            }
+                            let cl = self.cl.as_mut().expect("closed-loop state");
+                            if injected.len() < window {
+                                if let Some(frame) = cl.queues[f].get(injected.len()) {
+                                    injected.push(frame.header.key());
+                                    cl.pending_tx[f] = Some(frame.clone());
+                                }
+                            }
+                        }
+                        self.settle_chain(f, &injected, period, &arq, spb);
+                    }
+                }
+            }
+            period += 1;
+        }
+        self.flush_closed_loop();
+    }
+
+    /// Settles one served contender set: ACK (explicit or the §7.6
+    /// implicit forward copy), residual-loss accounting, backoff, and
+    /// retry-exhaustion drops.
+    fn settle_attempts(&mut self, set: &[usize], period: u64, arq: &ArqConfig, spb: usize) {
+        let now = self.metrics.account.time_samples;
+        for &f in set {
+            let cl = self.cl.as_mut().expect("closed-loop state");
+            cl.pending_tx[f] = None;
+            if cl.delivered_now[f] {
+                // End-to-end success. The forward copy doubles as the
+                // ACK on broadcast paths (§7.6); serialized unicasts
+                // pay the explicit link-layer ACK's airtime.
+                let latency = cl.sched.ack(f, now);
+                cl.queues[f].pop_front().expect("acked head exists");
+                cl.ledger[f].delivered += 1;
+                cl.ledger[f].latency_samples.push(latency);
+                let implicit = cl.forwarded[f];
+                if !implicit {
+                    self.metrics.account.tick((arq.ack_bits * spb) as f64);
+                }
+            } else if cl.forwarded[f] {
+                // The relay's forward copy was overheard, so the
+                // sender suppresses the retransmission (§7.6) even
+                // though the final decode failed — the residual loss
+                // stands, exactly as in the open-loop accounting.
+                cl.sched.ack(f, now);
+                cl.queues[f].pop_front().expect("acked head exists");
+                cl.ledger[f].lost_after_ack += 1;
+                self.metrics.account.lose();
+            } else {
+                // No ACK of any kind: the head packet stays queued,
+                // backs off, and is dropped once retries exhaust.
+                match cl.sched.fail(f, period) {
+                    ArqVerdict::Backoff { .. } => {}
+                    ArqVerdict::Dropped => {
+                        cl.queues[f].pop_front().expect("dropped head exists");
+                        self.metrics.account.lose();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Settles a batched chain serve: every injected packet that
+    /// reached the destination is ACKed (out of order when needed);
+    /// the oldest undelivered packet — the ARQ head, whose attempt was
+    /// charged at staging — backs off or drops; younger undelivered
+    /// packets stay queued uncharged (Go-Back-N: their ride-along
+    /// transmissions are not counted attempts).
+    fn settle_chain(
+        &mut self,
+        f: usize,
+        injected: &[PacketKey],
+        period: u64,
+        arq: &ArqConfig,
+        spb: usize,
+    ) {
+        let now = self.metrics.account.time_samples;
+        let (mut explicit_acks, mut drops) = (0usize, 0usize);
+        {
+            let cl = self.cl.as_mut().expect("closed-loop state");
+            cl.pending_tx[f] = None;
+            let delivered = std::mem::take(&mut cl.delivered_keys);
+            for (i, key) in injected.iter().enumerate() {
+                if delivered.contains(key) {
+                    let idx = cl.queues[f]
+                        .iter()
+                        .position(|fr| fr.header.key() == *key)
+                        .expect("delivered packet still queued");
+                    let latency = cl.sched.ack_nth(f, idx, now);
+                    cl.queues[f].remove(idx);
+                    cl.ledger[f].delivered += 1;
+                    cl.ledger[f].latency_samples.push(latency);
+                    // Chain deliveries have no broadcast forward to
+                    // overhear: the ACK is explicit.
+                    explicit_acks += 1;
+                } else if i == 0 {
+                    // Only the original head was charged an attempt at
+                    // staging, so only it can back off or drop.
+                    debug_assert!(cl.queues[f]
+                        .front()
+                        .is_some_and(|fr| fr.header.key() == *key));
+                    match cl.sched.fail(f, period) {
+                        ArqVerdict::Backoff { .. } => {}
+                        ArqVerdict::Dropped => {
+                            cl.queues[f].pop_front().expect("dropped head exists");
+                            drops += 1;
+                        }
+                    }
+                }
+            }
+        }
+        for _ in 0..explicit_acks {
+            self.metrics.account.tick((arq.ack_bits * spb) as f64);
+        }
+        for _ in 0..drops {
+            self.metrics.account.lose();
+        }
+    }
+
+    /// Moves the closed-loop ledgers (merged with the scheduler's
+    /// lifetime counters) into [`RunMetrics::flows`].
+    fn flush_closed_loop(&mut self) {
+        let cl = self.cl.take().expect("closed-loop state");
+        let mut flows = cl.ledger;
+        for (f, fm) in flows.iter_mut().enumerate() {
+            let st = cl.sched.stats(f);
+            fm.offered = st.offered;
+            fm.dropped = st.dropped;
+            fm.retransmissions = st.retransmissions;
+        }
+        self.metrics.flows = flows;
+    }
+
+    /// Marks a flow's end-to-end delivery for the closed loop and
+    /// attributes the FEC-discounted goodput to its ledger. No-op
+    /// open-loop.
+    fn mark_cl_delivered(&mut self, flow: usize, goodput: f64) {
+        if let Some(cl) = self.cl.as_mut() {
+            cl.delivered_now[flow] = true;
+            cl.ledger[flow].goodput_bits += goodput;
+        }
+    }
+
+    /// Charges a lost packet in open-loop mode. Closed-loop losses are
+    /// settled per attempt instead (`settle_attempts`): a failed
+    /// attempt is retried, not lost, until retries exhaust or the
+    /// §7.6 implicit ACK leaves a residual loss.
+    fn lose_open(&mut self) {
+        if self.cl.is_none() {
+            self.metrics.account.lose();
+        }
     }
 
     /// Creates the next frame of `src → dst` (engine-global sequence
@@ -438,6 +803,23 @@ impl<'p> Engine<'p> {
     fn fire_tx(&mut self, intent: &TxIntent, timing: SlotTiming) {
         let sender = intent.sender;
         let fired: Option<(Vec<Cplx>, Option<Frame>)> = match &intent.source {
+            TxSource::SourceFrame { flow } if self.cl.is_some() => {
+                // Closed loop: transmit the staged queue head (the
+                // same frame on every retransmission attempt) instead
+                // of sourcing a fresh one.
+                let staged = self.cl.as_mut().expect("checked above").pending_tx[*flow].take();
+                staged.map(|frame| {
+                    let track = self.program.track_history[*flow];
+                    let state = &mut self.flows[*flow];
+                    state.round_frame = Some(frame.clone());
+                    let key = frame.header.key();
+                    if track && !state.history.iter().any(|h| h.header.key() == key) {
+                        state.history.push(frame.clone());
+                    }
+                    let wave = self.node_mut(sender).transmit_frame(&frame);
+                    (wave, Some(frame))
+                })
+            }
             TxSource::SourceFrame { flow } => {
                 if self.flows[*flow].sourced >= self.cfg.packets_per_flow {
                     None
@@ -476,14 +858,30 @@ impl<'p> Engine<'p> {
                     }
                     _ => {
                         // §11.1's optimal MAC still cannot code what the
-                        // router never received: both packets are lost.
-                        self.metrics.account.lose();
-                        self.metrics.account.lose();
+                        // router never received: both packets are lost
+                        // (closed loop: both attempts fail and retry).
+                        self.lose_open();
+                        self.lose_open();
                         None
                     }
                 }
             }
         };
+        // Closed loop: a fired forward copy is the §7.6 implicit ACK
+        // for every flow whose packet rides in it.
+        if let (Some(cl), true) = (self.cl.as_mut(), fired.is_some()) {
+            match &intent.source {
+                TxSource::AmplifyMixture => {
+                    cl.forwarded.iter_mut().for_each(|b| *b = true);
+                }
+                TxSource::XorEncode { flows } => {
+                    for &f in flows {
+                        cl.forwarded[f] = true;
+                    }
+                }
+                _ => {}
+            }
+        }
         let Some((mut wave, frame)) = fired else {
             return;
         };
@@ -493,7 +891,17 @@ impl<'p> Engine<'p> {
             .expect("sender exists")
             .apply_front_end(&mut wave, phase0);
         let mut offset = match timing {
-            SlotTiming::Triggered => self.node_mut(sender).draw_delay(1),
+            // The §7.2 stagger is drawn in bit-times; convert through
+            // the sender's actual front-end rate so MAC delays stay in
+            // sample units if oversampling ever diverges from 1.
+            SlotTiming::Triggered => {
+                let spb = self
+                    .nodes
+                    .get(&sender)
+                    .expect("sender exists")
+                    .samples_per_bit();
+                self.node_mut(sender).draw_delay(spb)
+            }
             SlotTiming::Scheduled => 0,
         };
         // Monte Carlo TX process: this exchange's residual CFO and
@@ -506,7 +914,17 @@ impl<'p> Engine<'p> {
             if tx.cfo != 0.0 {
                 CarrierOffset::new(tx.cfo).apply(&mut wave);
             }
-            offset += tx.jitter_samples.round() as usize;
+            // The slip is signed: an early-arrival slip pulls the
+            // waveform toward the slot origin (saturating there — a
+            // transmission cannot start before its slot), a late one
+            // pushes it out. A float→usize as-cast would silently
+            // clamp every negative slip to zero.
+            let slip = tx.jitter_samples.round() as i64;
+            if slip >= 0 {
+                offset += slip as usize;
+            } else {
+                offset = offset.saturating_sub(slip.unsigned_abs() as usize);
+            }
         }
         if let Some(f) = frame {
             self.slot_frames.insert(sender, f);
@@ -535,7 +953,7 @@ impl<'p> Engine<'p> {
             {
                 // §11.5: without the overheard packet the interfered
                 // signal cannot be decoded either.
-                self.metrics.account.lose();
+                self.lose_open();
                 return;
             }
             RxAction::HoldRelay { from } if !self.slot_frames.contains_key(from) => return,
@@ -605,9 +1023,10 @@ impl<'p> Engine<'p> {
                     }
                     _ => {
                         // Near-total overlap: neither header readable;
-                        // every packet inside the mixture is lost.
+                        // every packet inside the mixture is lost
+                        // (closed loop: every rider's attempt fails).
                         for _ in flows {
-                            self.metrics.account.lose();
+                            self.lose_open();
                         }
                     }
                 }
@@ -616,7 +1035,7 @@ impl<'p> Engine<'p> {
                 Some(frame) => {
                     self.held.insert(recv, frame);
                 }
-                None => self.metrics.account.lose(),
+                None => self.lose_open(),
             },
             RxAction::HoldRelay { from } => {
                 let expected = self.slot_frames.get(from).expect("gated above").clone();
@@ -637,12 +1056,12 @@ impl<'p> Engine<'p> {
                         self.metrics.overlaps.push(diagnostics.overlap_fraction);
                         self.held.insert(recv, frame);
                     }
-                    _ => self.metrics.account.lose(),
+                    _ => self.lose_open(),
                 }
             }
             RxAction::DeliverAnc { flow, .. } => {
                 let Some(theirs) = self.flows[*flow].round_frame.clone() else {
-                    self.metrics.account.lose();
+                    self.lose_open();
                     return;
                 };
                 match self.node_mut(recv).poll(window) {
@@ -650,34 +1069,36 @@ impl<'p> Engine<'p> {
                         frame, diagnostics, ..
                     } if frame.header.key() == theirs.header.key() => {
                         let b = ber(&frame.payload, &theirs.payload);
-                        self.metrics.account.deliver(self.cfg.payload_bits, b);
+                        let goodput = self.metrics.account.deliver(self.cfg.payload_bits, b);
                         self.metrics.record_ber(recv, b);
                         self.metrics.overlaps.push(diagnostics.overlap_fraction);
+                        self.mark_cl_delivered(*flow, goodput);
                     }
-                    _ => self.metrics.account.lose(),
+                    _ => self.lose_open(),
                 }
             }
             RxAction::DeliverClean { flow, tag_receiver } => {
                 let Some(theirs) = self.flows[*flow].round_frame.clone() else {
-                    self.metrics.account.lose();
+                    self.lose_open();
                     return;
                 };
                 match self.node_mut(recv).poll(window) {
                     RxEvent::Clean { frame, .. } if frame.header.key() == theirs.header.key() => {
                         let b = ber(&frame.payload, &theirs.payload);
-                        self.metrics.account.deliver(self.cfg.payload_bits, b);
+                        let goodput = self.metrics.account.deliver(self.cfg.payload_bits, b);
                         if *tag_receiver {
                             self.metrics.record_ber(recv, b);
                         } else {
                             self.metrics.packet_bers.push(b);
                         }
+                        self.mark_cl_delivered(*flow, goodput);
                     }
-                    _ => self.metrics.account.lose(),
+                    _ => self.lose_open(),
                 }
             }
             RxAction::DeliverCope { flow, .. } => {
                 let Some(theirs) = self.flows[*flow].round_frame.clone() else {
-                    self.metrics.account.lose();
+                    self.lose_open();
                     return;
                 };
                 let decoded = match self.node_mut(recv).poll(window) {
@@ -690,10 +1111,11 @@ impl<'p> Engine<'p> {
                 match decoded {
                     Some(dec) if dec.header.key() == theirs.header.key() => {
                         let b = ber(&dec.payload, &theirs.payload);
-                        self.metrics.account.deliver(self.cfg.payload_bits, b);
+                        let goodput = self.metrics.account.deliver(self.cfg.payload_bits, b);
                         self.metrics.record_ber(recv, b);
+                        self.mark_cl_delivered(*flow, goodput);
                     }
-                    _ => self.metrics.account.lose(),
+                    _ => self.lose_open(),
                 }
             }
             RxAction::DeliverByKey { flow } => match self.node_mut(recv).poll(window) {
@@ -701,16 +1123,21 @@ impl<'p> Engine<'p> {
                     let truth = self.flows[*flow]
                         .history
                         .iter()
-                        .find(|s| s.header.key() == frame.header.key());
+                        .find(|s| s.header.key() == frame.header.key())
+                        .cloned();
                     match truth {
                         Some(t) => {
                             let b = ber(&frame.payload, &t.payload);
-                            self.metrics.account.deliver(self.cfg.payload_bits, b);
+                            let goodput = self.metrics.account.deliver(self.cfg.payload_bits, b);
+                            self.mark_cl_delivered(*flow, goodput);
+                            if let Some(cl) = self.cl.as_mut() {
+                                cl.delivered_keys.push(frame.header.key());
+                            }
                         }
-                        None => self.metrics.account.lose(),
+                        None => self.lose_open(),
                     }
                 }
-                _ => self.metrics.account.lose(),
+                _ => self.lose_open(),
             },
             RxAction::CopeCapture { flow } => {
                 if let Some(frame) = clean_frame(self.node_mut(recv).poll(window)) {
@@ -734,5 +1161,100 @@ fn clean_frame(evt: RxEvent) -> Option<Frame> {
             crc_ok: true,
         } => Some(frame),
         _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioSpec;
+
+    fn alice_bob_anc(
+        spb: usize,
+        impairments: Option<ImpairmentSpec>,
+        seed: u64,
+    ) -> (Program, RunConfig) {
+        let mut spec = ScenarioSpec::alice_bob();
+        if let Some(imp) = impairments {
+            spec = spec.with_impairments(imp);
+        }
+        let program = spec.compile(Scheme::Anc).expect("alice_bob compiles");
+        let cfg = RunConfig {
+            samples_per_symbol: spb,
+            packets_per_flow: 2,
+            payload_bits: 512,
+            ..RunConfig::quick(seed)
+        };
+        (program, cfg)
+    }
+
+    #[test]
+    fn triggered_stagger_scales_with_samples_per_bit() {
+        // Same seed, 1× vs 4× oversampled front ends: the MAC draws
+        // the same slot + jitter in bit-times, so the realized sample
+        // offsets of the triggered slot must scale by the oversampling
+        // factor (± the jitter rounding).
+        let (p1, c1) = alice_bob_anc(1, None, 9);
+        let (p4, c4) = alice_bob_anc(4, None, 9);
+        let mut e1 = Engine::new(&p1, &c1);
+        let mut e4 = Engine::new(&p4, &c4);
+        assert_eq!(p1.slots[0].timing, SlotTiming::Triggered);
+        for intent in &p1.slots[0].txs {
+            e1.fire_tx(intent, SlotTiming::Triggered);
+        }
+        for intent in &p4.slots[0].txs {
+            e4.fire_tx(intent, SlotTiming::Triggered);
+        }
+        assert_eq!(e1.events.len(), 2);
+        assert_eq!(e4.events.len(), 2);
+        for (a, b) in e1.events.iter().zip(&e4.events) {
+            assert!(
+                (b.offset as i64 - 4 * a.offset as i64).abs() <= 4,
+                "stagger must scale with samples-per-bit: {} vs {}",
+                a.offset,
+                b.offset
+            );
+            assert_eq!(b.wave.len(), 4 * (a.wave.len() - 1) + 1, "4× samples");
+        }
+    }
+
+    #[test]
+    fn timing_slips_shift_the_stagger_in_both_directions() {
+        // The Monte Carlo timing slip is signed: a late draw pushes
+        // the triggered offset out, an early one pulls it toward the
+        // slot origin (saturating at 0). The impairment stream is pure
+        // in (seed, node, exchange), so the expected slip is
+        // computable independently of the engine.
+        let spec_imp = ImpairmentSpec::default().with_jitter(48.0);
+        let (mut saw_negative, mut saw_positive) = (false, false);
+        for seed in 0..40u64 {
+            let (p_base, c_base) = alice_bob_anc(1, None, seed);
+            let (p_imp, c_imp) = alice_bob_anc(1, Some(spec_imp), seed);
+            let mut eb = Engine::new(&p_base, &c_base);
+            let mut ei = Engine::new(&p_imp, &c_imp);
+            let intent = &p_base.slots[0].txs[0];
+            let slip = spec_imp
+                .tx_process(seed, intent.sender as u64, 0)
+                .jitter_samples
+                .round() as i64;
+            eb.fire_tx(intent, SlotTiming::Triggered);
+            ei.fire_tx(&p_imp.slots[0].txs[0], SlotTiming::Triggered);
+            let base_off = eb.events[0].offset as i64;
+            let expected = (base_off + slip).max(0);
+            assert_eq!(
+                ei.events[0].offset as i64, expected,
+                "seed {seed}: slip {slip} from base {base_off}"
+            );
+            if slip < 0 && base_off + slip >= 0 {
+                saw_negative = true;
+            }
+            if slip > 0 {
+                saw_positive = true;
+            }
+        }
+        assert!(
+            saw_negative && saw_positive,
+            "both slip directions must be exercised (early {saw_negative}, late {saw_positive})"
+        );
     }
 }

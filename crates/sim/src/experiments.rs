@@ -19,7 +19,7 @@ use crate::pool::parallel_map_indexed;
 use crate::runs::{run_alice_bob, run_chain, run_x, RunConfig};
 use crate::scenario::{MeshConfig, ScenarioError, ScenarioSpec};
 use crate::topology::{nodes, TopologyKind};
-use anc_netcode::Scheme;
+use anc_netcode::{ArqConfig, Scheme, TrafficModel};
 use serde::{Deserialize, Serialize};
 
 /// Parameters of a multi-run experiment.
@@ -316,6 +316,135 @@ pub fn parking_lot_sweep(cfg: &ParkingLotSweepConfig) -> Vec<ParkingLotPoint> {
             },
         }
     })
+}
+
+/// Configuration of the closed-loop throughput-vs-offered-load sweep
+/// (the Fig. 9/10 axis: goodput as the sources push harder).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoadSweepConfig {
+    /// Per-point run configuration (`packets_per_flow` bounds each
+    /// run's total arrivals per flow).
+    pub base: RunConfig,
+    /// Poisson offered loads to sweep, in packets per flow per slot
+    /// period (≥ 1 saturates the medium).
+    pub loads: Vec<f64>,
+    /// ARQ parameters; each point overrides `traffic` with its load.
+    pub arq: ArqConfig,
+    /// Independent realizations pooled per point.
+    pub runs_per_point: usize,
+    /// Worker threads (0 = one per core).
+    pub threads: usize,
+}
+
+impl Default for LoadSweepConfig {
+    fn default() -> Self {
+        LoadSweepConfig {
+            base: RunConfig::default(),
+            loads: vec![0.2, 0.4, 0.6, 0.8, 1.0, 1.2],
+            arq: ArqConfig::default(),
+            runs_per_point: 4,
+            threads: 0,
+        }
+    }
+}
+
+/// One point of the throughput-vs-offered-load series.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LoadPoint {
+    /// Offered load (Poisson mean packets per flow per slot period).
+    pub offered_load: f64,
+    /// Mean network goodput (FEC-discounted payload bits / sample).
+    pub goodput_bits_per_sample: f64,
+    /// ARQ-level delivery rate: acknowledged-and-decoded packets over
+    /// offered packets, pooled over flows and runs.
+    pub delivery_rate: f64,
+    /// Mean enqueue→ACK latency of delivered packets, in samples (NaN
+    /// when nothing was delivered).
+    pub mean_latency_samples: f64,
+    /// Retransmissions per completed (delivered, dropped, or
+    /// implicitly-ACKed) packet.
+    pub retransmissions_per_packet: f64,
+    /// Packets dropped after exhausting retries, pooled.
+    pub dropped: usize,
+}
+
+/// Closed-loop throughput vs offered load for one scenario × scheme:
+/// each point runs the scenario with Poisson arrivals at that load,
+/// ARQ on, and pools goodput/latency/retransmission statistics.
+/// Points fan out on the worker pool; parallel == serial bit for bit.
+pub fn throughput_vs_load(
+    spec: &ScenarioSpec,
+    scheme: Scheme,
+    cfg: &LoadSweepConfig,
+) -> Result<Vec<LoadPoint>, ScenarioError> {
+    // Compile once up front so an unschedulable spec fails before the
+    // fan-out (the per-point compiles below only vary the ARQ config).
+    spec.clone().with_arq(cfg.arq).compile(scheme)?;
+    Ok(parallel_map_indexed(cfg.loads.len(), cfg.threads, |idx| {
+        let load = cfg.loads[idx];
+        let arq = cfg.arq.with_traffic(TrafficModel::Poisson { rate: load });
+        let program = spec
+            .clone()
+            .with_arq(arq)
+            .compile(scheme)
+            .expect("validated above");
+        let mut throughputs = Vec::with_capacity(cfg.runs_per_point);
+        let (mut offered, mut delivered, mut dropped, mut retx, mut completed) = (0, 0, 0, 0, 0);
+        let mut latencies = Vec::new();
+        for r in 0..cfg.runs_per_point {
+            let mut rc = cfg.base.clone();
+            rc.seed = run_seed(cfg.base.seed.wrapping_add(idx as u64 * 104_729), r);
+            let m = Engine::run(&program, &rc);
+            throughputs.push(m.account.throughput());
+            for fm in &m.flows {
+                offered += fm.offered;
+                delivered += fm.delivered;
+                dropped += fm.dropped;
+                retx += fm.retransmissions;
+                completed += fm.delivered + fm.dropped + fm.lost_after_ack;
+                latencies.extend_from_slice(&fm.latency_samples);
+            }
+        }
+        LoadPoint {
+            offered_load: load,
+            goodput_bits_per_sample: mean(&throughputs),
+            delivery_rate: if offered == 0 {
+                0.0
+            } else {
+                delivered as f64 / offered as f64
+            },
+            mean_latency_samples: mean(&latencies),
+            retransmissions_per_packet: if completed == 0 {
+                0.0
+            } else {
+                retx as f64 / completed as f64
+            },
+            dropped,
+        }
+    }))
+}
+
+/// Mean closed-loop throughput of a scenario × scheme under saturated
+/// sources — the operating point of the paper's Fig. 9/10 headline
+/// gains. Runs fan out on the pool; parallel == serial bit for bit.
+pub fn saturated_throughput(
+    spec: &ScenarioSpec,
+    scheme: Scheme,
+    arq: ArqConfig,
+    base: &RunConfig,
+    runs: usize,
+    threads: usize,
+) -> Result<f64, ScenarioError> {
+    let program = spec
+        .clone()
+        .with_arq(arq.with_traffic(TrafficModel::Saturated))
+        .compile(scheme)?;
+    let tps = parallel_map_indexed(runs, threads, |idx| {
+        let mut rc = base.clone();
+        rc.seed = run_seed(base.seed, idx);
+        Engine::run(&program, &rc).account.throughput()
+    });
+    Ok(mean(&tps))
 }
 
 /// Configuration of the Fig.-13 SIR sweep.

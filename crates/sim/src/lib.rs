@@ -22,6 +22,13 @@
 //!   event queue of scheduled transmissions, per-receiver superposition
 //!   windows, and the global sample clock. Bit-reproducible; golden
 //!   tests pin the paper runs' seeded metrics across the refactor.
+//!   With a scenario's `arq` set it runs **closed-loop**: per-flow
+//!   queues with configurable offered load, an
+//!   [`anc_netcode::DynamicScheduler`] consulted each slot period,
+//!   bounded retransmissions with backoff, §7.6 implicit-ACK
+//!   suppression, and carrier-sense serialization of partial
+//!   contender sets ([`metrics::FlowMetrics`] reports the per-flow
+//!   goodput/latency/retransmission ledgers).
 //! * [`runs`] — one experiment run = 1000 packets per flow per scheme
 //!   (paper default), seeded; 40 runs per figure. The paper runs are
 //!   thin scenario definitions on the engine.
@@ -54,8 +61,11 @@ pub mod scenario;
 pub mod topology;
 
 pub use engine::{Engine, Program};
-pub use experiments::{alice_bob, chain, sir_sweep, x_topology};
-pub use metrics::{RunMetrics, ThroughputAccount};
+pub use experiments::{
+    alice_bob, chain, saturated_throughput, sir_sweep, throughput_vs_load, x_topology, LoadPoint,
+    LoadSweepConfig,
+};
+pub use metrics::{FlowMetrics, RunMetrics, ThroughputAccount};
 pub use monte_carlo::{monte_carlo, Ci, MonteCarloConfig, MonteCarloResult};
 pub use report::{ExperimentReport, FigureSeries};
 pub use runs::{run_spec, RunConfig, Scenario};

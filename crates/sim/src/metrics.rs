@@ -36,11 +36,14 @@ impl ThroughputAccount {
     /// Records an end-to-end delivery of `payload_bits` decoded with
     /// the given `ber`; goodput is discounted by the redundancy an
     /// ideal outer code would need (§11.2/§11.4: 4 % BER → 8 %
-    /// overhead).
-    pub fn deliver(&mut self, payload_bits: usize, ber: f64) {
+    /// overhead). Returns the goodput contribution so per-flow ledgers
+    /// can attribute it without recomputing the discount.
+    pub fn deliver(&mut self, payload_bits: usize, ber: f64) -> f64 {
         let redundancy = ideal_redundancy_for_ber(ber);
-        self.goodput_bits += payload_bits as f64 / (1.0 + redundancy);
+        let contribution = payload_bits as f64 / (1.0 + redundancy);
+        self.goodput_bits += contribution;
         self.delivered += 1;
+        contribution
     }
 
     /// Records a lost packet.
@@ -74,6 +77,67 @@ impl ThroughputAccount {
     }
 }
 
+/// Closed-loop per-flow ledger (ARQ runs only; empty open-loop).
+///
+/// Tracks what the §11 flow-level figures need: offered vs delivered
+/// vs dropped packets, retransmission spend, FEC-discounted goodput,
+/// and per-packet latency samples (enqueue → acknowledgment, in
+/// medium samples).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FlowMetrics {
+    /// Flow index within the program.
+    pub flow: usize,
+    /// Packets that entered the flow's transmit queue.
+    pub offered: usize,
+    /// Packets acknowledged end-to-end (or via the §7.6 implicit ACK).
+    pub delivered: usize,
+    /// Packets dropped after exhausting `1 + max_retries` attempts.
+    pub dropped: usize,
+    /// Packets whose retransmission was suppressed by the §7.6
+    /// implicit ACK (the relay's forward copy) but whose final decode
+    /// failed — the residual losses the transport layer sees.
+    pub lost_after_ack: usize,
+    /// Retransmission attempts beyond each packet's first.
+    pub retransmissions: usize,
+    /// FEC-discounted payload bits this flow delivered.
+    pub goodput_bits: f64,
+    /// Per-acknowledged-packet latency, enqueue → ACK, in samples.
+    pub latency_samples: Vec<f64>,
+}
+
+impl FlowMetrics {
+    /// Fraction of offered packets acknowledged (0 when none offered).
+    pub fn delivery_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.offered as f64
+        }
+    }
+
+    /// Mean ACK latency in samples (NaN when nothing was delivered).
+    pub fn mean_latency(&self) -> f64 {
+        if self.latency_samples.is_empty() {
+            f64::NAN
+        } else {
+            self.latency_samples.iter().sum::<f64>() / self.latency_samples.len() as f64
+        }
+    }
+
+    /// Mean retransmissions per completed packet (delivered, dropped,
+    /// or implicitly ACKed with a residual loss — the same denominator
+    /// the load sweep and Monte Carlo aggregator use); 0 when nothing
+    /// completed.
+    pub fn retransmissions_per_packet(&self) -> f64 {
+        let done = self.delivered + self.dropped + self.lost_after_ack;
+        if done == 0 {
+            0.0
+        } else {
+            self.retransmissions as f64 / done as f64
+        }
+    }
+}
+
 /// Everything measured in one run of one scheme on one topology
 /// realization.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -91,6 +155,9 @@ pub struct RunMetrics {
     /// Overlap fraction of each interfered pair (ANC only; §11.4's
     /// ≈ 80 % statistic).
     pub overlaps: Vec<f64>,
+    /// Closed-loop per-flow ledgers (ARQ runs only; empty — and absent
+    /// from the golden fingerprints — when the run is open-loop).
+    pub flows: Vec<FlowMetrics>,
 }
 
 impl RunMetrics {
@@ -102,6 +169,7 @@ impl RunMetrics {
             packet_bers: Vec::new(),
             ber_by_receiver: Vec::new(),
             overlaps: Vec::new(),
+            flows: Vec::new(),
         }
     }
 
@@ -196,6 +264,40 @@ mod tests {
         assert!((m.mean_ber() - 0.03).abs() < 1e-12);
         assert!((m.mean_overlap() - 0.85).abs() < 1e-12);
         assert_eq!(m.scheme, "anc");
+    }
+
+    #[test]
+    fn deliver_returns_its_goodput_contribution() {
+        let mut a = ThroughputAccount::new();
+        let c = a.deliver(1080, 0.04);
+        assert!((c - 1000.0).abs() < 1e-9);
+        assert_eq!(c.to_bits(), a.goodput_bits.to_bits());
+    }
+
+    #[test]
+    fn flow_metrics_rates() {
+        let mut f = FlowMetrics {
+            flow: 1,
+            offered: 10,
+            delivered: 8,
+            dropped: 2,
+            lost_after_ack: 0,
+            retransmissions: 5,
+            goodput_bits: 800.0,
+            latency_samples: vec![100.0, 300.0],
+        };
+        assert!((f.delivery_rate() - 0.8).abs() < 1e-12);
+        assert!((f.mean_latency() - 200.0).abs() < 1e-12);
+        assert!((f.retransmissions_per_packet() - 0.5).abs() < 1e-12);
+        f.lost_after_ack = 10;
+        assert!(
+            (f.retransmissions_per_packet() - 0.25).abs() < 1e-12,
+            "implicitly-ACKed packets count as completed"
+        );
+        f.latency_samples.clear();
+        assert!(f.mean_latency().is_nan());
+        assert_eq!(FlowMetrics::default().delivery_rate(), 0.0);
+        assert_eq!(FlowMetrics::default().retransmissions_per_packet(), 0.0);
     }
 
     #[test]

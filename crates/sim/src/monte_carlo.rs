@@ -139,6 +139,16 @@ pub struct MonteCarloResult {
     /// Every decoded packet's BER, pooled across trials in trial order
     /// (the Fig.-14-style per-packet CDF).
     pub pooled_packet_bers: Vec<f64>,
+    /// Per-trial closed-loop delivery rate (ARQ-acknowledged-and-
+    /// decoded over offered, pooled over flows). `n == 0` when the
+    /// scenario ran open-loop.
+    pub arq_delivery_rate: Ci,
+    /// Per-trial mean enqueue→ACK latency (samples) over trials that
+    /// delivered at least one packet. `n == 0` open-loop.
+    pub arq_latency: Ci,
+    /// Per-trial retransmissions per completed packet. `n == 0`
+    /// open-loop.
+    pub arq_retransmissions_per_packet: Ci,
 }
 
 /// Runs `cfg.trials` independent realizations of `spec` under `scheme`
@@ -181,6 +191,9 @@ pub fn aggregate(scenario: &str, trials: &[RunMetrics]) -> MonteCarloResult {
     let mut per_trial_throughput = Vec::with_capacity(trials.len());
     let mut per_trial_delivery = Vec::with_capacity(trials.len());
     let mut pooled = Vec::new();
+    let mut arq_delivery = Vec::new();
+    let mut arq_latency = Vec::new();
+    let mut arq_retx = Vec::new();
     for m in trials {
         if !m.packet_bers.is_empty() {
             per_trial_ber.push(m.mean_ber());
@@ -188,6 +201,30 @@ pub fn aggregate(scenario: &str, trials: &[RunMetrics]) -> MonteCarloResult {
         per_trial_throughput.push(m.account.throughput());
         per_trial_delivery.push(m.account.delivery_rate());
         pooled.extend_from_slice(&m.packet_bers);
+        if !m.flows.is_empty() {
+            let offered: usize = m.flows.iter().map(|f| f.offered).sum();
+            let delivered: usize = m.flows.iter().map(|f| f.delivered).sum();
+            let completed: usize = m
+                .flows
+                .iter()
+                .map(|f| f.delivered + f.dropped + f.lost_after_ack)
+                .sum();
+            let retx: usize = m.flows.iter().map(|f| f.retransmissions).sum();
+            if offered > 0 {
+                arq_delivery.push(delivered as f64 / offered as f64);
+            }
+            let lats: Vec<f64> = m
+                .flows
+                .iter()
+                .flat_map(|f| f.latency_samples.iter().copied())
+                .collect();
+            if !lats.is_empty() {
+                arq_latency.push(lats.iter().sum::<f64>() / lats.len() as f64);
+            }
+            if completed > 0 {
+                arq_retx.push(retx as f64 / completed as f64);
+            }
+        }
     }
     MonteCarloResult {
         scenario: scenario.to_string(),
@@ -199,6 +236,9 @@ pub fn aggregate(scenario: &str, trials: &[RunMetrics]) -> MonteCarloResult {
         per_trial_ber,
         per_trial_throughput,
         pooled_packet_bers: pooled,
+        arq_delivery_rate: Ci::from_samples(&arq_delivery),
+        arq_latency: Ci::from_samples(&arq_latency),
+        arq_retransmissions_per_packet: Ci::from_samples(&arq_retx),
     }
 }
 

@@ -58,6 +58,11 @@ pub struct RunConfig {
     /// Per-node transmit amplitude overrides (node, amplitude); used
     /// by the Fig.-13 SIR sweep. Default none (unit amplitude).
     pub tx_amplitude_overrides: Vec<(NodeId, f64)>,
+    /// Front-end oversampling factor for every node (complex samples
+    /// per bit-time; 1 = the paper's symbol-rate processing). MAC
+    /// stagger draws scale by this so slot offsets stay in sample
+    /// units if the radio rate ever diverges from one sample per bit.
+    pub samples_per_symbol: usize,
 }
 
 impl Default for RunConfig {
@@ -74,6 +79,7 @@ impl Default for RunConfig {
             pad_samples: 96,
             turnaround_bits: 288,
             tx_amplitude_overrides: Vec::new(),
+            samples_per_symbol: 1,
         }
     }
 }

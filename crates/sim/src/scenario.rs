@@ -25,7 +25,7 @@ use anc_channel::ImpairmentSpec;
 use anc_dsp::DspRng;
 use anc_frame::NodeId;
 use anc_netcode::schedule::{alice_bob_flows, chain_flows, crossing_router, x_topology_flows};
-use anc_netcode::{derive_plan, FlowSpec, ScheduleError, Scheme, SlotPlan, SlotStep};
+use anc_netcode::{derive_plan, ArqConfig, FlowSpec, ScheduleError, Scheme, SlotPlan, SlotStep};
 use anc_node::NodeRole;
 use serde::{Deserialize, Serialize};
 
@@ -88,6 +88,13 @@ pub struct ScenarioSpec {
     /// `None` (the default) keeps the paper's static per-run channel —
     /// the golden seeded metrics pin that nothing changes.
     pub impairments: Option<ImpairmentSpec>,
+    /// Closed-loop MAC/ARQ layer (§7.6/§11): `Some` compiles programs
+    /// whose engine consults a dynamic scheduler each slot period —
+    /// per-flow queues with the configured offered load, bounded
+    /// retransmissions with backoff, implicit-ACK suppression, and
+    /// carrier-sense serialization. `None` (the default) keeps the
+    /// open-loop fixed-program engine, bit-identical to the goldens.
+    pub arq: Option<ArqConfig>,
 }
 
 impl ScenarioSpec {
@@ -98,6 +105,7 @@ impl ScenarioSpec {
             flows,
             untagged_traditional_bers: false,
             impairments: None,
+            arq: None,
         }
     }
 
@@ -105,6 +113,13 @@ impl ScenarioSpec {
     /// (see [`ImpairmentSpec`]); builder-style for sweep drivers.
     pub fn with_impairments(mut self, spec: ImpairmentSpec) -> ScenarioSpec {
         self.impairments = Some(spec);
+        self
+    }
+
+    /// Enables the closed-loop MAC/ARQ layer (see [`ArqConfig`]);
+    /// builder-style for the load sweeps.
+    pub fn with_arq(mut self, arq: ArqConfig) -> ScenarioSpec {
+        self.arq = Some(arq);
         self
     }
 
@@ -215,7 +230,55 @@ impl ScenarioSpec {
             slots,
             rounds,
             impairments: self.impairments,
+            arq: self.arq,
+            solo_slots: if self.arq.is_some() {
+                self.solo_slots()
+            } else {
+                Vec::new()
+            },
         })
+    }
+
+    /// Per-flow serialized fallback slot sequences for the closed
+    /// loop: when carrier sense gates the trigger protocol (a lone
+    /// contender, the other flow idle or backing off), the ready flow
+    /// falls back to clean store-and-forward along its own route —
+    /// analog network coding degrades to plain relaying when there is
+    /// nothing to interfere with.
+    fn solo_slots(&self) -> Vec<Vec<SlotSpec>> {
+        self.flows
+            .iter()
+            .enumerate()
+            .map(|(fid, f)| {
+                let hops = f.route.len() - 1;
+                f.route
+                    .windows(2)
+                    .enumerate()
+                    .map(|(hop, w)| SlotSpec {
+                        timing: SlotTiming::Scheduled,
+                        txs: vec![TxIntent {
+                            sender: w[0],
+                            source: if hop == 0 {
+                                TxSource::SourceFrame { flow: fid }
+                            } else {
+                                TxSource::Forward
+                            },
+                        }],
+                        rxs: vec![RxIntent {
+                            receiver: w[1],
+                            action: if hop == hops - 1 {
+                                RxAction::DeliverClean {
+                                    flow: fid,
+                                    tag_receiver: !self.untagged_traditional_bers,
+                                }
+                            } else {
+                                RxAction::HoldClean
+                            },
+                        }],
+                    })
+                    .collect()
+            })
+            .collect()
     }
 
     /// Every route hop must be a declared graph link.
@@ -522,10 +585,11 @@ impl ScenarioSpec {
     }
 }
 
-// Hand-written so a missing `impairments` key reads as `None`: the
-// field arrived after ScenarioSpec's JSON shape was first published,
-// and the vendored derive would reject pre-impairment scenario
-// artifacts with a missing-field error instead of loading them.
+// Hand-written so missing `impairments` / `arq` keys read as `None`:
+// both fields arrived after ScenarioSpec's JSON shape was first
+// published, and the vendored derive would reject pre-impairment (or
+// pre-ARQ) scenario artifacts with a missing-field error instead of
+// loading them.
 impl Deserialize for ScenarioSpec {
     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
         let serde::Value::Object(obj) = v else {
@@ -538,6 +602,10 @@ impl Deserialize for ScenarioSpec {
             flows: Deserialize::from_value(get("flows")?)?,
             untagged_traditional_bers: Deserialize::from_value(get("untagged_traditional_bers")?)?,
             impairments: match obj.get("impairments") {
+                None => None,
+                Some(v) => Deserialize::from_value(v)?,
+            },
+            arq: match obj.get("arq") {
                 None => None,
                 Some(v) => Deserialize::from_value(v)?,
             },
