@@ -5,7 +5,11 @@
 use anc_bench::fixtures::{fixture_detector, interfered_stream};
 use anc_core::amplitude::estimate_amplitudes;
 use anc_core::lemma::{solve_phases, LemmaKernel};
-use anc_core::matcher::{match_phase_differences, match_phase_differences_into, MatchOutput};
+use anc_core::matcher::{
+    match_bits_batch, match_phase_differences, match_phase_differences_into, MatchBatchScratch,
+    MatchOutput,
+};
+use anc_dsp::batch::energies_into;
 use anc_dsp::{Cplx, DspRng};
 use anc_modem::{Modem, MskModem};
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
@@ -58,6 +62,26 @@ fn bench_matcher(c: &mut Criterion) {
             black_box(out.dphi.len())
         })
     });
+    // The SoA batch kernel (DESIGN.md §8): solve every interval's
+    // candidate vectors up front in lane-parallel passes, then decide.
+    let mut scratch = MatchBatchScratch::default();
+    let mut err = Vec::new();
+    let mut bits = Vec::new();
+    g.bench_function("match_4k_symbols_batch", |b| {
+        b.iter(|| {
+            bits.clear();
+            match_bits_batch(
+                black_box(&rx),
+                black_box(&dtheta),
+                1.0,
+                1.0,
+                &mut scratch,
+                &mut err,
+                &mut bits,
+            );
+            black_box(bits.len())
+        })
+    });
     g.finish();
 }
 
@@ -84,6 +108,16 @@ fn bench_detector(c: &mut Criterion) {
     g.bench_function("interference_mask_4k", |b| {
         b.iter(|| {
             det.interference_mask_into(black_box(&rx), &mut mask);
+            black_box(mask.len())
+        })
+    });
+    // The batch front-end splits energy extraction (lane-parallel)
+    // from the bit-pinned variance walk over precomputed energies.
+    let mut energies = Vec::new();
+    g.bench_function("interference_mask_4k_batch", |b| {
+        b.iter(|| {
+            energies_into(black_box(&rx), &mut energies);
+            det.interference_mask_from_energies(&energies, &mut mask);
             black_box(mask.len())
         })
     });

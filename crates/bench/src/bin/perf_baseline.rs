@@ -25,7 +25,9 @@ use anc_bench::fixtures::{
 };
 use anc_bench::perf::{measure_ns, measure_pair, HistoryEntry, PerfReport};
 use anc_core::decoder::DecoderScratch;
-use anc_core::matcher::{match_bits_into, match_phase_differences};
+use anc_core::matcher::{match_bits_batch, match_bits_into, match_phase_differences};
+use anc_core::MatchBatchScratch;
+use anc_dsp::batch::energies_into;
 use anc_sim::experiments::{alice_bob, ExperimentConfig};
 use anc_sim::runs::RunConfig;
 use std::hint::black_box;
@@ -150,6 +152,90 @@ fn main() {
         fused_ns / nf,
         reference_ns / fused_ns,
         nf / (fused_ns * 1e-9) / 1e6,
+    );
+
+    // ---- 1b. Batched SoA kernels vs the seed reference. ----
+    // The batch arm is the production decode path since DESIGN.md §8:
+    // a struct-of-arrays energy pass feeding the detector plus the
+    // lane-structured matcher. Timed against the seed reference in the
+    // same alternating-batch harness, so the batch speedup key shares
+    // the fused key's denominator semantics (both are "× over the seed
+    // reference implementation").
+    let mut energies = Vec::new();
+    let mut batch_scratch = MatchBatchScratch::default();
+    let mut mask_b = Vec::new();
+    let mut err_b = Vec::new();
+    let mut bits_b = Vec::new();
+    // Bit-identity sanity inside the measurement binary: the batch arm
+    // must reproduce the fused arm exactly before its timing means
+    // anything (the proptest suite pins this; re-check on live data).
+    det.interference_mask_into(&rx, &mut mask);
+    bits.clear();
+    match_bits_into(&rx, &dtheta, 1.0, 1.0, &mut err, &mut bits);
+    energies_into(&rx, &mut energies);
+    det.interference_mask_from_energies(&energies, &mut mask_b);
+    match_bits_batch(
+        &rx,
+        &dtheta,
+        1.0,
+        1.0,
+        &mut batch_scratch,
+        &mut err_b,
+        &mut bits_b,
+    );
+    assert_eq!(mask, mask_b, "batch interference mask diverged");
+    assert_eq!(bits, bits_b, "batch matcher bits diverged");
+    assert!(
+        err.len() == err_b.len()
+            && err
+                .iter()
+                .zip(&err_b)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "batch matcher residuals diverged"
+    );
+    bits_b.clear();
+    let (reference_arm_ns, batch_ns) = measure_pair(
+        || {
+            let mask = seed_interference_mask(&det, black_box(&rx));
+            let m = match_phase_differences(black_box(&rx), black_box(&dtheta), 1.0, 1.0);
+            black_box((mask[n / 2], m.bits().len()));
+        },
+        || {
+            energies_into(black_box(&rx), &mut energies);
+            det.interference_mask_from_energies(&energies, &mut mask_b);
+            bits_b.clear();
+            match_bits_batch(
+                black_box(&rx),
+                black_box(&dtheta),
+                1.0,
+                1.0,
+                &mut batch_scratch,
+                &mut err_b,
+                &mut bits_b,
+            );
+            black_box((mask_b[n / 2], bits_b.len()));
+        },
+        args.target_ms,
+        args.repeats,
+    );
+    report.kernels.insert(
+        "batch_detect_lemma_match_ns_per_sample".into(),
+        batch_ns / nf,
+    );
+    report.kernels.insert(
+        "batch_detect_lemma_match_speedup".into(),
+        reference_arm_ns / batch_ns,
+    );
+    report.kernels.insert(
+        "batch_detect_lemma_match_msamples_per_sec".into(),
+        nf / (batch_ns * 1e-9) / 1e6,
+    );
+    println!(
+        "kernel batched SoA: {:.1} ns/sample ({:.2}x over reference, {:.2}x over fused, {:.2} Msamples/s)",
+        batch_ns / nf,
+        reference_arm_ns / batch_ns,
+        fused_ns / batch_ns,
+        nf / (batch_ns * 1e-9) / 1e6,
     );
 
     // ---- 2. End-to-end decodes with scratch reuse. ----

@@ -9,6 +9,9 @@
 //! samples (integer part = MAC-visible shift, fractional part =
 //! sub-sample timing offset, §7.2).
 
+#![deny(clippy::cast_possible_truncation)]
+
+use anc_dsp::cast::ceil_to_usize;
 use anc_dsp::resample::fractional_delay;
 use anc_dsp::{Cplx, DspRng};
 
@@ -98,7 +101,7 @@ impl Link {
             return rotated;
         }
         // Extend so the delayed tail is not cut off.
-        let extra = self.delay.ceil() as usize;
+        let extra = ceil_to_usize(self.delay);
         let mut padded = rotated;
         padded.resize(padded.len() + extra, Cplx::ZERO);
         fractional_delay(&padded, self.delay)

@@ -7,8 +7,11 @@
 //! fractional delay), placed at its start time, summed sample-wise with
 //! every other transmission, and topped with the receiver's AWGN.
 
+#![deny(clippy::cast_possible_truncation)]
+
 use crate::awgn::Awgn;
 use crate::link::Link;
+use anc_dsp::cast::ceil_to_usize;
 use anc_dsp::{Cplx, DspRng};
 
 /// One transmission as seen by a receiver: the transmitted waveform,
@@ -39,7 +42,7 @@ impl Transmission {
     /// Last receiver-clock sample index this transmission can touch
     /// (exclusive).
     pub fn end(&self) -> usize {
-        self.start + self.samples.len() + self.link.delay.ceil() as usize
+        self.start + self.samples.len() + ceil_to_usize(self.link.delay)
     }
 
     /// A borrowed view of this transmission.

@@ -33,7 +33,8 @@
 
 use crate::amplitude::{estimate_amplitudes, estimate_single_amplitude};
 use crate::detect::{ClassifiedSignal, DetectorConfig, SignalDetector};
-use crate::matcher::{match_bits_into, mean_residual};
+use crate::matcher::{match_bits_batch, mean_residual, MatchBatchScratch};
+use anc_dsp::batch::energies_into;
 use anc_dsp::corr::best_match_bounded;
 use anc_dsp::Cplx;
 use anc_frame::FrameConfig;
@@ -141,11 +142,16 @@ pub struct DecodeOutcome {
 pub struct DecoderScratch {
     /// Demodulated clean-head bits (§7.2 pilot search).
     head_bits: Vec<bool>,
+    /// Per-sample energies `|y|²` from the SoA lane kernel — feeds the
+    /// batched detect stage (DESIGN.md §8).
+    energies: Vec<f64>,
     /// Per-sample interference mask (§7.1).
     mask: Vec<bool>,
     /// Known sender's per-interval phase differences `Δθ_s` (§6.3).
     known_dtheta: Vec<f64>,
-    /// Per-interval matching residuals from the fused kernel (§6.3).
+    /// Struct-of-arrays intermediates of the batched §6.3 kernel.
+    batch: MatchBatchScratch,
+    /// Per-interval matching residuals from the batch kernel (§6.3).
     match_err: Vec<f64>,
     /// Conjugate-reversed reception for backward decodes (§7.4).
     reversed: Vec<Cplx>,
@@ -291,8 +297,12 @@ impl AncDecoder {
         // search starts one detector window past the frame start. The
         // MAC's minimum stagger (≥ one slot ≫ one window, §7.2)
         // guarantees real interference cannot begin that early.
+        // Batched detect stage: the |y|² map is one SoA lane pass, then
+        // the variance window consumes precomputed energies.
+        // Bit-identical to `interference_mask_into(samples, ..)`.
+        energies_into(samples, &mut scratch.energies);
         self.detector
-            .interference_mask_into(samples, &mut scratch.mask);
+            .interference_mask_from_energies(&scratch.energies, &mut scratch.mask);
         let mask = &scratch.mask;
         let search_from = (f0 + self.cfg.detector.window).min(known_last);
         let onset = mask[search_from..known_last]
@@ -347,7 +357,7 @@ impl AncDecoder {
         // ---- Step 4: matcher over the overlapped intervals (§6.3). ----
         // Interval n (absolute) uses known_dtheta[n - f0]; we start at
         // the onset interval and run to the end of the known frame.
-        // Fused lemma/matcher batch kernel: residuals land in the
+        // Batched SoA lemma/matcher kernel: residuals land in the
         // scratch, the §6.4 bit decisions directly in the output
         // vector — the decode's one allocation, returned to the caller.
         let start_int = onset.max(f0);
@@ -358,11 +368,12 @@ impl AncDecoder {
         let tail_start = f0 + known_len;
         let tail = samples.get(tail_start..).unwrap_or(&[]);
         let mut bits = Vec::with_capacity(scratch.known_dtheta.len() + tail.len());
-        match_bits_into(
+        match_bits_batch(
             y,
             &scratch.known_dtheta,
             a,
             b,
+            &mut scratch.batch,
             &mut scratch.match_err,
             &mut bits,
         );

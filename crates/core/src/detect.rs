@@ -210,6 +210,40 @@ impl SignalDetector {
             }
         }
     }
+
+    /// [`SignalDetector::interference_mask_into`] from *precomputed*
+    /// per-sample energies (`|y|²`, e.g. from
+    /// [`anc_dsp::batch::energies_into`]) instead of complex samples.
+    ///
+    /// This is the batched pipeline's detect stage (DESIGN.md §8): the
+    /// energy map is a lane pass over the struct-of-arrays layout, and
+    /// the variance window then consumes scalars. Bit-identical to the
+    /// sample form — `VarianceWindow::push(s)` is defined as
+    /// `push_energy(s.norm_sq())`, so the window sees the exact same
+    /// value stream; the window's own ring/accumulator arithmetic is
+    /// untouched (its summation order is part of the pinned FP path).
+    pub fn interference_mask_from_energies(&self, energies: &[f64], mask: &mut Vec<bool>) {
+        let w = self.cfg.window.max(8);
+        let mut vw = VarianceWindow::new(w);
+        mask.clear();
+        mask.resize(energies.len(), false);
+        // Same O(n) high-water fill as `interference_mask_into`.
+        let mut flagged_to = 0usize;
+        for (i, &e) in energies.iter().enumerate() {
+            vw.push_energy(e);
+            if vw.is_full() {
+                let (m, var) = vw.mean_and_variance();
+                let nv = if m > 0.0 { var / (m * m) } else { 0.0 };
+                if nv > self.cfg.variance_threshold {
+                    let lo = (i + 1 - w).max(flagged_to);
+                    for flag in mask[lo..=i].iter_mut() {
+                        *flag = true;
+                    }
+                    flagged_to = i + 1;
+                }
+            }
+        }
+    }
 }
 
 /// Estimates the noise floor from a quiet (signal-free) sample region.
@@ -417,6 +451,43 @@ mod tests {
         det.interference_mask_into(&lone, &mut buf);
         assert_eq!(buf.len(), lone.len());
         assert!(buf.iter().all(|&f| !f));
+    }
+
+    #[test]
+    fn mask_from_energies_matches_sample_mask() {
+        // The batched detect stage (precomputed |y|² via the SoA energy
+        // kernel) must produce the bit-identical mask to the sample
+        // form, including on a dirty, oversized reused buffer.
+        let det = detector();
+        let mut rng = DspRng::seed_from(9);
+        let modem = MskModem::default();
+        let mut energies = Vec::new();
+        for stagger in [0usize, 50, 200] {
+            let a = modem.modulate(&rng.bits(400));
+            let b = modem.modulate(&rng.bits(400));
+            let rb = rng.phase();
+            let span = stagger + b.len();
+            let region: Vec<Cplx> = (0..span)
+                .map(|i| {
+                    let mut s = rng.complex_gaussian(NOISE);
+                    if i < a.len() {
+                        s += a[i];
+                    }
+                    if i >= stagger {
+                        s += b[i - stagger].rotate(rb);
+                    }
+                    s
+                })
+                .collect();
+            anc_dsp::batch::energies_into(&region, &mut energies);
+            let mut from_energies = vec![true; 9000]; // dirty
+            det.interference_mask_from_energies(&energies, &mut from_energies);
+            assert_eq!(
+                from_energies,
+                det.interference_mask(&region),
+                "stagger {stagger}"
+            );
+        }
     }
 
     #[test]

@@ -22,7 +22,48 @@
 //! reachable annulus `[|A−B|, A+B]` — which degrades gracefully instead
 //! of producing NaNs.
 
+use anc_dsp::batch::{CplxBatch, LANES};
 use anc_dsp::Cplx;
+
+/// Struct-of-arrays Lemma-6.1 candidate vectors for a run of samples —
+/// the batch matcher's working layout (DESIGN.md §8).
+///
+/// Slot `i` holds both candidate decompositions of sample `y[i]`:
+/// `u0/u1 ∥ e^{iθ₁}/e^{iθ₂}` (known sender) and `v0/v1 ∥ e^{iφ₁}/e^{iφ₂}`
+/// (unknown sender), exactly as [`LemmaKernel::candidate_vectors`]
+/// returns them — same expressions, same `mul_add` contractions — so
+/// reading a slot back reproduces the scalar solve bit for bit.
+#[derive(Debug, Clone, Default)]
+pub struct CandidateBatch {
+    /// First-branch known-sender vectors, `u0[i] ∥ e^{iθ₁[i]}`.
+    pub u0: CplxBatch,
+    /// Second-branch known-sender vectors, `u1[i] ∥ e^{iθ₂[i]}`.
+    pub u1: CplxBatch,
+    /// First-branch unknown-sender vectors, `v0[i] ∥ e^{iφ₁[i]}`.
+    pub v0: CplxBatch,
+    /// Second-branch unknown-sender vectors, `v1[i] ∥ e^{iφ₂[i]}`.
+    pub v1: CplxBatch,
+}
+
+impl CandidateBatch {
+    /// Number of solved samples held.
+    pub fn len(&self) -> usize {
+        self.u0.len()
+    }
+
+    /// `true` when no samples are held.
+    pub fn is_empty(&self) -> bool {
+        self.u0.is_empty()
+    }
+
+    /// Clears all four vector streams, keeping capacity.
+    pub fn clear(&mut self) {
+        self.u0.clear();
+        self.u1.clear();
+        self.v0.clear();
+        self.v1.clear();
+    }
+}
 
 /// One `(θ, φ)` solution of Lemma 6.1.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -127,6 +168,57 @@ impl LemmaKernel {
             y * Cplx::new(self.b + ad, a_s),
         ];
         (u, v, d)
+    }
+
+    /// Solves Lemma 6.1 for a whole run of samples into a
+    /// struct-of-arrays [`CandidateBatch`] (resized to `y.len()`).
+    ///
+    /// The samples are independent, so the batch walks them in
+    /// [`LANES`]-wide chunks that LLVM autovectorizes at the pinned
+    /// `x86-64-v3` baseline — `clamp`, `sqrt` and the `mul_add`
+    /// contractions all have 256-bit vector forms. Each lane performs
+    /// exactly [`LemmaKernel::candidate_vectors`]'s operations, so
+    /// every slot is bit-identical to the scalar solve (pinned by the
+    /// proptest equivalence suite).
+    pub fn candidate_vectors_batch(&self, y: &[Cplx], out: &mut CandidateBatch) {
+        let n = y.len();
+        out.u0.resize(n);
+        out.u1.resize(n);
+        out.v0.resize(n);
+        out.v1.resize(n);
+        let (u0re, u0im) = out.u0.parts_mut();
+        let (u1re, u1im) = out.u1.parts_mut();
+        let (v0re, v0im) = out.v0.parts_mut();
+        let (v1re, v1im) = out.v1.parts_mut();
+        let mut chunks = y.chunks_exact(LANES);
+        let mut base = 0usize;
+        for c in chunks.by_ref() {
+            for (k, &yk) in c.iter().enumerate() {
+                let i = base + k;
+                let (u, v, _) = self.candidate_vectors(yk);
+                u0re[i] = u[0].re;
+                u0im[i] = u[0].im;
+                u1re[i] = u[1].re;
+                u1im[i] = u[1].im;
+                v0re[i] = v[0].re;
+                v0im[i] = v[0].im;
+                v1re[i] = v[1].re;
+                v1im[i] = v[1].im;
+            }
+            base += LANES;
+        }
+        for (k, &yk) in chunks.remainder().iter().enumerate() {
+            let i = base + k;
+            let (u, v, _) = self.candidate_vectors(yk);
+            u0re[i] = u[0].re;
+            u0im[i] = u[0].im;
+            u1re[i] = u[1].re;
+            u1im[i] = u[1].im;
+            v0re[i] = v[0].re;
+            v0im[i] = v[0].im;
+            v1re[i] = v[1].re;
+            v1im[i] = v[1].im;
+        }
     }
 
     /// Solves Lemma 6.1 for one sample (the struct-returning scalar
@@ -301,6 +393,34 @@ mod tests {
     #[should_panic]
     fn kernel_zero_amplitude_rejected() {
         let _ = LemmaKernel::new(1.0, 0.0);
+    }
+
+    #[test]
+    fn candidate_batch_is_bit_identical_to_scalar() {
+        // Every slot of the SoA batch must reproduce the scalar
+        // per-sample solve bit for bit, across lengths straddling the
+        // lane width (remainders 0..LANES-1 all exercised).
+        let mut rng = DspRng::seed_from(23);
+        let mut batch = CandidateBatch::default();
+        for n in [0usize, 1, 2, 3, 4, 5, 7, 8, 9, 33] {
+            let a = rng.uniform_range(0.3, 2.0);
+            let b = rng.uniform_range(0.3, 2.0);
+            let y: Vec<Cplx> = (0..n)
+                .map(|_| Cplx::from_polar(a, rng.phase()) + Cplx::from_polar(b, rng.phase()))
+                .collect();
+            let k = LemmaKernel::new(a, b);
+            k.candidate_vectors_batch(&y, &mut batch);
+            assert_eq!(batch.len(), n);
+            for (i, &yi) in y.iter().enumerate() {
+                let (u, v, _) = k.candidate_vectors(yi);
+                assert_eq!(batch.u0.get(i), u[0], "n={n} i={i}");
+                assert_eq!(batch.u1.get(i), u[1], "n={n} i={i}");
+                assert_eq!(batch.v0.get(i), v[0], "n={n} i={i}");
+                assert_eq!(batch.v1.get(i), v[1], "n={n} i={i}");
+            }
+        }
+        batch.clear();
+        assert!(batch.is_empty());
     }
 
     #[test]

@@ -44,8 +44,9 @@ pub mod sic;
 pub use amplitude::{estimate_amplitudes, AmplitudeEstimate};
 pub use decoder::{AncDecoder, DecodeOutcome, DecoderConfig, DecoderScratch};
 pub use detect::{ClassifiedSignal, DetectorConfig, SignalDetector};
-pub use lemma::{solve_phases, LemmaKernel, PhasePair, PhaseSolutions};
+pub use lemma::{solve_phases, CandidateBatch, LemmaKernel, PhasePair, PhaseSolutions};
 pub use matcher::{
-    match_bits_into, match_phase_differences, match_phase_differences_into, MatchOutput,
+    match_bits_batch, match_bits_into, match_phase_differences, match_phase_differences_into,
+    MatchBatchScratch, MatchOutput,
 };
 pub use router::{RouterAction, RouterPolicy};

@@ -15,9 +15,9 @@
 //! paired `Δφ_xy[n]` as the estimate of the unknown sender's phase
 //! difference for that interval.
 
-use crate::lemma::{solve_phases, LemmaKernel, PhaseSolutions};
+use crate::lemma::{solve_phases, CandidateBatch, LemmaKernel, PhaseSolutions};
 use anc_dsp::angle::{circular_diff, circular_distance, wrap_pi};
-use anc_dsp::Cplx;
+use anc_dsp::{Cplx, CplxBatch};
 
 /// Output of the matcher over a run of samples.
 #[derive(Debug, Clone, Default)]
@@ -82,15 +82,26 @@ pub fn match_phase_differences(y: &[Cplx], known_dtheta: &[f64], a: f64, b: f64)
     let mut prev: PhaseSolutions = solve_phases(y[0], a, b);
     for n in 0..intervals {
         let next = solve_phases(y[n + 1], a, b);
+        let mut chosen = false;
         let mut best_err = f64::INFINITY;
         let mut best_dtheta = 0.0;
         let mut best_dphi = 0.0;
-        // Eq. 7: all four (x, y) combinations.
+        // Eq. 7: all four (x, y) combinations. The first candidate is
+        // adopted unconditionally: NaN inputs (a NaN sample or a NaN
+        // `Δθ_s`) make every candidate's `err` NaN, and since
+        // `NaN < best` never fires, the old INFINITY-seeded loop would
+        // emit the 0.0 placeholders — a *bit decision of 1* out of
+        // garbage, and a silent divergence from the fused kernels,
+        // which fall back to candidate (0, 0). Adopting the first
+        // candidate keeps the selection identical for every non-NaN
+        // input (any finite err beats INFINITY) and propagates NaN
+        // honestly otherwise.
         for pn in next.pairs() {
             for pp in prev.pairs() {
                 let dtheta = circular_diff(pn.theta, pp.theta);
                 let err = circular_distance(dtheta, known_dtheta[n]);
-                if err < best_err {
+                if !chosen || err < best_err {
+                    chosen = true;
                     best_err = err;
                     best_dtheta = dtheta;
                     best_dphi = circular_diff(pn.phi, pp.phi);
@@ -251,24 +262,13 @@ impl CandidateSelector {
     }
 }
 
-/// `true` exactly when `arg(q) >= 0.0` would be, without the `atan2`:
-/// the argument's sign is the sign of `q.im`, except on the real axis
-/// where IEEE signed zeros decide between `±0` and `±π`.
+/// `true` exactly when `arg(q) >= 0.0` would be, without the `atan2` —
+/// now shared workspace-wide as [`Cplx::arg_is_non_negative`] (the MSK
+/// hard demodulator makes the same decision); kept as a thin alias so
+/// the §6.4 call sites below read as the decision they implement.
 #[inline]
 fn arg_is_non_negative(q: Cplx) -> bool {
-    if q.re.is_nan() || q.im.is_nan() {
-        return false; // arg would be NaN; NaN >= 0.0 is false
-    }
-    if q.im != 0.0 {
-        return q.im > 0.0;
-    }
-    if q.im.is_sign_positive() {
-        true // arg is +0 or +π
-    } else {
-        // im = −0: arg is −0.0 (which satisfies >= 0.0) when re lies on
-        // the positive side, −π otherwise.
-        q.re > 0.0 || (q.re == 0.0 && q.re.is_sign_positive())
-    }
+    q.arg_is_non_negative()
 }
 
 /// The decode hot path's §6.3 kernel: fused Lemma 6.1 + matching that
@@ -307,6 +307,153 @@ pub fn match_bits_into(
         bits.push(arg_is_non_negative(step.dphi_vector(&pv)));
         pu = step.nu;
         pv = step.nv;
+    }
+}
+
+/// Working memory of [`match_bits_batch`]: the struct-of-arrays
+/// intermediate streams of the batched detect → lemma → match pipeline
+/// (DESIGN.md §8). Owning them in the caller amortizes every
+/// allocation across a run — the `DecoderScratch` pattern.
+#[derive(Debug, Clone, Default)]
+pub struct MatchBatchScratch {
+    /// Lemma-6.1 candidate vectors for samples `y[0..=intervals]`.
+    cand: CandidateBatch,
+    /// Per-interval back-rotations `e^{-iΔθ_s[k]}`.
+    back_rot: CplxBatch,
+}
+
+/// The batched §6.3 kernel: same contract and output as
+/// [`match_bits_into`] — the §6.4 bit decisions appended to `bits`, the
+/// per-interval residuals into `err` (cleared first) — restructured as
+/// struct-of-arrays stage passes over the whole run.
+///
+/// Why it is faster, at bit-identical output:
+///
+/// * The fused scalar kernel carries a loop-dependency — interval `k`'s
+///   `pu`/`pv` are interval `k−1`'s `nu`/`nv` — so its Lemma solves,
+///   rotations and scores all sit on one serial chain. But the
+///   *dependency is only on data layout, not on values*: every
+///   candidate vector is a pure function of one sample. Solving all
+///   samples up front ([`LemmaKernel::candidate_vectors_batch`]) turns
+///   the expensive part of the chain into a data-parallel lane pass
+///   LLVM autovectorizes.
+/// * The decision scan then reads the solved streams with no
+///   long-latency dependency between intervals: four register-resident
+///   scores and compares per interval, and the one irreducible `atan2`
+///   for the residual stream overlaps across intervals in the
+///   out-of-order window.
+///
+/// Every stage performs exactly the scalar expressions (same `mul_add`
+/// contractions, same candidate order, same strict-improvement scan
+/// seeded at −∞ — NaN scores are never adopted, so NaN inputs fall back
+/// to candidate (0, 0) exactly as the fused kernel does), so `bits` and
+/// `err` are bit-identical to [`match_bits_into`]; the proptest
+/// equivalence suite pins this across lane remainders.
+pub fn match_bits_batch(
+    y: &[Cplx],
+    known_dtheta: &[f64],
+    a: f64,
+    b: f64,
+    scratch: &mut MatchBatchScratch,
+    err: &mut Vec<f64>,
+    bits: &mut Vec<bool>,
+) {
+    let kernel = LemmaKernel::new(a, b);
+    err.clear();
+    let intervals = known_dtheta.len().min(y.len().saturating_sub(1));
+    if intervals == 0 {
+        return;
+    }
+    err.reserve(intervals);
+    bits.reserve(intervals);
+    let MatchBatchScratch { cand, back_rot } = scratch;
+
+    // Stage 1 — lemma: candidate vectors for every sample, one SoA
+    // lane pass (sample `k` serves as interval `k`'s "prev" and
+    // interval `k−1`'s "next", so each is solved exactly once, as in
+    // the scalar kernel).
+    kernel.candidate_vectors_batch(&y[..=intervals], cand);
+
+    // Stage 2 — back-rotations `e^{-iΔθ_s}`: a two-entry memo instead
+    // of the scalar kernel's last-value memo. MSK draws Δθ_s from
+    // {±π/2}, so the stream *alternates* between two values and a
+    // one-deep memo misses on every change; holding both makes nearly
+    // every interval a hit. FP-transparent either way — `sin_cos` is a
+    // pure function, so a cached result is the bit the call would have
+    // produced.
+    back_rot.clear();
+    let mut memo = [(f64::NAN, Cplx::ONE); 2];
+    for &known in &known_dtheta[..intervals] {
+        let br = if known == memo[0].0 {
+            memo[0].1
+        } else if known == memo[1].0 {
+            memo[1].1
+        } else {
+            let (sk, ck) = known.sin_cos();
+            let fresh = Cplx::new(ck, -sk);
+            memo[1] = memo[0];
+            memo[0] = (known, fresh);
+            fresh
+        };
+        back_rot.push(br);
+    }
+
+    // Stage 3 — rotate, score and decide in one scan over the solved
+    // candidate streams: per interval, both pre-rotated next vectors,
+    // the four candidate scores (registers, never written back), then
+    // the reference's exact selection order (next branch outer, prev
+    // branch inner, strict improvement from −∞) and the winner's
+    // residual and bit. An earlier cut materialized the rotated
+    // vectors and all four score streams as further SoA passes; at
+    // 4k-sample runs those intermediates blew past L2 and the kernel
+    // went memory-bound — folding them into the scan keeps the streams
+    // read here to the candidate batch and the back-rotations. The
+    // only long-latency op per interval is the residual's `atan2`, and
+    // it is independent across intervals, so out-of-order execution
+    // overlaps it with the neighbouring intervals' arithmetic.
+    let (bre, bim) = (&back_rot.re()[..intervals], &back_rot.im()[..intervals]);
+    let (u0re, u0im) = (cand.u0.re(), cand.u0.im());
+    let (u1re, u1im) = (cand.u1.re(), cand.u1.im());
+    let (v0re, v0im) = (cand.v0.re(), cand.v0.im());
+    let (v1re, v1im) = (cand.v1.re(), cand.v1.im());
+    for k in 0..intervals {
+        let brk = Cplx::new(bre[k], bim[k]);
+        let mk0 = Cplx::new(u0re[k + 1], u0im[k + 1]) * brk;
+        let mk1 = Cplx::new(u1re[k + 1], u1im[k + 1]) * brk;
+        let p0 = Cplx::new(u0re[k], u0im[k]);
+        let p1 = Cplx::new(u1re[k], u1im[k]);
+        let s = [
+            mk0.re.mul_add(p0.re, mk0.im * p0.im),
+            mk0.re.mul_add(p1.re, mk0.im * p1.im),
+            mk1.re.mul_add(p0.re, mk1.im * p0.im),
+            mk1.re.mul_add(p1.re, mk1.im * p1.im),
+        ];
+        // Select-style scan (same sequential strict-`>` semantics as
+        // the reference's `if` chain, NaN never adopted): phrasing each
+        // step as a conditional move keeps the winner's index off the
+        // branch predictor — the winning candidate is data-dependent
+        // noise, and a mispredicted branch here costs more than the
+        // whole score computation.
+        let mut best_score = f64::NEG_INFINITY;
+        let mut best = 0usize;
+        for (j, &sc) in s.iter().enumerate() {
+            let take = sc > best_score;
+            best_score = if take { sc } else { best_score };
+            best = if take { j } else { best };
+        }
+        let (x, p) = (best >> 1, best & 1);
+        let (m, nv) = if x == 0 {
+            (mk0, Cplx::new(v0re[k + 1], v0im[k + 1]))
+        } else {
+            (mk1, Cplx::new(v1re[k + 1], v1im[k + 1]))
+        };
+        let (pu, pv) = if p == 0 {
+            (p0, Cplx::new(v0re[k], v0im[k]))
+        } else {
+            (p1, Cplx::new(v1re[k], v1im[k]))
+        };
+        err.push((m * pu.conj()).arg().abs());
+        bits.push(arg_is_non_negative(nv * pv.conj()));
     }
 }
 
@@ -516,6 +663,97 @@ mod tests {
             assert!((mean_residual(&err) - reference.mean_err()).abs() < 1e-9);
         }
         assert_eq!(mean_residual(&[]), 0.0);
+    }
+
+    #[test]
+    fn batch_kernel_is_bit_identical_to_fused() {
+        // Bitwise equality — not tolerance — across lane remainders
+        // (n % LANES ∈ {0, 1, 2, 3} via the interval counts below) and
+        // operating points; the randomized sweep lives in
+        // tests/proptest_core.rs.
+        let mut scratch = MatchBatchScratch::default();
+        for (seed, a, b, noise, n_bits) in [
+            (41u64, 1.0, 1.0, 0.0, 800usize),
+            (42, 1.0, 0.6, 0.0, 801),
+            (43, 1.0, 0.8, 0.0164, 802),
+            (44, 0.7, 1.3, 0.005, 803),
+        ] {
+            let (rx, _, _, dtheta) = scenario(a, b, n_bits, seed, noise);
+            let (mut err_f, mut bits_f) = (Vec::new(), Vec::new());
+            match_bits_into(&rx, &dtheta, a, b, &mut err_f, &mut bits_f);
+            let mut err_b = vec![9.9]; // must be cleared
+            let mut bits_b = vec![true]; // appended after, not cleared
+            match_bits_batch(&rx, &dtheta, a, b, &mut scratch, &mut err_b, &mut bits_b);
+            assert_eq!(&bits_b[1..], bits_f.as_slice(), "seed {seed}");
+            assert_eq!(err_b.len(), err_f.len());
+            for (n, (&e, &r)) in err_b.iter().zip(&err_f).enumerate() {
+                assert!(
+                    e.to_bits() == r.to_bits(),
+                    "seed {seed} err[{n}]: {e} vs {r}"
+                );
+            }
+        }
+        // Empty/short inputs: cleared err, untouched bits.
+        let (mut err, mut bits) = (vec![1.0], Vec::new());
+        match_bits_batch(
+            &[Cplx::ONE],
+            &[FRAC_PI_2],
+            1.0,
+            1.0,
+            &mut scratch,
+            &mut err,
+            &mut bits,
+        );
+        assert!(err.is_empty() && bits.is_empty());
+    }
+
+    #[test]
+    fn nan_inputs_decide_identically_on_every_path() {
+        // A NaN sample or NaN Δθ_s poisons all four candidates of the
+        // affected intervals; all three kernels must then make the
+        // *same* fallback decision (candidate (0, 0), NaN dphi → bit
+        // false) rather than silently diverging.
+        let (mut rx, _, _, mut dtheta) = scenario(1.0, 0.8, 64, 51, 0.0);
+        rx[10] = Cplx::new(f64::NAN, 0.3);
+        rx[20] = Cplx::new(0.1, f64::NAN);
+        dtheta[40] = f64::NAN;
+        let reference = match_phase_differences(&rx, &dtheta, 1.0, 0.8);
+        let mut fused = MatchOutput::default();
+        match_phase_differences_into(&rx, &dtheta, 1.0, 0.8, &mut fused);
+        let (mut err_f, mut bits_f) = (Vec::new(), Vec::new());
+        match_bits_into(&rx, &dtheta, 1.0, 0.8, &mut err_f, &mut bits_f);
+        let mut scratch = MatchBatchScratch::default();
+        let (mut err_b, mut bits_b) = (Vec::new(), Vec::new());
+        match_bits_batch(
+            &rx,
+            &dtheta,
+            1.0,
+            0.8,
+            &mut scratch,
+            &mut err_b,
+            &mut bits_b,
+        );
+        assert_eq!(reference.bits(), fused.bits());
+        assert_eq!(reference.bits(), bits_f);
+        assert_eq!(reference.bits(), bits_b);
+        // Poisoned intervals: samples 10 and 20 hit intervals {9, 10}
+        // and {19, 20}; the NaN Δθ_s hits interval 40. All paths must
+        // report NaN residuals there (not 0.0 placeholders) and decide
+        // the bit false.
+        for k in [9usize, 10, 19, 20, 40] {
+            assert!(reference.err[k].is_nan(), "reference err[{k}]");
+            assert!(fused.err[k].is_nan(), "fused err[{k}]");
+            assert!(err_f[k].is_nan(), "bits-kernel err[{k}]");
+            assert!(err_b[k].is_nan(), "batch err[{k}]");
+        }
+        // NaN *samples* poison the Δφ vector too, so those intervals'
+        // bits are false; the NaN-Δθ_s interval (40) falls back to
+        // candidate (0, 0), whose Δφ is still finite.
+        for k in [9usize, 10, 19, 20] {
+            assert!(!bits_b[k], "bit[{k}] must be false under NaN samples");
+        }
+        // Clean intervals still decode identically and finitely.
+        assert!(err_b[30].is_finite());
     }
 
     #[test]

@@ -1,0 +1,102 @@
+//! Intent-named float→integer conversions for timing/indexing paths.
+//!
+//! A bare `as` cast from `f64` to an integer saturates silently: NaN
+//! becomes 0, negative values become 0 for unsigned targets, and
+//! out-of-range magnitudes clamp to the type bounds. On timing paths
+//! that silence is a bug class — a negative TX slip cast to `usize`
+//! simply disappears (the class PR 5 started flushing out). These
+//! helpers keep the exact saturating semantics (the golden fingerprints
+//! depend on them where inputs are known in-range) but name the intent
+//! at each call site, confine the clippy `cast_possible_truncation`
+//! allowance to one audited place, and pin the edge-case behaviour —
+//! negative, NaN, and out-of-range inputs — with tests.
+
+/// Rounds to the nearest integer (ties away from zero, `f64::round`)
+/// and converts to `usize`, saturating: NaN and negative values map to
+/// 0, values beyond `usize::MAX` clamp to `usize::MAX`.
+#[inline]
+pub fn round_to_usize(x: f64) -> usize {
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    {
+        x.round() as usize
+    }
+}
+
+/// Floors and converts to `usize`, saturating (NaN and negatives → 0,
+/// overflow → `usize::MAX`).
+#[inline]
+pub fn floor_to_usize(x: f64) -> usize {
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    {
+        x.floor() as usize
+    }
+}
+
+/// Ceils and converts to `usize`, saturating (NaN and negatives → 0,
+/// overflow → `usize::MAX`).
+#[inline]
+pub fn ceil_to_usize(x: f64) -> usize {
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    {
+        x.ceil() as usize
+    }
+}
+
+/// Rounds to the nearest integer (ties away from zero) and converts to
+/// `i64`, saturating: NaN maps to 0, ±∞ and out-of-range magnitudes
+/// clamp to `i64::MIN`/`i64::MAX`. Unlike the unsigned helpers this
+/// *preserves* negative values — the conversion for signed timing
+/// quantities like sub-slot jitter slips.
+#[inline]
+pub fn round_to_i64(x: f64) -> i64 {
+    #[allow(clippy::cast_possible_truncation)]
+    {
+        x.round() as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_to_usize_saturates_negative_and_nan() {
+        assert_eq!(round_to_usize(-3.7), 0);
+        assert_eq!(round_to_usize(-0.4), 0);
+        assert_eq!(round_to_usize(f64::NAN), 0);
+        assert_eq!(round_to_usize(f64::NEG_INFINITY), 0);
+    }
+
+    #[test]
+    fn round_to_usize_rounds_and_clamps() {
+        assert_eq!(round_to_usize(0.0), 0);
+        assert_eq!(round_to_usize(2.4), 2);
+        assert_eq!(round_to_usize(2.5), 3); // ties away from zero
+        assert_eq!(round_to_usize(1e300), usize::MAX);
+        assert_eq!(round_to_usize(f64::INFINITY), usize::MAX);
+    }
+
+    #[test]
+    fn floor_and_ceil_to_usize() {
+        assert_eq!(floor_to_usize(3.9), 3);
+        assert_eq!(ceil_to_usize(3.1), 4);
+        assert_eq!(ceil_to_usize(3.0), 3);
+        assert_eq!(floor_to_usize(-1.5), 0);
+        assert_eq!(ceil_to_usize(-0.5), 0);
+        assert_eq!(floor_to_usize(f64::NAN), 0);
+        assert_eq!(ceil_to_usize(f64::NAN), 0);
+        assert_eq!(ceil_to_usize(f64::INFINITY), usize::MAX);
+    }
+
+    #[test]
+    fn round_to_i64_preserves_sign_and_saturates() {
+        assert_eq!(round_to_i64(-3.5), -4); // ties away from zero
+        assert_eq!(round_to_i64(-3.4), -3);
+        assert_eq!(round_to_i64(7.5), 8);
+        assert_eq!(round_to_i64(f64::NAN), 0);
+        assert_eq!(round_to_i64(f64::NEG_INFINITY), i64::MIN);
+        assert_eq!(round_to_i64(f64::INFINITY), i64::MAX);
+        assert_eq!(round_to_i64(1e300), i64::MAX);
+        assert_eq!(round_to_i64(-1e300), i64::MIN);
+    }
+}

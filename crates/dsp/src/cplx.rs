@@ -87,6 +87,29 @@ impl Cplx {
         self.im.atan2(self.re)
     }
 
+    /// `true` exactly when `self.arg() >= 0.0` would be, without the
+    /// `atan2`: the argument's sign is the sign of `im`, except on the
+    /// real axis where IEEE signed zeros decide between `±0` and `±π`.
+    /// NaN components yield `false` (`arg` would be NaN, and
+    /// `NaN >= 0.0` is false) — the explicit NaN sentinel the §6.4 bit
+    /// decision and the MSK hard demodulator rely on.
+    #[inline]
+    pub fn arg_is_non_negative(self) -> bool {
+        if self.re.is_nan() || self.im.is_nan() {
+            return false;
+        }
+        if self.im != 0.0 {
+            return self.im > 0.0;
+        }
+        if self.im.is_sign_positive() {
+            true // arg is +0 or +π
+        } else {
+            // im = −0: arg is −0.0 (which satisfies >= 0.0) when re
+            // lies on the positive side, −π otherwise.
+            self.re > 0.0 || (self.re == 0.0 && self.re.is_sign_positive())
+        }
+    }
+
     /// Complex conjugate.
     #[inline]
     pub fn conj(self) -> Self {
@@ -403,6 +426,25 @@ mod tests {
     fn display_formats_sign() {
         assert_eq!(Cplx::new(1.0, 2.0).to_string(), "1+2i");
         assert_eq!(Cplx::new(1.0, -2.0).to_string(), "1-2i");
+    }
+
+    #[test]
+    fn arg_sign_predicate_matches_atan2_everywhere() {
+        // All sign/zero combinations of the axes, plus general points.
+        for &re in &[-2.0, -0.0, 0.0, 3.0] {
+            for &im in &[-1.0, -0.0, 0.0, 2.5] {
+                let q = Cplx::new(re, im);
+                assert_eq!(
+                    q.arg_is_non_negative(),
+                    q.arg() >= 0.0,
+                    "q = {re:?}+{im:?}i (arg {})",
+                    q.arg()
+                );
+            }
+        }
+        assert!(!Cplx::new(f64::NAN, 1.0).arg_is_non_negative());
+        assert!(!Cplx::new(1.0, f64::NAN).arg_is_non_negative());
+        assert!(!Cplx::new(f64::NAN, f64::NAN).arg_is_non_negative());
     }
 
     #[test]

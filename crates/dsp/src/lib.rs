@@ -25,6 +25,10 @@
 //!   workspace off `rand_distr`).
 //! * [`resample`] — fractional-delay linear interpolation used to model
 //!   sub-sample timing offsets between interfering senders (§7.2).
+//! * [`batch`] — struct-of-arrays sample batches and `[f64; 4]` lane
+//!   helpers behind the autovectorized RX kernels (DESIGN.md §8).
+//! * [`cast`] — intent-named, saturating float→integer conversions for
+//!   the timing/indexing paths.
 //!
 //! The crate follows the smoltcp design ethos: simple, robust, no unsafe,
 //! no clever type machinery.
@@ -33,6 +37,8 @@
 #![warn(missing_docs)]
 
 pub mod angle;
+pub mod batch;
+pub mod cast;
 pub mod corr;
 pub mod cplx;
 pub mod db;
@@ -43,6 +49,7 @@ pub mod stats;
 pub mod window;
 
 pub use angle::{wrap_pi, AngleExt};
+pub use batch::CplxBatch;
 pub use cplx::Cplx;
 pub use db::{db_to_linear, linear_to_db};
 pub use lfsr::Lfsr;

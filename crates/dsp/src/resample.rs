@@ -8,6 +8,9 @@
 //! fractional delay — adequate for MSK, whose phase trajectory is
 //! piecewise linear, and cheap enough to apply per packet.
 
+#![deny(clippy::cast_possible_truncation)]
+
+use crate::cast::floor_to_usize;
 use crate::cplx::Cplx;
 
 /// Delays a sample stream by `delay` samples (may be fractional),
@@ -25,7 +28,8 @@ pub fn fractional_delay(signal: &[Cplx], delay: f64) -> Vec<Cplx> {
         if t < 0.0 {
             continue;
         }
-        let k = t.floor() as usize;
+        // t >= 0 here, so the saturating floor conversion is exact.
+        let k = floor_to_usize(t);
         let frac = t - k as f64;
         if k >= n {
             continue;

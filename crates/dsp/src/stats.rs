@@ -5,6 +5,9 @@
 //! [`RunningStats`] (Welford) accumulates means/variances without
 //! storing samples; [`percentile`] backs the summary table.
 
+#![deny(clippy::cast_possible_truncation)]
+
+use crate::cast::{ceil_to_usize, floor_to_usize};
 use serde::{Deserialize, Serialize};
 
 /// Welford online mean/variance accumulator.
@@ -29,8 +32,14 @@ impl RunningStats {
         }
     }
 
-    /// Adds one observation.
+    /// Adds one observation. NaN observations are skipped: a single
+    /// NaN fed into Welford's recurrence poisons the mean *and* every
+    /// later observation (the same sentinel convention as
+    /// [`percentile`]/[`Cdf`], which drop NaN samples before sorting).
     pub fn push(&mut self, x: f64) {
+        if x.is_nan() {
+            return;
+        }
         self.n += 1;
         let d = x - self.mean;
         self.mean += d / self.n as f64;
@@ -115,8 +124,10 @@ pub fn percentile(samples: &[f64], p: f64) -> f64 {
         return sorted[0];
     }
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
-    let lo = rank.floor() as usize;
-    let hi = rank.ceil() as usize;
+    // `rank` lies in [0, len − 1] by construction; the saturating
+    // helpers keep the conversion honest anyway.
+    let lo = floor_to_usize(rank);
+    let hi = ceil_to_usize(rank);
     let frac = rank - lo as f64;
     sorted[lo] + (sorted[hi] - sorted[lo]) * frac
 }
@@ -222,6 +233,30 @@ mod tests {
         assert!((s.std_dev() - 2.0).abs() < 1e-12);
         assert_eq!(s.min(), 2.0);
         assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn running_stats_skips_nan_observations() {
+        // One poisoned push must not contaminate the accumulator: NaN
+        // through Welford's recurrence turns mean, m2, min and max into
+        // NaN for the rest of the run.
+        let mut with_nan = RunningStats::new();
+        let mut clean = RunningStats::new();
+        for x in [2.0, f64::NAN, 4.0, f64::NAN, 9.0] {
+            with_nan.push(x);
+            if !x.is_nan() {
+                clean.push(x);
+            }
+        }
+        assert_eq!(with_nan.count(), 3);
+        assert_eq!(with_nan.mean().to_bits(), clean.mean().to_bits());
+        assert_eq!(with_nan.variance().to_bits(), clean.variance().to_bits());
+        assert_eq!(with_nan.min(), 2.0);
+        assert_eq!(with_nan.max(), 9.0);
+        let mut only_nan = RunningStats::new();
+        only_nan.push(f64::NAN);
+        assert_eq!(only_nan.count(), 0);
+        assert_eq!(only_nan.mean(), 0.0);
     }
 
     #[test]

@@ -50,9 +50,13 @@ impl EnergyWindow {
         self.push_energy(sample.norm_sq());
     }
 
-    /// Pushes a precomputed energy value.
+    /// Pushes a precomputed energy value. Non-finite energies (NaN/±∞
+    /// samples from degenerate upstream arithmetic) are recorded as
+    /// zero: a single NaN through the running sum would otherwise
+    /// poison the window's mean for the rest of the stream.
     #[inline]
     pub fn push_energy(&mut self, energy: f64) {
+        let energy = if energy.is_finite() { energy } else { 0.0 };
         if self.buf.len() == self.cap {
             if let Some(old) = self.buf.pop_front() {
                 self.sum -= old;
@@ -153,9 +157,14 @@ impl VarianceWindow {
         self.push_energy(sample.norm_sq());
     }
 
-    /// Pushes a precomputed energy value.
+    /// Pushes a precomputed energy value. Non-finite energies are
+    /// recorded as zero — the same NaN sentinel as
+    /// [`EnergyWindow::push_energy`]; a NaN entering the running sum
+    /// (or the ring, via the periodic refresh) would poison every later
+    /// mean and variance in the stream.
     #[inline]
     pub fn push_energy(&mut self, energy: f64) {
+        let energy = if energy.is_finite() { energy } else { 0.0 };
         if self.ring.len() < self.cap {
             self.ring.push(energy);
         } else {
@@ -204,7 +213,11 @@ impl VarianceWindow {
     /// [`VarianceWindow::mean`] and [`VarianceWindow::variance`]
     /// separately (all three use the same running-sum mean). The
     /// per-sample interference mask calls this once per pushed sample,
-    /// so the O(1) mean and single deviation pass are hot-path wins.
+    /// so the O(1) mean and single deviation pass are hot-path wins
+    /// (`#[inline]` because that caller lives in another crate: without
+    /// it the per-sample query stays an opaque call at the default
+    /// no-LTO release profile).
+    #[inline]
     pub fn mean_and_variance(&self) -> (f64, f64) {
         let n = self.ring.len();
         if n == 0 {
@@ -392,6 +405,32 @@ mod tests {
         }
         let empty = VarianceWindow::new(4);
         assert_eq!(empty.mean_and_variance(), (0.0, 0.0));
+    }
+
+    #[test]
+    fn nan_samples_do_not_poison_the_windows() {
+        // Inject NaN and ∞ samples mid-stream: both trackers must keep
+        // reporting the statistics of the remaining (zero-substituted)
+        // energies instead of going NaN forever.
+        let mut ew = EnergyWindow::new(4);
+        let mut vw = VarianceWindow::new(4);
+        for e in [1.0, f64::NAN, 1.0, f64::INFINITY, 1.0, 1.0, 1.0, 1.0] {
+            ew.push_energy(e);
+            vw.push_energy(e);
+            assert!(ew.mean().is_finite());
+            let (m, v) = vw.mean_and_variance();
+            assert!(m.is_finite() && v.is_finite());
+        }
+        // The poisoned entries have been evicted: pure signal remains.
+        assert!((ew.mean() - 1.0).abs() < 1e-12);
+        assert_eq!(vw.variance(), 0.0);
+        // A NaN complex sample through `push` is sanitized too (NaN
+        // components make `norm_sq` NaN).
+        let mut vw2 = VarianceWindow::new(2);
+        vw2.push(Cplx::new(f64::NAN, 0.0));
+        vw2.push(Cplx::new(1.0, 0.0));
+        let (m, _) = vw2.mean_and_variance();
+        assert!((m - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -177,8 +177,13 @@ impl MskModem {
         for k in 0..n_sym {
             let a = samples[k * s];
             let b = samples[(k + 1) * s];
-            // §5.3 / §6.4 decision rule: Δθ ≥ 0 → "1", else "0".
-            out.push((b / a).arg() >= 0.0);
+            // §5.3 / §6.4 decision rule: Δθ ≥ 0 → "1", else "0" — the
+            // sign of arg(b/a) read off the quotient directly, skipping
+            // the atan2 (`demodulate_soft` remains the thresholded
+            // reference). The quotient itself is kept — NOT b·conj(a) —
+            // because a = 0 must keep yielding NaN → bit 0, exactly as
+            // the soft path's arg does.
+            out.push((b / a).arg_is_non_negative());
         }
     }
 }
@@ -354,6 +359,32 @@ mod tests {
         modem.demodulate_extend(&signal, &mut appended);
         assert!(!appended[0]);
         assert_eq!(&appended[1..], modem.demodulate(&signal).as_slice());
+    }
+
+    #[test]
+    fn hard_decisions_match_thresholded_soft_path() {
+        // The hard demodulator reads the bit off the quotient's sign
+        // predicate instead of atan2; it must agree with `Δφ ≥ 0` over
+        // the soft stream everywhere — including degenerate samples
+        // (zeros → ±π or NaN quotients, NaN samples).
+        let modem = MskModem::default();
+        let mut rng = anc_dsp::DspRng::seed_from(77);
+        let mut signal = modem.modulate(&rng.bits(200));
+        for s in signal.iter_mut() {
+            *s += rng.complex_gaussian(0.05);
+        }
+        signal[17] = Cplx::ZERO;
+        signal[63] = Cplx::new(-1.0, 0.0);
+        signal[64] = Cplx::new(1.0, -0.0);
+        signal[90] = Cplx::new(f64::NAN, 0.5);
+        let soft: Vec<bool> = modem
+            .demodulate_soft(&signal)
+            .into_iter()
+            .map(|dphi| dphi >= 0.0)
+            .collect();
+        let mut hard = Vec::new();
+        modem.demodulate_into(&signal, &mut hard);
+        assert_eq!(hard, soft);
     }
 
     #[test]

@@ -24,6 +24,9 @@
 //! dropped + pending`, a drop happens after exactly
 //! `1 + max_retries` attempts) are testable in isolation.
 
+#![deny(clippy::cast_possible_truncation)]
+
+use anc_dsp::cast::round_to_usize;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -88,7 +91,9 @@ impl Deserialize for TrafficModel {
             "saturated" => Ok(TrafficModel::Saturated),
             "poisson" => Ok(TrafficModel::Poisson { rate: num("rate")? }),
             "fixed_backlog" => Ok(TrafficModel::FixedBacklog {
-                packets: num("packets")? as usize,
+                // Saturating, NaN-safe: a malformed scenario value
+                // (negative, huge, NaN) can't wrap into a bogus backlog.
+                packets: round_to_usize(num("packets")?),
             }),
             other => Err(serde::Error::custom(format!(
                 "unknown traffic model {other}"
@@ -304,7 +309,7 @@ impl DynamicScheduler {
         if n == 0 {
             return Vec::new();
         }
-        let start = (period % n as u64) as usize;
+        let start = usize::try_from(period % n as u64).expect("residue < n fits in usize");
         (0..n)
             .map(|i| (start + i) % n)
             .filter(|&f| self.ready(f, period))
@@ -374,7 +379,7 @@ impl DynamicScheduler {
             f.stats.dropped += 1;
             return ArqVerdict::Dropped;
         }
-        let exp = (f.head_attempts - 1).min(63) as u32;
+        let exp = u32::try_from((f.head_attempts - 1).min(63)).expect("bounded by 63");
         let backoff = self
             .cfg
             .backoff_periods

@@ -11,6 +11,9 @@
 //! overlap only partially (≈ 80 % in the paper), leaving clean pilot
 //! and header regions at both ends of the interfered signal.
 
+#![deny(clippy::cast_possible_truncation)]
+
+use anc_dsp::cast::round_to_usize;
 use anc_dsp::DspRng;
 use serde::{Deserialize, Serialize};
 
@@ -77,7 +80,9 @@ impl TriggerMac {
         let base = slot as f64 * self.cfg.slot_bits as f64;
         let jitter = self.rng.gaussian() * self.cfg.jitter_bits;
         let bits = (base + jitter).max(0.0);
-        (bits * samples_per_bit as f64).round() as usize
+        // Saturating, NaN-safe rounding: a pathological jitter draw can
+        // no longer wrap into a garbage delay (`as` would truncate).
+        round_to_usize(bits * samples_per_bit as f64)
     }
 
     /// Expected overlap fraction between two frames of `frame_bits`
@@ -95,6 +100,7 @@ impl TriggerMac {
 }
 
 #[cfg(test)]
+#[allow(clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
 

@@ -228,6 +228,13 @@ impl Node {
         &self.rx
     }
 
+    /// Swaps this node's decoder scratch with `other` (see
+    /// [`RxChain::swap_scratch`]): the sim's shared batch pipeline
+    /// loans warmed buffers in before a run and reclaims them after.
+    pub fn swap_rx_scratch(&mut self, other: &mut anc_core::DecoderScratch) {
+        self.rx.swap_scratch(other);
+    }
+
     /// Access the TX chain.
     pub fn tx_chain(&self) -> &TxChain {
         &self.tx

@@ -6,6 +6,8 @@
 //! (amplify / drop) surfaces as an [`RxEvent`] so the owning node can
 //! act on it (§7.5).
 
+#![deny(clippy::cast_possible_truncation)]
+
 use anc_core::decoder::{
     AncDecoder, DecodeDiagnostics, DecodeError, DecoderConfig, DecoderScratch,
 };
@@ -159,6 +161,16 @@ impl RxChain {
     /// The underlying ANC decoder.
     pub fn decoder(&self) -> &AncDecoder {
         &self.decoder
+    }
+
+    /// Swaps this chain's decoder scratch with `other`.
+    ///
+    /// The shared batch pipeline (`anc-sim`) loans warmed per-worker
+    /// scratch buffers into each engine's nodes before a run and takes
+    /// them back afterwards, so Monte Carlo trials amortize decode
+    /// allocations across engines instead of regrowing them per trial.
+    pub fn swap_scratch(&mut self, other: &mut DecoderScratch) {
+        std::mem::swap(&mut self.scratch, other);
     }
 
     /// Reads the header near a bit stream's head: pilot located by

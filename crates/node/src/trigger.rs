@@ -13,6 +13,8 @@
 //! carried by the frame's [`FLAG_TRIGGER`] bit plus the §7.6 assumption
 //! that local traffic knowledge arrived via control packets.
 
+#![deny(clippy::cast_possible_truncation)]
+
 use anc_dsp::corr::best_match;
 use anc_dsp::lfsr::Lfsr;
 use anc_dsp::Cplx;

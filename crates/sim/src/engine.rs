@@ -38,11 +38,15 @@
 //!   pre-impairment engine, which the golden tests pin) and trial
 //!   order can never change a draw.
 
+#![deny(clippy::cast_possible_truncation)]
+
 use crate::metrics::{FlowMetrics, RunMetrics};
 use crate::runs::RunConfig;
 use crate::topology::{Topology, TopologyGraph};
 use anc_channel::fault::{CarrierOffset, Impairment};
 use anc_channel::{AmplifyForward, ImpairmentSpec, Medium, TransmissionRef};
+use anc_core::DecoderScratch;
+use anc_dsp::cast::round_to_i64;
 use anc_dsp::{Cplx, DspRng};
 use anc_frame::{Frame, Header, NodeId, PacketKey};
 use anc_modem::ber::ber;
@@ -333,6 +337,19 @@ struct ClosedLoop {
     ledger: Vec<FlowMetrics>,
 }
 
+/// Warmed per-node decoder scratch shared **across engines**: the
+/// batched decode pipeline's working memory, owned outside any single
+/// run so Monte Carlo trials feed one pipeline per worker instead of
+/// constructing (and regrowing) a decoder's buffers per trial.
+///
+/// Use with [`Engine::run_with_pipeline`]; an empty pipeline is valid
+/// and grows to the program's node count on first use.
+#[derive(Debug, Default)]
+pub struct DecodePipeline {
+    /// One scratch per node, in `node_ids` order.
+    scratches: Vec<DecoderScratch>,
+}
+
 impl<'p> Engine<'p> {
     /// Builds the world for one run: realizes the channel, creates the
     /// nodes, and assigns every RNG stream. The construction order —
@@ -421,6 +438,45 @@ impl<'p> Engine<'p> {
     pub fn run(program: &Program, cfg: &RunConfig) -> RunMetrics {
         let mut engine = Engine::new(program, cfg);
         engine.execute();
+        engine.metrics
+    }
+
+    /// [`Engine::run`] with a caller-owned [`DecodePipeline`]: before
+    /// the run, warmed decoder scratch buffers are loaned into the
+    /// engine's nodes (in `node_ids` order); after it, they are taken
+    /// back, grown. Monte Carlo trials feed every run on a worker
+    /// through one pipeline, so decode allocations amortize across
+    /// *trials* instead of being regrown per engine — the shared batch
+    /// pipeline of DESIGN.md §8.
+    ///
+    /// Bit-identical to [`Engine::run`]: scratch contents never affect
+    /// decode output (pinned by the sim's equivalence tests), only
+    /// where the buffers' capacity lives.
+    pub fn run_with_pipeline(
+        program: &Program,
+        cfg: &RunConfig,
+        pipeline: &mut DecodePipeline,
+    ) -> RunMetrics {
+        let mut engine = Engine::new(program, cfg);
+        let n = engine.topo.node_ids.len();
+        if pipeline.scratches.len() < n {
+            pipeline.scratches.resize_with(n, DecoderScratch::default);
+        }
+        let Engine { topo, nodes, .. } = &mut engine;
+        for (slot, &id) in pipeline.scratches.iter_mut().zip(&topo.node_ids) {
+            nodes
+                .get_mut(&id)
+                .expect("node exists")
+                .swap_rx_scratch(slot);
+        }
+        engine.execute();
+        let Engine { topo, nodes, .. } = &mut engine;
+        for (slot, &id) in pipeline.scratches.iter_mut().zip(&topo.node_ids) {
+            nodes
+                .get_mut(&id)
+                .expect("node exists")
+                .swap_rx_scratch(slot);
+        }
         engine.metrics
     }
 
@@ -918,12 +974,14 @@ impl<'p> Engine<'p> {
             // waveform toward the slot origin (saturating there — a
             // transmission cannot start before its slot), a late one
             // pushes it out. A float→usize as-cast would silently
-            // clamp every negative slip to zero.
-            let slip = tx.jitter_samples.round() as i64;
+            // clamp every negative slip to zero, and a NaN draw to 0 —
+            // the rounded-i64 route saturates instead of wrapping.
+            let slip = round_to_i64(tx.jitter_samples);
             if slip >= 0 {
-                offset += slip as usize;
+                offset = offset.saturating_add(usize::try_from(slip).unwrap_or(usize::MAX));
             } else {
-                offset = offset.saturating_sub(slip.unsigned_abs() as usize);
+                offset = offset
+                    .saturating_sub(usize::try_from(slip.unsigned_abs()).unwrap_or(usize::MAX));
             }
         }
         if let Some(f) = frame {
@@ -1233,10 +1291,11 @@ mod tests {
             let mut eb = Engine::new(&p_base, &c_base);
             let mut ei = Engine::new(&p_imp, &c_imp);
             let intent = &p_base.slots[0].txs[0];
-            let slip = spec_imp
-                .tx_process(seed, intent.sender as u64, 0)
-                .jitter_samples
-                .round() as i64;
+            let slip = round_to_i64(
+                spec_imp
+                    .tx_process(seed, intent.sender as u64, 0)
+                    .jitter_samples,
+            );
             eb.fire_tx(intent, SlotTiming::Triggered);
             ei.fire_tx(&p_imp.slots[0].txs[0], SlotTiming::Triggered);
             let base_off = eb.events[0].offset as i64;

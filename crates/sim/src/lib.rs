@@ -60,7 +60,7 @@ pub mod runs;
 pub mod scenario;
 pub mod topology;
 
-pub use engine::{Engine, Program};
+pub use engine::{DecodePipeline, Engine, Program};
 pub use experiments::{
     alice_bob, chain, saturated_throughput, sir_sweep, throughput_vs_load, x_topology, LoadPoint,
     LoadSweepConfig,

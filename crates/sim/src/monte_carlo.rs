@@ -18,10 +18,10 @@
 //! trial are keyed on coordinates, never on evaluation order (see
 //! [`anc_channel::impairment`]).
 
-use crate::engine::Engine;
+use crate::engine::{DecodePipeline, Engine};
 use crate::experiments::run_seed;
 use crate::metrics::RunMetrics;
-use crate::pool::parallel_map_indexed;
+use crate::pool::parallel_map_indexed_with;
 use crate::runs::RunConfig;
 use crate::scenario::{ScenarioError, ScenarioSpec};
 use anc_netcode::Scheme;
@@ -162,11 +162,21 @@ pub fn monte_carlo_trials(
     cfg: &MonteCarloConfig,
 ) -> Result<Vec<RunMetrics>, ScenarioError> {
     let program = spec.compile(scheme)?;
-    Ok(parallel_map_indexed(cfg.trials, cfg.threads, |idx| {
-        let mut rc = cfg.base.clone();
-        rc.seed = run_seed(cfg.base.seed, idx);
-        Engine::run(&program, &rc)
-    }))
+    // One shared batch pipeline per worker: every trial a worker draws
+    // runs through the same warmed decoder scratch (DESIGN.md §8)
+    // instead of constructing a fresh pipeline per trial. Scratch
+    // contents never influence decode output, so parallel and serial
+    // stay bit-identical (pinned by tests/monte_carlo.rs).
+    Ok(parallel_map_indexed_with(
+        cfg.trials,
+        cfg.threads,
+        DecodePipeline::default,
+        |pipeline, idx| {
+            let mut rc = cfg.base.clone();
+            rc.seed = run_seed(cfg.base.seed, idx);
+            Engine::run_with_pipeline(&program, &rc, pipeline)
+        },
+    ))
 }
 
 /// Runs `cfg.trials` independent realizations of `spec` under `scheme`

@@ -64,6 +64,51 @@ where
         .collect()
 }
 
+/// [`parallel_map_indexed`] with **per-worker state**: `init` builds
+/// one `S` per worker (once, on that worker's thread), and `f`
+/// receives it mutably alongside each index it processes.
+///
+/// This is how the Monte Carlo sweep shares one warmed decode pipeline
+/// per worker instead of regrowing scratch buffers in every trial: the
+/// state is reused across all indices a worker draws, but never
+/// crosses threads — so results remain bit-identical to the serial
+/// path *provided* `f`'s output does not depend on the state's history
+/// (scratch buffers satisfy this by construction; the equivalence is
+/// pinned by the sim's parallel==serial tests).
+pub fn parallel_map_indexed_with<S, R, I, F>(n: usize, threads: usize, init: I, f: F) -> Vec<R>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+{
+    let workers = resolve_threads(threads).min(n.max(1));
+    if workers <= 1 {
+        let mut state = init();
+        return (0..n).map(|i| f(&mut state, i)).collect();
+    }
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<&mut Option<R>>> = out.iter_mut().map(Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut state = init();
+                loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= n {
+                        break;
+                    }
+                    let r = f(&mut state, idx);
+                    **slots[idx].lock().expect("slot lock") = Some(r);
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("every index completed"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,5 +143,24 @@ mod tests {
     fn resolve_threads_zero_means_cores() {
         assert!(resolve_threads(0) >= 1);
         assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn stateful_map_matches_stateless() {
+        // Per-worker state must not leak into results when `f` only
+        // uses it as scratch.
+        let plain = parallel_map_indexed(23, 3, |i| i * 3 + 1);
+        let stateful = parallel_map_indexed_with(23, 3, Vec::<usize>::new, |scratch, i| {
+            scratch.push(i); // history the result must not depend on
+            i * 3 + 1
+        });
+        assert_eq!(plain, stateful);
+        // Serial path uses one state inline.
+        let serial = parallel_map_indexed_with(23, 1, Vec::<usize>::new, |s, i| {
+            s.push(i);
+            s.len() // serial: state sees every index in order
+        });
+        assert_eq!(serial, (1..=23).collect::<Vec<_>>());
+        assert!(parallel_map_indexed_with(0, 4, || (), |_, i| i).is_empty());
     }
 }

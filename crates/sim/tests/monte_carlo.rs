@@ -61,6 +61,34 @@ fn parallel_trials_are_bit_identical_to_serial() {
 }
 
 #[test]
+fn shared_pipeline_runs_are_bit_identical_to_fresh_engines() {
+    // One DecodePipeline carried across several runs — different
+    // seeds, both schemes — must reproduce Engine::run exactly: the
+    // loaned scratch is capacity-only state.
+    use anc_sim::{DecodePipeline, Engine};
+    let spec = faded_alice_bob();
+    let mut pipeline = DecodePipeline::default();
+    for (seed, scheme) in [
+        (31u64, Scheme::Anc),
+        (32, Scheme::Anc),
+        (33, Scheme::Traditional),
+    ] {
+        let program = spec.compile(scheme).unwrap();
+        let cfg = quick_base(seed);
+        let fresh = Engine::run(&program, &cfg);
+        let piped = Engine::run_with_pipeline(&program, &cfg, &mut pipeline);
+        assert_eq!(
+            fresh.account.goodput_bits.to_bits(),
+            piped.account.goodput_bits.to_bits(),
+            "seed {seed}"
+        );
+        assert_eq!(fresh.account.time_samples, piped.account.time_samples);
+        assert_eq!(fresh.packet_bers, piped.packet_bers);
+        assert_eq!(fresh.overlaps, piped.overlaps);
+    }
+}
+
+#[test]
 fn passive_impairments_are_bit_identical_to_none() {
     let cfg = quick_base(7);
     let plain = run_spec(&ScenarioSpec::alice_bob(), Scheme::Anc, &cfg).unwrap();
