@@ -1,0 +1,146 @@
+//! Fault-intensity chaos sweep: graceful ANC→traditional degradation
+//! under injected faults, across the paper topologies.
+//!
+//! Each point scales a fault template (relay/node crash churn, deep
+//! shadowing, wideband jammer bursts) by an intensity multiplier and
+//! runs ANC with the health-estimator fallback against traditional
+//! routing on the same derived seeds, closed-loop. The series report
+//! goodput for both schemes plus the recovery observability ledgers:
+//! outage count, time-to-detect, time-to-failover, time-to-recover,
+//! goodput floor during outages, and packets lost to churn.
+//!
+//! A second set of series scripts a mid-run relay crash on Alice-Bob
+//! (the acceptance scenario): ANC-with-fallback must keep nonzero
+//! goodput through the outage and re-open the ANC gain after the relay
+//! returns.
+//!
+//! ```text
+//! cargo run --release -p anc-bench --bin chaos_sweep -- --quick
+//! cargo run --release -p anc-bench --bin chaos_sweep -- --json chaos.json
+//! ```
+
+use anc_bench::{emit, from_env};
+use anc_netcode::{ArqConfig, Scheme};
+use anc_sim::experiments::{chaos_sweep, ChaosSweepConfig};
+use anc_sim::report::{ExperimentReport, FigureSeries};
+use anc_sim::runs::RunConfig;
+use anc_sim::topology::nodes;
+use anc_sim::{Engine, FaultSpec, ScenarioSpec};
+
+fn main() {
+    let args = from_env();
+    let base = RunConfig {
+        seed: args.seed,
+        // The closed loop drains queues after the last arrival; a
+        // third of the figure binaries' packet budget keeps the
+        // topology × intensity grid inside one figure's wall clock.
+        packets_per_flow: (args.packets / 3).max(10),
+        payload_bits: args.payload_bits,
+        ..RunConfig::default()
+    };
+    let runs_per_point = (args.runs / 4).max(2);
+    let arq = ArqConfig::default();
+    let cfg = ChaosSweepConfig {
+        base: base.clone(),
+        runs_per_point,
+        threads: args.threads,
+        arq,
+        ..ChaosSweepConfig::default()
+    };
+
+    let mut report = ExperimentReport::new("chaos_sweep");
+    report
+        .param("runs_per_point", runs_per_point as f64)
+        .param("packets_per_flow", base.packets_per_flow as f64)
+        .param("payload_bits", args.payload_bits as f64)
+        .param("max_retries", arq.max_retries as f64)
+        .param("seed", args.seed as f64);
+
+    let topologies = [ScenarioSpec::alice_bob(), ScenarioSpec::x()];
+    for spec in &topologies {
+        let pts = chaos_sweep(spec, &cfg).expect("paper topologies are schedulable");
+        report.push_series(FigureSeries::sweep(
+            &format!("{}_chaos_sweep", spec.name),
+            "fault_intensity",
+            &[
+                "anc_goodput",
+                "traditional_goodput",
+                "goodput_ratio",
+                "anc_delivery_rate",
+                "outages",
+                "mean_time_to_detect",
+                "mean_time_to_failover",
+                "mean_time_to_recover",
+                "mean_outage_goodput_bits",
+                "lost_to_churn",
+            ],
+            pts.iter()
+                .map(|p| {
+                    vec![
+                        p.intensity,
+                        p.anc_goodput,
+                        p.traditional_goodput,
+                        p.goodput_ratio,
+                        p.anc_delivery_rate,
+                        p.outages as f64,
+                        p.mean_time_to_detect,
+                        p.mean_time_to_failover,
+                        p.mean_time_to_recover,
+                        p.mean_outage_goodput_bits,
+                        p.lost_to_churn as f64,
+                    ]
+                })
+                .collect(),
+        ));
+        let control = &pts[0];
+        let stressed = pts.last().expect("sweep has points");
+        report.stat(
+            &format!("{}_control_goodput_ratio", spec.name),
+            control.goodput_ratio,
+        );
+        report.stat(
+            &format!("{}_stressed_goodput_ratio", spec.name),
+            stressed.goodput_ratio,
+        );
+    }
+
+    // The acceptance scenario: a scripted mid-run relay crash on
+    // Alice-Bob. While the relay is down every exchange fails, the
+    // health estimator trips (three consecutive failed exchanges cross
+    // the 0.85 EWMA threshold) and the fallback sustains goodput in
+    // store-and-forward mode; once the relay returns, sustained
+    // success closes the outage and amplify-forward re-captures the
+    // ANC gain.
+    let crash_until = (base.packets_per_flow as u64 / 2).max(6);
+    let relay_churn = FaultSpec::none().with_scripted_crash(nodes::ROUTER, 0, crash_until);
+    let faulted = ScenarioSpec::alice_bob()
+        .with_arq(arq)
+        .with_faults(relay_churn);
+    let clean = ScenarioSpec::alice_bob().with_arq(arq);
+    let run = |spec: &ScenarioSpec, scheme| {
+        let program = spec.clone().compile(scheme).expect("alice_bob compiles");
+        Engine::run(&program, &base)
+    };
+    let anc_faulted = run(&faulted, Scheme::Anc);
+    let trad_faulted = run(&faulted, Scheme::Traditional);
+    let anc_clean = run(&clean, Scheme::Anc);
+    report.stat("relay_churn_anc_goodput", anc_faulted.account.throughput());
+    report.stat(
+        "relay_churn_traditional_goodput",
+        trad_faulted.account.throughput(),
+    );
+    report.stat(
+        "relay_churn_goodput_retained",
+        anc_faulted.account.throughput() / anc_clean.account.throughput(),
+    );
+    report.stat("relay_churn_outages", anc_faulted.outages.len() as f64);
+    if let Some(o) = anc_faulted.outages.first() {
+        report.stat("relay_churn_time_to_detect", o.time_to_detect() as f64);
+        report.stat(
+            "relay_churn_outage_goodput_bits",
+            anc_faulted.outages.iter().map(|o| o.goodput_bits).sum(),
+        );
+    }
+
+    emit(&report, &args);
+}

@@ -30,6 +30,8 @@ use anc_core::MatchBatchScratch;
 use anc_dsp::batch::energies_into;
 use anc_sim::experiments::{alice_bob, ExperimentConfig};
 use anc_sim::runs::RunConfig;
+use anc_sim::topology::nodes;
+use anc_sim::FaultSpec;
 use std::hint::black_box;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -236,6 +238,72 @@ fn main() {
         reference_arm_ns / batch_ns,
         fused_ns / batch_ns,
         nf / (batch_ns * 1e-9) / 1e6,
+    );
+
+    // ---- 1c. Fault-realization guard on the batch hot path. ----
+    // The fault layer sits in front of every receive window: a passive
+    // `FaultSpec::none()` must cost nothing measurable on the decode
+    // path. Time the batch kernel bare against the batch kernel plus
+    // the per-window guard consults the engine makes (crash check,
+    // link-gain factor, jammer draw), and gate the ratio: faults-off
+    // must stay within noise of the batched baseline.
+    let fspec = FaultSpec::none();
+    let mut energies_g = Vec::new();
+    let mut batch_scratch_g = MatchBatchScratch::default();
+    let mut mask_g = Vec::new();
+    let mut err_g = Vec::new();
+    let mut bits_g = Vec::new();
+    let mut period = 0u64;
+    let (bare_ns, guarded_ns) = measure_pair(
+        || {
+            energies_into(black_box(&rx), &mut energies);
+            det.interference_mask_from_energies(&energies, &mut mask_b);
+            bits_b.clear();
+            match_bits_batch(
+                black_box(&rx),
+                black_box(&dtheta),
+                1.0,
+                1.0,
+                &mut batch_scratch,
+                &mut err_b,
+                &mut bits_b,
+            );
+            black_box((mask_b[n / 2], bits_b.len()));
+        },
+        || {
+            period = period.wrapping_add(1);
+            let down = fspec.node_crashed(args.seed, nodes::ROUTER, period);
+            let gain = fspec.link_gain_factor(args.seed, nodes::ALICE, nodes::ROUTER, period);
+            let jam = fspec.jammer_power_at(args.seed, period);
+            black_box((down, gain, jam));
+            energies_into(black_box(&rx), &mut energies_g);
+            det.interference_mask_from_energies(&energies_g, &mut mask_g);
+            bits_g.clear();
+            match_bits_batch(
+                black_box(&rx),
+                black_box(&dtheta),
+                1.0,
+                1.0,
+                &mut batch_scratch_g,
+                &mut err_g,
+                &mut bits_g,
+            );
+            black_box((mask_g[n / 2], bits_g.len()));
+        },
+        args.target_ms,
+        args.repeats,
+    );
+    report
+        .kernels
+        .insert("fault_realization_ns_per_sample".into(), guarded_ns / nf);
+    report
+        .kernels
+        .insert("fault_realization_speedup".into(), bare_ns / guarded_ns);
+    println!(
+        "kernel fault guard: bare {:.1} ns/sample, faults-off guarded {:.1} ns/sample ({:.3}x)",
+        bare_ns / nf,
+        guarded_ns / nf,
+        bare_ns / guarded_ns,
     );
 
     // ---- 2. End-to-end decodes with scratch reuse. ----

@@ -148,6 +148,17 @@ impl Medium {
         self.noise.add_to(out);
     }
 
+    /// Injects wideband jammer energy into an already-mixed receive
+    /// window: complex Gaussian noise of `power` drawn from a
+    /// caller-owned stream is added sample-wise on top of the
+    /// superposition. The fault layer keys the stream by
+    /// `(receiver, period)` so jammer bursts are coordinate-pure and
+    /// never perturb the receiver's own forked noise sequence —
+    /// jammer-off windows are bit-identical to a jammer-free run.
+    pub fn inject_jammer(window: &mut [Cplx], power: f64, rng: DspRng) {
+        Awgn::from_rng(power, rng).add_to(window);
+    }
+
     /// Duration that covers all transmissions plus `tail` trailing noise
     /// samples.
     pub fn span(transmissions: &[Transmission], tail: usize) -> usize {
@@ -225,6 +236,27 @@ mod tests {
         ];
         assert_eq!(Medium::span(&txs, 3), 7 + 10 + 2 + 3);
         assert_eq!(Medium::span(&[], 5), 5);
+    }
+
+    #[test]
+    fn jammer_injection_adds_energy_on_top() {
+        let mut m = Medium::new(0.0, 0);
+        let mut rx = m.receive(
+            &[Transmission::new(vec![Cplx::ONE; 4096], 0, Link::ideal())],
+            4096,
+        );
+        let clean = Cplx::mean_energy(&rx);
+        Medium::inject_jammer(&mut rx, 0.5, DspRng::seed_from(42));
+        let jammed = Cplx::mean_energy(&rx);
+        assert!(
+            (jammed - clean - 0.5).abs() < 0.05,
+            "jammer should add ~0.5 power, got {}",
+            jammed - clean
+        );
+        // Zero power is the identity.
+        let before = rx.clone();
+        Medium::inject_jammer(&mut rx, 0.0, DspRng::seed_from(42));
+        assert_eq!(rx, before);
     }
 
     #[test]

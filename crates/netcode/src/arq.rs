@@ -392,6 +392,21 @@ impl DynamicScheduler {
         }
     }
 
+    /// Drops every pending packet of the flow (crash-and-recover churn
+    /// with a drop-queue policy: the crashed node's buffer is gone).
+    /// The purged packets count as dropped so the conservation
+    /// invariant `offered == delivered + dropped + pending` survives
+    /// the fault. Returns how many packets were purged.
+    pub fn purge(&mut self, flow: usize) -> usize {
+        let f = &mut self.flows[flow];
+        let n = f.queue.len();
+        f.queue.clear();
+        f.head_attempts = 0;
+        f.backoff_until = 0;
+        f.stats.dropped += n;
+        n
+    }
+
     /// Whether the flow's head packet has been attempted before (the
     /// next transmission is a retransmission).
     pub fn is_retransmission(&self, flow: usize) -> bool {
@@ -635,6 +650,23 @@ mod tests {
         let cfg = ArqConfig::default().with_traffic(TrafficModel::Poisson { rate: 2.0 });
         let back = ArqConfig::from_value(&cfg.to_value()).unwrap();
         assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn purge_counts_pending_as_dropped_and_resets_head() {
+        let mut s = sched(TrafficModel::FixedBacklog { packets: 4 }, 3);
+        s.offer(0, 0, 0.0, 4, 1, || 0.5);
+        s.begin_attempt(0);
+        s.fail(0, 0);
+        assert!(s.is_retransmission(0));
+        assert_eq!(s.purge(0), 4);
+        assert_eq!(s.pending(0), 0);
+        assert!(!s.is_retransmission(0), "head state resets on purge");
+        let st = s.stats(0);
+        assert_eq!(st.offered, st.delivered + st.dropped + s.pending(0));
+        assert_eq!(st.dropped, 4);
+        assert!(!s.ready(0, 0));
+        assert_eq!(s.purge(0), 0, "purging an empty queue is a no-op");
     }
 
     #[test]

@@ -40,20 +40,78 @@
 
 #![deny(clippy::cast_possible_truncation)]
 
-use crate::metrics::{FlowMetrics, RunMetrics};
+use crate::faults::FaultSpec;
+use crate::metrics::{FlowMetrics, OutageRecord, RunMetrics};
 use crate::runs::RunConfig;
 use crate::topology::{Topology, TopologyGraph};
 use anc_channel::fault::{CarrierOffset, Impairment};
-use anc_channel::{AmplifyForward, ImpairmentSpec, Medium, TransmissionRef};
+use anc_channel::{AmplifyForward, ImpairmentSpec, Link, Medium, TransmissionRef};
 use anc_core::DecoderScratch;
 use anc_dsp::cast::round_to_i64;
 use anc_dsp::{Cplx, DspRng};
 use anc_frame::{Frame, Header, NodeId, PacketKey};
 use anc_modem::ber::ber;
-use anc_netcode::{ArqConfig, ArqVerdict, CopeCoder, DynamicScheduler, FlowSpec, Scheme};
+use anc_netcode::{
+    ArqConfig, ArqVerdict, CopeCoder, DynamicScheduler, FlowSpec, HealthMonitor, HealthTransition,
+    Scheme,
+};
 use anc_node::phy::RxEvent;
 use anc_node::{Node, NodeConfig, NodeRole};
 use std::collections::{HashMap, VecDeque};
+
+/// A structural invariant the engine found violated at runtime —
+/// surfaced as a recoverable error instead of a panic so fault-induced
+/// edge states (crashed nodes, purged queues, missing captures) can be
+/// reported by [`Engine::try_run`] rather than aborting a sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// Closed-loop state was required but the engine is open-loop.
+    ClosedLoopMissing,
+    /// A closed-loop program carries no ARQ configuration.
+    ArqMissing,
+    /// A referenced node is not in the realized topology.
+    NodeMissing(NodeId),
+    /// A receiver has no noise source assigned.
+    NoiseMissing(NodeId),
+    /// A slot fired transmissions but the event queue came up empty.
+    EmptyEventQueue,
+    /// A flow's frame queue was empty where a head packet was required.
+    EmptyQueue {
+        /// The flow whose queue was unexpectedly empty.
+        flow: FlowId,
+    },
+    /// A delivered packet key has no matching queued frame.
+    DeliveredNotQueued {
+        /// The flow whose delivery could not be matched.
+        flow: FlowId,
+    },
+    /// A relay expectation referenced a sender that put no frame on
+    /// the air this slot.
+    SlotFrameMissing(NodeId),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::ClosedLoopMissing => write!(f, "closed-loop state missing"),
+            EngineError::ArqMissing => write!(f, "closed-loop program has no ARQ config"),
+            EngineError::NodeMissing(id) => write!(f, "node {id} is not in the topology"),
+            EngineError::NoiseMissing(id) => write!(f, "node {id} has no noise source"),
+            EngineError::EmptyEventQueue => write!(f, "slot fired but the event queue is empty"),
+            EngineError::EmptyQueue { flow } => {
+                write!(f, "flow {flow} has no queued head packet")
+            }
+            EngineError::DeliveredNotQueued { flow } => {
+                write!(f, "flow {flow} delivered a packet that is no longer queued")
+            }
+            EngineError::SlotFrameMissing(id) => {
+                write!(f, "sender {id} put no frame on the air this slot")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
 
 /// Stream-path domain tag of the closed-loop traffic-arrival RNG —
 /// derived via [`DspRng::from_path`] so enabling ARQ consumes nothing
@@ -234,6 +292,12 @@ pub struct Program {
     /// serialization of partial contender sets. `None` (the default)
     /// is the open-loop engine, bit-identical to the golden runs.
     pub arq: Option<ArqConfig>,
+    /// Deterministic fault timeline (node churn, link blackouts and
+    /// shadowing, jammer bursts, stuck carriers). Fault realization is
+    /// coordinate-pure in `(seed, kind, entity, exchange)` — see
+    /// [`FaultSpec`] — so `None` or a passive spec is bit-identical to
+    /// the fault-free engine (golden-pinned).
+    pub faults: Option<FaultSpec>,
     /// Per-flow serialized fallback slot sequences (closed loop only;
     /// empty otherwise): the clean store-and-forward path a lone
     /// contender uses when the trigger protocol is carrier-sense-gated
@@ -307,6 +371,10 @@ pub struct Engine<'p> {
     /// Closed-loop MAC/ARQ state (`Some` iff `program.arq` is). The
     /// open-loop path never touches it.
     cl: Option<ClosedLoop>,
+    /// The program's fault timeline, pre-filtered: `Some` only when a
+    /// fault can actually fire, so every hot-path hook is a single
+    /// `Option` test in the (golden-pinned) fault-free case.
+    faults: Option<&'p FaultSpec>,
     metrics: RunMetrics,
 }
 
@@ -335,6 +403,27 @@ struct ClosedLoop {
     delivered_keys: Vec<PacketKey>,
     /// Per-flow ledgers flushed into [`RunMetrics::flows`] at the end.
     ledger: Vec<FlowMetrics>,
+}
+
+/// Bookkeeping for the recovery ledger: the failure streak preceding
+/// a health trip and the currently open outage, if any.
+struct OutageTracker {
+    /// Period of the first failure of the current streak (while still
+    /// healthy) — becomes the outage's onset when the monitor trips.
+    streak_start: Option<u64>,
+    /// The outage in progress once the monitor has tripped.
+    open: Option<OpenOutage>,
+}
+
+/// An outage the health monitor has detected but not yet closed.
+struct OpenOutage {
+    onset_period: u64,
+    detect_period: u64,
+    failover_period: Option<u64>,
+    /// Account snapshots at detection; deltas at recovery give the
+    /// goodput and deliveries sustained *during* the outage.
+    goodput_snapshot: f64,
+    delivered_snapshot: usize,
 }
 
 /// Warmed per-node decoder scratch shared **across engines**: the
@@ -430,15 +519,56 @@ impl<'p> Engine<'p> {
                         .collect(),
                 }
             }),
+            faults: program.faults.as_ref().filter(|f| !f.is_passive()),
             metrics: RunMetrics::new(program.scheme),
         }
     }
 
+    /// Whether `id` is out of service at the current exchange — either
+    /// crashed by the fault timeline or wedged babbling a stuck
+    /// carrier (a babbling radio can neither frame a transmission nor
+    /// receive). Always `false` without an active fault spec.
+    fn node_down(&self, id: NodeId) -> bool {
+        match self.faults {
+            Some(f) => {
+                f.node_crashed(self.cfg.seed, id, self.exchange)
+                    || f.stuck_carrier(self.cfg.seed, id, self.exchange).is_some()
+            }
+            None => false,
+        }
+    }
+
+    /// Typed accessor for the closed-loop state.
+    fn cl_mut(&mut self) -> Result<&mut ClosedLoop, EngineError> {
+        self.cl.as_mut().ok_or(EngineError::ClosedLoopMissing)
+    }
+
+    /// Typed shared accessor for the closed-loop state.
+    fn cl_ref(&self) -> Result<&ClosedLoop, EngineError> {
+        self.cl.as_ref().ok_or(EngineError::ClosedLoopMissing)
+    }
+
+    /// Typed shared accessor for a node.
+    fn try_node(&self, id: NodeId) -> Result<&Node, EngineError> {
+        self.nodes.get(&id).ok_or(EngineError::NodeMissing(id))
+    }
+
     /// Runs a compiled program to completion and returns its metrics.
+    ///
+    /// # Panics
+    /// Panics on an [`EngineError`] (a violated structural invariant);
+    /// use [`Engine::try_run`] to receive it as a value instead.
     pub fn run(program: &Program, cfg: &RunConfig) -> RunMetrics {
+        Engine::try_run(program, cfg).unwrap_or_else(|e| panic!("engine invariant violated: {e}"))
+    }
+
+    /// [`Engine::run`] returning structural failures as a value:
+    /// fault-induced edge states that violate an engine invariant
+    /// surface as a recoverable [`EngineError`] instead of a panic.
+    pub fn try_run(program: &Program, cfg: &RunConfig) -> Result<RunMetrics, EngineError> {
         let mut engine = Engine::new(program, cfg);
-        engine.execute();
-        engine.metrics
+        engine.execute()?;
+        Ok(engine.metrics)
     }
 
     /// [`Engine::run`] with a caller-owned [`DecodePipeline`]: before
@@ -452,11 +582,27 @@ impl<'p> Engine<'p> {
     /// Bit-identical to [`Engine::run`]: scratch contents never affect
     /// decode output (pinned by the sim's equivalence tests), only
     /// where the buffers' capacity lives.
+    ///
+    /// # Panics
+    /// Panics on an [`EngineError`]; use
+    /// [`Engine::try_run_with_pipeline`] to receive it as a value.
     pub fn run_with_pipeline(
         program: &Program,
         cfg: &RunConfig,
         pipeline: &mut DecodePipeline,
     ) -> RunMetrics {
+        Engine::try_run_with_pipeline(program, cfg, pipeline)
+            .unwrap_or_else(|e| panic!("engine invariant violated: {e}"))
+    }
+
+    /// [`Engine::run_with_pipeline`] returning structural failures as
+    /// a recoverable [`EngineError`] instead of panicking. The loaned
+    /// scratch buffers are returned to the pipeline on both paths.
+    pub fn try_run_with_pipeline(
+        program: &Program,
+        cfg: &RunConfig,
+        pipeline: &mut DecodePipeline,
+    ) -> Result<RunMetrics, EngineError> {
         let mut engine = Engine::new(program, cfg);
         let n = engine.topo.node_ids.len();
         if pipeline.scratches.len() < n {
@@ -466,18 +612,21 @@ impl<'p> Engine<'p> {
         for (slot, &id) in pipeline.scratches.iter_mut().zip(&topo.node_ids) {
             nodes
                 .get_mut(&id)
-                .expect("node exists")
+                .ok_or(EngineError::NodeMissing(id))?
                 .swap_rx_scratch(slot);
         }
-        engine.execute();
+        let outcome = engine.execute();
+        // Hand the scratch buffers back even when the run errored, so
+        // a failed trial cannot strand the pipeline's warmed memory.
         let Engine { topo, nodes, .. } = &mut engine;
         for (slot, &id) in pipeline.scratches.iter_mut().zip(&topo.node_ids) {
             nodes
                 .get_mut(&id)
-                .expect("node exists")
+                .ok_or(EngineError::NodeMissing(id))?
                 .swap_rx_scratch(slot);
         }
-        engine.metrics
+        outcome?;
+        Ok(engine.metrics)
     }
 
     /// The realized topology of this run (diagnostics).
@@ -485,24 +634,24 @@ impl<'p> Engine<'p> {
         &self.topo
     }
 
-    fn execute(&mut self) {
+    fn execute(&mut self) -> Result<(), EngineError> {
         if self.cl.is_some() {
-            self.execute_closed_loop();
-            return;
+            return self.execute_closed_loop();
         }
         match self.program.rounds {
             RoundMode::PerPacket => {
                 for _ in 0..self.cfg.packets_per_flow {
-                    self.run_period();
+                    self.run_period()?;
                 }
             }
-            RoundMode::UntilIdle => while self.run_period() {},
+            RoundMode::UntilIdle => while self.run_period()? {},
         }
+        Ok(())
     }
 
     /// Executes one period of the slot sequence; `true` if anything
     /// transmitted.
-    fn run_period(&mut self) -> bool {
+    fn run_period(&mut self) -> Result<bool, EngineError> {
         for f in &mut self.flows {
             f.round_frame = None;
         }
@@ -510,43 +659,43 @@ impl<'p> Engine<'p> {
         let program = self.program;
         let mut any = false;
         for slot in &program.slots {
-            any |= self.run_slot(slot);
+            any |= self.run_slot(slot)?;
         }
         self.exchange += 1;
-        any
+        Ok(any)
     }
 
     /// Runs a slot list once (no per-period state reset); `true` if
     /// anything transmitted.
-    fn run_slots_once(&mut self, slots: &'p [SlotSpec]) -> bool {
+    fn run_slots_once(&mut self, slots: &'p [SlotSpec]) -> Result<bool, EngineError> {
         let mut any = false;
         for slot in slots {
-            any |= self.run_slot(slot);
+            any |= self.run_slot(slot)?;
         }
-        any
+        Ok(any)
     }
 
     /// Executes one slot: fire the transmit intents into the event
     /// queue, advance the clock by the slot span, then drain the
     /// queue into each receive intent's superposition window.
-    fn run_slot(&mut self, slot: &'p SlotSpec) -> bool {
+    fn run_slot(&mut self, slot: &'p SlotSpec) -> Result<bool, EngineError> {
         self.slot_frames.clear();
         self.events.clear();
         let timing = slot.timing;
         for intent in &slot.txs {
-            self.fire_tx(intent, timing);
+            self.fire_tx(intent, timing)?;
         }
         if self.events.is_empty() {
             // Nothing had anything to send: the slot does not occupy
             // the medium and receivers never open a window.
-            return false;
+            return Ok(false);
         }
         let span = self
             .events
             .iter()
             .map(|e| e.offset + e.wave.len())
             .max()
-            .expect("non-empty event queue");
+            .ok_or(EngineError::EmptyEventQueue)?;
         let guard = self.cfg.guard_samples as f64;
         let tick = match timing {
             SlotTiming::Triggered => span as f64 + guard,
@@ -554,9 +703,9 @@ impl<'p> Engine<'p> {
         };
         self.metrics.account.tick(tick);
         for intent in &slot.rxs {
-            self.handle_rx(intent, span);
+            self.handle_rx(intent, span)?;
         }
-        true
+        Ok(true)
     }
 
     /// The closed-loop driver (`program.arq` set): each slot period,
@@ -565,16 +714,38 @@ impl<'p> Engine<'p> {
     /// when every flow contends, serialized per-flow store-and-forward
     /// fallbacks otherwise (carrier sense) — then settle ACKs,
     /// implicit ACKs, backoffs and drops.
-    fn execute_closed_loop(&mut self) {
+    ///
+    /// With a fault timeline attached, three more things happen per
+    /// period: crashed sources neither arrive nor contend (and
+    /// optionally drop their queues), the relay-path health monitor
+    /// folds every attempt outcome into its EWMA, and while it reads
+    /// unhealthy the full ANC/COPE program is bypassed — every
+    /// contender serves through its serialized store-and-forward
+    /// fallback (graceful degradation) until sustained recovery flips
+    /// the monitor back.
+    fn execute_closed_loop(&mut self) -> Result<(), EngineError> {
         let program = self.program;
-        let arq = program.arq.expect("closed-loop execution requires ARQ");
+        let arq = program.arq.ok_or(EngineError::ArqMissing)?;
         let nflows = program.flows.len();
         let spb = self.cfg.samples_per_symbol.max(1);
         let cap = self.cfg.packets_per_flow;
+        let seed = self.cfg.seed;
         // The full program is multi-sender only for coding schemes; an
         // optimal-MAC traditional program is already serialized, and a
         // single flow (chain) always runs its own program.
         let full_program_when_all = nflows == 1 || program.scheme != Scheme::Traditional;
+        // The ANC→traditional health fallback exists only where there
+        // is a multi-flow coded program to fall back *from*.
+        let mut health: Option<HealthMonitor> = match self.faults {
+            Some(f) if nflows > 1 && program.scheme != Scheme::Traditional => {
+                Some(HealthMonitor::new(f.health))
+            }
+            _ => None,
+        };
+        let mut tracker = OutageTracker {
+            streak_start: None,
+            open: None,
+        };
         // Hard stop so a scheduling bug can never hang a sweep: every
         // packet completes within 1 + max_retries attempts, each
         // attempt costs at most backoff_cap + 2 periods of medium or
@@ -600,31 +771,60 @@ impl<'p> Engine<'p> {
             .saturating_add(64);
         let mut period: u64 = 0;
         while period < max_periods {
+            // --- Faults: crash-and-recover churn. A crashed source
+            // cannot arrive or contend; with the drop-queue policy its
+            // buffered frames die with it (counted as churn losses).
+            let mut crashed = vec![false; nflows];
+            if let Some(f) = self.faults {
+                for (fid, down) in crashed.iter_mut().enumerate() {
+                    if f.node_crashed(seed, program.flows[fid].src, self.exchange) {
+                        *down = true;
+                        if f.drop_queue_on_crash {
+                            let purged = {
+                                let cl = self.cl_mut()?;
+                                let n = cl.sched.purge(fid);
+                                cl.queues[fid].clear();
+                                cl.pending_tx[fid] = None;
+                                cl.ledger[fid].lost_to_churn += n;
+                                n
+                            };
+                            for _ in 0..purged {
+                                self.metrics.account.lose();
+                            }
+                        }
+                    }
+                }
+            }
             // --- Arrivals: frames enter the per-flow queues. ---
             let now = self.metrics.account.time_samples;
             let arrived: Vec<usize> = {
-                let cl = self.cl.as_mut().expect("closed-loop state");
+                let crashed = &crashed;
+                let cl = self.cl_mut()?;
                 let ClosedLoop {
                     sched, traffic_rng, ..
                 } = cl;
                 (0..nflows)
-                    .map(|f| sched.offer(f, period, now, cap, window, || traffic_rng.uniform()))
+                    .map(|f| {
+                        if crashed[f] {
+                            0
+                        } else {
+                            sched.offer(f, period, now, cap, window, || traffic_rng.uniform())
+                        }
+                    })
                     .collect()
             };
             for (f, &n) in arrived.iter().enumerate() {
                 for _ in 0..n {
                     let (src, dst) = (program.flows[f].src, program.flows[f].dst);
                     let frame = self.make_frame(src, dst);
-                    self.cl.as_mut().expect("closed-loop state").queues[f].push_back(frame);
+                    self.cl_mut()?.queues[f].push_back(frame);
                 }
             }
             // --- Decide: who contends this period? ---
-            let contenders = {
-                let cl = self.cl.as_ref().expect("closed-loop state");
-                cl.sched.contenders(period)
-            };
+            let mut contenders = self.cl_ref()?.sched.contenders(period);
+            contenders.retain(|&f| !crashed[f]);
             if contenders.is_empty() {
-                let cl = self.cl.as_ref().expect("closed-loop state");
+                let cl = self.cl_ref()?;
                 let finished = cl.sched.all_drained()
                     && (0..nflows).all(|f| cl.sched.source_exhausted(f, period, cap));
                 if finished {
@@ -640,28 +840,33 @@ impl<'p> Engine<'p> {
                 continue;
             }
             // --- Serve: the trigger protocol fires only when every
-            // flow contends; otherwise carrier sense serializes the
-            // ready flows through their store-and-forward fallbacks.
-            let serve_sets: Vec<Vec<usize>> = if contenders.len() == nflows && full_program_when_all
-            {
+            // flow contends *and* the relay path reads healthy;
+            // otherwise carrier sense (or the health fallback)
+            // serializes the ready flows through their
+            // store-and-forward fallbacks.
+            let anc_fallback = health.as_ref().is_some_and(|h| !h.is_healthy());
+            let full_serve = contenders.len() == nflows && full_program_when_all && !anc_fallback;
+            let serve_sets: Vec<Vec<usize>> = if full_serve {
                 vec![contenders]
             } else {
                 contenders.into_iter().map(|f| vec![f]).collect()
             };
             for set in &serve_sets {
-                let slots: &'p [SlotSpec] = if set.len() == nflows && full_program_when_all {
+                let slots: &'p [SlotSpec] = if full_serve {
                     &program.slots
                 } else {
                     &program.solo_slots[set[0]]
                 };
                 {
-                    let cl = self.cl.as_mut().expect("closed-loop state");
+                    let cl = self.cl_mut()?;
                     cl.forwarded.iter_mut().for_each(|b| *b = false);
                     cl.delivered_now.iter_mut().for_each(|b| *b = false);
                     cl.delivered_keys.clear();
                     for &f in set {
                         cl.sched.begin_attempt(f);
-                        let head = cl.queues[f].front().expect("ready flow has a head");
+                        let head = cl.queues[f]
+                            .front()
+                            .ok_or(EngineError::EmptyQueue { flow: f })?;
                         cl.pending_tx[f] = Some(head.clone());
                     }
                 }
@@ -671,9 +876,12 @@ impl<'p> Engine<'p> {
                 self.heard.clear();
                 match program.rounds {
                     RoundMode::PerPacket => {
-                        self.run_slots_once(slots);
+                        self.run_slots_once(slots)?;
                         self.exchange += 1;
-                        self.settle_attempts(set, period, &arq, spb);
+                        self.settle_attempts(set, period, &arq, spb)?;
+                        if let Some(h) = health.as_mut() {
+                            self.observe_health(set, period, h, &mut tracker)?;
+                        }
                     }
                     RoundMode::UntilIdle => {
                         // Pipelined chain: inject up to `window` queued
@@ -684,16 +892,20 @@ impl<'p> Engine<'p> {
                         // younger packets ride along uncharged.
                         let f = set[0];
                         let mut injected: Vec<PacketKey> = {
-                            let cl = self.cl.as_ref().expect("closed-loop state");
-                            vec![cl.queues[f].front().expect("staged head").header.key()]
+                            let cl = self.cl_ref()?;
+                            vec![cl.queues[f]
+                                .front()
+                                .ok_or(EngineError::EmptyQueue { flow: f })?
+                                .header
+                                .key()]
                         };
                         loop {
-                            let fired = self.run_slots_once(slots);
+                            let fired = self.run_slots_once(slots)?;
                             self.exchange += 1;
                             if !fired {
                                 break;
                             }
-                            let cl = self.cl.as_mut().expect("closed-loop state");
+                            let cl = self.cl_mut()?;
                             if injected.len() < window {
                                 if let Some(frame) = cl.queues[f].get(injected.len()) {
                                     injected.push(frame.header.key());
@@ -701,29 +913,116 @@ impl<'p> Engine<'p> {
                                 }
                             }
                         }
-                        self.settle_chain(f, &injected, period, &arq, spb);
+                        self.settle_chain(f, &injected, period, &arq, spb)?;
                     }
                 }
             }
             period += 1;
         }
-        self.flush_closed_loop();
+        // A run that ends mid-outage still records it — with no
+        // recovery timestamp (the NaN-sentinel case downstream).
+        if let Some(o) = tracker.open.take() {
+            self.metrics.outages.push(OutageRecord {
+                onset_period: o.onset_period,
+                detect_period: o.detect_period,
+                failover_period: o.failover_period,
+                recover_period: None,
+                goodput_bits: self.metrics.account.goodput_bits - o.goodput_snapshot,
+                delivered: self.metrics.account.delivered - o.delivered_snapshot,
+            });
+        }
+        self.flush_closed_loop()
+    }
+
+    /// Folds one served contender set's outcomes into the health
+    /// monitor and maintains the outage ledger across its transitions
+    /// (see [`OutageTracker`]). An attempt "succeeded" for health
+    /// purposes when the destination decoded it or the relay's forward
+    /// copy implicitly ACKed it — decode failures, missing implicit
+    /// ACKs and detection-gate misses all land in the same EWMA.
+    fn observe_health(
+        &mut self,
+        set: &[usize],
+        period: u64,
+        health: &mut HealthMonitor,
+        tracker: &mut OutageTracker,
+    ) -> Result<(), EngineError> {
+        let (outcomes, any_delivered) = {
+            let cl = self.cl_ref()?;
+            let outcomes: Vec<bool> = set
+                .iter()
+                .map(|&f| cl.delivered_now[f] || cl.forwarded[f])
+                .collect();
+            let delivered = set.iter().any(|&f| cl.delivered_now[f]);
+            (outcomes, delivered)
+        };
+        for ok in outcomes {
+            match health.observe(!ok) {
+                HealthTransition::None => {
+                    if health.is_healthy() {
+                        if ok {
+                            tracker.streak_start = None;
+                        } else if tracker.streak_start.is_none() {
+                            tracker.streak_start = Some(period);
+                        }
+                    }
+                }
+                HealthTransition::WentUnhealthy => {
+                    let onset = tracker.streak_start.take().unwrap_or(period);
+                    tracker.open = Some(OpenOutage {
+                        onset_period: onset,
+                        detect_period: period,
+                        failover_period: None,
+                        goodput_snapshot: self.metrics.account.goodput_bits,
+                        delivered_snapshot: self.metrics.account.delivered,
+                    });
+                }
+                HealthTransition::Recovered => {
+                    if let Some(o) = tracker.open.take() {
+                        self.metrics.outages.push(OutageRecord {
+                            onset_period: o.onset_period,
+                            detect_period: o.detect_period,
+                            failover_period: o.failover_period,
+                            recover_period: Some(period),
+                            goodput_bits: self.metrics.account.goodput_bits - o.goodput_snapshot,
+                            delivered: self.metrics.account.delivered - o.delivered_snapshot,
+                        });
+                    }
+                }
+            }
+        }
+        if any_delivered {
+            if let Some(o) = tracker.open.as_mut() {
+                if o.failover_period.is_none() {
+                    o.failover_period = Some(period);
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Settles one served contender set: ACK (explicit or the §7.6
     /// implicit forward copy), residual-loss accounting, backoff, and
     /// retry-exhaustion drops.
-    fn settle_attempts(&mut self, set: &[usize], period: u64, arq: &ArqConfig, spb: usize) {
+    fn settle_attempts(
+        &mut self,
+        set: &[usize],
+        period: u64,
+        arq: &ArqConfig,
+        spb: usize,
+    ) -> Result<(), EngineError> {
         let now = self.metrics.account.time_samples;
         for &f in set {
-            let cl = self.cl.as_mut().expect("closed-loop state");
+            let cl = self.cl.as_mut().ok_or(EngineError::ClosedLoopMissing)?;
             cl.pending_tx[f] = None;
             if cl.delivered_now[f] {
                 // End-to-end success. The forward copy doubles as the
                 // ACK on broadcast paths (§7.6); serialized unicasts
                 // pay the explicit link-layer ACK's airtime.
                 let latency = cl.sched.ack(f, now);
-                cl.queues[f].pop_front().expect("acked head exists");
+                cl.queues[f]
+                    .pop_front()
+                    .ok_or(EngineError::EmptyQueue { flow: f })?;
                 cl.ledger[f].delivered += 1;
                 cl.ledger[f].latency_samples.push(latency);
                 let implicit = cl.forwarded[f];
@@ -736,7 +1035,9 @@ impl<'p> Engine<'p> {
                 // though the final decode failed — the residual loss
                 // stands, exactly as in the open-loop accounting.
                 cl.sched.ack(f, now);
-                cl.queues[f].pop_front().expect("acked head exists");
+                cl.queues[f]
+                    .pop_front()
+                    .ok_or(EngineError::EmptyQueue { flow: f })?;
                 cl.ledger[f].lost_after_ack += 1;
                 self.metrics.account.lose();
             } else {
@@ -745,12 +1046,15 @@ impl<'p> Engine<'p> {
                 match cl.sched.fail(f, period) {
                     ArqVerdict::Backoff { .. } => {}
                     ArqVerdict::Dropped => {
-                        cl.queues[f].pop_front().expect("dropped head exists");
+                        cl.queues[f]
+                            .pop_front()
+                            .ok_or(EngineError::EmptyQueue { flow: f })?;
                         self.metrics.account.lose();
                     }
                 }
             }
         }
+        Ok(())
     }
 
     /// Settles a batched chain serve: every injected packet that
@@ -766,11 +1070,11 @@ impl<'p> Engine<'p> {
         period: u64,
         arq: &ArqConfig,
         spb: usize,
-    ) {
+    ) -> Result<(), EngineError> {
         let now = self.metrics.account.time_samples;
         let (mut explicit_acks, mut drops) = (0usize, 0usize);
         {
-            let cl = self.cl.as_mut().expect("closed-loop state");
+            let cl = self.cl.as_mut().ok_or(EngineError::ClosedLoopMissing)?;
             cl.pending_tx[f] = None;
             let delivered = std::mem::take(&mut cl.delivered_keys);
             for (i, key) in injected.iter().enumerate() {
@@ -778,7 +1082,7 @@ impl<'p> Engine<'p> {
                     let idx = cl.queues[f]
                         .iter()
                         .position(|fr| fr.header.key() == *key)
-                        .expect("delivered packet still queued");
+                        .ok_or(EngineError::DeliveredNotQueued { flow: f })?;
                     let latency = cl.sched.ack_nth(f, idx, now);
                     cl.queues[f].remove(idx);
                     cl.ledger[f].delivered += 1;
@@ -795,7 +1099,9 @@ impl<'p> Engine<'p> {
                     match cl.sched.fail(f, period) {
                         ArqVerdict::Backoff { .. } => {}
                         ArqVerdict::Dropped => {
-                            cl.queues[f].pop_front().expect("dropped head exists");
+                            cl.queues[f]
+                                .pop_front()
+                                .ok_or(EngineError::EmptyQueue { flow: f })?;
                             drops += 1;
                         }
                     }
@@ -808,20 +1114,28 @@ impl<'p> Engine<'p> {
         for _ in 0..drops {
             self.metrics.account.lose();
         }
+        Ok(())
     }
 
     /// Moves the closed-loop ledgers (merged with the scheduler's
     /// lifetime counters) into [`RunMetrics::flows`].
-    fn flush_closed_loop(&mut self) {
-        let cl = self.cl.take().expect("closed-loop state");
+    fn flush_closed_loop(&mut self) -> Result<(), EngineError> {
+        let cl = self.cl.take().ok_or(EngineError::ClosedLoopMissing)?;
         let mut flows = cl.ledger;
         for (f, fm) in flows.iter_mut().enumerate() {
             let st = cl.sched.stats(f);
             fm.offered = st.offered;
             fm.dropped = st.dropped;
             fm.retransmissions = st.retransmissions;
+            // Packets still queued when the run's period budget ran
+            // out (total-outage runs): the conservation invariant is
+            // offered == delivered + dropped + lost_after_ack' — with
+            // lost_after_ack folded into the scheduler's delivered —
+            // + in_flight.
+            fm.in_flight = cl.sched.pending(f);
         }
         self.metrics.flows = flows;
+        Ok(())
     }
 
     /// Marks a flow's end-to-end delivery for the closed loop and
@@ -856,25 +1170,35 @@ impl<'p> Engine<'p> {
 
     /// Resolves a transmit intent; when it fires, the front-end-
     /// processed waveform joins the slot's event queue.
-    fn fire_tx(&mut self, intent: &TxIntent, timing: SlotTiming) {
+    fn fire_tx(&mut self, intent: &TxIntent, timing: SlotTiming) -> Result<(), EngineError> {
         let sender = intent.sender;
+        // Fault layer: a crashed (or babbling) sender puts nothing on
+        // the air. Its staged/held state is left untouched — the frame
+        // survives the outage in the node's buffer; queue-drop policy
+        // is settled per period by the closed loop, and the untaken
+        // attempt simply fails (no implicit ACK, no delivery).
+        if self.node_down(sender) {
+            return Ok(());
+        }
         let fired: Option<(Vec<Cplx>, Option<Frame>)> = match &intent.source {
             TxSource::SourceFrame { flow } if self.cl.is_some() => {
                 // Closed loop: transmit the staged queue head (the
                 // same frame on every retransmission attempt) instead
                 // of sourcing a fresh one.
-                let staged = self.cl.as_mut().expect("checked above").pending_tx[*flow].take();
-                staged.map(|frame| {
-                    let track = self.program.track_history[*flow];
-                    let state = &mut self.flows[*flow];
-                    state.round_frame = Some(frame.clone());
-                    let key = frame.header.key();
-                    if track && !state.history.iter().any(|h| h.header.key() == key) {
-                        state.history.push(frame.clone());
+                match self.cl_mut()?.pending_tx[*flow].take() {
+                    Some(frame) => {
+                        let track = self.program.track_history[*flow];
+                        let state = &mut self.flows[*flow];
+                        state.round_frame = Some(frame.clone());
+                        let key = frame.header.key();
+                        if track && !state.history.iter().any(|h| h.header.key() == key) {
+                            state.history.push(frame.clone());
+                        }
+                        let wave = self.try_node_mut(sender)?.transmit_frame(&frame);
+                        Some((wave, Some(frame)))
                     }
-                    let wave = self.node_mut(sender).transmit_frame(&frame);
-                    (wave, Some(frame))
-                })
+                    None => None,
+                }
             }
             TxSource::SourceFrame { flow } => {
                 if self.flows[*flow].sourced >= self.cfg.packets_per_flow {
@@ -888,14 +1212,17 @@ impl<'p> Engine<'p> {
                     if self.program.track_history[*flow] {
                         state.history.push(frame.clone());
                     }
-                    let wave = self.node_mut(sender).transmit_frame(&frame);
+                    let wave = self.try_node_mut(sender)?.transmit_frame(&frame);
                     Some((wave, Some(frame)))
                 }
             }
-            TxSource::Forward => self.held.remove(&sender).map(|frame| {
-                let wave = self.node_mut(sender).transmit_frame(&frame);
-                (wave, Some(frame))
-            }),
+            TxSource::Forward => match self.held.remove(&sender) {
+                Some(frame) => {
+                    let wave = self.try_node_mut(sender)?.transmit_frame(&frame);
+                    Some((wave, Some(frame)))
+                }
+                None => None,
+            },
             TxSource::AmplifyMixture => self.mixture.remove(&sender).map(|(win, start, end)| {
                 let (amp, _) = AmplifyForward::new(1.0).amplify_window(&win, start, end);
                 (amp, None)
@@ -909,7 +1236,7 @@ impl<'p> Engine<'p> {
                         let s = *seq;
                         *seq = seq.wrapping_add(1);
                         let coded = CopeCoder.encode(&ra, &rb, sender, s);
-                        let wave = self.node_mut(sender).transmit_frame(&coded);
+                        let wave = self.try_node_mut(sender)?.transmit_frame(&coded);
                         Some((wave, Some(coded)))
                     }
                     _ => {
@@ -939,24 +1266,17 @@ impl<'p> Engine<'p> {
             }
         }
         let Some((mut wave, frame)) = fired else {
-            return;
+            return Ok(());
         };
         let phase0 = self.carrier_rng.phase();
-        self.nodes
-            .get(&sender)
-            .expect("sender exists")
-            .apply_front_end(&mut wave, phase0);
+        self.try_node(sender)?.apply_front_end(&mut wave, phase0);
         let mut offset = match timing {
             // The §7.2 stagger is drawn in bit-times; convert through
             // the sender's actual front-end rate so MAC delays stay in
             // sample units if oversampling ever diverges from 1.
             SlotTiming::Triggered => {
-                let spb = self
-                    .nodes
-                    .get(&sender)
-                    .expect("sender exists")
-                    .samples_per_bit();
-                self.node_mut(sender).draw_delay(spb)
+                let spb = self.try_node(sender)?.samples_per_bit();
+                self.try_node_mut(sender)?.draw_delay(spb)
             }
             SlotTiming::Scheduled => 0,
         };
@@ -992,17 +1312,37 @@ impl<'p> Engine<'p> {
             wave,
             offset,
         });
+        Ok(())
     }
 
-    fn node_mut(&mut self, id: NodeId) -> &mut Node {
-        self.nodes.get_mut(&id).expect("node exists")
+    fn try_node_mut(&mut self, id: NodeId) -> Result<&mut Node, EngineError> {
+        self.nodes.get_mut(&id).ok_or(EngineError::NodeMissing(id))
     }
 
     /// Resolves a receive intent: gate, build the superposition window
     /// from the event queue (one noise fork per opened window), poll
     /// the node, and account for the outcome.
-    fn handle_rx(&mut self, intent: &RxIntent, span: usize) {
+    fn handle_rx(&mut self, intent: &RxIntent, span: usize) -> Result<(), EngineError> {
         let recv = intent.receiver;
+        // Fault layer: a crashed (or babbling) receiver hears nothing
+        // usable. Deliveries it was supposed to complete are losses;
+        // relay capture slots simply stay empty (the rider attempts
+        // fail at settle time). No noise fork — window never opens.
+        if self.node_down(recv) {
+            match &intent.action {
+                RxAction::CaptureMixture { flows } => {
+                    for _ in flows {
+                        self.lose_open();
+                    }
+                }
+                RxAction::DeliverAnc { .. }
+                | RxAction::DeliverClean { .. }
+                | RxAction::DeliverCope { .. }
+                | RxAction::DeliverByKey { .. } => self.lose_open(),
+                _ => {}
+            }
+            return Ok(());
+        }
         // Gates that close the window before it opens (no noise fork).
         match &intent.action {
             RxAction::DeliverAnc { gated: true, .. }
@@ -1012,23 +1352,40 @@ impl<'p> Engine<'p> {
                 // §11.5: without the overheard packet the interfered
                 // signal cannot be decoded either.
                 self.lose_open();
-                return;
+                return Ok(());
             }
-            RxAction::HoldRelay { from } if !self.slot_frames.contains_key(from) => return,
+            RxAction::HoldRelay { from } if !self.slot_frames.contains_key(from) => return Ok(()),
             _ => {}
+        }
+        let pad = self.cfg.pad_samples;
+        let duration = pad + span + pad;
+        // Fault layer: stuck-carrier nodes in range babble an unmodulated
+        // tone across the whole window. They are extra interferers, so a
+        // window can open even when no scheduled transmission is audible.
+        let mut babble: Vec<(Vec<Cplx>, Link)> = Vec::new();
+        if let Some(fspec) = self.faults {
+            let seed = self.cfg.seed;
+            for spec in self.topo.links() {
+                if spec.to != recv || spec.from == recv {
+                    continue;
+                }
+                if let Some((amp, phase)) = fspec.stuck_carrier(seed, spec.from, self.exchange) {
+                    let tone = vec![Cplx::from_polar(amp, phase); duration];
+                    babble.push((tone, spec.link));
+                }
+            }
         }
         let audible = self
             .events
             .iter()
             .any(|e| e.sender != recv && self.topo.link(e.sender, recv).is_some());
-        if !audible {
-            return;
+        if !audible && babble.is_empty() {
+            return Ok(());
         }
         // The window covers the whole slot plus noise padding on both
         // sides, so detectors see a floor (§7.1). Waveforms are
         // borrowed from the event queue — one slot's wave fans out to
         // every receiver in range without being copied.
-        let pad = self.cfg.pad_samples;
         let mut list = Vec::new();
         for e in &self.events {
             if e.sender == recv {
@@ -1040,7 +1397,7 @@ impl<'p> Engine<'p> {
                 // (seed, from, to, exchange), so every receive intent
                 // that hears the same transmission this exchange sees
                 // the same channel state.
-                let link = match self.link_impairments.get(&(e.sender, recv)) {
+                let mut link = match self.link_impairments.get(&(e.sender, recv)) {
                     Some(spec) => spec.impair_link(
                         *link,
                         self.cfg.seed,
@@ -1050,6 +1407,16 @@ impl<'p> Engine<'p> {
                     ),
                     None => *link,
                 };
+                // Fault layer: blackout/shadowing scales the realized
+                // link gain for this exchange. Factor 1.0 (the
+                // faults-off path) leaves the float untouched, keeping
+                // fault-free runs bit-identical.
+                if let Some(fspec) = self.faults {
+                    let g = fspec.link_gain_factor(self.cfg.seed, e.sender, recv, self.exchange);
+                    if g != 1.0 {
+                        link.gain *= g;
+                    }
+                }
                 list.push(TransmissionRef {
                     samples: &e.wave,
                     start: pad + e.offset,
@@ -1057,8 +1424,18 @@ impl<'p> Engine<'p> {
                 });
             }
         }
-        let duration = pad + span + pad;
-        let rng = self.noise.get_mut(&recv).expect("noise source").fork(0);
+        for (tone, link) in &babble {
+            list.push(TransmissionRef {
+                samples: tone,
+                start: 0,
+                link: *link,
+            });
+        }
+        let rng = self
+            .noise
+            .get_mut(&recv)
+            .ok_or(EngineError::NoiseMissing(recv))?
+            .fork(0);
         let mut scratch = std::mem::take(&mut self.rx_scratch);
         Medium::from_rng(self.cfg.noise_power, rng).receive_refs_into(
             &list,
@@ -1066,16 +1443,26 @@ impl<'p> Engine<'p> {
             &mut scratch,
         );
         drop(list);
-        self.process_window(intent, &scratch);
+        // Fault layer: wideband jammer bursts land on top of the mixed
+        // window, drawn from a (receiver, period)-pure stream so they
+        // never perturb the receiver's own forked noise sequence.
+        if let Some(fspec) = self.faults {
+            if let Some(power) = fspec.jammer_power_at(self.cfg.seed, self.exchange) {
+                let jam = fspec.jammer_noise_rng(self.cfg.seed, recv, self.exchange);
+                Medium::inject_jammer(&mut scratch, power, jam);
+            }
+        }
+        let outcome = self.process_window(intent, &scratch);
         self.rx_scratch = scratch;
+        outcome
     }
 
     /// Applies a receive intent's action to a built window.
-    fn process_window(&mut self, intent: &RxIntent, window: &[Cplx]) {
+    fn process_window(&mut self, intent: &RxIntent, window: &[Cplx]) -> Result<(), EngineError> {
         let recv = intent.receiver;
         match &intent.action {
             RxAction::CaptureMixture { flows } => {
-                match self.node_mut(recv).poll(window) {
+                match self.try_node_mut(recv)?.poll(window) {
                     RxEvent::Relay { start, end, .. } => {
                         self.mixture.insert(recv, (window.to_vec(), start, end));
                     }
@@ -1089,15 +1476,19 @@ impl<'p> Engine<'p> {
                     }
                 }
             }
-            RxAction::HoldClean => match clean_frame(self.node_mut(recv).poll(window)) {
+            RxAction::HoldClean => match clean_frame(self.try_node_mut(recv)?.poll(window)) {
                 Some(frame) => {
                     self.held.insert(recv, frame);
                 }
                 None => self.lose_open(),
             },
             RxAction::HoldRelay { from } => {
-                let expected = self.slot_frames.get(from).expect("gated above").clone();
-                match self.node_mut(recv).poll(window) {
+                let expected = self
+                    .slot_frames
+                    .get(from)
+                    .ok_or(EngineError::SlotFrameMissing(*from))?
+                    .clone();
+                match self.try_node_mut(recv)?.poll(window) {
                     RxEvent::Clean {
                         frame,
                         crc_ok: true,
@@ -1120,9 +1511,9 @@ impl<'p> Engine<'p> {
             RxAction::DeliverAnc { flow, .. } => {
                 let Some(theirs) = self.flows[*flow].round_frame.clone() else {
                     self.lose_open();
-                    return;
+                    return Ok(());
                 };
-                match self.node_mut(recv).poll(window) {
+                match self.try_node_mut(recv)?.poll(window) {
                     RxEvent::AncDecoded {
                         frame, diagnostics, ..
                     } if frame.header.key() == theirs.header.key() => {
@@ -1138,9 +1529,9 @@ impl<'p> Engine<'p> {
             RxAction::DeliverClean { flow, tag_receiver } => {
                 let Some(theirs) = self.flows[*flow].round_frame.clone() else {
                     self.lose_open();
-                    return;
+                    return Ok(());
                 };
-                match self.node_mut(recv).poll(window) {
+                match self.try_node_mut(recv)?.poll(window) {
                     RxEvent::Clean { frame, .. } if frame.header.key() == theirs.header.key() => {
                         let b = ber(&frame.payload, &theirs.payload);
                         let goodput = self.metrics.account.deliver(self.cfg.payload_bits, b);
@@ -1157,11 +1548,11 @@ impl<'p> Engine<'p> {
             RxAction::DeliverCope { flow, .. } => {
                 let Some(theirs) = self.flows[*flow].round_frame.clone() else {
                     self.lose_open();
-                    return;
+                    return Ok(());
                 };
-                let decoded = match self.node_mut(recv).poll(window) {
+                let decoded = match self.try_node_mut(recv)?.poll(window) {
                     RxEvent::Clean { frame, .. } if frame.header.is_xor() => {
-                        let node = self.nodes.get(&recv).expect("node exists");
+                        let node = self.try_node(recv)?;
                         CopeCoder.decode(&frame, &node.buffer).ok()
                     }
                     _ => None,
@@ -1176,7 +1567,7 @@ impl<'p> Engine<'p> {
                     _ => self.lose_open(),
                 }
             }
-            RxAction::DeliverByKey { flow } => match self.node_mut(recv).poll(window) {
+            RxAction::DeliverByKey { flow } => match self.try_node_mut(recv)?.poll(window) {
                 RxEvent::Clean { frame, .. } => {
                     let truth = self.flows[*flow]
                         .history
@@ -1198,17 +1589,18 @@ impl<'p> Engine<'p> {
                 _ => self.lose_open(),
             },
             RxAction::CopeCapture { flow } => {
-                if let Some(frame) = clean_frame(self.node_mut(recv).poll(window)) {
+                if let Some(frame) = clean_frame(self.try_node_mut(recv)?.poll(window)) {
                     self.cope_pending[*flow] = Some(frame);
                 }
                 // A missed uplink is charged when the XOR slot finds
                 // the capture missing (both coded packets are lost).
             }
             RxAction::Overhear => {
-                let got = self.node_mut(recv).try_overhear(window);
+                let got = self.try_node_mut(recv)?.try_overhear(window);
                 self.heard.insert(recv, got.is_some());
             }
         }
+        Ok(())
     }
 }
 
@@ -1258,10 +1650,10 @@ mod tests {
         let mut e4 = Engine::new(&p4, &c4);
         assert_eq!(p1.slots[0].timing, SlotTiming::Triggered);
         for intent in &p1.slots[0].txs {
-            e1.fire_tx(intent, SlotTiming::Triggered);
+            e1.fire_tx(intent, SlotTiming::Triggered).unwrap();
         }
         for intent in &p4.slots[0].txs {
-            e4.fire_tx(intent, SlotTiming::Triggered);
+            e4.fire_tx(intent, SlotTiming::Triggered).unwrap();
         }
         assert_eq!(e1.events.len(), 2);
         assert_eq!(e4.events.len(), 2);
@@ -1296,8 +1688,9 @@ mod tests {
                     .tx_process(seed, intent.sender as u64, 0)
                     .jitter_samples,
             );
-            eb.fire_tx(intent, SlotTiming::Triggered);
-            ei.fire_tx(&p_imp.slots[0].txs[0], SlotTiming::Triggered);
+            eb.fire_tx(intent, SlotTiming::Triggered).unwrap();
+            ei.fire_tx(&p_imp.slots[0].txs[0], SlotTiming::Triggered)
+                .unwrap();
             let base_off = eb.events[0].offset as i64;
             let expected = (base_off + slip).max(0);
             assert_eq!(

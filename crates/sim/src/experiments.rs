@@ -14,6 +14,7 @@
 //! relay counts (throughput vs hop count).
 
 use crate::engine::Engine;
+use crate::faults::FaultSpec;
 use crate::metrics::{gain, RunMetrics};
 use crate::pool::parallel_map_indexed;
 use crate::runs::{run_alice_bob, run_chain, run_x, RunConfig};
@@ -422,6 +423,156 @@ pub fn throughput_vs_load(
             dropped,
         }
     }))
+}
+
+/// Configuration of the fault-intensity chaos sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChaosSweepConfig {
+    /// Per-point run configuration.
+    pub base: RunConfig,
+    /// Fault-intensity multipliers applied to `faults` per point
+    /// (0 = fault-free control point).
+    pub intensities: Vec<f64>,
+    /// The fault template; each point runs `faults.scaled(intensity)`.
+    pub faults: FaultSpec,
+    /// ARQ parameters shared by every point (closed loop required —
+    /// the health estimator lives in the ARQ path).
+    pub arq: ArqConfig,
+    /// Independent realizations pooled per point.
+    pub runs_per_point: usize,
+    /// Worker threads (0 = one per core).
+    pub threads: usize,
+}
+
+impl Default for ChaosSweepConfig {
+    fn default() -> Self {
+        ChaosSweepConfig {
+            base: RunConfig::default(),
+            intensities: vec![0.0, 0.25, 0.5, 1.0, 1.5, 2.0],
+            faults: FaultSpec::none()
+                .with_crashes(0.04, 8)
+                .with_shadowing(0.05, 25.0, 4)
+                .with_jammer(0.03, 1.0, 2),
+            arq: ArqConfig::default(),
+            runs_per_point: 4,
+            threads: 0,
+        }
+    }
+}
+
+/// One point of the fault-intensity sweep: ANC-with-fallback against
+/// traditional routing under the same fault realization.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ChaosPoint {
+    /// Fault-intensity multiplier this point ran at.
+    pub intensity: f64,
+    /// Mean ANC (fallback-enabled) goodput, payload bits per sample.
+    pub anc_goodput: f64,
+    /// Mean traditional-routing goodput under the same faults.
+    pub traditional_goodput: f64,
+    /// `anc_goodput / traditional_goodput` (NaN when the baseline
+    /// starved).
+    pub goodput_ratio: f64,
+    /// ANC ARQ-level delivery rate (delivered / offered, pooled).
+    pub anc_delivery_rate: f64,
+    /// Outage episodes the health estimator detected, pooled over runs.
+    pub outages: usize,
+    /// Mean periods from trouble onset to the unhealthy verdict (NaN
+    /// when no outage was detected).
+    pub mean_time_to_detect: f64,
+    /// Mean periods from detection to the first fallback delivery.
+    pub mean_time_to_failover: f64,
+    /// Mean periods from detection back to a healthy verdict, over
+    /// outages that closed.
+    pub mean_time_to_recover: f64,
+    /// Mean FEC-discounted goodput delivered per outage while
+    /// unhealthy (bits) — the degraded-mode floor.
+    pub mean_outage_goodput_bits: f64,
+    /// ANC packets purged by crash churn, pooled over runs.
+    pub lost_to_churn: usize,
+}
+
+/// Fault intensity × scheme sweep on one scenario: each point realizes
+/// `cfg.faults.scaled(intensity)` and runs ANC (health-estimator
+/// fallback enabled) and traditional routing closed-loop on the same
+/// derived seeds, pooling goodput and the outage ledgers. Points fan
+/// out on the worker pool; parallel == serial bit for bit.
+pub fn chaos_sweep(
+    spec: &ScenarioSpec,
+    cfg: &ChaosSweepConfig,
+) -> Result<Vec<ChaosPoint>, ScenarioError> {
+    // Compile both schemes once up front so an unschedulable spec
+    // fails before the fan-out.
+    let armed = spec.clone().with_arq(cfg.arq);
+    armed.clone().compile(Scheme::Anc)?;
+    armed.compile(Scheme::Traditional)?;
+    Ok(parallel_map_indexed(
+        cfg.intensities.len(),
+        cfg.threads,
+        |idx| {
+            let intensity = cfg.intensities[idx];
+            let faulted = spec
+                .clone()
+                .with_arq(cfg.arq)
+                .with_faults(cfg.faults.clone().scaled(intensity));
+            let anc_prog = faulted.clone().compile(Scheme::Anc).expect("validated");
+            let trad_prog = faulted.compile(Scheme::Traditional).expect("validated");
+            let mut anc_tp = Vec::with_capacity(cfg.runs_per_point);
+            let mut trad_tp = Vec::with_capacity(cfg.runs_per_point);
+            let (mut offered, mut delivered, mut churn, mut outages) = (0, 0, 0, 0);
+            let mut detect = Vec::new();
+            let mut failover = Vec::new();
+            let mut recover = Vec::new();
+            let mut out_goodput = Vec::new();
+            for r in 0..cfg.runs_per_point {
+                let mut rc = cfg.base.clone();
+                rc.seed = run_seed(cfg.base.seed.wrapping_add(idx as u64 * 15_485_863), r);
+                let a = Engine::run(&anc_prog, &rc);
+                let t = Engine::run(&trad_prog, &rc);
+                anc_tp.push(a.account.throughput());
+                trad_tp.push(t.account.throughput());
+                for fm in &a.flows {
+                    offered += fm.offered;
+                    delivered += fm.delivered;
+                    churn += fm.lost_to_churn;
+                }
+                outages += a.outages.len();
+                for o in &a.outages {
+                    detect.push(o.time_to_detect() as f64);
+                    if let Some(p) = o.time_to_failover() {
+                        failover.push(p as f64);
+                    }
+                    if let Some(p) = o.time_to_recover() {
+                        recover.push(p as f64);
+                    }
+                    out_goodput.push(o.goodput_bits);
+                }
+            }
+            let anc_goodput = mean(&anc_tp);
+            let traditional_goodput = mean(&trad_tp);
+            ChaosPoint {
+                intensity,
+                anc_goodput,
+                traditional_goodput,
+                goodput_ratio: if traditional_goodput > 0.0 {
+                    anc_goodput / traditional_goodput
+                } else {
+                    f64::NAN
+                },
+                anc_delivery_rate: if offered == 0 {
+                    0.0
+                } else {
+                    delivered as f64 / offered as f64
+                },
+                outages,
+                mean_time_to_detect: mean(&detect),
+                mean_time_to_failover: mean(&failover),
+                mean_time_to_recover: mean(&recover),
+                mean_outage_goodput_bits: mean(&out_goodput),
+                lost_to_churn: churn,
+            }
+        },
+    ))
 }
 
 /// Mean closed-loop throughput of a scenario × scheme under saturated

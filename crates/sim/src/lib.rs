@@ -39,6 +39,11 @@
 //!   realizations of one scenario × scheme (time-varying channels via
 //!   [`anc_channel::impairment`]) pooled into BER/throughput confidence
 //!   intervals; parallel trials are bit-identical to serial.
+//! * [`faults`] — deterministic fault injection: serializable
+//!   [`faults::FaultSpec`] timelines (node churn, link blackouts and
+//!   deep shadowing, jammer bursts, stuck carriers) realized from
+//!   coordinate-pure streams, plus the health-estimator-driven
+//!   ANC→traditional fallback and outage/recovery ledgers.
 //! * [`metrics`] — throughput/gain/BER accounting, including the FEC
 //!   redundancy charge of §11.2 and the overlap-fraction bookkeeping of
 //!   §11.4.
@@ -52,6 +57,7 @@
 
 pub mod engine;
 pub mod experiments;
+pub mod faults;
 pub mod metrics;
 pub mod monte_carlo;
 pub mod pool;
@@ -60,12 +66,13 @@ pub mod runs;
 pub mod scenario;
 pub mod topology;
 
-pub use engine::{DecodePipeline, Engine, Program};
+pub use engine::{DecodePipeline, Engine, EngineError, Program};
 pub use experiments::{
-    alice_bob, chain, saturated_throughput, sir_sweep, throughput_vs_load, x_topology, LoadPoint,
-    LoadSweepConfig,
+    alice_bob, chain, chaos_sweep, saturated_throughput, sir_sweep, throughput_vs_load, x_topology,
+    ChaosPoint, ChaosSweepConfig, LoadPoint, LoadSweepConfig,
 };
-pub use metrics::{FlowMetrics, RunMetrics, ThroughputAccount};
+pub use faults::{FaultSpec, ScriptedOutage};
+pub use metrics::{FlowMetrics, OutageRecord, RunMetrics, ThroughputAccount};
 pub use monte_carlo::{monte_carlo, Ci, MonteCarloConfig, MonteCarloResult};
 pub use report::{ExperimentReport, FigureSeries};
 pub use runs::{run_spec, RunConfig, Scenario};

@@ -103,6 +103,15 @@ pub struct FlowMetrics {
     pub goodput_bits: f64,
     /// Per-acknowledged-packet latency, enqueue → ACK, in samples.
     pub latency_samples: Vec<f64>,
+    /// Packets still queued (or staged) when the run ended — offered
+    /// packets that neither completed nor dropped. Always 0 for runs
+    /// that drain their queues; nonzero under fault churn when the run
+    /// ends mid-outage.
+    pub in_flight: usize,
+    /// Packets purged from the transmit queue by the crash fault
+    /// policy (`FaultSpec::drop_queue_on_crash`) — losses attributable
+    /// to node churn rather than the channel. Subset of `dropped`.
+    pub lost_to_churn: usize,
 }
 
 impl FlowMetrics {
@@ -138,6 +147,52 @@ impl FlowMetrics {
     }
 }
 
+/// One detected outage episode from the closed loop's health
+/// estimator: when the trouble started, when the EWMA crossed the
+/// unhealthy threshold, when the fallback path first delivered again,
+/// and when sustained recovery flipped the monitor back to healthy.
+/// All timestamps are slot-period indices; goodput/delivered cover the
+/// unhealthy span only.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct OutageRecord {
+    /// Period of the first failure in the streak that tripped the
+    /// monitor (onset of trouble, assigned retroactively).
+    pub onset_period: u64,
+    /// Period at which the health EWMA crossed the unhealthy
+    /// threshold and the scheduler fell back.
+    pub detect_period: u64,
+    /// First period after detection with an end-to-end delivery on the
+    /// fallback path (`None` if nothing got through before recovery).
+    pub failover_period: Option<u64>,
+    /// Period at which sustained success flipped the monitor back to
+    /// healthy (`None` when the run ended mid-outage).
+    pub recover_period: Option<u64>,
+    /// FEC-discounted payload bits delivered while unhealthy.
+    pub goodput_bits: f64,
+    /// Packets delivered end-to-end while unhealthy.
+    pub delivered: usize,
+}
+
+impl OutageRecord {
+    /// Periods from the onset of trouble to threshold crossing.
+    pub fn time_to_detect(&self) -> u64 {
+        self.detect_period.saturating_sub(self.onset_period)
+    }
+
+    /// Periods from detection to the first fallback delivery.
+    pub fn time_to_failover(&self) -> Option<u64> {
+        self.failover_period
+            .map(|p| p.saturating_sub(self.detect_period))
+    }
+
+    /// Periods from detection back to a healthy verdict (`None` for an
+    /// outage still open at the end of the run).
+    pub fn time_to_recover(&self) -> Option<u64> {
+        self.recover_period
+            .map(|p| p.saturating_sub(self.detect_period))
+    }
+}
+
 /// Everything measured in one run of one scheme on one topology
 /// realization.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -158,6 +213,10 @@ pub struct RunMetrics {
     /// Closed-loop per-flow ledgers (ARQ runs only; empty — and absent
     /// from the golden fingerprints — when the run is open-loop).
     pub flows: Vec<FlowMetrics>,
+    /// Outage episodes the health estimator detected (fault-injected
+    /// closed-loop runs only; always empty — and outside the golden
+    /// fingerprints — when faults are off).
+    pub outages: Vec<OutageRecord>,
 }
 
 impl RunMetrics {
@@ -170,6 +229,7 @@ impl RunMetrics {
             ber_by_receiver: Vec::new(),
             overlaps: Vec::new(),
             flows: Vec::new(),
+            outages: Vec::new(),
         }
     }
 
@@ -285,6 +345,7 @@ mod tests {
             retransmissions: 5,
             goodput_bits: 800.0,
             latency_samples: vec![100.0, 300.0],
+            ..FlowMetrics::default()
         };
         assert!((f.delivery_rate() - 0.8).abs() < 1e-12);
         assert!((f.mean_latency() - 200.0).abs() < 1e-12);
@@ -298,6 +359,28 @@ mod tests {
         assert!(f.mean_latency().is_nan());
         assert_eq!(FlowMetrics::default().delivery_rate(), 0.0);
         assert_eq!(FlowMetrics::default().retransmissions_per_packet(), 0.0);
+    }
+
+    #[test]
+    fn outage_record_timing() {
+        let rec = OutageRecord {
+            onset_period: 10,
+            detect_period: 14,
+            failover_period: Some(16),
+            recover_period: Some(30),
+            goodput_bits: 4096.0,
+            delivered: 2,
+        };
+        assert_eq!(rec.time_to_detect(), 4);
+        assert_eq!(rec.time_to_failover(), Some(2));
+        assert_eq!(rec.time_to_recover(), Some(16));
+        let open = OutageRecord {
+            onset_period: 5,
+            detect_period: 7,
+            ..OutageRecord::default()
+        };
+        assert_eq!(open.time_to_failover(), None);
+        assert_eq!(open.time_to_recover(), None);
     }
 
     #[test]

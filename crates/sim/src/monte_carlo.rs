@@ -149,6 +149,23 @@ pub struct MonteCarloResult {
     /// Per-trial retransmissions per completed packet. `n == 0`
     /// open-loop.
     pub arq_retransmissions_per_packet: Ci,
+    /// Per-outage time from trouble onset to unhealthy verdict, in
+    /// slot periods, pooled across trials. `n == 0` (NaN-sentinel
+    /// mean) when no trial detected an outage — fault-free sweeps.
+    pub outage_time_to_detect: Ci,
+    /// Per-outage time from detection to the first fallback delivery.
+    /// Outages where nothing got through contribute no sample; `n == 0`
+    /// when the fallback never delivered anywhere.
+    pub outage_time_to_failover: Ci,
+    /// Per-outage time from detection back to a healthy verdict, over
+    /// outages that closed before their run ended.
+    pub outage_time_to_recover: Ci,
+    /// Per-outage FEC-discounted goodput delivered while unhealthy
+    /// (bits) — the degraded-mode floor. `n == 0` when fault-free.
+    pub outage_goodput_bits: Ci,
+    /// Per-trial count of detected outage episodes (n == trials, 0s
+    /// included, so the mean is outages per trial).
+    pub outages_per_trial: Ci,
 }
 
 /// Runs `cfg.trials` independent realizations of `spec` under `scheme`
@@ -204,7 +221,23 @@ pub fn aggregate(scenario: &str, trials: &[RunMetrics]) -> MonteCarloResult {
     let mut arq_delivery = Vec::new();
     let mut arq_latency = Vec::new();
     let mut arq_retx = Vec::new();
+    let mut out_detect = Vec::new();
+    let mut out_failover = Vec::new();
+    let mut out_recover = Vec::new();
+    let mut out_goodput = Vec::new();
+    let mut out_count = Vec::with_capacity(trials.len());
     for m in trials {
+        out_count.push(m.outages.len() as f64);
+        for o in &m.outages {
+            out_detect.push(o.time_to_detect() as f64);
+            if let Some(t) = o.time_to_failover() {
+                out_failover.push(t as f64);
+            }
+            if let Some(t) = o.time_to_recover() {
+                out_recover.push(t as f64);
+            }
+            out_goodput.push(o.goodput_bits);
+        }
         if !m.packet_bers.is_empty() {
             per_trial_ber.push(m.mean_ber());
         }
@@ -249,6 +282,11 @@ pub fn aggregate(scenario: &str, trials: &[RunMetrics]) -> MonteCarloResult {
         arq_delivery_rate: Ci::from_samples(&arq_delivery),
         arq_latency: Ci::from_samples(&arq_latency),
         arq_retransmissions_per_packet: Ci::from_samples(&arq_retx),
+        outage_time_to_detect: Ci::from_samples(&out_detect),
+        outage_time_to_failover: Ci::from_samples(&out_failover),
+        outage_time_to_recover: Ci::from_samples(&out_recover),
+        outage_goodput_bits: Ci::from_samples(&out_goodput),
+        outages_per_trial: Ci::from_samples(&out_count),
     }
 }
 
@@ -292,6 +330,51 @@ mod tests {
         let ci = Ci::from_samples(&[0.25; 10]);
         assert_eq!(ci.half_width, 0.0);
         assert_eq!(ci.mean, 0.25);
+    }
+
+    #[test]
+    fn empty_windows_pool_to_nan_sentinel_cis() {
+        // The NaN-safe outage contract: a fault-free (or delivery-free)
+        // sweep must pool to explicit empty CIs — n == 0, NaN mean,
+        // zero width — never to a fabricated 0.0 statistic.
+        use crate::metrics::OutageRecord;
+        use anc_netcode::Scheme;
+        let mut quiet = RunMetrics::new(Scheme::Anc);
+        quiet.account.tick(10.0);
+        quiet.flows.push(crate::metrics::FlowMetrics {
+            flow: 0,
+            offered: 4,
+            dropped: 4,
+            ..Default::default()
+        });
+        let r = aggregate("t", &[quiet.clone(), quiet.clone()]);
+        for ci in [
+            r.arq_latency,
+            r.outage_time_to_detect,
+            r.outage_time_to_failover,
+            r.outage_time_to_recover,
+            r.outage_goodput_bits,
+        ] {
+            assert_eq!(ci.n, 0, "zero-delivery window must pool empty");
+            assert!(ci.mean.is_nan(), "empty CI mean is the NaN sentinel");
+            assert_eq!(ci.half_width, 0.0);
+        }
+        assert_eq!(r.outages_per_trial.n, 2);
+        assert_eq!(r.outages_per_trial.mean, 0.0);
+        // An outage the run ended inside (no failover, no recovery)
+        // contributes to detection but not to the optional ledgers.
+        let mut cut_short = quiet.clone();
+        cut_short.outages.push(OutageRecord {
+            onset_period: 3,
+            detect_period: 5,
+            ..Default::default()
+        });
+        let r = aggregate("t", &[cut_short]);
+        assert_eq!(r.outage_time_to_detect.n, 1);
+        assert_eq!(r.outage_time_to_detect.mean, 2.0);
+        assert_eq!(r.outage_time_to_failover.n, 0);
+        assert!(r.outage_time_to_failover.mean.is_nan());
+        assert_eq!(r.outage_time_to_recover.n, 0);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 use crate::engine::{
     Program, RoundMode, RxAction, RxIntent, SlotSpec, SlotTiming, TxIntent, TxSource,
 };
+use crate::faults::FaultSpec;
 use crate::topology::{nodes, GraphLink, LinkClass, TopologyGraph};
 use anc_channel::ImpairmentSpec;
 use anc_dsp::DspRng;
@@ -95,6 +96,10 @@ pub struct ScenarioSpec {
     /// carrier-sense serialization. `None` (the default) keeps the
     /// open-loop fixed-program engine, bit-identical to the goldens.
     pub arq: Option<ArqConfig>,
+    /// Deterministic fault timeline (node churn, link blackouts,
+    /// jammer bursts, stuck carriers — see [`FaultSpec`]). `None` or a
+    /// passive spec keeps runs bit-identical to the goldens.
+    pub faults: Option<FaultSpec>,
 }
 
 impl ScenarioSpec {
@@ -106,6 +111,7 @@ impl ScenarioSpec {
             untagged_traditional_bers: false,
             impairments: None,
             arq: None,
+            faults: None,
         }
     }
 
@@ -120,6 +126,13 @@ impl ScenarioSpec {
     /// builder-style for the load sweeps.
     pub fn with_arq(mut self, arq: ArqConfig) -> ScenarioSpec {
         self.arq = Some(arq);
+        self
+    }
+
+    /// Attaches a fault timeline (see [`FaultSpec`]); builder-style
+    /// for the chaos sweeps.
+    pub fn with_faults(mut self, faults: FaultSpec) -> ScenarioSpec {
+        self.faults = Some(faults);
         self
     }
 
@@ -231,6 +244,7 @@ impl ScenarioSpec {
             rounds,
             impairments: self.impairments,
             arq: self.arq,
+            faults: self.faults.clone(),
             solo_slots: if self.arq.is_some() {
                 self.solo_slots()
             } else {
@@ -606,6 +620,10 @@ impl Deserialize for ScenarioSpec {
                 Some(v) => Deserialize::from_value(v)?,
             },
             arq: match obj.get("arq") {
+                None => None,
+                Some(v) => Deserialize::from_value(v)?,
+            },
+            faults: match obj.get("faults") {
                 None => None,
                 Some(v) => Deserialize::from_value(v)?,
             },
@@ -1003,5 +1021,27 @@ mod tests {
         let back = ScenarioSpec::from_value(&v).unwrap();
         assert!(back.impairments.is_none());
         assert!(back.compile(Scheme::Anc).is_ok());
+    }
+
+    #[test]
+    fn pre_fault_scenario_json_still_loads() {
+        use serde::{Deserialize as _, Serialize as _};
+        let mut v = ScenarioSpec::alice_bob().to_value();
+        // The JSON shape published before the fault layer.
+        if let serde::Value::Object(obj) = &mut v {
+            obj.remove("faults");
+        }
+        let back = ScenarioSpec::from_value(&v).unwrap();
+        assert!(back.faults.is_none());
+        assert!(back.compile(Scheme::Anc).is_ok());
+    }
+
+    #[test]
+    fn fault_spec_roundtrips_through_scenario_json() {
+        let spec = ScenarioSpec::alice_bob()
+            .with_faults(FaultSpec::none().with_crashes(0.1, 4).with_queue_drop(true));
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.faults, spec.faults);
     }
 }
