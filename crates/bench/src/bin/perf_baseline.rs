@@ -24,10 +24,13 @@ use anc_bench::fixtures::{
     decode_fixture, fixture_decoder, fixture_detector, interfered_stream, seed_interference_mask,
 };
 use anc_bench::perf::{measure_ns, measure_pair, HistoryEntry, PerfReport};
+use anc_channel::{within_range, SpatialGrid};
 use anc_core::decoder::DecoderScratch;
 use anc_core::matcher::{match_bits_batch, match_bits_into, match_phase_differences};
 use anc_core::MatchBatchScratch;
 use anc_dsp::batch::energies_into;
+use anc_netcode::Scheme;
+use anc_sim::city::{run_city, CityConfig};
 use anc_sim::experiments::{alice_bob, ExperimentConfig};
 use anc_sim::runs::RunConfig;
 use anc_sim::topology::nodes;
@@ -45,6 +48,8 @@ struct Args {
     /// Per-measurement batch budget (ms) and batch count.
     target_ms: u64,
     repeats: usize,
+    /// Round horizon of the slot-advance measurement.
+    city_rounds: u64,
 }
 
 fn parse() -> Args {
@@ -56,6 +61,7 @@ fn parse() -> Args {
         sweep_packets: 40,
         target_ms: 250,
         repeats: 5,
+        city_rounds: 20_000,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -76,6 +82,7 @@ fn parse() -> Args {
                 a.sweep_packets = 10;
                 a.target_ms = 60;
                 a.repeats = 3;
+                a.city_rounds = 4_000;
             }
             other => {
                 eprintln!(
@@ -399,6 +406,163 @@ fn main() {
     assert!(
         identical,
         "parallel sweep metrics diverged from the serial baseline"
+    );
+
+    // ---- 4. City engine: gating and sparse advance. ----
+    // 4a. Superposition candidate selection at 2k nodes. Both arms end
+    // in the same exact `within_range` test; the dense arm scans every
+    // node per receiver (the O(N²) reference the engine used before
+    // spatial gating), the gated arm builds the slot's `SpatialGrid`
+    // once and queries the 3×3 neighborhood per receiver — the exact
+    // shape of `city::CityPhy::window`. Equality of the selected sets
+    // is asserted before timing: the grid is a pre-filter, never a
+    // different answer.
+    let (cols, rows) = (64usize, 64usize);
+    let g_nodes = cols * rows;
+    let positions: Vec<(f64, f64)> = (0..g_nodes)
+        .map(|i| ((i % cols) as f64 * 15.0, (i / cols) as f64 * 30.0))
+        .collect();
+    let radius = CityConfig::default().gate_radius();
+    let everyone: Vec<u32> = (0..g_nodes).map(|i| i as u32).collect();
+    let select_dense = |lists: &mut Vec<Vec<u32>>| {
+        lists.clear();
+        for r in 0..g_nodes {
+            let mut l = Vec::new();
+            for t in 0..g_nodes {
+                if t != r && within_range(positions[t], positions[r], radius) {
+                    l.push(t as u32);
+                }
+            }
+            lists.push(l);
+        }
+    };
+    let select_gated = |lists: &mut Vec<Vec<u32>>, cands: &mut Vec<u32>| {
+        let grid = SpatialGrid::build_subset(&positions, &everyone, radius);
+        lists.clear();
+        for r in 0..g_nodes {
+            let mut l = Vec::new();
+            cands.clear();
+            grid.candidates_into(positions[r], cands);
+            for &t in cands.iter() {
+                if t as usize != r && within_range(positions[t as usize], positions[r], radius) {
+                    l.push(t);
+                }
+            }
+            lists.push(l);
+        }
+    };
+    let mut dense_lists = Vec::new();
+    let mut gated_lists = Vec::new();
+    let mut cand_scratch = Vec::new();
+    select_dense(&mut dense_lists);
+    select_gated(&mut gated_lists, &mut cand_scratch);
+    assert_eq!(
+        dense_lists, gated_lists,
+        "spatial grid selected a different audible set than the dense scan"
+    );
+    let (superpose_dense_ns, superpose_gated_ns) = measure_pair(
+        || {
+            select_dense(&mut dense_lists);
+            black_box(dense_lists.len());
+        },
+        || {
+            select_gated(&mut gated_lists, &mut cand_scratch);
+            black_box(gated_lists.len());
+        },
+        args.target_ms,
+        args.repeats,
+    );
+    let superpose_speedup = superpose_dense_ns / superpose_gated_ns;
+    report
+        .engine
+        .insert("superpose_dense_ns".into(), superpose_dense_ns);
+    report
+        .engine
+        .insert("superpose_gated_ns".into(), superpose_gated_ns);
+    report
+        .engine
+        .insert("superpose_speedup".into(), superpose_speedup);
+    println!(
+        "engine superpose ({g_nodes} nodes): dense {:.2} ms, gated {:.3} ms ({superpose_speedup:.1}x)",
+        superpose_dense_ns / 1e6,
+        superpose_gated_ns / 1e6,
+    );
+
+    // 4b. Slot advance over an idle 2k-node city: with no arrivals the
+    // run is pure bookkeeping, so the pair isolates what the advance
+    // itself costs — poll-every-cell-every-round versus the event
+    // heap. (Under load the PHY dominates both identically; the city
+    // unit tests pin fingerprint equality there.)
+    let city = CityConfig {
+        cells_x: 32,
+        rows: 21, // 672 cells = 2016 nodes
+        seed: args.seed,
+        rounds: args.city_rounds,
+        offered: 0.0,
+        ..CityConfig::default()
+    };
+    let dense_cfg = CityConfig {
+        sparse: false,
+        ..city.clone()
+    };
+    let idle_dense = run_city(&dense_cfg, Scheme::Anc);
+    let idle_sparse = run_city(&city, Scheme::Anc);
+    let mut city_identical = idle_dense.fingerprint() == idle_sparse.fingerprint();
+    let (advance_dense_ns, advance_sparse_ns) = measure_pair(
+        || {
+            black_box(run_city(&dense_cfg, Scheme::Anc).polls);
+        },
+        || {
+            black_box(run_city(&city, Scheme::Anc).advance_ops);
+        },
+        args.target_ms,
+        args.repeats,
+    );
+    let advance_advantage = advance_dense_ns / advance_sparse_ns;
+    // And under real load at a smaller scale: same physics either way.
+    let loaded = CityConfig {
+        cells_x: 8,
+        rows: 4,
+        seed: args.seed,
+        rounds: 24,
+        offered: 0.2,
+        sparse: false,
+        ..CityConfig::default()
+    };
+    let loaded_dense = run_city(&loaded, Scheme::Anc);
+    let loaded_sparse = run_city(
+        &CityConfig {
+            sparse: true,
+            ..loaded
+        },
+        Scheme::Anc,
+    );
+    city_identical &= loaded_dense.fingerprint() == loaded_sparse.fingerprint();
+    report
+        .engine
+        .insert("slot_advance_dense_ns".into(), advance_dense_ns);
+    report
+        .engine
+        .insert("slot_advance_sparse_ns".into(), advance_sparse_ns);
+    report
+        .engine
+        .insert("slot_advance_advantage".into(), advance_advantage);
+    report.engine.insert(
+        "city_identical".into(),
+        if city_identical { 1.0 } else { 0.0 },
+    );
+    println!(
+        "engine slot advance ({} cells x {} idle rounds): dense {:.2} ms ({} polls), sparse {:.3} ms ({} ops) — {advance_advantage:.1}x, identical: {city_identical}",
+        city.cells(),
+        city.rounds,
+        advance_dense_ns / 1e6,
+        idle_dense.polls,
+        advance_sparse_ns / 1e6,
+        idle_sparse.advance_ops,
+    );
+    assert!(
+        city_identical,
+        "sparse/gated city run diverged from the dense reference"
     );
 
     // ---- History: carry the trajectory forward. ----

@@ -239,13 +239,13 @@ pub fn run(cfg: &Fig14Config) -> ExperimentReport {
         let per_trial_alice_ber: Vec<f64> = trials
             .iter()
             .filter_map(|m| {
-                let bers = m.bers_at(anc_sim::topology::nodes::ALICE);
+                let bers: Vec<f64> = m.bers_at(anc_sim::topology::nodes::ALICE).collect();
                 (!bers.is_empty()).then(|| bers.iter().sum::<f64>() / bers.len() as f64)
             })
             .collect();
         let alice_decodes: usize = trials
             .iter()
-            .map(|m| m.bers_at(anc_sim::topology::nodes::ALICE).len())
+            .map(|m| m.bers_at(anc_sim::topology::nodes::ALICE).count())
             .sum();
         let ber = Ci::from_samples(&per_trial_alice_ber);
         let decode_rate = alice_decodes as f64 / (cfg.trials * cfg.packets) as f64;

@@ -30,7 +30,7 @@ pub struct HistoryEntry {
 /// The `BENCH_decoder_pipeline.json` artifact: kernel-level and
 /// end-to-end throughput of the Alg.-1 decode hot path, plus the
 /// repeated-realization sweep wall-clock, with history.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize)]
 pub struct PerfReport {
     /// Always [`PERF_SCHEMA`].
     pub schema: String,
@@ -46,8 +46,39 @@ pub struct PerfReport {
     /// Repeated-realization sweep wall-clock, serial vs parallel, and
     /// whether the parallel metrics were bit-identical to serial.
     pub sweep: BTreeMap<String, f64>,
+    /// City-engine measurements: spatially-gated vs dense superposition
+    /// candidate selection and sparse vs dense slot advance. Absent
+    /// from pre-engine artifacts, hence the defaulting hand-written
+    /// `Deserialize` below (the vendored derive has no `#[serde]`
+    /// attributes).
+    pub engine: BTreeMap<String, f64>,
     /// Earlier trajectory points.
     pub history: Vec<HistoryEntry>,
+}
+
+impl serde::Deserialize for PerfReport {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let m = match v {
+            serde::Value::Object(m) => m,
+            other => return Err(serde::Error::type_mismatch("object", other)),
+        };
+        let req = |key: &'static str| m.get(key).ok_or_else(|| serde::Error::missing_field(key));
+        Ok(PerfReport {
+            schema: serde::Deserialize::from_value(req("schema")?)?,
+            title: serde::Deserialize::from_value(req("title")?)?,
+            config: serde::Deserialize::from_value(req("config")?)?,
+            kernels: serde::Deserialize::from_value(req("kernels")?)?,
+            end_to_end: serde::Deserialize::from_value(req("end_to_end")?)?,
+            sweep: serde::Deserialize::from_value(req("sweep")?)?,
+            // Older tracked artifacts predate the city engine; they
+            // must keep parsing as `--against` baselines.
+            engine: match m.get("engine") {
+                Some(v) => serde::Deserialize::from_value(v)?,
+                None => BTreeMap::new(),
+            },
+            history: serde::Deserialize::from_value(req("history")?)?,
+        })
+    }
 }
 
 impl PerfReport {
@@ -60,6 +91,7 @@ impl PerfReport {
             kernels: BTreeMap::new(),
             end_to_end: BTreeMap::new(),
             sweep: BTreeMap::new(),
+            engine: BTreeMap::new(),
             history: Vec::new(),
         }
     }
@@ -207,14 +239,49 @@ fn validate_perf(text: &str) -> Result<String, String> {
         Some(_) => return Err("sweep.bit_identical is not 1 (parallel != serial!)".to_string()),
         None => return Err("missing required field sweep.bit_identical".to_string()),
     }
+    // City-engine gates. Both are in-process ratios (gated vs dense
+    // candidate selection, sparse vs dense slot advance on the same
+    // host in the same run), so hard floors transfer across machines:
+    // at the 2k-node scale perf_baseline measures, the spatial grid
+    // must beat the dense scan by 10× and the sparse advance must at
+    // least halve the bookkeeping of poll-every-cell.
+    for key in [
+        "superpose_dense_ns",
+        "superpose_gated_ns",
+        "superpose_speedup",
+        "slot_advance_dense_ns",
+        "slot_advance_sparse_ns",
+        "slot_advance_advantage",
+    ] {
+        require_positive(&report.engine, "engine", key)?;
+    }
+    let superpose = report.engine["superpose_speedup"];
+    if superpose < 10.0 {
+        return Err(format!(
+            "spatial gating lost its asymptotic edge: superpose_speedup {superpose:.2} < 10 at city scale"
+        ));
+    }
+    let advance = report.engine["slot_advance_advantage"];
+    if advance < 2.0 {
+        return Err(format!(
+            "sparse slot advance no longer pays: slot_advance_advantage {advance:.2} < 2"
+        ));
+    }
+    match report.engine.get("city_identical") {
+        Some(&1.0) => {}
+        Some(_) => return Err("engine.city_identical is not 1 (gated/sparse city run diverged from the dense reference!)".to_string()),
+        None => return Err("missing required field engine.city_identical".to_string()),
+    }
     Ok(format!(
-        "perf report '{}': kernel speedup {:.2}x (batch {:.2}x), {:.0} decodes/s, sweep {:.2}s serial / {:.2}s parallel{}",
+        "perf report '{}': kernel speedup {:.2}x (batch {:.2}x), {:.0} decodes/s, sweep {:.2}s serial / {:.2}s parallel, city superpose {:.1}x / advance {:.1}x{}",
         report.title,
         speedup,
         batch_speedup,
         report.end_to_end["decodes_per_sec"],
         report.sweep["serial_seconds"],
         report.sweep["parallel_seconds"],
+        superpose,
+        advance,
         sweep_note,
     ))
 }
@@ -352,6 +419,7 @@ pub fn compare_reports(
     for (section, cmap, bmap) in [
         ("kernels", &cand.kernels, &base.kernels),
         ("end_to_end", &cand.end_to_end, &base.end_to_end),
+        ("engine", &cand.engine, &base.engine),
     ] {
         for (key, &b) in bmap {
             let Some(dir) = metric_direction(key) else {
@@ -453,6 +521,13 @@ mod tests {
         r.sweep.insert("threads".into(), 4.0);
         r.sweep.insert("speedup".into(), 2.7);
         r.sweep.insert("bit_identical".into(), 1.0);
+        r.engine.insert("superpose_dense_ns".into(), 5.2e6);
+        r.engine.insert("superpose_gated_ns".into(), 1.3e5);
+        r.engine.insert("superpose_speedup".into(), 40.0);
+        r.engine.insert("slot_advance_dense_ns".into(), 8.0e5);
+        r.engine.insert("slot_advance_sparse_ns".into(), 9.0e4);
+        r.engine.insert("slot_advance_advantage".into(), 8.9);
+        r.engine.insert("city_identical".into(), 1.0);
         r
     }
 
@@ -546,6 +621,65 @@ mod tests {
         let text = serde_json::to_string(&r).unwrap();
         let summary = validate_json(&text).unwrap();
         assert!(summary.contains("serial sweep"), "{summary}");
+    }
+
+    #[test]
+    fn engine_section_is_required_and_floored() {
+        // The city-scale claims are hard floors, not ratios vs a
+        // baseline: a grid that only breaks even with the dense scan
+        // means the tentpole's asymptotics are gone.
+        let mut r = sample_report();
+        r.engine.insert("superpose_speedup".into(), 6.0);
+        let text = serde_json::to_string(&r).unwrap();
+        assert!(validate_json(&text)
+            .unwrap_err()
+            .contains("asymptotic edge"));
+        let mut r = sample_report();
+        r.engine.insert("slot_advance_advantage".into(), 1.2);
+        let text = serde_json::to_string(&r).unwrap();
+        assert!(validate_json(&text).unwrap_err().contains("no longer pays"));
+        // Every engine key is required…
+        let mut r = sample_report();
+        r.engine.remove("slot_advance_sparse_ns");
+        let text = serde_json::to_string(&r).unwrap();
+        assert!(validate_json(&text)
+            .unwrap_err()
+            .contains("engine.slot_advance_sparse_ns"));
+        // …and a gated run that diverged from the dense reference is a
+        // correctness failure, whatever its speed.
+        let mut r = sample_report();
+        r.engine.insert("city_identical".into(), 0.0);
+        let text = serde_json::to_string(&r).unwrap();
+        assert!(validate_json(&text).unwrap_err().contains("diverged"));
+    }
+
+    #[test]
+    fn engine_speedup_is_ratio_gated_across_reports() {
+        let base = sample_report();
+        let mut cand = sample_report();
+        cand.engine.insert("superpose_speedup".into(), 15.0); // -62 %
+        let err = compare_reports(&json(&cand), &json(&base), 20.0, false).unwrap_err();
+        assert!(err.contains("engine.superpose_speedup"), "{err}");
+        // The advantage metric has its own hard floor in validate_perf
+        // and deliberately stays out of the cross-report ratio gate
+        // (its magnitude scales with the configured round horizon).
+        let mut cand = sample_report();
+        cand.engine.insert("slot_advance_advantage".into(), 2.5);
+        assert!(compare_reports(&json(&cand), &json(&base), 20.0, false).is_ok());
+    }
+
+    #[test]
+    fn pre_engine_baseline_still_parses() {
+        // Artifacts recorded before the engine section existed must
+        // stay usable as `--against` baselines.
+        let mut old = match serde::Serialize::to_value(&sample_report()) {
+            Value::Object(m) => m,
+            other => panic!("report serializes to an object, got {other:?}"),
+        };
+        old.remove("engine");
+        let old = serde_json::to_string(&Value::Object(old)).unwrap();
+        let summary = compare_reports(&json(&sample_report()), &old, 20.0, false).unwrap();
+        assert!(summary.contains("perf gate"), "{summary}");
     }
 
     #[test]

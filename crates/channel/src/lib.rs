@@ -36,12 +36,14 @@ pub mod impairment;
 pub mod link;
 pub mod medium;
 pub mod relay;
+pub mod spatial;
 
 pub use awgn::Awgn;
 pub use impairment::{ImpairmentSpec, TxImpairment};
 pub use link::Link;
 pub use medium::{Medium, Transmission, TransmissionRef};
 pub use relay::AmplifyForward;
+pub use spatial::{within_range, NodeMask, SpatialGrid};
 
 use anc_dsp::Cplx;
 

@@ -107,6 +107,132 @@ impl RunningStats {
     }
 }
 
+/// Streaming quantile estimator (Jain & Chlamtac's P² algorithm).
+///
+/// Five markers track the running estimate of one quantile `q` in
+/// O(1) memory and O(1) work per observation — the streaming-metrics
+/// pillar: a city-scale run pushes millions of ACK latencies through
+/// a [`P2Quantile`] instead of growing an unbounded ledger. The first
+/// five observations are kept exactly (the estimate is then the exact
+/// percentile); afterwards markers move by parabolic (fallback:
+/// linear) interpolation.
+///
+/// NaN observations are skipped and an empty estimator reports NaN —
+/// the same sentinel conventions as [`RunningStats`]/[`percentile`].
+/// All internal state is finite, so the estimator serializes through
+/// JSON (which cannot carry NaN) without a lossy detour.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct P2Quantile {
+    q: f64,
+    count: u64,
+    /// First (up to) five observations, kept sorted.
+    init: Vec<f64>,
+    /// Marker heights `h[0..5]` once initialized (empty before).
+    heights: Vec<f64>,
+    /// Actual marker positions `n[0..5]` (1-based sample ranks).
+    positions: Vec<f64>,
+    /// Desired marker positions `n'[0..5]`.
+    desired: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for quantile `q` in `(0, 1)`.
+    pub fn new(q: f64) -> Self {
+        assert!((0.0..=1.0).contains(&q) && q.is_finite(), "quantile {q}");
+        P2Quantile {
+            q,
+            count: 0,
+            init: Vec::with_capacity(5),
+            heights: Vec::new(),
+            positions: Vec::new(),
+            desired: Vec::new(),
+        }
+    }
+
+    /// The target quantile in `(0, 1)`.
+    pub fn quantile(&self) -> f64 {
+        self.q
+    }
+
+    /// Number of (non-NaN) observations consumed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Adds one observation; NaN sentinels are dropped.
+    pub fn push(&mut self, x: f64) {
+        if x.is_nan() {
+            return;
+        }
+        self.count += 1;
+        if self.heights.is_empty() {
+            let at = self.init.partition_point(|&v| v <= x);
+            self.init.insert(at, x);
+            if self.init.len() == 5 {
+                self.heights = self.init.clone();
+                self.positions = (1..=5).map(|i| i as f64).collect();
+                let q = self.q;
+                self.desired = vec![1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0];
+            }
+            return;
+        }
+        let h = &mut self.heights;
+        // Locate the marker cell containing x, extending extremes.
+        let k = if x < h[0] {
+            h[0] = x;
+            0
+        } else if x >= h[4] {
+            h[4] = h[4].max(x);
+            3
+        } else {
+            // h[0] <= x < h[4]: find k with h[k] <= x < h[k+1].
+            (0..4)
+                .rfind(|&i| h[i] <= x)
+                .expect("x >= h[0] guarantees a cell")
+        };
+        for p in self.positions[k + 1..].iter_mut() {
+            *p += 1.0;
+        }
+        let dn = [0.0, self.q / 2.0, self.q, (1.0 + self.q) / 2.0, 1.0];
+        for (d, inc) in self.desired.iter_mut().zip(dn) {
+            *d += inc;
+        }
+        // Adjust interior markers toward their desired positions.
+        for i in 1..4 {
+            let n = &self.positions;
+            let d = self.desired[i] - n[i];
+            if (d >= 1.0 && n[i + 1] - n[i] > 1.0) || (d <= -1.0 && n[i - 1] - n[i] < -1.0) {
+                let d = d.signum();
+                let parabolic = h[i]
+                    + d / (n[i + 1] - n[i - 1])
+                        * ((n[i] - n[i - 1] + d) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+                            + (n[i + 1] - n[i] - d) * (h[i] - h[i - 1]) / (n[i] - n[i - 1]));
+                h[i] = if h[i - 1] < parabolic && parabolic < h[i + 1] {
+                    parabolic
+                } else if d > 0.0 {
+                    h[i] + (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+                } else {
+                    h[i] - (h[i - 1] - h[i]) / (n[i - 1] - n[i])
+                };
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    /// Current estimate: NaN when empty, the exact percentile while
+    /// fewer than five observations have arrived, the middle marker
+    /// afterwards.
+    pub fn value(&self) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        if self.heights.is_empty() {
+            return percentile(&self.init, self.q * 100.0);
+        }
+        self.heights[2]
+    }
+}
+
 /// Linear-interpolated percentile of a sample set, `p` in `[0, 100]`.
 ///
 /// NaN samples are ignored — pooled per-packet BER vectors carry NaN
@@ -319,6 +445,111 @@ mod tests {
             assert_eq!(percentile(&dirty, p), percentile(&clean, p), "p={p}");
         }
         assert!(percentile(&[f64::NAN, f64::NAN], 50.0).is_nan());
+    }
+
+    #[test]
+    fn p2_tracks_exact_percentile_on_shared_stream() {
+        // The satellite contract: streaming estimate vs the exact
+        // `percentile` over the *same* stream, tolerance pinned. The
+        // stream mixes two modes plus a heavy tail, the shape ACK
+        // latencies take under ARQ (fast path + retransmit hump).
+        let mut rng = crate::DspRng::seed_from(11);
+        let mut samples = Vec::new();
+        for _ in 0..20_000 {
+            let u = rng.uniform();
+            let x = if u < 0.8 {
+                1.0 + rng.gaussian() * 0.1
+            } else if u < 0.97 {
+                3.0 + rng.gaussian() * 0.3
+            } else {
+                8.0 + rng.uniform() * 4.0
+            };
+            samples.push(x);
+        }
+        for q in [0.5, 0.9, 0.99] {
+            let mut est = P2Quantile::new(q);
+            samples.iter().for_each(|&x| est.push(x));
+            let exact = percentile(&samples, q * 100.0);
+            let spread = percentile(&samples, 100.0) - percentile(&samples, 0.0);
+            let err = (est.value() - exact).abs() / spread;
+            assert!(
+                err < 0.02,
+                "q={q}: p2={} exact={exact} rel_err={err}",
+                est.value()
+            );
+        }
+    }
+
+    #[test]
+    fn p2_exact_below_five_samples() {
+        let mut est = P2Quantile::new(0.5);
+        let mut seen = Vec::new();
+        for x in [4.0, 1.0, 3.0, 2.0] {
+            est.push(x);
+            seen.push(x);
+            assert_eq!(
+                est.value().to_bits(),
+                percentile(&seen, 50.0).to_bits(),
+                "after {} samples",
+                seen.len()
+            );
+        }
+    }
+
+    #[test]
+    fn p2_nan_sentinels_and_empty_window() {
+        // Empty estimator reports NaN (the pooled-empty-window case).
+        let empty = P2Quantile::new(0.99);
+        assert!(empty.value().is_nan());
+        assert_eq!(empty.count(), 0);
+        // NaN observations are dropped exactly like RunningStats /
+        // percentile drop them.
+        let mut with_nan = P2Quantile::new(0.5);
+        let mut clean = P2Quantile::new(0.5);
+        let mut rng = crate::DspRng::seed_from(5);
+        for i in 0..500 {
+            let x = rng.uniform() * 10.0;
+            if i % 7 == 0 {
+                with_nan.push(f64::NAN);
+            }
+            with_nan.push(x);
+            clean.push(x);
+        }
+        assert_eq!(with_nan.count(), clean.count());
+        assert_eq!(with_nan.value().to_bits(), clean.value().to_bits());
+        let mut only_nan = P2Quantile::new(0.5);
+        only_nan.push(f64::NAN);
+        assert!(only_nan.value().is_nan());
+    }
+
+    #[test]
+    fn p2_extremes_clamp_to_observed_range() {
+        let mut est = P2Quantile::new(0.99);
+        let mut rng = crate::DspRng::seed_from(2);
+        let mut max = f64::NEG_INFINITY;
+        let mut min = f64::INFINITY;
+        for _ in 0..5_000 {
+            let x = rng.gaussian();
+            max = max.max(x);
+            min = min.min(x);
+            est.push(x);
+        }
+        let v = est.value();
+        assert!(v >= min && v <= max, "estimate {v} outside [{min}, {max}]");
+    }
+
+    #[test]
+    fn p2_serde_roundtrip_preserves_state() {
+        use serde::{Deserialize as _, Serialize as _};
+        let mut est = P2Quantile::new(0.9);
+        (0..100).for_each(|i| est.push((i as f64).sin() * 5.0));
+        let v = est.to_value();
+        let mut back = P2Quantile::from_value(&v).unwrap();
+        assert_eq!(back.value().to_bits(), est.value().to_bits());
+        // The restored estimator keeps streaming identically.
+        est.push(2.5);
+        back.push(2.5);
+        assert_eq!(back.value().to_bits(), est.value().to_bits());
     }
 
     #[test]

@@ -45,7 +45,7 @@ use crate::metrics::{FlowMetrics, OutageRecord, RunMetrics};
 use crate::runs::RunConfig;
 use crate::topology::{Topology, TopologyGraph};
 use anc_channel::fault::{CarrierOffset, Impairment};
-use anc_channel::{AmplifyForward, ImpairmentSpec, Link, Medium, TransmissionRef};
+use anc_channel::{AmplifyForward, ImpairmentSpec, Link, Medium, NodeMask, TransmissionRef};
 use anc_core::DecoderScratch;
 use anc_dsp::cast::round_to_i64;
 use anc_dsp::{Cplx, DspRng};
@@ -303,6 +303,11 @@ pub struct Program {
     /// contender uses when the trigger protocol is carrier-sense-gated
     /// because the other flow is idle or backing off.
     pub solo_slots: Vec<Vec<SlotSpec>>,
+    /// Streaming metrics: when set, [`RunMetrics`]/[`FlowMetrics`] run
+    /// in O(1)-memory digest mode instead of growing exact per-packet
+    /// ledgers. Off by default — exact ledgers feed the golden
+    /// fingerprints.
+    pub streaming_metrics: bool,
 }
 
 /// A transmission scheduled into the engine's event queue: the
@@ -355,6 +360,9 @@ pub struct Engine<'p> {
     events: Vec<ScheduledTx>,
     /// Reused reception-window scratch (allocation-free RX loop).
     rx_scratch: Vec<Cplx>,
+    /// Reused audibility-mask scratch for spatially-gated receptions
+    /// (positioned topologies; see [`Topology::audible_mask`]).
+    mask_scratch: NodeMask,
     /// Resolved per-direction time-varying link processes (empty in
     /// the paper's static-channel mode — the hot path skips a lookup
     /// against an empty map).
@@ -498,6 +506,7 @@ impl<'p> Engine<'p> {
             slot_frames: HashMap::new(),
             events: Vec::new(),
             rx_scratch: Vec::new(),
+            mask_scratch: NodeMask::new(256),
             link_impairments: program.graph.link_impairments(program.impairments),
             tx_impairments: program.impairments.filter(|s| s.affects_tx()),
             exchange: 0,
@@ -514,13 +523,18 @@ impl<'p> Engine<'p> {
                     ledger: (0..n)
                         .map(|flow| FlowMetrics {
                             flow,
+                            streaming: program.streaming_metrics,
                             ..FlowMetrics::default()
                         })
                         .collect(),
                 }
             }),
             faults: program.faults.as_ref().filter(|f| !f.is_passive()),
-            metrics: RunMetrics::new(program.scheme),
+            metrics: if program.streaming_metrics {
+                RunMetrics::new_streaming(program.scheme)
+            } else {
+                RunMetrics::new(program.scheme)
+            },
         }
     }
 
@@ -1024,7 +1038,7 @@ impl<'p> Engine<'p> {
                     .pop_front()
                     .ok_or(EngineError::EmptyQueue { flow: f })?;
                 cl.ledger[f].delivered += 1;
-                cl.ledger[f].latency_samples.push(latency);
+                cl.ledger[f].record_latency(latency);
                 let implicit = cl.forwarded[f];
                 if !implicit {
                     self.metrics.account.tick((arq.ack_bits * spb) as f64);
@@ -1086,7 +1100,7 @@ impl<'p> Engine<'p> {
                     let latency = cl.sched.ack_nth(f, idx, now);
                     cl.queues[f].remove(idx);
                     cl.ledger[f].delivered += 1;
-                    cl.ledger[f].latency_samples.push(latency);
+                    cl.ledger[f].record_latency(latency);
                     // Chain deliveries have no broadcast forward to
                     // overhear: the ACK is explicit.
                     explicit_acks += 1;
@@ -1359,6 +1373,15 @@ impl<'p> Engine<'p> {
         }
         let pad = self.cfg.pad_samples;
         let duration = pad + span + pad;
+        // Spatial gating (positioned topologies only): one O(local
+        // density) grid query yields the set of senders this receiver
+        // can hear at all; every link walk below then skips gated-out
+        // senders. Unpositioned topologies take the dense reference
+        // path — `gated` stays false and `hears` admits everyone, so
+        // the golden runs are untouched.
+        let mut mask = std::mem::take(&mut self.mask_scratch);
+        let gated = self.topo.audible_mask(recv, &mut mask);
+        let hears = |sender: NodeId| !gated || mask.get(sender as usize);
         // Fault layer: stuck-carrier nodes in range babble an unmodulated
         // tone across the whole window. They are extra interferers, so a
         // window can open even when no scheduled transmission is audible.
@@ -1366,7 +1389,7 @@ impl<'p> Engine<'p> {
         if let Some(fspec) = self.faults {
             let seed = self.cfg.seed;
             for spec in self.topo.links() {
-                if spec.to != recv || spec.from == recv {
+                if spec.to != recv || spec.from == recv || !hears(spec.from) {
                     continue;
                 }
                 if let Some((amp, phase)) = fspec.stuck_carrier(seed, spec.from, self.exchange) {
@@ -1375,11 +1398,11 @@ impl<'p> Engine<'p> {
                 }
             }
         }
-        let audible = self
-            .events
-            .iter()
-            .any(|e| e.sender != recv && self.topo.link(e.sender, recv).is_some());
+        let audible = self.events.iter().any(|e| {
+            e.sender != recv && hears(e.sender) && self.topo.link(e.sender, recv).is_some()
+        });
         if !audible && babble.is_empty() {
+            self.mask_scratch = mask;
             return Ok(());
         }
         // The window covers the whole slot plus noise padding on both
@@ -1388,8 +1411,8 @@ impl<'p> Engine<'p> {
         // every receiver in range without being copied.
         let mut list = Vec::new();
         for e in &self.events {
-            if e.sender == recv {
-                continue; // half-duplex: you cannot hear yourself
+            if e.sender == recv || !hears(e.sender) {
+                continue; // half-duplex, or spatially gated out
             }
             if let Some(link) = self.topo.link(e.sender, recv) {
                 // Monte Carlo link process: replace the static per-run
@@ -1454,6 +1477,7 @@ impl<'p> Engine<'p> {
         }
         let outcome = self.process_window(intent, &scratch);
         self.rx_scratch = scratch;
+        self.mask_scratch = mask;
         outcome
     }
 
@@ -1502,7 +1526,7 @@ impl<'p> Engine<'p> {
                         // first lands.
                         let b = ber(&frame.payload, &expected.payload);
                         self.metrics.record_ber(recv, b);
-                        self.metrics.overlaps.push(diagnostics.overlap_fraction);
+                        self.metrics.record_overlap(diagnostics.overlap_fraction);
                         self.held.insert(recv, frame);
                     }
                     _ => self.lose_open(),
@@ -1520,7 +1544,7 @@ impl<'p> Engine<'p> {
                         let b = ber(&frame.payload, &theirs.payload);
                         let goodput = self.metrics.account.deliver(self.cfg.payload_bits, b);
                         self.metrics.record_ber(recv, b);
-                        self.metrics.overlaps.push(diagnostics.overlap_fraction);
+                        self.metrics.record_overlap(diagnostics.overlap_fraction);
                         self.mark_cl_delivered(*flow, goodput);
                     }
                     _ => self.lose_open(),
@@ -1538,7 +1562,7 @@ impl<'p> Engine<'p> {
                         if *tag_receiver {
                             self.metrics.record_ber(recv, b);
                         } else {
-                            self.metrics.packet_bers.push(b);
+                            self.metrics.record_untagged_ber(b);
                         }
                         self.mark_cl_delivered(*flow, goodput);
                     }

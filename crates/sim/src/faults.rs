@@ -49,6 +49,9 @@ const KIND_JAMMER: u64 = 4;
 const KIND_STUCK: u64 = 5;
 /// Sub-stream kind: per-receiver jammer noise samples.
 const KIND_JAMMER_NOISE: u64 = 6;
+/// Stream id: city-region outage windows (u64 region keys — the
+/// city layer's node universe exceeds `NodeId`).
+const KIND_REGION: u64 = 7;
 
 /// Gain floor for blacked-out links, mirroring the
 /// `MIN_FADED_GAIN` floor of the impairment layer: a blackout
@@ -360,6 +363,26 @@ impl FaultSpec {
         1.0
     }
 
+    /// True when city `region` sits in an outage window at exchange
+    /// `period`. Regions are keyed by plain `u64` because the
+    /// city-scale layer addresses more nodes than `NodeId` can — a
+    /// region groups one spatial-hash neighborhood of them. The draw
+    /// reuses the crash churn knobs (`crash_rate`,
+    /// `crash_burst_periods`) on its own stream id, so region faults
+    /// never perturb per-node crash draws. Pure in
+    /// `(seed, region, period)`: dense and sparse slot-advance paths
+    /// asking in different orders see identical windows.
+    #[must_use]
+    pub fn region_down(&self, seed: u64, region: u64, period: u64) -> bool {
+        Self::window_active(
+            seed,
+            KIND_REGION,
+            &[region],
+            period / self.crash_burst_periods,
+            self.crash_rate,
+        )
+    }
+
     /// Jammer noise power active at exchange `period`, or `None` when
     /// the jammer is off.
     #[must_use]
@@ -528,6 +551,32 @@ mod tests {
         let json = serde_json::to_string(&f).expect("serialize");
         let back: FaultSpec = serde_json::from_str(&json).expect("deserialize");
         assert_eq!(f, back);
+    }
+
+    #[test]
+    fn region_windows_are_pure_and_independent_of_crashes() {
+        let f = FaultSpec::none().with_crashes(0.3, 4);
+        // Pure in (seed, region, period): repeated queries agree, and
+        // a region draw never consumes (or matches) the per-node crash
+        // stream for the same numeric key.
+        let mut any_down = false;
+        for region in 0..64u64 {
+            for period in 0..32u64 {
+                let a = f.region_down(9, region, period);
+                assert_eq!(a, f.region_down(9, region, period));
+                any_down |= a;
+            }
+        }
+        assert!(any_down, "rate 0.3 over 2048 windows should fire");
+        assert!(
+            (0..32u64).all(|p| !FaultSpec::none().region_down(9, 1, p)),
+            "zero rate never fires"
+        );
+        // Same key, different streams: region 2 and node 2 windows are
+        // drawn from different kinds, so they are not the same process.
+        let crash: Vec<bool> = (0..512).map(|p| f.node_crashed(9, 2, p)).collect();
+        let region: Vec<bool> = (0..512).map(|p| f.region_down(9, 2, p)).collect();
+        assert_ne!(crash, region, "streams must be independent");
     }
 
     #[test]

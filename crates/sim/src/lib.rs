@@ -55,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod city;
 pub mod engine;
 pub mod experiments;
 pub mod faults;
@@ -66,13 +67,14 @@ pub mod runs;
 pub mod scenario;
 pub mod topology;
 
+pub use city::{run_city, CityConfig, CityLayout, CityOutcome, FlashCrowd};
 pub use engine::{DecodePipeline, Engine, EngineError, Program};
 pub use experiments::{
     alice_bob, chain, chaos_sweep, saturated_throughput, sir_sweep, throughput_vs_load, x_topology,
     ChaosPoint, ChaosSweepConfig, LoadPoint, LoadSweepConfig,
 };
 pub use faults::{FaultSpec, ScriptedOutage};
-pub use metrics::{FlowMetrics, OutageRecord, RunMetrics, ThroughputAccount};
+pub use metrics::{FlowMetrics, OutageRecord, RunMetrics, StatDigest, ThroughputAccount};
 pub use monte_carlo::{monte_carlo, Ci, MonteCarloConfig, MonteCarloResult};
 pub use report::{ExperimentReport, FigureSeries};
 pub use runs::{run_spec, RunConfig, Scenario};

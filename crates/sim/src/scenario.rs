@@ -100,6 +100,11 @@ pub struct ScenarioSpec {
     /// jammer bursts, stuck carriers — see [`FaultSpec`]). `None` or a
     /// passive spec keeps runs bit-identical to the goldens.
     pub faults: Option<FaultSpec>,
+    /// Streaming metrics: compile programs whose ledgers run in
+    /// O(1)-memory digest mode ([`crate::metrics::StatDigest`])
+    /// instead of growing exact per-packet vectors. `false` (the
+    /// default) keeps the exact ledgers the goldens fingerprint.
+    pub streaming_metrics: bool,
 }
 
 impl ScenarioSpec {
@@ -112,6 +117,7 @@ impl ScenarioSpec {
             impairments: None,
             arq: None,
             faults: None,
+            streaming_metrics: false,
         }
     }
 
@@ -133,6 +139,13 @@ impl ScenarioSpec {
     /// for the chaos sweeps.
     pub fn with_faults(mut self, faults: FaultSpec) -> ScenarioSpec {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Switches compiled programs to O(1) streaming metrics
+    /// (digest-only ledgers); builder-style for city-scale drivers.
+    pub fn with_streaming_metrics(mut self) -> ScenarioSpec {
+        self.streaming_metrics = true;
         self
     }
 
@@ -250,6 +263,7 @@ impl ScenarioSpec {
             } else {
                 Vec::new()
             },
+            streaming_metrics: self.streaming_metrics,
         })
     }
 
@@ -627,6 +641,10 @@ impl Deserialize for ScenarioSpec {
                 None => None,
                 Some(v) => Deserialize::from_value(v)?,
             },
+            streaming_metrics: match obj.get("streaming_metrics") {
+                None => false,
+                Some(v) => Deserialize::from_value(v)?,
+            },
         })
     }
 }
@@ -725,6 +743,7 @@ impl MeshConfig {
             name: format!("mesh_n{}_s{}", self.nodes, self.seed),
             node_ids: ids,
             links,
+            positions: None,
         };
         // Provision the overhearing side links the crossing pair needs
         // (§7.6's control plane arranging the neighborhood) unless the
@@ -736,6 +755,26 @@ impl MeshConfig {
                     .push(GraphLink::dir(from, to, LinkClass::Overhear));
             }
         }
+        // Attach the placement geometry so realizations gate
+        // superposition through the spatial grid. The audibility range
+        // must cover every *declared* link — including the provisioned
+        // overhear links, which may exceed the mesh radius — so gating
+        // stays bit-identical to the dense reference.
+        let dist = |a: NodeId, b: NodeId| {
+            let (pa, pb) = (pos[a as usize - base], pos[b as usize - base]);
+            let (dx, dy) = (pa.0 - pb.0, pa.1 - pb.1);
+            (dx * dx + dy * dy).sqrt()
+        };
+        let mut range = self.radius;
+        for l in &graph.links {
+            range = range.max(dist(l.from, l.to));
+        }
+        // The gate compares squared distances, and squaring the rounded
+        // sqrt of the extremal link's d² can land just *below* d² —
+        // which would gate out that one link. A relative nudge keeps
+        // every declared link strictly inside.
+        range *= 1.0 + 1e-9;
+        graph = graph.with_positions(pos, range);
         let flows = vec![
             FlowSpec::along(vec![x1, router, x4]),
             FlowSpec::along(vec![x3, router, x2]),
@@ -907,8 +946,8 @@ mod tests {
         let m = Engine::run(&spec.compile(Scheme::Anc).unwrap(), &cfg);
         // The strongly-overheard side (X2 decodes flow 1) must deliver
         // at least as much as the weakly-overheard side.
-        let at_x2 = m.bers_at(X2).len();
-        let at_x4 = m.bers_at(X4).len();
+        let at_x2 = m.bers_at(X2).count();
+        let at_x4 = m.bers_at(X4).count();
         assert!(
             at_x2 >= at_x4,
             "strong side delivered {at_x2} < weak side {at_x4}"

@@ -24,7 +24,7 @@
 //! count, and the scenario layer builds asymmetric-X and random-mesh
 //! graphs on the same primitives.
 
-use anc_channel::{ImpairmentSpec, Link};
+use anc_channel::{within_range, ImpairmentSpec, Link, NodeMask, SpatialGrid};
 use anc_dsp::DspRng;
 use anc_frame::NodeId;
 use serde::{Deserialize, Serialize};
@@ -147,10 +147,19 @@ impl Deserialize for LinkClass {
             "main" => Ok(LinkClass::Main),
             "overhear" => Ok(LinkClass::Overhear),
             "weak" => Ok(LinkClass::Weak),
-            "custom" => Ok(LinkClass::Custom {
-                lo: num("lo")?,
-                hi: num("hi")?,
-            }),
+            "custom" => {
+                let (lo, hi) = (num("lo")?, num("hi")?);
+                // Gain bounds feed `uniform_range(lo, hi)` at
+                // realization: inverted, negative, or non-finite
+                // bounds would produce silently-wrong channel draws,
+                // so reject them at the serialization boundary.
+                if !(lo.is_finite() && hi.is_finite() && 0.0 <= lo && lo <= hi) {
+                    return Err(serde::Error::custom(format!(
+                        "custom link class wants finite 0 <= lo <= hi, got lo={lo} hi={hi}"
+                    )));
+                }
+                Ok(LinkClass::Custom { lo, hi })
+            }
             other => Err(serde::Error::custom(format!("unknown link class {other}"))),
         }
     }
@@ -237,9 +246,27 @@ impl Deserialize for GraphLink {
     }
 }
 
+/// Optional node geometry attached to a [`TopologyGraph`]: one 2-D
+/// coordinate per entry of `node_ids` (same order) plus the audibility
+/// radius — the distance at which a link's energy falls below the
+/// §7.1 packet detector's 20 dB gate. Positions are *gating metadata*:
+/// link gains are still drawn per declared [`LinkClass`] in listed
+/// order, so attaching positions never changes a realization's RNG
+/// draws — only which (sender, receiver) pairs the engine bothers to
+/// superpose.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodePositions {
+    /// One `(x, y)` coordinate per node, aligned with
+    /// [`TopologyGraph::node_ids`].
+    pub coords: Vec<(f64, f64)>,
+    /// Audibility radius: nodes farther apart than this are mutually
+    /// inaudible (their links gate out of superposition).
+    pub range: f64,
+}
+
 /// A declarative topology: N nodes and an arbitrary directed link
 /// matrix, realized into per-run channels by [`Self::realize`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize)]
 pub struct TopologyGraph {
     /// Human-readable topology name (reports, artifacts).
     pub name: String,
@@ -250,15 +277,66 @@ pub struct TopologyGraph {
     /// The declarative link set, realized in listed order (also part
     /// of the seeded identity: each link consumes gain/phase draws).
     pub links: Vec<GraphLink>,
+    /// Optional node geometry (spatial gating). `None` means every
+    /// declared link is always audible — the dense reference path.
+    pub positions: Option<NodePositions>,
+}
+
+// Hand-written so a missing `positions` key reads as `None`: the field
+// arrived after TopologyGraph's JSON shape was first published (same
+// compatibility convention as `GraphLink::impairment`).
+impl Deserialize for TopologyGraph {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let serde::Value::Object(obj) = v else {
+            return Err(serde::Error::type_mismatch("object", v));
+        };
+        let get = |key: &str| obj.get(key).ok_or_else(|| serde::Error::missing_field(key));
+        Ok(TopologyGraph {
+            name: Deserialize::from_value(get("name")?)?,
+            node_ids: Deserialize::from_value(get("node_ids")?)?,
+            links: Deserialize::from_value(get("links")?)?,
+            positions: match obj.get("positions") {
+                None => None,
+                Some(v) => Deserialize::from_value(v)?,
+            },
+        })
+    }
 }
 
 impl TopologyGraph {
     /// Draws one channel realization of this graph.
+    ///
+    /// # Panics
+    /// Panics if attached positions disagree with the node count or
+    /// carry a non-positive/non-finite range (misconfigured geometry
+    /// would silently gate *everything* out).
     pub fn realize(&self, rng: &mut DspRng, draw: &ChannelDraw) -> Topology {
+        let geometry = self.positions.as_ref().map(|p| {
+            assert_eq!(
+                p.coords.len(),
+                self.node_ids.len(),
+                "positions must cover every node of {}",
+                self.name
+            );
+            let grid = SpatialGrid::build(&p.coords, p.range);
+            let index = self
+                .node_ids
+                .iter()
+                .enumerate()
+                .map(|(i, &id)| (id, i))
+                .collect();
+            Geometry {
+                coords: p.coords.clone(),
+                range: p.range,
+                index,
+                grid,
+            }
+        });
         let mut t = Topology {
             name: self.name.clone(),
             node_ids: self.node_ids.clone(),
             links: HashMap::new(),
+            geometry,
         };
         for l in &self.links {
             let range = l.class.range(draw);
@@ -269,6 +347,62 @@ impl TopologyGraph {
             }
         }
         t
+    }
+
+    /// Attaches node geometry: `coords` aligned with `node_ids`,
+    /// audibility radius `range`.
+    ///
+    /// # Panics
+    /// Panics on a length mismatch or a non-positive/non-finite range.
+    pub fn with_positions(mut self, coords: Vec<(f64, f64)>, range: f64) -> TopologyGraph {
+        assert_eq!(coords.len(), self.node_ids.len(), "one coord per node");
+        assert!(
+            range.is_finite() && range > 0.0,
+            "audibility range must be positive and finite, got {range}"
+        );
+        self.positions = Some(NodePositions { coords, range });
+        self
+    }
+
+    /// Attaches the canonical geometric embedding of a paper topology:
+    /// unit-spaced line for Alice-Bob and the chain, the cross layout
+    /// for X. Ranges are chosen so *exactly* the declared links are in
+    /// range — the positioned realization gates to the same audible
+    /// set as the dense one, which is what keeps the golden
+    /// fingerprints bit-identical with gating enabled.
+    ///
+    /// # Panics
+    /// Panics for graphs without a canonical embedding.
+    pub fn with_canonical_positions(self) -> TopologyGraph {
+        match self.name.as_str() {
+            // Alice (0,0) — Router (1,0) — Bob (2,0); range 1.5 keeps
+            // Alice↔Bob (distance 2) out of range.
+            "alice_bob" => {
+                let coords = vec![(0.0, 0.0), (2.0, 0.0), (1.0, 0.0)];
+                self.with_positions(coords, 1.5)
+            }
+            // N1..N4 on a unit-spaced line; range 1.5 links only
+            // adjacent nodes (the Fig. 2 premise).
+            "chain" => {
+                let coords = (0..4).map(|i| (i as f64, 0.0)).collect();
+                self.with_positions(coords, 1.5)
+            }
+            // X1..X4 on the diagonals, router at the crossing. Every
+            // declared link (including the weak diagonals, distance 2)
+            // is within range 2.1; the X1↔X3 / X2↔X4 cross distances
+            // (2√2 ≈ 2.83) stay out.
+            "x" => {
+                let coords = vec![
+                    (-1.0, 1.0),
+                    (1.0, 1.0),
+                    (1.0, -1.0),
+                    (-1.0, -1.0),
+                    (0.0, 0.0),
+                ];
+                self.with_positions(coords, 2.1)
+            }
+            other => panic!("no canonical positions for topology {other}"),
+        }
     }
 
     /// Resolves the effective per-direction impairment table under a
@@ -318,6 +452,7 @@ impl TopologyGraph {
                 GraphLink::sym(BOB, ROUTER, LinkClass::Main),
                 // No Alice↔Bob link: out of range by construction.
             ],
+            positions: None,
         }
     }
 
@@ -334,6 +469,7 @@ impl TopologyGraph {
                 // Non-adjacent nodes are out of range (no links) — in
                 // particular N1 ↛ N4 (the paper's premise for Fig. 2).
             ],
+            positions: None,
         }
     }
 
@@ -355,6 +491,7 @@ impl TopologyGraph {
             name: "x".to_string(),
             node_ids: vec![X1, X2, X3, X4, ROUTER],
             links,
+            positions: None,
         }
     }
 
@@ -379,8 +516,20 @@ impl TopologyGraph {
                 .windows(2)
                 .map(|w| GraphLink::sym(w[0], w[1], LinkClass::Main))
                 .collect(),
+            positions: None,
         }
     }
+}
+
+/// Realized node geometry: coordinates, audibility range, the id →
+/// index map, and the spatial hash grid built over all coordinates at
+/// realization time (cell edge = audibility range).
+#[derive(Debug, Clone)]
+struct Geometry {
+    coords: Vec<(f64, f64)>,
+    range: f64,
+    index: HashMap<NodeId, usize>,
+    grid: SpatialGrid,
 }
 
 /// A realized topology: nodes plus the directed link table with drawn
@@ -392,6 +541,7 @@ pub struct Topology {
     /// All node ids, in a stable order.
     pub node_ids: Vec<NodeId>,
     links: HashMap<(NodeId, NodeId), Link>,
+    geometry: Option<Geometry>,
 }
 
 impl Topology {
@@ -438,6 +588,55 @@ impl Topology {
         self.links
             .iter()
             .map(|(&(from, to), &link)| LinkSpec { from, to, link })
+    }
+
+    /// `true` when this realization carries node geometry (spatial
+    /// gating active).
+    pub fn positioned(&self) -> bool {
+        self.geometry.is_some()
+    }
+
+    /// Spatial audibility gate: `true` when `a` and `b` are close
+    /// enough to hear each other. Without geometry every pair passes —
+    /// the dense reference behavior. With geometry the test is the
+    /// exact squared-distance comparison ([`within_range`]), the same
+    /// expression the grid pre-filter feeds, so gated and dense link
+    /// walks admit identical pair sets whenever every declared link is
+    /// within range.
+    pub fn in_range(&self, a: NodeId, b: NodeId) -> bool {
+        let Some(g) = &self.geometry else {
+            return true;
+        };
+        match (g.index.get(&a), g.index.get(&b)) {
+            (Some(&ia), Some(&ib)) => within_range(g.coords[ia], g.coords[ib], g.range),
+            // Unknown ids never gate out (defensive: the engine only
+            // asks about declared nodes).
+            _ => true,
+        }
+    }
+
+    /// Builds the audibility [`NodeMask`] of one receiver: bit `n` set
+    /// when node id `n` is within range. Uses the realization's
+    /// spatial grid, so the cost is O(local density), not O(N); the
+    /// exact distance test filters the grid's 3×3-cell candidate
+    /// superset, making the mask identical to a dense all-pairs scan.
+    /// Returns `None` when the topology carries no geometry (all
+    /// senders audible — callers take the dense path).
+    pub fn audible_mask(&self, receiver: NodeId, mask: &mut NodeMask) -> bool {
+        let Some(g) = &self.geometry else {
+            return false;
+        };
+        mask.clear();
+        let Some(&ri) = g.index.get(&receiver) else {
+            return false;
+        };
+        let rpos = g.coords[ri];
+        g.grid.for_each_candidate(rpos, |i| {
+            if within_range(g.coords[i as usize], rpos, g.range) {
+                mask.set(self.node_ids[i as usize] as usize);
+            }
+        });
+        true
     }
 }
 
@@ -578,6 +777,117 @@ mod tests {
     }
 
     #[test]
+    fn custom_link_class_rejects_bad_bounds() {
+        use serde::{Deserialize as _, Serialize as _};
+        let make = |lo: f64, hi: f64| {
+            let mut v = LinkClass::Custom { lo: 0.1, hi: 0.2 }.to_value();
+            if let serde::Value::Object(obj) = &mut v {
+                obj.insert("lo".to_string(), serde::Value::Number(lo));
+                obj.insert("hi".to_string(), serde::Value::Number(hi));
+            }
+            LinkClass::from_value(&v)
+        };
+        // Inverted, negative, and non-finite bounds are all rejected.
+        assert!(make(0.5, 0.2).is_err(), "inverted");
+        assert!(make(-0.1, 0.2).is_err(), "negative lo");
+        assert!(make(f64::NAN, 0.2).is_err(), "NaN lo");
+        assert!(make(0.1, f64::NAN).is_err(), "NaN hi");
+        assert!(make(0.1, f64::INFINITY).is_err(), "infinite hi");
+        // Valid bounds (including degenerate lo == hi) still load.
+        assert_eq!(
+            make(0.3, 0.3).unwrap(),
+            LinkClass::Custom { lo: 0.3, hi: 0.3 }
+        );
+    }
+
+    #[test]
+    fn canonical_positions_gate_exactly_the_declared_links() {
+        for graph in [
+            TopologyGraph::alice_bob().with_canonical_positions(),
+            TopologyGraph::chain().with_canonical_positions(),
+            TopologyGraph::x().with_canonical_positions(),
+        ] {
+            let t = graph.realize(&mut rng(), &ChannelDraw::default());
+            assert!(t.positioned());
+            // Every declared link is in range (gating never drops a
+            // declared link — the golden bit-identity precondition) …
+            for l in &graph.links {
+                assert!(
+                    t.in_range(l.from, l.to),
+                    "{}: declared link {} → {} gated out",
+                    graph.name,
+                    l.from,
+                    l.to
+                );
+            }
+            // … and every undeclared pair is out of range both ways
+            // (positions encode the same audibility the link matrix
+            // does).
+            for &a in &graph.node_ids {
+                for &b in &graph.node_ids {
+                    if a != b && !graph.connects(a, b) && !graph.connects(b, a) {
+                        assert!(
+                            !t.in_range(a, b),
+                            "{}: undeclared pair {a} ↔ {b} still in range",
+                            graph.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn positions_do_not_change_realization_draws() {
+        let d = ChannelDraw::default();
+        let dense = TopologyGraph::x().realize(&mut DspRng::seed_from(4), &d);
+        let gated = TopologyGraph::x()
+            .with_canonical_positions()
+            .realize(&mut DspRng::seed_from(4), &d);
+        for spec in dense.links() {
+            let g = gated.link(spec.from, spec.to).expect("same link set");
+            assert_eq!(spec.link.gain.to_bits(), g.gain.to_bits());
+            assert_eq!(spec.link.phase.to_bits(), g.phase.to_bits());
+        }
+    }
+
+    #[test]
+    fn audible_mask_matches_dense_pair_scan() {
+        let graph = TopologyGraph::x().with_canonical_positions();
+        let t = graph.realize(&mut rng(), &ChannelDraw::default());
+        let mut mask = NodeMask::new(256);
+        for &recv in &graph.node_ids {
+            assert!(t.audible_mask(recv, &mut mask));
+            for &other in &graph.node_ids {
+                assert_eq!(
+                    mask.get(other as usize),
+                    t.in_range(other, recv),
+                    "recv {recv} sender {other}"
+                );
+            }
+        }
+        // Dense topologies report no mask (callers take the dense path).
+        let dense = TopologyGraph::x().realize(&mut rng(), &ChannelDraw::default());
+        assert!(!dense.audible_mask(nodes::ROUTER, &mut mask));
+    }
+
+    #[test]
+    fn positions_serde_roundtrip_and_back_compat() {
+        use serde::{Deserialize as _, Serialize as _};
+        let g = TopologyGraph::chain().with_canonical_positions();
+        let v = g.to_value();
+        let back = TopologyGraph::from_value(&v).unwrap();
+        assert_eq!(back.positions, g.positions);
+        // A pre-positions artifact (no `positions` key) still loads.
+        let mut v = TopologyGraph::chain().to_value();
+        if let serde::Value::Object(obj) = &mut v {
+            obj.remove("positions");
+        }
+        let back = TopologyGraph::from_value(&v).unwrap();
+        assert!(back.positions.is_none());
+    }
+
+    #[test]
     fn link_impairment_resolution() {
         let mut g = TopologyGraph::alice_bob();
         let over = ImpairmentSpec::rayleigh_fading();
@@ -636,6 +946,7 @@ mod tests {
             node_ids: vec![1, 2],
             links: vec![GraphLink::sym(1, 2, LinkClass::Main)
                 .with_impairment(ImpairmentSpec::rayleigh_fading().with_jitter(4.0))],
+            positions: None,
         };
         let json = serde_json::to_string(&g).unwrap();
         let back: TopologyGraph = serde_json::from_str(&json).unwrap();

@@ -79,7 +79,7 @@ fn decodes_at_minus_three_db_sir() {
     cfg.channel.gain = (0.85, 0.85);
     cfg.tx_amplitude_overrides = vec![(nodes::BOB, anc::dsp::db::db_to_amplitude(-3.0))];
     let m = run_alice_bob(Scheme::Anc, &cfg);
-    let at_alice = m.bers_at(nodes::ALICE);
+    let at_alice: Vec<f64> = m.bers_at(nodes::ALICE).collect();
     assert!(
         at_alice.len() >= 6,
         "Alice decoded too few packets: {}",
