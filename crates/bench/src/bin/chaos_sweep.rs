@@ -25,7 +25,7 @@ use anc_sim::experiments::{chaos_sweep, ChaosSweepConfig};
 use anc_sim::report::{ExperimentReport, FigureSeries};
 use anc_sim::runs::RunConfig;
 use anc_sim::topology::nodes;
-use anc_sim::{Engine, FaultSpec, ScenarioSpec};
+use anc_sim::{FaultSpec, ScenarioSpec};
 
 fn main() {
     let args = from_env();
@@ -113,13 +113,17 @@ fn main() {
     // ANC gain.
     let crash_until = (base.packets_per_flow as u64 / 2).max(6);
     let relay_churn = FaultSpec::none().with_scripted_crash(nodes::ROUTER, 0, crash_until);
-    let faulted = ScenarioSpec::alice_bob()
-        .with_arq(arq)
-        .with_faults(relay_churn);
-    let clean = ScenarioSpec::alice_bob().with_arq(arq);
+    let mut faulted = ScenarioSpec::alice_bob();
+    faulted.arq = Some(arq);
+    faulted.faults = Some(relay_churn);
+    let mut clean = ScenarioSpec::alice_bob();
+    clean.arq = Some(arq);
     let run = |spec: &ScenarioSpec, scheme| {
-        let program = spec.clone().compile(scheme).expect("alice_bob compiles");
-        Engine::run(&program, &base)
+        spec.clone()
+            .builder(scheme)
+            .config(base.clone())
+            .run()
+            .expect("alice_bob compiles and runs")
     };
     let anc_faulted = run(&faulted, Scheme::Anc);
     let trad_faulted = run(&faulted, Scheme::Traditional);

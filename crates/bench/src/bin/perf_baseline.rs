@@ -34,7 +34,7 @@ use anc_sim::city::{run_city, CityConfig};
 use anc_sim::experiments::{alice_bob, ExperimentConfig};
 use anc_sim::runs::RunConfig;
 use anc_sim::topology::nodes;
-use anc_sim::FaultSpec;
+use anc_sim::{Engine, FaultSpec, RunCtx, ScenarioSpec, SchedulerSpec};
 use std::hint::black_box;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -563,6 +563,87 @@ fn main() {
     assert!(
         city_identical,
         "sparse/gated city run diverged from the dense reference"
+    );
+
+    // ---- 5. Block-graph pipeline: ONE run, serial vs stolen. ----
+    // The sweep above parallelizes *across* runs; this block pipelines
+    // a single run across cores through the block-graph executor.
+    // Both arms stream the same program through the same rings — the
+    // deterministic executor polls blocks inline, the work-stealing
+    // executor races them across `pipe_workers` threads — and the
+    // determinism contract says the metrics must not move a bit.
+    // Workers are floored at 2 so the threaded executor is exercised
+    // even on a single-core host (where the validator skips the
+    // speedup gate with a logged reason, keeping bit-identity gated).
+    let pipe_workers = threads.max(2);
+    let pipe_rc = RunConfig {
+        seed: args.seed,
+        packets_per_flow: args.sweep_runs * args.sweep_packets,
+        payload_bits: 4096,
+        ..RunConfig::default()
+    };
+    let program = ScenarioSpec::alice_bob()
+        .compile(Scheme::Anc)
+        .expect("alice_bob compiles");
+    let det_sched = SchedulerSpec::deterministic();
+    let ws_sched = SchedulerSpec::work_stealing(pipe_workers);
+    let mut det_ctx = RunCtx::default();
+    let mut ws_ctx = RunCtx::default();
+    let m_det = Engine::try_run_ctx(&program, &pipe_rc, &det_sched, &mut det_ctx)
+        .expect("deterministic pipeline run");
+    let m_ws = Engine::try_run_ctx(&program, &pipe_rc, &ws_sched, &mut ws_ctx)
+        .expect("work-stealing pipeline run");
+    let pipeline_identical = m_det.account.goodput_bits.to_bits()
+        == m_ws.account.goodput_bits.to_bits()
+        && m_det.account.time_samples.to_bits() == m_ws.account.time_samples.to_bits()
+        && m_det.packet_bers == m_ws.packet_bers
+        && m_det.overlaps == m_ws.overlaps;
+    let (pipe_serial_ns, pipe_parallel_ns) = measure_pair(
+        || {
+            black_box(
+                Engine::try_run_ctx(&program, &pipe_rc, &det_sched, &mut det_ctx)
+                    .expect("deterministic pipeline run")
+                    .account
+                    .delivered,
+            );
+        },
+        || {
+            black_box(
+                Engine::try_run_ctx(&program, &pipe_rc, &ws_sched, &mut ws_ctx)
+                    .expect("work-stealing pipeline run")
+                    .account
+                    .delivered,
+            );
+        },
+        args.target_ms,
+        args.repeats,
+    );
+    let pipe_speedup = pipe_serial_ns / pipe_parallel_ns;
+    report
+        .engine
+        .insert("pipeline_serial_ms".into(), pipe_serial_ns / 1e6);
+    report
+        .engine
+        .insert("pipeline_parallel_ms".into(), pipe_parallel_ns / 1e6);
+    report
+        .engine
+        .insert("pipeline_speedup".into(), pipe_speedup);
+    report
+        .engine
+        .insert("pipeline_workers".into(), pipe_workers as f64);
+    report.engine.insert(
+        "pipeline_identical".into(),
+        if pipeline_identical { 1.0 } else { 0.0 },
+    );
+    println!(
+        "engine pipeline ({} packets, 1 run): deterministic {:.1} ms, work-stealing {:.1} ms on {pipe_workers} workers ({cores} cores) — {pipe_speedup:.2}x, bit-identical: {pipeline_identical}",
+        pipe_rc.packets_per_flow,
+        pipe_serial_ns / 1e6,
+        pipe_parallel_ns / 1e6,
+    );
+    assert!(
+        pipeline_identical,
+        "work-stealing pipeline metrics diverged from the deterministic executor"
     );
 
     // ---- History: carry the trajectory forward. ----

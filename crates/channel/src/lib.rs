@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod awgn;
+pub mod block;
 pub mod fault;
 pub mod impairment;
 pub mod link;
@@ -39,6 +40,7 @@ pub mod relay;
 pub mod spatial;
 
 pub use awgn::Awgn;
+pub use block::{mix_window, MediumBlock, WindowJob};
 pub use impairment::{ImpairmentSpec, TxImpairment};
 pub use link::Link;
 pub use medium::{Medium, Transmission, TransmissionRef};

@@ -21,11 +21,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod block;
 pub mod mac;
 pub mod node;
 pub mod phy;
 pub mod trigger;
 
+pub use block::{synthesize, SynthJob, SynthSource, TxFrontEndBlock};
 pub use mac::{MacConfig, TriggerMac};
 pub use node::{FrontEnd, Node, NodeConfig, NodeRole};
 pub use phy::{RxChain, RxEvent, TxChain};

@@ -83,6 +83,25 @@ impl Default for FrontEnd {
     }
 }
 
+impl FrontEnd {
+    /// Applies this front end to an outgoing baseband waveform:
+    /// amplitude scaling plus the carrier rotation `phase0 + Δω·k`
+    /// (§5.3's per-transmission phase `γ` and the oscillator drift the
+    /// §6 amplitude tracker absorbs). Pure in `(self, wave, phase)` —
+    /// the block-graph TX stage calls it off the engine thread.
+    pub fn apply(&self, wave: &mut [Cplx], carrier_phase: f64) {
+        let FrontEnd {
+            osc_offset,
+            amplitude,
+        } = *self;
+        for (k, s) in wave.iter_mut().enumerate() {
+            *s = s
+                .scale(amplitude)
+                .rotate(carrier_phase + osc_offset * k as f64);
+        }
+    }
+}
+
 /// One software radio.
 #[derive(Debug)]
 pub struct Node {
@@ -130,15 +149,7 @@ impl Node {
     /// amplitude tracker of §6 absorbs). `carrier_phase` is drawn by
     /// the simulation engine so all transmitters share one stream.
     pub fn apply_front_end(&self, wave: &mut [Cplx], carrier_phase: f64) {
-        let FrontEnd {
-            osc_offset,
-            amplitude,
-        } = self.front_end;
-        for (k, s) in wave.iter_mut().enumerate() {
-            *s = s
-                .scale(amplitude)
-                .rotate(carrier_phase + osc_offset * k as f64);
-        }
+        self.front_end.apply(wave, carrier_phase);
     }
 
     /// The node's frame configuration.

@@ -1,0 +1,108 @@
+//! The poll-driven block interface.
+
+/// What one [`Block::poll`] call accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockStatus {
+    /// The block moved data: consumed an input, produced an output, or
+    /// advanced internal work. Poll it again soon.
+    Progress,
+    /// Nothing to do right now — inputs empty or outputs full. Another
+    /// block must run before this one can progress.
+    Idle,
+    /// The block has permanently finished (it will never progress
+    /// again). Schedulers may stop polling it.
+    Done,
+}
+
+/// One stage of a streaming graph.
+///
+/// A block owns its ring endpoints and whatever per-block state it
+/// needs; `poll` makes as much progress as its rings currently allow
+/// and returns. Blocks never wait — backpressure is expressed by
+/// returning [`BlockStatus::Idle`] and being polled again later.
+///
+/// The supertrait `Send` is what lets the work-stealing scheduler move
+/// a block between worker threads; all blocks also run unchanged under
+/// the inline deterministic scheduler.
+pub trait Block: Send {
+    /// A short, stable display name (diagnostics).
+    fn name(&self) -> &str {
+        "block"
+    }
+
+    /// Makes whatever progress is currently possible.
+    fn poll(&mut self) -> BlockStatus;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::{channel, Consumer, Producer};
+
+    /// A doubling stage: the minimal block shape (pop, compute, push,
+    /// with a staged slot so a full output ring never loses work).
+    struct Doubler {
+        input: Consumer<u64>,
+        output: Producer<u64>,
+        staged: Option<u64>,
+    }
+
+    impl Block for Doubler {
+        fn name(&self) -> &str {
+            "doubler"
+        }
+
+        fn poll(&mut self) -> BlockStatus {
+            let mut progressed = false;
+            loop {
+                if let Some(v) = self.staged.take() {
+                    match self.output.try_push(v) {
+                        Ok(()) => progressed = true,
+                        Err(v) => {
+                            self.staged = Some(v);
+                            return if progressed {
+                                BlockStatus::Progress
+                            } else {
+                                BlockStatus::Idle
+                            };
+                        }
+                    }
+                }
+                match self.input.try_pop() {
+                    Some(v) => self.staged = Some(v * 2),
+                    None => {
+                        return if progressed {
+                            BlockStatus::Progress
+                        } else {
+                            BlockStatus::Idle
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn staged_output_survives_backpressure() {
+        let (mut feed, input) = channel(4);
+        let (output, mut sink) = channel(1);
+        let mut block = Doubler {
+            input,
+            output,
+            staged: None,
+        };
+        for v in [3, 5, 7] {
+            feed.try_push(v).unwrap();
+        }
+        // Output has capacity 1: the block can only emit one doubled
+        // value per drain.
+        assert_eq!(block.poll(), BlockStatus::Progress);
+        assert_eq!(block.poll(), BlockStatus::Idle, "output full");
+        assert_eq!(sink.try_pop(), Some(6));
+        assert_eq!(block.poll(), BlockStatus::Progress);
+        assert_eq!(sink.try_pop(), Some(10));
+        assert_eq!(block.poll(), BlockStatus::Progress);
+        assert_eq!(sink.try_pop(), Some(14));
+        assert_eq!(block.poll(), BlockStatus::Idle);
+    }
+}

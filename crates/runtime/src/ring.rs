@@ -1,0 +1,254 @@
+//! Fixed-capacity SPSC ring buffers.
+//!
+//! The only channel between blocks: bounded (capacity is fixed at
+//! construction, so a fast producer backpressures instead of growing a
+//! queue without limit) and strictly FIFO (the determinism contract
+//! leans on every consumer seeing pushes in push order).
+//!
+//! The implementation is deliberately boring and `unsafe`-free: one
+//! `Mutex<Option<T>>` per slot plus two monotone atomic cursors. The
+//! producer side is the only writer of `tail`, the consumer side the
+//! only writer of `head`, so a slot is never contended — the per-slot
+//! mutex is only the memory fence that publishes the payload. Payloads
+//! in this workspace are entire sample windows or decode outcomes
+//! (hundreds of microseconds of work each), so the few nanoseconds of
+//! an uncontended lock are noise.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+struct Shared<T> {
+    slots: Vec<Mutex<Option<T>>>,
+    /// Next slot the consumer will pop. Monotone; wraps via modulo.
+    head: AtomicUsize,
+    /// Next slot the producer will fill. Monotone; wraps via modulo.
+    tail: AtomicUsize,
+}
+
+/// The sending half of a ring. Not `Clone` — single producer.
+pub struct Producer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half of a ring. Not `Clone` — single consumer.
+pub struct Consumer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates a ring with room for `capacity` in-flight items.
+///
+/// # Panics
+/// Panics if `capacity` is zero — a zero-capacity ring can never move
+/// an item, so constructing one is always a graph-wiring bug.
+pub fn channel<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    assert!(capacity > 0, "ring capacity must be at least 1");
+    let shared = Arc::new(Shared {
+        slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+        head: AtomicUsize::new(0),
+        tail: AtomicUsize::new(0),
+    });
+    (
+        Producer {
+            shared: Arc::clone(&shared),
+        },
+        Consumer { shared },
+    )
+}
+
+impl<T> Shared<T> {
+    fn len(&self) -> usize {
+        self.tail
+            .load(Ordering::Acquire)
+            .wrapping_sub(self.head.load(Ordering::Acquire))
+    }
+
+    /// A poisoned slot mutex means a panic escaped mid-push/pop on the
+    /// other side; the payload is gone either way, so recover the
+    /// guard instead of compounding the panic.
+    fn slot(&self, cursor: usize) -> std::sync::MutexGuard<'_, Option<T>> {
+        match self.slots[cursor % self.slots.len()].lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T> Producer<T> {
+    /// Pushes `value`, or hands it back if the ring is full.
+    pub fn try_push(&mut self, value: T) -> Result<(), T> {
+        let tail = self.shared.tail.load(Ordering::Acquire);
+        let head = self.shared.head.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) >= self.shared.slots.len() {
+            return Err(value);
+        }
+        *self.shared.slot(tail) = Some(value);
+        self.shared
+            .tail
+            .store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Items currently in flight.
+    pub fn len(&self) -> usize {
+        self.shared.len()
+    }
+
+    /// Whether the ring holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The fixed capacity this ring was built with.
+    pub fn capacity(&self) -> usize {
+        self.shared.slots.len()
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Pops the oldest item, or `None` if the ring is empty.
+    pub fn try_pop(&mut self) -> Option<T> {
+        let head = self.shared.head.load(Ordering::Acquire);
+        let tail = self.shared.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        let value = self.shared.slot(head).take();
+        self.shared
+            .head
+            .store(head.wrapping_add(1), Ordering::Release);
+        value
+    }
+
+    /// Items currently in flight.
+    pub fn len(&self) -> usize {
+        self.shared.len()
+    }
+
+    /// Whether the ring holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The fixed capacity this ring was built with.
+    pub fn capacity(&self) -> usize {
+        self.shared.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_backpressure() {
+        let (mut p, mut c) = channel::<u32>(2);
+        assert!(p.try_push(1).is_ok());
+        assert!(p.try_push(2).is_ok());
+        assert_eq!(p.try_push(3), Err(3), "capacity 2 is full");
+        assert_eq!(c.try_pop(), Some(1));
+        assert!(p.try_push(3).is_ok());
+        assert_eq!(c.try_pop(), Some(2));
+        assert_eq!(c.try_pop(), Some(3));
+        assert_eq!(c.try_pop(), None);
+    }
+
+    #[test]
+    fn capacity_one_alternates() {
+        let (mut p, mut c) = channel::<String>(1);
+        for i in 0..16 {
+            assert!(p.try_push(format!("item {i}")).is_ok());
+            assert!(p.try_push(String::new()).is_err(), "cap-1 backpressure");
+            assert_eq!(c.try_pop(), Some(format!("item {i}")));
+        }
+        assert!(c.is_empty() && p.is_empty());
+    }
+
+    #[test]
+    fn carries_soa_sample_batches() {
+        // The engine's rings carry whole SoA sample batches; the ring
+        // is generic, so `CplxBatch` moves through without copies of
+        // its lanes.
+        use anc_dsp::batch::CplxBatch;
+        let (mut p, mut c) = channel::<CplxBatch>(2);
+        let mut batch = CplxBatch::with_capacity(8);
+        for k in 0..8 {
+            batch.push(anc_dsp::Cplx::new(k as f64, -(k as f64)));
+        }
+        p.try_push(batch).expect("fits");
+        let got = c.try_pop().expect("batch crosses the ring");
+        assert_eq!(got.len(), 8);
+        assert_eq!(got.re()[3], 3.0);
+        assert_eq!(got.im()[5], -5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ring capacity")]
+    fn zero_capacity_is_rejected() {
+        let _ = channel::<u8>(0);
+    }
+
+    /// Seeded-interleaving stress: a producer and a consumer thread
+    /// hammer one ring while a deterministic LCG (per seed) injects
+    /// artificial stalls on both sides, exploring many distinct
+    /// interleavings. Every item must arrive exactly once, in order,
+    /// at every capacity including 1. `ANC_RING_STRESS_ITERS` cranks
+    /// the per-seed item count up in CI.
+    #[test]
+    fn ring_stress_seeded_interleavings() {
+        let iters: usize = std::env::var("ANC_RING_STRESS_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(4_000);
+        for capacity in [1usize, 2, 3, 8] {
+            for seed in 0..4u64 {
+                let (mut p, mut c) = channel::<usize>(capacity);
+                let total = iters;
+                std::thread::scope(|s| {
+                    s.spawn(move || {
+                        let mut lcg = seed.wrapping_mul(2862933555777941757).wrapping_add(3037);
+                        let mut next = 0usize;
+                        while next < total {
+                            match p.try_push(next) {
+                                Ok(()) => next += 1,
+                                Err(_) => std::thread::yield_now(),
+                            }
+                            lcg = lcg
+                                .wrapping_mul(6364136223846793005)
+                                .wrapping_add(1442695040888963407);
+                            // Seeded stall: sometimes spin a little so the
+                            // consumer overtakes, sometimes burst ahead.
+                            if lcg % 7 == 0 {
+                                for _ in 0..(lcg % 64) {
+                                    std::hint::spin_loop();
+                                }
+                            }
+                        }
+                    });
+                    let mut lcg = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(99);
+                    let mut expect = 0usize;
+                    while expect < total {
+                        match c.try_pop() {
+                            Some(v) => {
+                                assert_eq!(
+                                    v, expect,
+                                    "cap {capacity} seed {seed}: out-of-order or duplicated item"
+                                );
+                                expect += 1;
+                            }
+                            None => std::thread::yield_now(),
+                        }
+                        lcg = lcg
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        if lcg % 5 == 0 {
+                            for _ in 0..(lcg % 96) {
+                                std::hint::spin_loop();
+                            }
+                        }
+                    }
+                    assert!(c.try_pop().is_none(), "nothing extra may remain");
+                });
+            }
+        }
+    }
+}

@@ -69,6 +69,45 @@ use anc_node::phy::TxChain;
 /// (`"ANC_CTY1"`), disjoint from the engine and fault domains.
 pub const CITY_STREAM_DOMAIN: u64 = 0x414E_435F_4354_5931;
 
+/// Why a city run cannot proceed (see [`try_run_city`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CityError {
+    /// The city layer compares ANC against traditional relaying only;
+    /// COPE's 3-slot scheme needs packet-level XOR state this waveform
+    /// layer doesn't carry.
+    UnsupportedScheme(Scheme),
+    /// A config field fails validation (zero cells, horizon beyond
+    /// `u32`, non-probability offered load, empty payloads…).
+    InvalidConfig(String),
+    /// A served cell's queue cursor ran past its arrival calendar —
+    /// the service loop and the calendar desynchronized.
+    CalendarDesync {
+        /// The cell whose cursor overran.
+        cell: u32,
+        /// Packets already served from that cell (the overrunning
+        /// calendar index).
+        served: u32,
+    },
+}
+
+impl std::fmt::Display for CityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CityError::UnsupportedScheme(s) => {
+                write!(
+                    f,
+                    "city layer does not support {s:?} (ANC vs traditional only)"
+                )
+            }
+            CityError::InvalidConfig(s) => write!(f, "{s}"),
+            CityError::CalendarDesync { cell, served } => write!(
+                f,
+                "cell {cell}: service cursor {served} ran past its arrival calendar"
+            ),
+        }
+    }
+}
+
 const KIND_PLACE: u64 = 1;
 const KIND_ARRIVAL: u64 = 2;
 const KIND_PAYLOAD: u64 = 3;
@@ -781,7 +820,7 @@ fn service_round(
     t: u64,
     active: &[u32],
     spr: u64,
-) {
+) -> Result<(), CityError> {
     let live: Vec<u32> = active
         .iter()
         .copied()
@@ -791,7 +830,7 @@ fn service_round(
         })
         .collect();
     if live.is_empty() {
-        return;
+        return Ok(());
     }
     st.rounds_serviced += 1;
     st.eat(t);
@@ -801,7 +840,14 @@ fn service_round(
     let results = phy.round(scheme, t, &live);
     for (&c, dirs) in live.iter().zip(&results) {
         let ci = c as usize;
-        let arrival = u64::from(cal[ci][st.served[ci] as usize]);
+        let arrival = cal[ci]
+            .get(st.served[ci] as usize)
+            .copied()
+            .map(u64::from)
+            .ok_or(CityError::CalendarDesync {
+                cell: c,
+                served: st.served[ci],
+            })?;
         st.served[ci] += 1;
         for d in dirs {
             if d.delivered {
@@ -813,28 +859,45 @@ fn service_round(
             }
         }
     }
+    Ok(())
 }
 
-/// Runs a city simulation. Panics on COPE (the 3-slot scheme needs
-/// packet-level XOR state this waveform layer doesn't carry), a
-/// horizon beyond `u32`, or a non-probability offered load.
+/// Runs a city simulation, panicking where [`try_run_city`] would
+/// return an error (COPE, a horizon beyond `u32`, a non-probability
+/// offered load, …). Thin wrapper kept for call sites that treat a
+/// bad config as a programming bug.
 pub fn run_city(cfg: &CityConfig, scheme: Scheme) -> CityOutcome {
+    try_run_city(cfg, scheme).unwrap_or_else(|e| panic!("city run failed: {e}"))
+}
+
+/// Fallible entry to the city simulation: validates the config and
+/// scheme up front and surfaces queue-path desync as
+/// [`CityError::CalendarDesync`] instead of indexing past a calendar.
+pub fn try_run_city(cfg: &CityConfig, scheme: Scheme) -> Result<CityOutcome, CityError> {
     let spr: u64 = match scheme {
         Scheme::Anc => 2,
         Scheme::Traditional => 4,
-        Scheme::Cope => panic!("city layer compares ANC against traditional relaying"),
+        Scheme::Cope => return Err(CityError::UnsupportedScheme(scheme)),
     };
-    assert!(cfg.cells_x > 0 && cfg.rows > 0, "city needs cells");
-    assert!(
-        u32::try_from(cfg.rounds).is_ok(),
-        "rounds must fit u32 (calendar entries)"
-    );
-    assert!(
-        cfg.offered.is_finite() && (0.0..=1.0).contains(&cfg.offered),
-        "offered load must be a probability, got {}",
-        cfg.offered
-    );
-    assert!(cfg.payload_bits > 0, "empty payloads carry nothing");
+    if cfg.cells_x == 0 || cfg.rows == 0 {
+        return Err(CityError::InvalidConfig("city needs cells".into()));
+    }
+    if u32::try_from(cfg.rounds).is_err() {
+        return Err(CityError::InvalidConfig(
+            "rounds must fit u32 (calendar entries)".into(),
+        ));
+    }
+    if !cfg.offered.is_finite() || !(0.0..=1.0).contains(&cfg.offered) {
+        return Err(CityError::InvalidConfig(format!(
+            "offered load must be a probability, got {}",
+            cfg.offered
+        )));
+    }
+    if cfg.payload_bits == 0 {
+        return Err(CityError::InvalidConfig(
+            "empty payloads carry nothing".into(),
+        ));
+    }
     let positions = place(cfg);
     let cal = calendars(cfg, &positions);
     let phy = CityPhy::new(cfg, &positions);
@@ -852,11 +915,11 @@ pub fn run_city(cfg: &CityConfig, scheme: Scheme) -> CityOutcome {
         service_hash: 0xcbf2_9ce4_8422_2325,
     };
     if cfg.sparse {
-        advance_sparse(cfg, scheme, &phy, &cal, &mut st, spr);
+        advance_sparse(cfg, scheme, &phy, &cal, &mut st, spr)?;
     } else {
-        advance_dense(cfg, scheme, &phy, &cal, &mut st, spr);
+        advance_dense(cfg, scheme, &phy, &cal, &mut st, spr)?;
     }
-    CityOutcome {
+    Ok(CityOutcome {
         nodes: cfg.nodes(),
         cells,
         rounds: cfg.rounds,
@@ -870,7 +933,7 @@ pub fn run_city(cfg: &CityConfig, scheme: Scheme) -> CityOutcome {
         polls: st.polls,
         advance_ops: st.advance_ops,
         service_hash: st.service_hash,
-    }
+    })
 }
 
 /// Reference advance: every round touches every cell.
@@ -881,7 +944,7 @@ fn advance_dense(
     cal: &[Vec<u32>],
     st: &mut RunState,
     spr: u64,
-) {
+) -> Result<(), CityError> {
     let cells = cfg.cells();
     let mut active: Vec<u32> = Vec::new();
     for t in 0..cfg.rounds {
@@ -897,9 +960,10 @@ fn advance_dense(
             }
         }
         if !active.is_empty() {
-            service_round(cfg, scheme, phy, cal, st, t, &active, spr);
+            service_round(cfg, scheme, phy, cal, st, t, &active, spr)?;
         }
     }
+    Ok(())
 }
 
 /// Sparse advance: a min-heap of next arrivals plus the backlogged
@@ -914,7 +978,7 @@ fn advance_sparse(
     cal: &[Vec<u32>],
     st: &mut RunState,
     spr: u64,
-) {
+) -> Result<(), CityError> {
     let cells = cfg.cells();
     let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
     for (c, arrivals) in cal.iter().enumerate() {
@@ -956,7 +1020,7 @@ fn advance_sparse(
         active.sort_unstable();
         if !active.is_empty() {
             st.advance_ops += active.len() as u64;
-            service_round(cfg, scheme, phy, cal, st, t, &active, spr);
+            service_round(cfg, scheme, phy, cal, st, t, &active, spr)?;
         }
         let (served, arr) = (&st.served, &st.arr_idx);
         active.retain(|&c| {
@@ -968,6 +1032,7 @@ fn advance_sparse(
         });
         t += 1;
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -1112,6 +1177,35 @@ mod tests {
         assert_eq!(dense.fingerprint(), sparse.fingerprint());
         assert_eq!(dense.polls, 8 * 1000);
         assert_eq!(sparse.advance_ops, 0, "an idle city costs nothing");
+    }
+
+    #[test]
+    fn try_run_city_rejects_bad_configs_with_typed_errors() {
+        assert_eq!(
+            try_run_city(&small(1), Scheme::Cope).unwrap_err(),
+            CityError::UnsupportedScheme(Scheme::Cope)
+        );
+        let mut cfg = small(1);
+        cfg.cells_x = 0;
+        assert!(matches!(
+            try_run_city(&cfg, Scheme::Anc),
+            Err(CityError::InvalidConfig(_))
+        ));
+        let mut cfg = small(1);
+        cfg.offered = 1.5;
+        assert!(matches!(
+            try_run_city(&cfg, Scheme::Anc),
+            Err(CityError::InvalidConfig(_))
+        ));
+        let mut cfg = small(1);
+        cfg.payload_bits = 0;
+        let err = try_run_city(&cfg, Scheme::Anc).unwrap_err();
+        assert!(err.to_string().contains("payload"));
+        // The happy path through the fallible entry matches the
+        // panicking wrapper bit for bit.
+        let a = try_run_city(&small(5), Scheme::Anc).unwrap();
+        let b = run_city(&small(5), Scheme::Anc);
+        assert_eq!(a.fingerprint(), b.fingerprint());
     }
 
     #[test]

@@ -42,10 +42,13 @@
 
 use crate::faults::FaultSpec;
 use crate::metrics::{FlowMetrics, OutageRecord, RunMetrics};
+use crate::pipeline::{
+    build_graph, wait_pop, wait_push, NodePark, RunCtx, RxDone, RxWork, SchedMode, SchedulerSpec,
+    SlotDriver,
+};
 use crate::runs::RunConfig;
 use crate::topology::{Topology, TopologyGraph};
-use anc_channel::fault::{CarrierOffset, Impairment};
-use anc_channel::{AmplifyForward, ImpairmentSpec, Link, Medium, NodeMask, TransmissionRef};
+use anc_channel::{ImpairmentSpec, Link, NodeMask, WindowJob};
 use anc_core::DecoderScratch;
 use anc_dsp::cast::round_to_i64;
 use anc_dsp::{Cplx, DspRng};
@@ -56,8 +59,10 @@ use anc_netcode::{
     Scheme,
 };
 use anc_node::phy::RxEvent;
-use anc_node::{Node, NodeConfig, NodeRole};
+use anc_node::{Node, NodeConfig, NodeRole, SynthJob, SynthSource};
+use anc_runtime::{DeterministicScheduler, Scheduler, WorkStealingScheduler};
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 /// A structural invariant the engine found violated at runtime —
 /// surfaced as a recoverable error instead of a panic so fault-induced
@@ -88,6 +93,19 @@ pub enum EngineError {
     /// A relay expectation referenced a sender that put no frame on
     /// the air this slot.
     SlotFrameMissing(NodeId),
+    /// The block graph could not advance while the controller was
+    /// still waiting on a ring — a wired-graph deadlock, detectable
+    /// only under the deterministic scheduler (which is therefore the
+    /// oracle for work-stealing runs of the same program).
+    PipelineStalled,
+    /// A decode outcome came back with the wrong correlation tag or
+    /// kind for the receive intent being folded.
+    PipelineDesync {
+        /// The intent index the fold expected.
+        expected: u64,
+        /// The tag that actually arrived.
+        got: u64,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -106,6 +124,15 @@ impl std::fmt::Display for EngineError {
             }
             EngineError::SlotFrameMissing(id) => {
                 write!(f, "sender {id} put no frame on the air this slot")
+            }
+            EngineError::PipelineStalled => {
+                write!(f, "block graph stalled while the controller was waiting")
+            }
+            EngineError::PipelineDesync { expected, got } => {
+                write!(
+                    f,
+                    "decode outcome desynchronized: expected intent {expected}, got tag {got}"
+                )
             }
         }
     }
@@ -318,8 +345,9 @@ pub struct ScheduledTx {
     /// Transmitting node.
     pub sender: NodeId,
     /// Waveform after the sender's front end (amplitude, oscillator,
-    /// carrier phase).
-    pub wave: Vec<Cplx>,
+    /// carrier phase). Shared: one slot's wave fans out to every
+    /// receiver's superposition job without being copied.
+    pub wave: Arc<Vec<Cplx>>,
     /// Start offset within the slot (MAC stagger; 0 when scheduled).
     pub offset: usize,
 }
@@ -339,7 +367,10 @@ pub struct Engine<'p> {
     program: &'p Program,
     cfg: RunConfig,
     topo: Topology,
-    nodes: HashMap<NodeId, Node>,
+    /// The nodes, parked in lockable cells (in `node_ids` order) so
+    /// the block graph's decode stages can run them off-thread while
+    /// the controller keeps the rest of the engine.
+    park: NodePark,
     noise: HashMap<NodeId, DspRng>,
     carrier_rng: DspRng,
     payload_rng: DspRng,
@@ -358,8 +389,6 @@ pub struct Engine<'p> {
     slot_frames: HashMap<NodeId, Frame>,
     /// The slot's scheduled-transmission event queue.
     events: Vec<ScheduledTx>,
-    /// Reused reception-window scratch (allocation-free RX loop).
-    rx_scratch: Vec<Cplx>,
     /// Reused audibility-mask scratch for spatially-gated receptions
     /// (positioned topologies; see [`Topology::audible_mask`]).
     mask_scratch: NodeMask,
@@ -441,6 +470,7 @@ struct OpenOutage {
 ///
 /// Use with [`Engine::run_with_pipeline`]; an empty pipeline is valid
 /// and grows to the program's node count on first use.
+#[deprecated(since = "0.1.0", note = "use RunCtx with Engine::try_run_ctx")]
 #[derive(Debug, Default)]
 pub struct DecodePipeline {
     /// One scratch per node, in `node_ids` order.
@@ -456,7 +486,7 @@ impl<'p> Engine<'p> {
     pub fn new(program: &'p Program, cfg: &RunConfig) -> Engine<'p> {
         let mut rng = DspRng::seed_from(cfg.seed);
         let topo = program.graph.realize(&mut rng.fork(1), &cfg.channel);
-        let mut nodes = HashMap::new();
+        let mut nodes: Vec<(NodeId, Node)> = Vec::with_capacity(topo.node_ids.len());
         let mut noise = HashMap::new();
         let mut osc_rng = rng.fork(2);
         for (i, &id) in topo.node_ids.iter().enumerate() {
@@ -471,11 +501,11 @@ impl<'p> Engine<'p> {
             }
             node.front_end.osc_offset =
                 osc_rng.uniform_range(-cfg.osc_offset_max, cfg.osc_offset_max);
-            nodes.insert(id, node);
+            nodes.push((id, node));
             noise.insert(id, rng.fork(200 + i as u64));
         }
         for &(id, amp) in &cfg.tx_amplitude_overrides {
-            if let Some(node) = nodes.get_mut(&id) {
+            if let Some((_, node)) = nodes.iter_mut().find(|(nid, _)| *nid == id) {
                 node.front_end.amplitude = amp;
             }
         }
@@ -492,7 +522,7 @@ impl<'p> Engine<'p> {
             program,
             cfg: cfg.clone(),
             topo,
-            nodes,
+            park: NodePark::new(nodes),
             noise,
             carrier_rng: rng.fork(3),
             payload_rng: rng.fork(4),
@@ -505,7 +535,6 @@ impl<'p> Engine<'p> {
             heard: HashMap::new(),
             slot_frames: HashMap::new(),
             events: Vec::new(),
-            rx_scratch: Vec::new(),
             mask_scratch: NodeMask::new(256),
             link_impairments: program.graph.link_impairments(program.impairments),
             tx_impairments: program.impairments.filter(|s| s.affects_tx()),
@@ -562,44 +591,48 @@ impl<'p> Engine<'p> {
         self.cl.as_ref().ok_or(EngineError::ClosedLoopMissing)
     }
 
-    /// Typed shared accessor for a node.
-    fn try_node(&self, id: NodeId) -> Result<&Node, EngineError> {
-        self.nodes.get(&id).ok_or(EngineError::NodeMissing(id))
-    }
-
     /// Runs a compiled program to completion and returns its metrics.
     ///
     /// # Panics
     /// Panics on an [`EngineError`] (a violated structural invariant);
-    /// use [`Engine::try_run`] to receive it as a value instead.
+    /// use [`Engine::try_run_ctx`] to receive it as a value instead.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use ScenarioSpec::builder (crate::RunBuilder) or Engine::try_run_ctx"
+    )]
     pub fn run(program: &Program, cfg: &RunConfig) -> RunMetrics {
-        Engine::try_run(program, cfg).unwrap_or_else(|e| panic!("engine invariant violated: {e}"))
+        Engine::try_run_ctx(
+            program,
+            cfg,
+            &SchedulerSpec::default(),
+            &mut RunCtx::default(),
+        )
+        .unwrap_or_else(|e| panic!("engine invariant violated: {e}"))
     }
 
-    /// [`Engine::run`] returning structural failures as a value:
-    /// fault-induced edge states that violate an engine invariant
-    /// surface as a recoverable [`EngineError`] instead of a panic.
+    /// Deprecated pre-builder entry: runs under the default
+    /// deterministic scheduler with throwaway scratch.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use ScenarioSpec::builder (crate::RunBuilder) or Engine::try_run_ctx"
+    )]
     pub fn try_run(program: &Program, cfg: &RunConfig) -> Result<RunMetrics, EngineError> {
-        let mut engine = Engine::new(program, cfg);
-        engine.execute()?;
-        Ok(engine.metrics)
+        Engine::try_run_ctx(
+            program,
+            cfg,
+            &SchedulerSpec::default(),
+            &mut RunCtx::default(),
+        )
     }
 
-    /// [`Engine::run`] with a caller-owned [`DecodePipeline`]: before
-    /// the run, warmed decoder scratch buffers are loaned into the
-    /// engine's nodes (in `node_ids` order); after it, they are taken
-    /// back, grown. Monte Carlo trials feed every run on a worker
-    /// through one pipeline, so decode allocations amortize across
-    /// *trials* instead of being regrown per engine — the shared batch
-    /// pipeline of DESIGN.md §8.
-    ///
-    /// Bit-identical to [`Engine::run`]: scratch contents never affect
-    /// decode output (pinned by the sim's equivalence tests), only
-    /// where the buffers' capacity lives.
+    /// Deprecated pre-[`RunCtx`] entry; the caller-owned scratch
+    /// handle is now [`RunCtx`], threaded through
+    /// [`Engine::try_run_ctx`].
     ///
     /// # Panics
-    /// Panics on an [`EngineError`]; use
-    /// [`Engine::try_run_with_pipeline`] to receive it as a value.
+    /// Panics on an [`EngineError`].
+    #[deprecated(since = "0.1.0", note = "use Engine::try_run_ctx with a RunCtx")]
+    #[allow(deprecated)]
     pub fn run_with_pipeline(
         program: &Program,
         cfg: &RunConfig,
@@ -609,35 +642,54 @@ impl<'p> Engine<'p> {
             .unwrap_or_else(|e| panic!("engine invariant violated: {e}"))
     }
 
-    /// [`Engine::run_with_pipeline`] returning structural failures as
-    /// a recoverable [`EngineError`] instead of panicking. The loaned
-    /// scratch buffers are returned to the pipeline on both paths.
+    /// Deprecated pre-[`RunCtx`] entry returning failures as values;
+    /// the scratch buffers are moved through a [`RunCtx`] and handed
+    /// back on both paths.
+    #[deprecated(since = "0.1.0", note = "use Engine::try_run_ctx with a RunCtx")]
+    #[allow(deprecated)]
     pub fn try_run_with_pipeline(
         program: &Program,
         cfg: &RunConfig,
         pipeline: &mut DecodePipeline,
     ) -> Result<RunMetrics, EngineError> {
+        let mut ctx = RunCtx::default();
+        std::mem::swap(&mut ctx.scratches, &mut pipeline.scratches);
+        let outcome = Engine::try_run_ctx(program, cfg, &SchedulerSpec::default(), &mut ctx);
+        std::mem::swap(&mut ctx.scratches, &mut pipeline.scratches);
+        outcome
+    }
+
+    /// The canonical run entry: executes `program` under the given
+    /// scheduler with the caller's reusable [`RunCtx`]. Before the
+    /// run, the context's warmed decoder scratch buffers are loaned
+    /// into the nodes (in `node_ids` order); after it — error or not —
+    /// they are taken back, grown, so feeding many runs through one
+    /// context amortizes decode allocations across trials (DESIGN.md
+    /// §8, §14).
+    ///
+    /// Bit-identity: every scheduler mode produces identical
+    /// [`RunMetrics`] (scratch contents and thread interleavings never
+    /// affect decode output — pinned by the golden suites and the
+    /// scheduler-equivalence proptest).
+    pub fn try_run_ctx(
+        program: &Program,
+        cfg: &RunConfig,
+        sched: &SchedulerSpec,
+        ctx: &mut RunCtx,
+    ) -> Result<RunMetrics, EngineError> {
         let mut engine = Engine::new(program, cfg);
-        let n = engine.topo.node_ids.len();
-        if pipeline.scratches.len() < n {
-            pipeline.scratches.resize_with(n, DecoderScratch::default);
+        let n = engine.park.len();
+        if ctx.scratches.len() < n {
+            ctx.scratches.resize_with(n, DecoderScratch::default);
         }
-        let Engine { topo, nodes, .. } = &mut engine;
-        for (slot, &id) in pipeline.scratches.iter_mut().zip(&topo.node_ids) {
-            nodes
-                .get_mut(&id)
-                .ok_or(EngineError::NodeMissing(id))?
-                .swap_rx_scratch(slot);
+        for (i, slot) in ctx.scratches.iter_mut().enumerate().take(n) {
+            engine.park.lock_at(i).swap_rx_scratch(slot);
         }
-        let outcome = engine.execute();
+        let outcome = engine.execute(sched);
         // Hand the scratch buffers back even when the run errored, so
-        // a failed trial cannot strand the pipeline's warmed memory.
-        let Engine { topo, nodes, .. } = &mut engine;
-        for (slot, &id) in pipeline.scratches.iter_mut().zip(&topo.node_ids) {
-            nodes
-                .get_mut(&id)
-                .ok_or(EngineError::NodeMissing(id))?
-                .swap_rx_scratch(slot);
+        // a failed trial cannot strand the context's warmed memory.
+        for (i, slot) in ctx.scratches.iter_mut().enumerate().take(n) {
+            engine.park.lock_at(i).swap_rx_scratch(slot);
         }
         outcome?;
         Ok(engine.metrics)
@@ -648,24 +700,61 @@ impl<'p> Engine<'p> {
         &self.topo
     }
 
-    fn execute(&mut self) -> Result<(), EngineError> {
+    /// Builds the block graph over the parked nodes and runs the slot
+    /// loop as the scheduler's controller. The park is taken out of
+    /// the engine for the duration so the blocks can borrow it while
+    /// the controller closure holds `&mut self`.
+    fn execute(&mut self, sched: &SchedulerSpec) -> Result<(), EngineError> {
+        let park = std::mem::take(&mut self.park);
+        let (blocks, mut ports) = build_graph(&park, sched.capacity);
+        let result = match sched.mode {
+            SchedMode::Deterministic => DeterministicScheduler.run(
+                blocks,
+                Box::new(|pump| {
+                    let mut drv = SlotDriver {
+                        park: &park,
+                        ports: &mut ports,
+                        pump,
+                    };
+                    self.drive(&mut drv)
+                }),
+            ),
+            SchedMode::WorkStealing { workers } => WorkStealingScheduler::new(workers).run(
+                blocks,
+                Box::new(|pump| {
+                    let mut drv = SlotDriver {
+                        park: &park,
+                        ports: &mut ports,
+                        pump,
+                    };
+                    self.drive(&mut drv)
+                }),
+            ),
+        };
+        self.park = park;
+        result
+    }
+
+    /// The sequential controller: closed-loop driver or open-loop
+    /// period replay, with the block graph's ports in hand.
+    fn drive(&mut self, drv: &mut SlotDriver<'_, '_>) -> Result<(), EngineError> {
         if self.cl.is_some() {
-            return self.execute_closed_loop();
+            return self.execute_closed_loop(drv);
         }
         match self.program.rounds {
             RoundMode::PerPacket => {
                 for _ in 0..self.cfg.packets_per_flow {
-                    self.run_period()?;
+                    self.run_period(drv)?;
                 }
             }
-            RoundMode::UntilIdle => while self.run_period()? {},
+            RoundMode::UntilIdle => while self.run_period(drv)? {},
         }
         Ok(())
     }
 
     /// Executes one period of the slot sequence; `true` if anything
     /// transmitted.
-    fn run_period(&mut self) -> Result<bool, EngineError> {
+    fn run_period(&mut self, drv: &mut SlotDriver<'_, '_>) -> Result<bool, EngineError> {
         for f in &mut self.flows {
             f.round_frame = None;
         }
@@ -673,7 +762,7 @@ impl<'p> Engine<'p> {
         let program = self.program;
         let mut any = false;
         for slot in &program.slots {
-            any |= self.run_slot(slot)?;
+            any |= self.run_slot(drv, slot)?;
         }
         self.exchange += 1;
         Ok(any)
@@ -681,28 +770,57 @@ impl<'p> Engine<'p> {
 
     /// Runs a slot list once (no per-period state reset); `true` if
     /// anything transmitted.
-    fn run_slots_once(&mut self, slots: &'p [SlotSpec]) -> Result<bool, EngineError> {
+    fn run_slots_once(
+        &mut self,
+        drv: &mut SlotDriver<'_, '_>,
+        slots: &'p [SlotSpec],
+    ) -> Result<bool, EngineError> {
         let mut any = false;
         for slot in slots {
-            any |= self.run_slot(slot)?;
+            any |= self.run_slot(drv, slot)?;
         }
         Ok(any)
     }
 
-    /// Executes one slot: fire the transmit intents into the event
-    /// queue, advance the clock by the slot span, then drain the
-    /// queue into each receive intent's superposition window.
-    fn run_slot(&mut self, slot: &'p SlotSpec) -> Result<bool, EngineError> {
+    /// Executes one slot through the block graph: resolve the transmit
+    /// intents into synthesis jobs (all RNG draws happen here, in
+    /// intent order), barrier on the finished waveforms (fired order),
+    /// advance the clock by the slot span, then stream each receive
+    /// intent's superposition window through its mixer/decoder chain
+    /// and fold the outcomes back in intent order.
+    fn run_slot(
+        &mut self,
+        drv: &mut SlotDriver<'_, '_>,
+        slot: &'p SlotSpec,
+    ) -> Result<bool, EngineError> {
         self.slot_frames.clear();
         self.events.clear();
         let timing = slot.timing;
+        let park = drv.park;
+        let mut fired: Vec<(NodeId, usize)> = Vec::with_capacity(slot.txs.len());
         for intent in &slot.txs {
-            self.fire_tx(intent, timing)?;
+            if let Some((job, offset)) = self.resolve_tx(park, intent, timing)? {
+                let idx = park.index_of(intent.sender)?;
+                wait_push(&mut drv.ports.tx[idx].jobs, job, &mut *drv.pump)?;
+                fired.push((intent.sender, offset));
+            }
         }
-        if self.events.is_empty() {
+        if fired.is_empty() {
             // Nothing had anything to send: the slot does not occupy
             // the medium and receivers never open a window.
             return Ok(false);
+        }
+        // TX barrier: collect the synthesized waveforms in fired order
+        // (per-sender rings are FIFO, so order within a sender holds
+        // too). The event queue's order fixes superposition summation.
+        for (sender, offset) in fired {
+            let idx = park.index_of(sender)?;
+            let wave = wait_pop(&mut drv.ports.tx[idx].waves, &mut *drv.pump)?;
+            self.events.push(ScheduledTx {
+                sender,
+                wave: Arc::new(wave),
+                offset,
+            });
         }
         let span = self
             .events
@@ -716,9 +834,7 @@ impl<'p> Engine<'p> {
             SlotTiming::Scheduled => span as f64 + guard + self.cfg.turnaround_bits as f64,
         };
         self.metrics.account.tick(tick);
-        for intent in &slot.rxs {
-            self.handle_rx(intent, span)?;
-        }
+        self.run_rx_phase(drv, slot, span)?;
         Ok(true)
     }
 
@@ -737,7 +853,7 @@ impl<'p> Engine<'p> {
     /// contender serves through its serialized store-and-forward
     /// fallback (graceful degradation) until sustained recovery flips
     /// the monitor back.
-    fn execute_closed_loop(&mut self) -> Result<(), EngineError> {
+    fn execute_closed_loop(&mut self, drv: &mut SlotDriver<'_, '_>) -> Result<(), EngineError> {
         let program = self.program;
         let arq = program.arq.ok_or(EngineError::ArqMissing)?;
         let nflows = program.flows.len();
@@ -890,7 +1006,7 @@ impl<'p> Engine<'p> {
                 self.heard.clear();
                 match program.rounds {
                     RoundMode::PerPacket => {
-                        self.run_slots_once(slots)?;
+                        self.run_slots_once(drv, slots)?;
                         self.exchange += 1;
                         self.settle_attempts(set, period, &arq, spb)?;
                         if let Some(h) = health.as_mut() {
@@ -914,7 +1030,7 @@ impl<'p> Engine<'p> {
                                 .key()]
                         };
                         loop {
-                            let fired = self.run_slots_once(slots)?;
+                            let fired = self.run_slots_once(drv, slots)?;
                             self.exchange += 1;
                             if !fired {
                                 break;
@@ -1182,9 +1298,20 @@ impl<'p> Engine<'p> {
         Frame::new(Header::new(src, dst, s, 0), payload)
     }
 
-    /// Resolves a transmit intent; when it fires, the front-end-
-    /// processed waveform joins the slot's event queue.
-    fn fire_tx(&mut self, intent: &TxIntent, timing: SlotTiming) -> Result<(), EngineError> {
+    /// Resolves a transmit intent into a pure [`SynthJob`] plus its
+    /// slot offset. Every stateful part of the old inline transmit
+    /// path happens here, in intent order — frame sourcing (sequence
+    /// numbers + payload stream), sent-buffer inserts, the carrier
+    /// phase draw, the §7.2 MAC delay draw, and the Monte Carlo TX
+    /// process — so every RNG stream's draw order is exactly the
+    /// serial engine's. The pure half (modulation, front end, CFO)
+    /// runs in the sender's TX block.
+    fn resolve_tx(
+        &mut self,
+        park: &NodePark,
+        intent: &TxIntent,
+        timing: SlotTiming,
+    ) -> Result<Option<(SynthJob, usize)>, EngineError> {
         let sender = intent.sender;
         // Fault layer: a crashed (or babbling) sender puts nothing on
         // the air. Its staged/held state is left untouched — the frame
@@ -1192,9 +1319,9 @@ impl<'p> Engine<'p> {
         // is settled per period by the closed loop, and the untaken
         // attempt simply fails (no implicit ACK, no delivery).
         if self.node_down(sender) {
-            return Ok(());
+            return Ok(None);
         }
-        let fired: Option<(Vec<Cplx>, Option<Frame>)> = match &intent.source {
+        let fired: Option<(SynthSource, Option<Frame>)> = match &intent.source {
             TxSource::SourceFrame { flow } if self.cl.is_some() => {
                 // Closed loop: transmit the staged queue head (the
                 // same frame on every retransmission attempt) instead
@@ -1208,8 +1335,8 @@ impl<'p> Engine<'p> {
                         if track && !state.history.iter().any(|h| h.header.key() == key) {
                             state.history.push(frame.clone());
                         }
-                        let wave = self.try_node_mut(sender)?.transmit_frame(&frame);
-                        Some((wave, Some(frame)))
+                        park.lock(sender)?.buffer.insert(frame.clone());
+                        Some((SynthSource::Frame(frame.clone()), Some(frame)))
                     }
                     None => None,
                 }
@@ -1226,21 +1353,21 @@ impl<'p> Engine<'p> {
                     if self.program.track_history[*flow] {
                         state.history.push(frame.clone());
                     }
-                    let wave = self.try_node_mut(sender)?.transmit_frame(&frame);
-                    Some((wave, Some(frame)))
+                    park.lock(sender)?.buffer.insert(frame.clone());
+                    Some((SynthSource::Frame(frame.clone()), Some(frame)))
                 }
             }
             TxSource::Forward => match self.held.remove(&sender) {
                 Some(frame) => {
-                    let wave = self.try_node_mut(sender)?.transmit_frame(&frame);
-                    Some((wave, Some(frame)))
+                    park.lock(sender)?.buffer.insert(frame.clone());
+                    Some((SynthSource::Frame(frame.clone()), Some(frame)))
                 }
                 None => None,
             },
-            TxSource::AmplifyMixture => self.mixture.remove(&sender).map(|(win, start, end)| {
-                let (amp, _) = AmplifyForward::new(1.0).amplify_window(&win, start, end);
-                (amp, None)
-            }),
+            TxSource::AmplifyMixture => self
+                .mixture
+                .remove(&sender)
+                .map(|(window, start, end)| (SynthSource::Amplify { window, start, end }, None)),
             TxSource::XorEncode { flows } => {
                 let a = self.cope_pending[flows[0]].take();
                 let b = self.cope_pending[flows[1]].take();
@@ -1250,8 +1377,8 @@ impl<'p> Engine<'p> {
                         let s = *seq;
                         *seq = seq.wrapping_add(1);
                         let coded = CopeCoder.encode(&ra, &rb, sender, s);
-                        let wave = self.try_node_mut(sender)?.transmit_frame(&coded);
-                        Some((wave, Some(coded)))
+                        park.lock(sender)?.buffer.insert(coded.clone());
+                        Some((SynthSource::Frame(coded.clone()), Some(coded)))
                     }
                     _ => {
                         // §11.1's optimal MAC still cannot code what the
@@ -1279,18 +1406,18 @@ impl<'p> Engine<'p> {
                 _ => {}
             }
         }
-        let Some((mut wave, frame)) = fired else {
-            return Ok(());
+        let Some((source, frame)) = fired else {
+            return Ok(None);
         };
-        let phase0 = self.carrier_rng.phase();
-        self.try_node(sender)?.apply_front_end(&mut wave, phase0);
+        let carrier_phase = self.carrier_rng.phase();
         let mut offset = match timing {
             // The §7.2 stagger is drawn in bit-times; convert through
             // the sender's actual front-end rate so MAC delays stay in
             // sample units if oversampling ever diverges from 1.
             SlotTiming::Triggered => {
-                let spb = self.try_node(sender)?.samples_per_bit();
-                self.try_node_mut(sender)?.draw_delay(spb)
+                let mut node = park.lock(sender)?;
+                let spb = node.samples_per_bit();
+                node.draw_delay(spb)
             }
             SlotTiming::Scheduled => 0,
         };
@@ -1298,12 +1425,12 @@ impl<'p> Engine<'p> {
         // timing slip, realized from the sender's dedicated
         // `(seed, node, exchange)` stream — independent of every other
         // draw the engine makes, so enabling it never perturbs the
-        // carrier/payload/noise streams above.
+        // carrier/payload/noise streams above. The CFO rotation itself
+        // is pure and rides in the job; a zero draw is a no-op there.
+        let mut cfo = 0.0;
         if let Some(spec) = self.tx_impairments {
             let tx = spec.tx_process(self.cfg.seed, sender as u64, self.exchange);
-            if tx.cfo != 0.0 {
-                CarrierOffset::new(tx.cfo).apply(&mut wave);
-            }
+            cfo = tx.cfo;
             // The slip is signed: an early-arrival slip pulls the
             // waveform toward the slot origin (saturating there — a
             // transmission cannot start before its slot), a late one
@@ -1321,29 +1448,127 @@ impl<'p> Engine<'p> {
         if let Some(f) = frame {
             self.slot_frames.insert(sender, f);
         }
-        self.events.push(ScheduledTx {
-            sender,
-            wave,
+        Ok(Some((
+            SynthJob {
+                source,
+                carrier_phase,
+                cfo,
+            },
             offset,
-        });
+        )))
+    }
+
+    /// Test-only inline transmit: resolves one intent and synthesizes
+    /// its waveform immediately (no block graph), pushing it onto the
+    /// event queue exactly as `run_slot`'s TX barrier would.
+    #[cfg(test)]
+    fn fire_tx(&mut self, intent: &TxIntent, timing: SlotTiming) -> Result<(), EngineError> {
+        let park = std::mem::take(&mut self.park);
+        let result = (|| -> Result<(), EngineError> {
+            if let Some((job, offset)) = self.resolve_tx(&park, intent, timing)? {
+                let (chain, front_end) = {
+                    let node = park.lock(intent.sender)?;
+                    (node.tx_chain().clone(), node.front_end)
+                };
+                let wave = anc_node::synthesize(&chain, &front_end, job);
+                self.events.push(ScheduledTx {
+                    sender: intent.sender,
+                    wave: Arc::new(wave),
+                    offset,
+                });
+            }
+            Ok(())
+        })();
+        self.park = park;
+        result
+    }
+
+    /// Streams a slot's receive intents through the block graph: each
+    /// intent is resolved in order (gates, audibility, noise fork) and
+    /// its pure superposition job shipped to the receiver's
+    /// mixer/decoder chain, while outcomes are folded back strictly in
+    /// intent order — so several receivers' windows mix and decode
+    /// concurrently under a parallel scheduler, yet every engine-state
+    /// and metric mutation keeps the serial order.
+    fn run_rx_phase(
+        &mut self,
+        drv: &mut SlotDriver<'_, '_>,
+        slot: &'p SlotSpec,
+        span: usize,
+    ) -> Result<(), EngineError> {
+        let mut plan: Vec<Pending> = Vec::with_capacity(slot.rxs.len());
+        let mut folded = 0usize;
+        for (i, intent) in slot.rxs.iter().enumerate() {
+            // An overhearing gate reads `heard`, which same-slot
+            // Overhear intents write at fold — drain everything
+            // earlier before resolving the gate.
+            let needs_heard = matches!(
+                intent.action,
+                RxAction::DeliverAnc { gated: true, .. }
+                    | RxAction::DeliverCope { gated: true, .. }
+            );
+            if needs_heard {
+                self.fold_until(drv, slot, &plan, &mut folded, i)?;
+            } else if let Ok(idx) = drv.park.index_of(intent.receiver) {
+                // One outstanding window per receiver: a second window
+                // for the same node could wedge its rings at capacity
+                // 1 while the controller is blocked pushing, so fold
+                // first. (Per-node FIFO order is unaffected.)
+                if plan[folded..]
+                    .iter()
+                    .any(|p| matches!(p, Pending::Window(j) if *j == idx))
+                {
+                    self.fold_until(drv, slot, &plan, &mut folded, i)?;
+                }
+            }
+            let pending = self.resolve_rx(drv, intent, i as u64, span)?;
+            plan.push(pending);
+        }
+        self.fold_until(drv, slot, &plan, &mut folded, slot.rxs.len())
+    }
+
+    /// Applies plan entries `folded..upto` in intent order: skipped
+    /// windows' accounting and in-flight windows' outcomes (popped
+    /// from the receiver's done ring, tag-checked). All RX-phase
+    /// mutation of engine state funnels through here.
+    fn fold_until(
+        &mut self,
+        drv: &mut SlotDriver<'_, '_>,
+        slot: &SlotSpec,
+        plan: &[Pending],
+        folded: &mut usize,
+        upto: usize,
+    ) -> Result<(), EngineError> {
+        while *folded < upto {
+            let j = *folded;
+            match &plan[j] {
+                Pending::Skip(skip) => self.apply_skip(&slot.rxs[j], skip),
+                Pending::Window(idx) => {
+                    let (tag, done) = wait_pop(&mut drv.ports.rx[*idx].done, &mut *drv.pump)?;
+                    if tag != j as u64 {
+                        return Err(EngineError::PipelineDesync {
+                            expected: j as u64,
+                            got: tag,
+                        });
+                    }
+                    self.apply_outcome(&slot.rxs[j], done, tag)?;
+                }
+            }
+            *folded += 1;
+        }
         Ok(())
     }
 
-    fn try_node_mut(&mut self, id: NodeId) -> Result<&mut Node, EngineError> {
-        self.nodes.get_mut(&id).ok_or(EngineError::NodeMissing(id))
-    }
-
-    /// Resolves a receive intent: gate, build the superposition window
-    /// from the event queue (one noise fork per opened window), poll
-    /// the node, and account for the outcome.
-    fn handle_rx(&mut self, intent: &RxIntent, span: usize) -> Result<(), EngineError> {
-        let recv = intent.receiver;
-        // Fault layer: a crashed (or babbling) receiver hears nothing
-        // usable. Deliveries it was supposed to complete are losses;
-        // relay capture slots simply stay empty (the rider attempts
-        // fail at settle time). No noise fork — window never opens.
-        if self.node_down(recv) {
-            match &intent.action {
+    /// The accounting of a window that never opened, applied at fold
+    /// position so the global metric mutation order matches the serial
+    /// engine.
+    fn apply_skip(&mut self, intent: &RxIntent, skip: &RxSkip) {
+        match skip {
+            // Fault layer: a crashed (or babbling) receiver hears
+            // nothing usable. Deliveries it was supposed to complete
+            // are losses; relay capture slots simply stay empty (the
+            // rider attempts fail at settle time).
+            RxSkip::Down => match &intent.action {
                 RxAction::CaptureMixture { flows } => {
                     for _ in flows {
                         self.lose_open();
@@ -1354,8 +1579,31 @@ impl<'p> Engine<'p> {
                 | RxAction::DeliverCope { .. }
                 | RxAction::DeliverByKey { .. } => self.lose_open(),
                 _ => {}
-            }
-            return Ok(());
+            },
+            // §11.5: without the overheard packet the interfered
+            // signal cannot be decoded either.
+            RxSkip::GateLost => self.lose_open(),
+            RxSkip::Silent => {}
+        }
+    }
+
+    /// Resolves a receive intent up to its pure superposition job:
+    /// fault and overhearing gates, audibility, link realizations,
+    /// and the window's noise fork all happen here, in intent order (a
+    /// skipped window forks nothing, exactly as the serial path). The
+    /// job and its work meta are streamed to the receiver's chain; all
+    /// accounting is deferred to fold position.
+    fn resolve_rx(
+        &mut self,
+        drv: &mut SlotDriver<'_, '_>,
+        intent: &RxIntent,
+        tag: u64,
+        span: usize,
+    ) -> Result<Pending, EngineError> {
+        let recv = intent.receiver;
+        // No noise fork for a down receiver — the window never opens.
+        if self.node_down(recv) {
+            return Ok(Pending::Skip(RxSkip::Down));
         }
         // Gates that close the window before it opens (no noise fork).
         match &intent.action {
@@ -1363,16 +1611,21 @@ impl<'p> Engine<'p> {
             | RxAction::DeliverCope { gated: true, .. }
                 if !self.heard.get(&recv).copied().unwrap_or(false) =>
             {
-                // §11.5: without the overheard packet the interfered
-                // signal cannot be decoded either.
-                self.lose_open();
-                return Ok(());
+                return Ok(Pending::Skip(RxSkip::GateLost));
             }
-            RxAction::HoldRelay { from } if !self.slot_frames.contains_key(from) => return Ok(()),
+            RxAction::HoldRelay { from } if !self.slot_frames.contains_key(from) => {
+                return Ok(Pending::Skip(RxSkip::Silent));
+            }
             _ => {}
         }
         let pad = self.cfg.pad_samples;
         let duration = pad + span + pad;
+        // Spatial gating (positioned topologies only): one O(local
+        // density) grid query yields the set of senders this receiver
+        // can hear at all; every link walk below then skips gated-out
+        // senders. Unpositioned topologies take the dense reference
+        // path — `gated` stays false and `hears` admits everyone, so
+        // the golden runs are untouched.
         // Spatial gating (positioned topologies only): one O(local
         // density) grid query yields the set of senders this receiver
         // can hear at all; every link walk below then skips gated-out
@@ -1385,7 +1638,7 @@ impl<'p> Engine<'p> {
         // Fault layer: stuck-carrier nodes in range babble an unmodulated
         // tone across the whole window. They are extra interferers, so a
         // window can open even when no scheduled transmission is audible.
-        let mut babble: Vec<(Vec<Cplx>, Link)> = Vec::new();
+        let mut tones: Vec<(Vec<Cplx>, Link)> = Vec::new();
         if let Some(fspec) = self.faults {
             let seed = self.cfg.seed;
             for spec in self.topo.links() {
@@ -1394,22 +1647,22 @@ impl<'p> Engine<'p> {
                 }
                 if let Some((amp, phase)) = fspec.stuck_carrier(seed, spec.from, self.exchange) {
                     let tone = vec![Cplx::from_polar(amp, phase); duration];
-                    babble.push((tone, spec.link));
+                    tones.push((tone, spec.link));
                 }
             }
         }
         let audible = self.events.iter().any(|e| {
             e.sender != recv && hears(e.sender) && self.topo.link(e.sender, recv).is_some()
         });
-        if !audible && babble.is_empty() {
+        if !audible && tones.is_empty() {
             self.mask_scratch = mask;
-            return Ok(());
+            return Ok(Pending::Skip(RxSkip::Silent));
         }
         // The window covers the whole slot plus noise padding on both
-        // sides, so detectors see a floor (§7.1). Waveforms are
-        // borrowed from the event queue — one slot's wave fans out to
+        // sides, so detectors see a floor (§7.1). Waveforms are shared
+        // `Arc`s from the event queue — one slot's wave fans out to
         // every receiver in range without being copied.
-        let mut list = Vec::new();
+        let mut transmissions: Vec<(Arc<Vec<Cplx>>, usize, Link)> = Vec::new();
         for e in &self.events {
             if e.sender == recv || !hears(e.sender) {
                 continue; // half-duplex, or spatially gated out
@@ -1440,79 +1693,108 @@ impl<'p> Engine<'p> {
                         link.gain *= g;
                     }
                 }
-                list.push(TransmissionRef {
-                    samples: &e.wave,
-                    start: pad + e.offset,
-                    link,
-                });
+                transmissions.push((Arc::clone(&e.wave), pad + e.offset, link));
             }
         }
-        for (tone, link) in &babble {
-            list.push(TransmissionRef {
-                samples: tone,
-                start: 0,
-                link: *link,
-            });
-        }
-        let rng = self
+        self.mask_scratch = mask;
+        // The window's noise fork happens here, in intent order, so
+        // the per-receiver noise stream advances exactly as it does on
+        // the serial path; the blocks only *consume* the forked rng.
+        let noise = self
             .noise
             .get_mut(&recv)
             .ok_or(EngineError::NoiseMissing(recv))?
             .fork(0);
-        let mut scratch = std::mem::take(&mut self.rx_scratch);
-        Medium::from_rng(self.cfg.noise_power, rng).receive_refs_into(
-            &list,
-            duration,
-            &mut scratch,
-        );
-        drop(list);
         // Fault layer: wideband jammer bursts land on top of the mixed
         // window, drawn from a (receiver, period)-pure stream so they
         // never perturb the receiver's own forked noise sequence.
-        if let Some(fspec) = self.faults {
-            if let Some(power) = fspec.jammer_power_at(self.cfg.seed, self.exchange) {
-                let jam = fspec.jammer_noise_rng(self.cfg.seed, recv, self.exchange);
-                Medium::inject_jammer(&mut scratch, power, jam);
-            }
-        }
-        let outcome = self.process_window(intent, &scratch);
-        self.rx_scratch = scratch;
-        self.mask_scratch = mask;
-        outcome
+        let jammer = self.faults.and_then(|fspec| {
+            fspec
+                .jammer_power_at(self.cfg.seed, self.exchange)
+                .map(|power| {
+                    (
+                        power,
+                        fspec.jammer_noise_rng(self.cfg.seed, recv, self.exchange),
+                    )
+                })
+        });
+        let work = match &intent.action {
+            RxAction::CaptureMixture { .. } => RxWork::Capture,
+            RxAction::DeliverCope { .. } => RxWork::Cope,
+            RxAction::Overhear => RxWork::Overhear,
+            _ => RxWork::Poll,
+        };
+        let idx = drv.park.index_of(recv)?;
+        wait_push(&mut drv.ports.rx[idx].meta, work, &mut *drv.pump)?;
+        wait_push(
+            &mut drv.ports.rx[idx].jobs,
+            WindowJob {
+                duration,
+                noise_power: self.cfg.noise_power,
+                noise,
+                transmissions,
+                tones,
+                jammer,
+                tag,
+            },
+            &mut *drv.pump,
+        )?;
+        Ok(Pending::Window(idx))
     }
 
-    /// Applies a receive intent's action to a built window.
-    fn process_window(&mut self, intent: &RxIntent, window: &[Cplx]) -> Result<(), EngineError> {
+    /// Applies a decode outcome — computed off the controller by the
+    /// receiver's block chain — to the engine's accounting. Runs at
+    /// fold position, so every metric and engine-state mutation keeps
+    /// the serial intent order. A done value of the wrong kind for the
+    /// intent's action means the rings desynchronized (`at` is the
+    /// intent index both sides should agree on).
+    fn apply_outcome(
+        &mut self,
+        intent: &RxIntent,
+        done: RxDone,
+        at: u64,
+    ) -> Result<(), EngineError> {
         let recv = intent.receiver;
+        let desync = || EngineError::PipelineDesync {
+            expected: at,
+            got: at,
+        };
         match &intent.action {
-            RxAction::CaptureMixture { flows } => {
-                match self.try_node_mut(recv)?.poll(window) {
-                    RxEvent::Relay { start, end, .. } => {
-                        self.mixture.insert(recv, (window.to_vec(), start, end));
+            RxAction::CaptureMixture { flows } => match done {
+                RxDone::Capture(Some((window, start, end))) => {
+                    self.mixture.insert(recv, (window, start, end));
+                }
+                RxDone::Capture(None) => {
+                    // Near-total overlap: neither header readable;
+                    // every packet inside the mixture is lost
+                    // (closed loop: every rider's attempt fails).
+                    for _ in flows {
+                        self.lose_open();
                     }
-                    _ => {
-                        // Near-total overlap: neither header readable;
-                        // every packet inside the mixture is lost
-                        // (closed loop: every rider's attempt fails).
-                        for _ in flows {
-                            self.lose_open();
-                        }
+                }
+                _ => return Err(desync()),
+            },
+            RxAction::HoldClean => {
+                let RxDone::Evt(evt) = done else {
+                    return Err(desync());
+                };
+                match clean_frame(evt) {
+                    Some(frame) => {
+                        self.held.insert(recv, frame);
                     }
+                    None => self.lose_open(),
                 }
             }
-            RxAction::HoldClean => match clean_frame(self.try_node_mut(recv)?.poll(window)) {
-                Some(frame) => {
-                    self.held.insert(recv, frame);
-                }
-                None => self.lose_open(),
-            },
             RxAction::HoldRelay { from } => {
                 let expected = self
                     .slot_frames
                     .get(from)
                     .ok_or(EngineError::SlotFrameMissing(*from))?
                     .clone();
-                match self.try_node_mut(recv)?.poll(window) {
+                let RxDone::Evt(evt) = done else {
+                    return Err(desync());
+                };
+                match evt {
                     RxEvent::Clean {
                         frame,
                         crc_ok: true,
@@ -1533,11 +1815,14 @@ impl<'p> Engine<'p> {
                 }
             }
             RxAction::DeliverAnc { flow, .. } => {
+                let RxDone::Evt(evt) = done else {
+                    return Err(desync());
+                };
                 let Some(theirs) = self.flows[*flow].round_frame.clone() else {
                     self.lose_open();
                     return Ok(());
                 };
-                match self.try_node_mut(recv)?.poll(window) {
+                match evt {
                     RxEvent::AncDecoded {
                         frame, diagnostics, ..
                     } if frame.header.key() == theirs.header.key() => {
@@ -1551,11 +1836,14 @@ impl<'p> Engine<'p> {
                 }
             }
             RxAction::DeliverClean { flow, tag_receiver } => {
+                let RxDone::Evt(evt) = done else {
+                    return Err(desync());
+                };
                 let Some(theirs) = self.flows[*flow].round_frame.clone() else {
                     self.lose_open();
                     return Ok(());
                 };
-                match self.try_node_mut(recv)?.poll(window) {
+                match evt {
                     RxEvent::Clean { frame, .. } if frame.header.key() == theirs.header.key() => {
                         let b = ber(&frame.payload, &theirs.payload);
                         let goodput = self.metrics.account.deliver(self.cfg.payload_bits, b);
@@ -1570,16 +1858,12 @@ impl<'p> Engine<'p> {
                 }
             }
             RxAction::DeliverCope { flow, .. } => {
+                let RxDone::Cope(decoded) = done else {
+                    return Err(desync());
+                };
                 let Some(theirs) = self.flows[*flow].round_frame.clone() else {
                     self.lose_open();
                     return Ok(());
-                };
-                let decoded = match self.try_node_mut(recv)?.poll(window) {
-                    RxEvent::Clean { frame, .. } if frame.header.is_xor() => {
-                        let node = self.try_node(recv)?;
-                        CopeCoder.decode(&frame, &node.buffer).ok()
-                    }
-                    _ => None,
                 };
                 match decoded {
                     Some(dec) if dec.header.key() == theirs.header.key() => {
@@ -1591,41 +1875,73 @@ impl<'p> Engine<'p> {
                     _ => self.lose_open(),
                 }
             }
-            RxAction::DeliverByKey { flow } => match self.try_node_mut(recv)?.poll(window) {
-                RxEvent::Clean { frame, .. } => {
-                    let truth = self.flows[*flow]
-                        .history
-                        .iter()
-                        .find(|s| s.header.key() == frame.header.key())
-                        .cloned();
-                    match truth {
-                        Some(t) => {
-                            let b = ber(&frame.payload, &t.payload);
-                            let goodput = self.metrics.account.deliver(self.cfg.payload_bits, b);
-                            self.mark_cl_delivered(*flow, goodput);
-                            if let Some(cl) = self.cl.as_mut() {
-                                cl.delivered_keys.push(frame.header.key());
+            RxAction::DeliverByKey { flow } => {
+                let RxDone::Evt(evt) = done else {
+                    return Err(desync());
+                };
+                match evt {
+                    RxEvent::Clean { frame, .. } => {
+                        let truth = self.flows[*flow]
+                            .history
+                            .iter()
+                            .find(|s| s.header.key() == frame.header.key())
+                            .cloned();
+                        match truth {
+                            Some(t) => {
+                                let b = ber(&frame.payload, &t.payload);
+                                let goodput =
+                                    self.metrics.account.deliver(self.cfg.payload_bits, b);
+                                self.mark_cl_delivered(*flow, goodput);
+                                if let Some(cl) = self.cl.as_mut() {
+                                    cl.delivered_keys.push(frame.header.key());
+                                }
                             }
+                            None => self.lose_open(),
                         }
-                        None => self.lose_open(),
                     }
+                    _ => self.lose_open(),
                 }
-                _ => self.lose_open(),
-            },
+            }
             RxAction::CopeCapture { flow } => {
-                if let Some(frame) = clean_frame(self.try_node_mut(recv)?.poll(window)) {
+                let RxDone::Evt(evt) = done else {
+                    return Err(desync());
+                };
+                if let Some(frame) = clean_frame(evt) {
                     self.cope_pending[*flow] = Some(frame);
                 }
                 // A missed uplink is charged when the XOR slot finds
                 // the capture missing (both coded packets are lost).
             }
             RxAction::Overhear => {
-                let got = self.try_node_mut(recv)?.try_overhear(window);
-                self.heard.insert(recv, got.is_some());
+                let RxDone::Heard(got) = done else {
+                    return Err(desync());
+                };
+                self.heard.insert(recv, got);
             }
         }
         Ok(())
     }
+}
+
+/// A receive intent's fate within a slot, recorded in intent order so
+/// outcomes can be folded back in exactly that order.
+enum Pending {
+    /// The window never opened; its accounting applies at fold position.
+    Skip(RxSkip),
+    /// A window is in flight through the block chain of node `idx`.
+    Window(usize),
+}
+
+/// Why a receive window never opened (mirrors the serial early returns).
+enum RxSkip {
+    /// Fault layer: the receiver is crashed or babbling.
+    Down,
+    /// Overhearing gate closed: §11.5, the interfered signal cannot be
+    /// decoded without the overheard packet.
+    GateLost,
+    /// Nothing audible (or a relay with nothing to forward): the slot
+    /// is silent for this receiver.
+    Silent,
 }
 
 fn clean_frame(evt: RxEvent) -> Option<Frame> {

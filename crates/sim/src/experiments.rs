@@ -13,15 +13,33 @@
 //! and [`parking_lot_sweep`] runs the length-N chain over a range of
 //! relay counts (throughput vs hop count).
 
-use crate::engine::Engine;
+use crate::engine::{Engine, Program};
 use crate::faults::FaultSpec;
 use crate::metrics::{gain, RunMetrics};
+use crate::pipeline::{RunCtx, SchedulerSpec};
 use crate::pool::parallel_map_indexed;
 use crate::runs::{run_alice_bob, run_chain, run_x, RunConfig};
 use crate::scenario::{MeshConfig, ScenarioError, ScenarioSpec};
 use crate::topology::{nodes, TopologyKind};
 use anc_netcode::{ArqConfig, Scheme, TrafficModel};
 use serde::{Deserialize, Serialize};
+
+/// Runs a pre-compiled program under the default deterministic
+/// scheduler: the sweep drivers compile each scheme once and execute
+/// it many times with varying run configs.
+///
+/// # Panics
+/// Panics on an [`crate::EngineError`] — the sweeps treat one as a
+/// violated structural invariant, exactly as the old `Engine::run`.
+fn exec(program: &Program, rc: &RunConfig) -> RunMetrics {
+    Engine::try_run_ctx(
+        program,
+        rc,
+        &SchedulerSpec::default(),
+        &mut RunCtx::default(),
+    )
+    .unwrap_or_else(|e| panic!("engine invariant violated: {e}"))
+}
 
 /// Parameters of a multi-run experiment.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -206,9 +224,9 @@ pub fn scenario_experiment(
         None
     };
     let runs = parallel_runs(cfg, |rc| {
-        let mut pair = vec![Engine::run(&anc, &rc), Engine::run(&trad, &rc)];
+        let mut pair = vec![exec(&anc, &rc), exec(&trad, &rc)];
         if let Some(c) = &cope {
-            pair.push(Engine::run(c, &rc));
+            pair.push(exec(c, &rc));
         }
         pair
     });
@@ -296,8 +314,8 @@ pub fn parking_lot_sweep(cfg: &ParkingLotSweepConfig) -> Vec<ParkingLotPoint> {
         for r in 0..cfg.runs_per_point {
             let mut rc = cfg.base.clone();
             rc.seed = run_seed(cfg.base.seed.wrapping_add(idx as u64 * 6367), r);
-            let a = Engine::run(&anc_prog, &rc);
-            let t = Engine::run(&trad_prog, &rc);
+            let a = exec(&anc_prog, &rc);
+            let t = exec(&trad_prog, &rc);
             gains.push(gain(&a, &t));
             anc_tp.push(a.account.throughput());
             trad_tp.push(t.account.throughput());
@@ -380,22 +398,24 @@ pub fn throughput_vs_load(
 ) -> Result<Vec<LoadPoint>, ScenarioError> {
     // Compile once up front so an unschedulable spec fails before the
     // fan-out (the per-point compiles below only vary the ARQ config).
-    spec.clone().with_arq(cfg.arq).compile(scheme)?;
+    spec.clone()
+        .builder(scheme)
+        .arq(cfg.arq)
+        .build()
+        .map(drop)?;
     Ok(parallel_map_indexed(cfg.loads.len(), cfg.threads, |idx| {
         let load = cfg.loads[idx];
         let arq = cfg.arq.with_traffic(TrafficModel::Poisson { rate: load });
-        let program = spec
-            .clone()
-            .with_arq(arq)
-            .compile(scheme)
-            .expect("validated above");
+        let mut armed = spec.clone();
+        armed.arq = Some(arq);
+        let program = armed.compile(scheme).expect("validated above");
         let mut throughputs = Vec::with_capacity(cfg.runs_per_point);
         let (mut offered, mut delivered, mut dropped, mut retx, mut completed) = (0, 0, 0, 0, 0);
         let mut latencies = Vec::new();
         for r in 0..cfg.runs_per_point {
             let mut rc = cfg.base.clone();
             rc.seed = run_seed(cfg.base.seed.wrapping_add(idx as u64 * 104_729), r);
-            let m = Engine::run(&program, &rc);
+            let m = exec(&program, &rc);
             throughputs.push(m.account.throughput());
             for fm in &m.flows {
                 offered += fm.offered;
@@ -503,7 +523,8 @@ pub fn chaos_sweep(
 ) -> Result<Vec<ChaosPoint>, ScenarioError> {
     // Compile both schemes once up front so an unschedulable spec
     // fails before the fan-out.
-    let armed = spec.clone().with_arq(cfg.arq);
+    let mut armed = spec.clone();
+    armed.arq = Some(cfg.arq);
     armed.clone().compile(Scheme::Anc)?;
     armed.compile(Scheme::Traditional)?;
     Ok(parallel_map_indexed(
@@ -511,10 +532,9 @@ pub fn chaos_sweep(
         cfg.threads,
         |idx| {
             let intensity = cfg.intensities[idx];
-            let faulted = spec
-                .clone()
-                .with_arq(cfg.arq)
-                .with_faults(cfg.faults.clone().scaled(intensity));
+            let mut faulted = spec.clone();
+            faulted.arq = Some(cfg.arq);
+            faulted.faults = Some(cfg.faults.clone().scaled(intensity));
             let anc_prog = faulted.clone().compile(Scheme::Anc).expect("validated");
             let trad_prog = faulted.compile(Scheme::Traditional).expect("validated");
             let mut anc_tp = Vec::with_capacity(cfg.runs_per_point);
@@ -527,8 +547,8 @@ pub fn chaos_sweep(
             for r in 0..cfg.runs_per_point {
                 let mut rc = cfg.base.clone();
                 rc.seed = run_seed(cfg.base.seed.wrapping_add(idx as u64 * 15_485_863), r);
-                let a = Engine::run(&anc_prog, &rc);
-                let t = Engine::run(&trad_prog, &rc);
+                let a = exec(&anc_prog, &rc);
+                let t = exec(&trad_prog, &rc);
                 anc_tp.push(a.account.throughput());
                 trad_tp.push(t.account.throughput());
                 for fm in &a.flows {
@@ -586,14 +606,13 @@ pub fn saturated_throughput(
     runs: usize,
     threads: usize,
 ) -> Result<f64, ScenarioError> {
-    let program = spec
-        .clone()
-        .with_arq(arq.with_traffic(TrafficModel::Saturated))
-        .compile(scheme)?;
+    let mut armed = spec.clone();
+    armed.arq = Some(arq.with_traffic(TrafficModel::Saturated));
+    let program = armed.compile(scheme)?;
     let tps = parallel_map_indexed(runs, threads, |idx| {
         let mut rc = base.clone();
         rc.seed = run_seed(base.seed, idx);
-        Engine::run(&program, &rc).account.throughput()
+        exec(&program, &rc).account.throughput()
     });
     Ok(mean(&tps))
 }

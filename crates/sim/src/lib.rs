@@ -61,14 +61,19 @@ pub mod experiments;
 pub mod faults;
 pub mod metrics;
 pub mod monte_carlo;
+pub mod pipeline;
 pub mod pool;
 pub mod report;
 pub mod runs;
 pub mod scenario;
 pub mod topology;
 
-pub use city::{run_city, CityConfig, CityLayout, CityOutcome, FlashCrowd};
-pub use engine::{DecodePipeline, Engine, EngineError, Program};
+pub use city::{
+    run_city, try_run_city, CityConfig, CityError, CityLayout, CityOutcome, FlashCrowd,
+};
+#[allow(deprecated)]
+pub use engine::DecodePipeline;
+pub use engine::{Engine, EngineError, Program};
 pub use experiments::{
     alice_bob, chain, chaos_sweep, saturated_throughput, sir_sweep, throughput_vs_load, x_topology,
     ChaosPoint, ChaosSweepConfig, LoadPoint, LoadSweepConfig,
@@ -76,7 +81,8 @@ pub use experiments::{
 pub use faults::{FaultSpec, ScriptedOutage};
 pub use metrics::{FlowMetrics, OutageRecord, RunMetrics, StatDigest, ThroughputAccount};
 pub use monte_carlo::{monte_carlo, Ci, MonteCarloConfig, MonteCarloResult};
+pub use pipeline::{RunCtx, SchedMode, SchedulerSpec};
 pub use report::{ExperimentReport, FigureSeries};
-pub use runs::{run_spec, RunConfig, Scenario};
+pub use runs::{run_spec, Run, RunBuilder, RunConfig, Scenario};
 pub use scenario::{MeshConfig, ScenarioError, ScenarioSpec};
 pub use topology::{LinkSpec, Topology, TopologyGraph, TopologyKind};

@@ -18,9 +18,10 @@
 //! trial are keyed on coordinates, never on evaluation order (see
 //! [`anc_channel::impairment`]).
 
-use crate::engine::{DecodePipeline, Engine};
+use crate::engine::{Engine, EngineError};
 use crate::experiments::run_seed;
 use crate::metrics::RunMetrics;
+use crate::pipeline::{RunCtx, SchedulerSpec};
 use crate::pool::parallel_map_indexed_with;
 use crate::runs::RunConfig;
 use crate::scenario::{ScenarioError, ScenarioSpec};
@@ -179,21 +180,23 @@ pub fn monte_carlo_trials(
     cfg: &MonteCarloConfig,
 ) -> Result<Vec<RunMetrics>, ScenarioError> {
     let program = spec.compile(scheme)?;
-    // One shared batch pipeline per worker: every trial a worker draws
-    // runs through the same warmed decoder scratch (DESIGN.md §8)
-    // instead of constructing a fresh pipeline per trial. Scratch
-    // contents never influence decode output, so parallel and serial
-    // stay bit-identical (pinned by tests/monte_carlo.rs).
-    Ok(parallel_map_indexed_with(
-        cfg.trials,
-        cfg.threads,
-        DecodePipeline::default,
-        |pipeline, idx| {
+    // One shared scratch context per worker: every trial a worker
+    // draws runs through the same warmed [`RunCtx`] (DESIGN.md §8,
+    // §14) instead of constructing fresh decoder buffers per trial.
+    // Scratch contents never influence decode output, so parallel and
+    // serial stay bit-identical (pinned by tests/monte_carlo.rs). An
+    // engine failure in any trial surfaces as a value instead of
+    // aborting the sweep.
+    let sched = SchedulerSpec::deterministic();
+    let trials: Result<Vec<RunMetrics>, EngineError> =
+        parallel_map_indexed_with(cfg.trials, cfg.threads, RunCtx::default, |ctx, idx| {
             let mut rc = cfg.base.clone();
             rc.seed = run_seed(cfg.base.seed, idx);
-            Engine::run_with_pipeline(&program, &rc, pipeline)
-        },
-    ))
+            Engine::try_run_ctx(&program, &rc, &sched, ctx)
+        })
+        .into_iter()
+        .collect();
+    Ok(trials?)
 }
 
 /// Runs `cfg.trials` independent realizations of `spec` under `scheme`

@@ -9,12 +9,15 @@
 //! the seeded metrics are unchanged to the bit. [`run_spec`] runs any
 //! other scenario the same way.
 
-use crate::engine::Engine;
+use crate::engine::{Engine, Program};
+use crate::faults::FaultSpec;
 use crate::metrics::RunMetrics;
+use crate::pipeline::{RunCtx, SchedulerSpec};
 use crate::scenario::{ScenarioError, ScenarioSpec};
 use crate::topology::{ChannelDraw, TopologyKind};
+use anc_channel::ImpairmentSpec;
 use anc_frame::NodeId;
-use anc_netcode::Scheme;
+use anc_netcode::{ArqConfig, Scheme};
 use anc_node::MacConfig;
 use serde::{Deserialize, Serialize};
 
@@ -105,14 +108,145 @@ pub struct Scenario {
     pub scheme: Scheme,
 }
 
+/// Builder-style run entry: one fluent surface replacing the old
+/// four-way `Engine::run` / `try_run` / `run_with_pipeline` /
+/// `try_run_with_pipeline` split and the `ScenarioSpec::with_*`
+/// modifiers. Configure, [`RunBuilder::build`] once (compiling the
+/// scenario), then execute the compiled [`Run`] as many times as
+/// needed — optionally with a warmed [`RunCtx`] and a non-default
+/// [`SchedulerSpec`].
+///
+/// ```
+/// use anc_netcode::Scheme;
+/// use anc_sim::scenario::ScenarioSpec;
+/// use anc_sim::{RunConfig, SchedulerSpec};
+///
+/// let metrics = ScenarioSpec::alice_bob()
+///     .builder(Scheme::Anc)
+///     .config(RunConfig::quick(7))
+///     .scheduler(SchedulerSpec::deterministic())
+///     .build()
+///     .expect("alice_bob compiles")
+///     .execute()
+///     .expect("run completes");
+/// assert!(metrics.account.delivered > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RunBuilder {
+    spec: ScenarioSpec,
+    scheme: Scheme,
+    cfg: RunConfig,
+    sched: SchedulerSpec,
+}
+
+impl ScenarioSpec {
+    /// Starts a [`RunBuilder`] for this scenario under `scheme`, with
+    /// the default [`RunConfig`] and the deterministic scheduler.
+    pub fn builder(self, scheme: Scheme) -> RunBuilder {
+        RunBuilder {
+            spec: self,
+            scheme,
+            cfg: RunConfig::default(),
+            sched: SchedulerSpec::default(),
+        }
+    }
+}
+
+impl RunBuilder {
+    /// Sets the run parameters (seed, packet counts, channel, MAC…).
+    pub fn config(mut self, cfg: RunConfig) -> RunBuilder {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Enables the closed-loop MAC/ARQ layer (see [`ArqConfig`]).
+    pub fn arq(mut self, arq: ArqConfig) -> RunBuilder {
+        self.spec.arq = Some(arq);
+        self
+    }
+
+    /// Attaches a deterministic fault timeline (see [`FaultSpec`]).
+    pub fn faults(mut self, faults: FaultSpec) -> RunBuilder {
+        self.spec.faults = Some(faults);
+        self
+    }
+
+    /// Attaches a default time-varying impairment process to every
+    /// link and sender (see [`ImpairmentSpec`]).
+    pub fn impairments(mut self, spec: ImpairmentSpec) -> RunBuilder {
+        self.spec.impairments = Some(spec);
+        self
+    }
+
+    /// Switches compiled programs to O(1) streaming-digest metrics.
+    pub fn streaming_metrics(mut self) -> RunBuilder {
+        self.spec.streaming_metrics = true;
+        self
+    }
+
+    /// Selects how the run's block graph is scheduled (deterministic
+    /// reference executor or work-stealing threads; ring capacity).
+    pub fn scheduler(mut self, sched: SchedulerSpec) -> RunBuilder {
+        self.sched = sched;
+        self
+    }
+
+    /// Compiles the scenario into an executable [`Run`].
+    pub fn build(self) -> Result<Run, ScenarioError> {
+        let program = self.spec.compile(self.scheme)?;
+        Ok(Run {
+            program,
+            cfg: self.cfg,
+            sched: self.sched,
+        })
+    }
+
+    /// Compile-and-execute shorthand: `build()?.execute()`.
+    pub fn run(self) -> Result<RunMetrics, ScenarioError> {
+        self.build()?.execute()
+    }
+}
+
+/// A compiled, executable run: the [`Program`] plus its config and
+/// scheduler choice. Execute it repeatedly (e.g. across Monte Carlo
+/// trials) without re-compiling the scenario.
+#[derive(Debug)]
+pub struct Run {
+    program: Program,
+    cfg: RunConfig,
+    sched: SchedulerSpec,
+}
+
+impl Run {
+    /// Executes the run with a fresh scratch context.
+    pub fn execute(&self) -> Result<RunMetrics, ScenarioError> {
+        self.execute_with(&mut RunCtx::default())
+    }
+
+    /// Executes the run with a caller-owned warmed [`RunCtx`] (decoder
+    /// scratch reuse across runs — the Monte Carlo hot path).
+    pub fn execute_with(&self, ctx: &mut RunCtx) -> Result<RunMetrics, ScenarioError> {
+        Engine::try_run_ctx(&self.program, &self.cfg, &self.sched, ctx).map_err(ScenarioError::from)
+    }
+
+    /// The run's parameters (seed, packet counts…).
+    pub fn config(&self) -> &RunConfig {
+        &self.cfg
+    }
+
+    /// The compiled program (inspection/tests).
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+}
+
 /// Compiles and runs any scenario spec under one scheme.
 pub fn run_spec(
     spec: &ScenarioSpec,
     scheme: Scheme,
     cfg: &RunConfig,
 ) -> Result<RunMetrics, ScenarioError> {
-    let program = spec.compile(scheme)?;
-    Ok(Engine::run(&program, cfg))
+    spec.clone().builder(scheme).config(cfg.clone()).run()
 }
 
 /// Runs one scheme on one Alice-Bob realization (Fig. 1, §11.4).

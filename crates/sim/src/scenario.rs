@@ -46,6 +46,10 @@ pub enum ScenarioError {
     },
     /// Anything else (empty flows, malformed graph, sparse mesh…).
     Invalid(String),
+    /// The compiled program failed while executing (see
+    /// [`crate::engine::EngineError`]) — surfaced by the
+    /// [`crate::RunBuilder`] path so one `?` covers compile *and* run.
+    Engine(crate::engine::EngineError),
 }
 
 impl std::fmt::Display for ScenarioError {
@@ -58,6 +62,7 @@ impl std::fmt::Display for ScenarioError {
                 needed_for,
             } => write!(f, "missing link {from}→{to} ({needed_for})"),
             ScenarioError::Invalid(s) => write!(f, "{s}"),
+            ScenarioError::Engine(e) => write!(f, "{e}"),
         }
     }
 }
@@ -65,6 +70,12 @@ impl std::fmt::Display for ScenarioError {
 impl From<ScheduleError> for ScenarioError {
     fn from(e: ScheduleError) -> Self {
         ScenarioError::Schedule(e)
+    }
+}
+
+impl From<crate::engine::EngineError> for ScenarioError {
+    fn from(e: crate::engine::EngineError) -> Self {
+        ScenarioError::Engine(e)
     }
 }
 
@@ -130,6 +141,7 @@ impl ScenarioSpec {
 
     /// Enables the closed-loop MAC/ARQ layer (see [`ArqConfig`]);
     /// builder-style for the load sweeps.
+    #[deprecated(since = "0.1.0", note = "use ScenarioSpec::builder(..).arq(..)")]
     pub fn with_arq(mut self, arq: ArqConfig) -> ScenarioSpec {
         self.arq = Some(arq);
         self
@@ -137,6 +149,7 @@ impl ScenarioSpec {
 
     /// Attaches a fault timeline (see [`FaultSpec`]); builder-style
     /// for the chaos sweeps.
+    #[deprecated(since = "0.1.0", note = "use ScenarioSpec::builder(..).faults(..)")]
     pub fn with_faults(mut self, faults: FaultSpec) -> ScenarioSpec {
         self.faults = Some(faults);
         self
@@ -787,6 +800,8 @@ impl MeshConfig {
 mod tests {
     use super::*;
     use crate::engine::Engine;
+    use crate::metrics::RunMetrics;
+    use crate::pipeline::{RunCtx, SchedulerSpec};
     use crate::runs::RunConfig;
 
     fn quick_cfg(seed: u64) -> RunConfig {
@@ -795,6 +810,11 @@ mod tests {
             payload_bits: 2048,
             ..RunConfig::quick(seed)
         }
+    }
+
+    fn exec(p: &Program, cfg: &RunConfig) -> RunMetrics {
+        Engine::try_run_ctx(p, cfg, &SchedulerSpec::default(), &mut RunCtx::default())
+            .expect("program executes")
     }
 
     #[test]
@@ -916,14 +936,14 @@ mod tests {
             packets_per_flow: 18,
             ..quick_cfg(21)
         };
-        let m = Engine::run(&p, &cfg);
+        let m = exec(&p, &cfg);
         assert!(
             m.account.delivered >= cfg.packets_per_flow / 2,
             "parking lot delivered {}/{}",
             m.account.delivered,
             cfg.packets_per_flow
         );
-        let t = Engine::run(&spec.compile(Scheme::Traditional).unwrap(), &cfg);
+        let t = exec(&spec.compile(Scheme::Traditional).unwrap(), &cfg);
         assert_eq!(t.account.delivered, cfg.packets_per_flow);
         assert!(
             m.account.throughput() > t.account.throughput(),
@@ -943,7 +963,7 @@ mod tests {
             payload_bits: 2048,
             ..RunConfig::quick(4)
         };
-        let m = Engine::run(&spec.compile(Scheme::Anc).unwrap(), &cfg);
+        let m = exec(&spec.compile(Scheme::Anc).unwrap(), &cfg);
         // The strongly-overheard side (X2 decodes flow 1) must deliver
         // at least as much as the weakly-overheard side.
         let at_x2 = m.bers_at(X2).count();
@@ -962,8 +982,8 @@ mod tests {
         assert_eq!(spec1.graph.node_ids, spec2.graph.node_ids);
         assert_eq!(spec1.flows, spec2.flows);
         let cfg = quick_cfg(9);
-        let a = Engine::run(&spec1.compile(Scheme::Anc).unwrap(), &cfg);
-        let b = Engine::run(&spec2.compile(Scheme::Anc).unwrap(), &cfg);
+        let a = exec(&spec1.compile(Scheme::Anc).unwrap(), &cfg);
+        let b = exec(&spec2.compile(Scheme::Anc).unwrap(), &cfg);
         assert_eq!(
             a.account.goodput_bits.to_bits(),
             b.account.goodput_bits.to_bits()
@@ -1077,8 +1097,8 @@ mod tests {
 
     #[test]
     fn fault_spec_roundtrips_through_scenario_json() {
-        let spec = ScenarioSpec::alice_bob()
-            .with_faults(FaultSpec::none().with_crashes(0.1, 4).with_queue_drop(true));
+        let mut spec = ScenarioSpec::alice_bob();
+        spec.faults = Some(FaultSpec::none().with_crashes(0.1, 4).with_queue_drop(true));
         let json = serde_json::to_string(&spec).unwrap();
         let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(back.faults, spec.faults);

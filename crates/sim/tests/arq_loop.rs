@@ -73,12 +73,13 @@ fn arq_recovers_losses_on_a_lossy_relay() {
         ..quick_base(17)
     };
     let open = run_spec(&spec, Scheme::Anc, &cfg).unwrap();
-    let closed = run_spec(
-        &spec.clone().with_arq(ArqConfig::default()),
-        Scheme::Anc,
-        &cfg,
-    )
-    .unwrap();
+    let closed = spec
+        .clone()
+        .builder(Scheme::Anc)
+        .arq(ArqConfig::default())
+        .config(cfg.clone())
+        .run()
+        .unwrap();
     assert!(
         open.account.delivery_rate() < 1.0,
         "the scenario must actually be lossy (open-loop rate {})",
@@ -129,7 +130,12 @@ fn hopeless_channel_drops_after_exactly_max_retries() {
     };
     let mut cfg = quick_base(5);
     cfg.channel.gain = (0.01, 0.02);
-    let m = run_spec(&ScenarioSpec::alice_bob().with_arq(arq), Scheme::Anc, &cfg).unwrap();
+    let m = ScenarioSpec::alice_bob()
+        .builder(Scheme::Anc)
+        .arq(arq)
+        .config(cfg.clone())
+        .run()
+        .unwrap();
     for fm in &m.flows {
         assert_eq!(fm.offered, 3);
         assert_eq!(fm.delivered, 0);
@@ -145,13 +151,17 @@ fn hopeless_channel_drops_after_exactly_max_retries() {
 
 #[test]
 fn chain_closed_loop_pipelines_batches() {
-    let spec = ScenarioSpec::chain().with_arq(ArqConfig::default());
     let cfg = RunConfig {
         packets_per_flow: 6,
         payload_bits: 4096,
         ..RunConfig::quick(5)
     };
-    let m = run_spec(&spec, Scheme::Anc, &cfg).unwrap();
+    let m = ScenarioSpec::chain()
+        .builder(Scheme::Anc)
+        .arq(ArqConfig::default())
+        .config(cfg.clone())
+        .run()
+        .unwrap();
     assert_eq!(m.flows.len(), 1);
     let fm = &m.flows[0];
     assert_eq!(fm.offered, 6);
@@ -283,13 +293,17 @@ proptest! {
             backoff_cap_periods: 4,
             ack_bits: 32,
         };
-        let spec = faded_alice_bob().with_arq(arq);
         let cfg = RunConfig {
             packets_per_flow: 4,
             payload_bits: 2048,
             ..RunConfig::quick(seed)
         };
-        let m = run_spec(&spec, Scheme::Anc, &cfg).unwrap();
+        let m = faded_alice_bob()
+            .builder(Scheme::Anc)
+            .arq(arq)
+            .config(cfg.clone())
+            .run()
+            .unwrap();
         prop_assert_eq!(m.flows.len(), 2);
         for fm in &m.flows {
             prop_assert_eq!(

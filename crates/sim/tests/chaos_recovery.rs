@@ -89,7 +89,8 @@ fn fault_spec_none_is_bit_identical_to_goldens() {
         ),
     ];
     for (make, scheme, seed, expected) in cases {
-        let spec = make().with_faults(FaultSpec::none());
+        let mut spec = make();
+        spec.faults = Some(FaultSpec::none());
         let m = run_spec(&spec, *scheme, &golden_cfg(*seed)).unwrap();
         assert_eq!(
             fingerprint(&m),
@@ -131,20 +132,20 @@ fn fallback_sustains_goodput_during_relay_churn() {
     let cfg = churn_cfg(11);
     let faults = flapping_relay(100_000);
     let arq = ArqConfig::default();
-    let anc = run_spec(
-        &ScenarioSpec::alice_bob()
-            .with_arq(arq)
-            .with_faults(faults.clone()),
-        Scheme::Anc,
-        &cfg,
-    )
-    .unwrap();
-    let trad = run_spec(
-        &ScenarioSpec::alice_bob().with_arq(arq).with_faults(faults),
-        Scheme::Traditional,
-        &cfg,
-    )
-    .unwrap();
+    let anc = ScenarioSpec::alice_bob()
+        .builder(Scheme::Anc)
+        .arq(arq)
+        .faults(faults.clone())
+        .config(cfg.clone())
+        .run()
+        .unwrap();
+    let trad = ScenarioSpec::alice_bob()
+        .builder(Scheme::Traditional)
+        .arq(arq)
+        .faults(faults)
+        .config(cfg.clone())
+        .run()
+        .unwrap();
     assert!(
         anc.account.goodput_bits > 0.0,
         "fallback must keep goodput nonzero through the outage"
@@ -188,20 +189,20 @@ fn anc_gain_recovers_after_relay_restoration() {
     let cfg = churn_cfg(11);
     let faults = FaultSpec::none().with_scripted_crash(nodes::ROUTER, 0, 6);
     let arq = ArqConfig::default();
-    let anc = run_spec(
-        &ScenarioSpec::alice_bob()
-            .with_arq(arq)
-            .with_faults(faults.clone()),
-        Scheme::Anc,
-        &cfg,
-    )
-    .unwrap();
-    let trad = run_spec(
-        &ScenarioSpec::alice_bob().with_arq(arq).with_faults(faults),
-        Scheme::Traditional,
-        &cfg,
-    )
-    .unwrap();
+    let anc = ScenarioSpec::alice_bob()
+        .builder(Scheme::Anc)
+        .arq(arq)
+        .faults(faults.clone())
+        .config(cfg.clone())
+        .run()
+        .unwrap();
+    let trad = ScenarioSpec::alice_bob()
+        .builder(Scheme::Traditional)
+        .arq(arq)
+        .faults(faults)
+        .config(cfg.clone())
+        .run()
+        .unwrap();
     let gain = anc.account.throughput() / trad.account.throughput();
     assert!(
         gain >= 1.5,
@@ -246,11 +247,13 @@ proptest! {
             payload_bits: 1024,
             ..RunConfig::quick(seed)
         };
-        let m = run_spec(
-            &ScenarioSpec::alice_bob().with_arq(arq).with_faults(faults),
-            Scheme::Anc,
-            &cfg,
-        ).unwrap();
+        let m = ScenarioSpec::alice_bob()
+            .builder(Scheme::Anc)
+            .arq(arq)
+            .faults(faults)
+            .config(cfg.clone())
+            .run()
+            .unwrap();
         for fm in &m.flows {
             prop_assert_eq!(
                 fm.offered,

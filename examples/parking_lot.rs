@@ -27,8 +27,17 @@ pub fn run(packets_per_flow: usize, payload_bits: usize) {
     println!("relays  hops  traditional  anc      gain");
     for relays in [1usize, 2, 4, 6] {
         let spec = ScenarioSpec::parking_lot(relays);
-        let trad = run_spec(&spec, Scheme::Traditional, &base).expect("compiles");
-        let anc = run_spec(&spec, Scheme::Anc, &base).expect("compiles");
+        let trad = spec
+            .clone()
+            .builder(Scheme::Traditional)
+            .config(base.clone())
+            .run()
+            .expect("compiles");
+        let anc = spec
+            .builder(Scheme::Anc)
+            .config(base.clone())
+            .run()
+            .expect("compiles");
         let gain = anc.account.throughput() / trad.account.throughput();
         println!(
             "{relays:>6}  {hops:>4}  {t:>11.4}  {a:>7.4}  {gain:.2}x",

@@ -89,7 +89,10 @@ pub mod prelude {
         alice_bob, chain, parking_lot_sweep, random_mesh, sir_sweep, x_topology, ExperimentConfig,
         ParkingLotSweepConfig,
     };
-    pub use anc_sim::runs::{run_alice_bob, run_chain, run_spec, run_x, RunConfig};
+    pub use anc_sim::runs::{
+        run_alice_bob, run_chain, run_spec, run_x, Run, RunBuilder, RunConfig,
+    };
     pub use anc_sim::scenario::{MeshConfig, ScenarioSpec};
     pub use anc_sim::topology::{nodes, Topology, TopologyGraph, TopologyKind};
+    pub use anc_sim::{RunCtx, SchedMode, SchedulerSpec};
 }
