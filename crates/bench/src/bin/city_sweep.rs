@@ -1,5 +1,5 @@
 //! City-scale headline sweep: ANC vs traditional relaying on urban
-//! meshes from ~100 to >10,000 nodes.
+//! meshes from ~100 to >100,000 nodes.
 //!
 //! Every point gives both schemes the **same slot horizon** and the
 //! same per-slot packet-pair demand λ: ANC serves a crossing in
@@ -19,11 +19,13 @@
 //!
 //! The sweep reports, per size: deliveries and delivery rates for both
 //! schemes, the ANC gain, p50/p99 ACK latency, and simulated
-//! slots/second (the spatially-gated, sparse-advance engine's
-//! headline rate). One random-waypoint point exercises the layout
-//! where cross-cell interference lands above the energy gate, and a
-//! flash-crowd pass spikes load in a hotspot mid-run. A small-size
-//! identity block re-runs one point serial vs parallel and sparse vs
+//! slots/second. Beyond the saturated scale rows it adds a
+//! random-waypoint point, a **mobile** waypoint point (endpoints
+//! walking between rounds, incremental grid relocation), a
+//! flash-crowd pass, and a **100k-node rung** run light-load through
+//! [`anc_sim::city::CityRun::execute_profiled`] to show whether window assembly or
+//! decode dominates at city scale. A small-size identity block
+//! re-runs one point deterministic vs work-stealing and sparse vs
 //! dense and asserts fingerprint equality before the report is
 //! emitted.
 //!
@@ -34,17 +36,18 @@
 
 use anc_bench::{emit, from_env};
 use anc_netcode::Scheme;
-use anc_sim::city::{run_city, CityConfig, CityLayout, CityOutcome, FlashCrowd};
+use anc_sim::city::{CityConfig, CityLayout, CityOutcome, CityProfile, FlashCrowd};
 use anc_sim::report::{ExperimentReport, FigureSeries};
+use anc_sim::SchedulerSpec;
 use std::time::Instant;
 
 /// Saturating per-slot demand: every cell backlogged under either
 /// scheme, so throughput is service-capacity-limited (the paper's
 /// gain experiment).
 const SATURATED: f64 = 0.5;
-/// Light per-slot demand for the flash-crowd pass: enough headroom
-/// that a 4× hotspot spike lands inside the per-round arrival cap and
-/// shows up as extra offered load.
+/// Light per-slot demand for the flash-crowd and 100k passes: enough
+/// headroom that a hotspot spike lands inside the per-round arrival
+/// cap, and that the 100k rung's cost tracks arrivals, not the grid.
 const LIGHT: f64 = 0.05;
 
 /// One measured point: both schemes over the same slot horizon.
@@ -55,7 +58,25 @@ struct Point {
     slots_per_sec: f64,
 }
 
-fn run_point(cfg: &CityConfig, slots: u64, lambda: f64) -> Point {
+fn sched_for(threads: usize) -> SchedulerSpec {
+    if threads > 1 {
+        SchedulerSpec::work_stealing(threads)
+    } else {
+        SchedulerSpec::deterministic()
+    }
+}
+
+fn run_one(cfg: &CityConfig, scheme: Scheme, sched: SchedulerSpec) -> CityOutcome {
+    CityConfig::builder(scheme)
+        .config(cfg.clone())
+        .scheduler(sched)
+        .build()
+        .unwrap_or_else(|e| panic!("city config invalid: {e}"))
+        .execute()
+        .unwrap_or_else(|e| panic!("city run failed: {e}"))
+}
+
+fn run_point(cfg: &CityConfig, slots: u64, lambda: f64, sched: SchedulerSpec) -> Point {
     let anc_cfg = CityConfig {
         rounds: slots / 2,
         offered: (2.0 * lambda).min(1.0),
@@ -67,9 +88,9 @@ fn run_point(cfg: &CityConfig, slots: u64, lambda: f64) -> Point {
         ..cfg.clone()
     };
     let t = Instant::now();
-    let anc = run_city(&anc_cfg, Scheme::Anc);
+    let anc = run_one(&anc_cfg, Scheme::Anc, sched);
     let anc_wall = t.elapsed().as_secs_f64();
-    let trad = run_city(&trad_cfg, Scheme::Traditional);
+    let trad = run_one(&trad_cfg, Scheme::Traditional, sched);
     Point {
         nodes: cfg.nodes(),
         anc,
@@ -115,12 +136,14 @@ const COLUMNS: &[&str] = &[
 fn main() {
     let args = from_env();
     // `--quick` (runs = 8) keeps the CI smoke inside one figure's wall
-    // clock but still covers the full 100 → 10k scale range — the
-    // 10k-node point *is* the acceptance criterion, so it never drops
-    // out; quick mode shortens the horizon instead.
+    // clock but still covers the full 100 → 100k scale range — the
+    // 10k-node saturated point and the 100k light-load rung *are* the
+    // acceptance criteria, so they never drop out; quick mode shortens
+    // the horizon instead.
     let quick = args.runs <= 8;
     let slots = if quick { 48 } else { 96 };
     let payload_bits = 128;
+    let sched = sched_for(args.threads);
 
     let mut report = ExperimentReport::new("city_sweep");
     report
@@ -133,7 +156,6 @@ fn main() {
     let base = CityConfig {
         seed: args.seed,
         payload_bits,
-        threads: args.threads,
         ..CityConfig::default()
     };
 
@@ -147,7 +169,7 @@ fn main() {
             rows: grid_rows,
             ..base.clone()
         };
-        let p = run_point(&cfg, slots, SATURATED);
+        let p = run_point(&cfg, slots, SATURATED, sched);
         println!(
             "urban {:>6} nodes: anc {}/{} vs trad {}/{} delivered, gain {:.2}, p99 {:.0} vs {:.0} slots, {:.0} slots/s",
             p.nodes,
@@ -192,6 +214,7 @@ fn main() {
         },
         slots,
         SATURATED,
+        sched,
     );
     println!(
         "waypoint {:>5} nodes: anc {}/{} delivered ({:.2} rate), p99 {:.0} slots",
@@ -208,6 +231,38 @@ fn main() {
         vec![point_row(&rw)],
     ));
 
+    // ---- Mobile waypoint point: endpoints walk between rounds. ----
+    // Velocity draws move each serviced chain's endpoints along
+    // random-waypoint legs; the spatial grid follows via incremental
+    // relocation, metered separately by the profile.
+    let mobile_cfg = CityConfig {
+        cells_x: 42,
+        rows: 8,
+        layout: CityLayout::RandomWaypoint,
+        velocity: 1.5,
+        pause: 2.0,
+        rounds: slots / 2,
+        offered: (2.0 * SATURATED).min(1.0),
+        ..base.clone()
+    };
+    let (mobile, mobile_profile): (CityOutcome, CityProfile) = CityConfig::builder(Scheme::Anc)
+        .config(mobile_cfg)
+        .scheduler(sched)
+        .build()
+        .unwrap_or_else(|e| panic!("mobile config invalid: {e}"))
+        .execute_profiled()
+        .unwrap_or_else(|e| panic!("mobile run failed: {e}"));
+    println!(
+        "mobile   {:>5} nodes: anc {}/{} delivered ({:.2} rate), mobility {:.1} ms",
+        mobile.nodes,
+        mobile.delivered,
+        2 * mobile.offered,
+        mobile.delivery_rate(),
+        mobile_profile.mobility_ns as f64 / 1e6,
+    );
+    report.stat("mobile_anc_delivery_rate", mobile.delivery_rate());
+    report.stat("mobile_mobility_ns", mobile_profile.mobility_ns as f64);
+
     // ---- Flash crowd on a mid-size grid. ----
     // A hotspot multiplies arrivals 4× for the middle half of the
     // horizon; the digests absorb the spike without growing, and the
@@ -217,7 +272,7 @@ fn main() {
         rows: 8,
         ..base.clone()
     };
-    let calm = run_point(&mid, slots, LIGHT);
+    let calm = run_point(&mid, slots, LIGHT, sched);
     let crowded = run_point(
         &CityConfig {
             flash: Some(FlashCrowd {
@@ -231,6 +286,7 @@ fn main() {
         },
         slots,
         LIGHT,
+        sched,
     );
     assert!(
         crowded.anc.offered > calm.anc.offered,
@@ -250,34 +306,89 @@ fn main() {
     report.stat("flash_anc_p99_calm", calm.anc.latency.p99());
     report.stat("flash_anc_p99_crowded", crowded.anc.latency.p99());
 
+    // ---- 100k-node rung: where does city-scale time go? ----
+    // Light load and a short horizon keep the cost proportional to
+    // arrivals (the sparse advance skips idle rounds); the profiled
+    // run splits PHY time into window assembly vs decode so the next
+    // optimisation target is data, not guesswork.
+    let big_slots: u64 = if quick { 8 } else { 32 };
+    let big = CityConfig {
+        cells_x: 167,
+        rows: 200,
+        rounds: big_slots / 2,
+        offered: (2.0 * LIGHT).min(1.0),
+        ..base.clone()
+    };
+    assert!(
+        big.nodes() >= 100_000,
+        "the 100k rung must actually hold 100k nodes, got {}",
+        big.nodes()
+    );
+    let t = Instant::now();
+    let (out_100k, prof_100k) = CityConfig::builder(Scheme::Anc)
+        .config(big.clone())
+        .scheduler(sched)
+        .build()
+        .unwrap_or_else(|e| panic!("100k config invalid: {e}"))
+        .execute_profiled()
+        .unwrap_or_else(|e| panic!("100k run failed: {e}"));
+    let wall_100k = t.elapsed().as_secs_f64();
+    println!(
+        "100k    {:>6} nodes: anc {}/{} delivered ({:.2} rate), {:.1}s wall, window {:.0}ms vs decode {:.0}ms → {} dominates ({:.0}% window)",
+        out_100k.nodes,
+        out_100k.delivered,
+        2 * out_100k.offered,
+        out_100k.delivery_rate(),
+        wall_100k,
+        prof_100k.window_assembly_ns as f64 / 1e6,
+        prof_100k.decode_ns as f64 / 1e6,
+        prof_100k.dominant(),
+        100.0 * prof_100k.window_share(),
+    );
+    assert!(out_100k.delivered > 0, "100k rung must decode something");
+    report.stat("nodes_100k", out_100k.nodes as f64);
+    report.stat("delivery_rate_100k", out_100k.delivery_rate());
+    report.stat(
+        "window_assembly_ns_100k",
+        prof_100k.window_assembly_ns as f64,
+    );
+    report.stat("decode_ns_100k", prof_100k.decode_ns as f64);
+    report.stat("window_share_100k", prof_100k.window_share());
+    report.stat("slots_per_sec_100k", big_slots as f64 / wall_100k.max(1e-9));
+
     // ---- Identity block: the physics is execution-order-free. ----
-    // One small point, four ways: serial/parallel × sparse/dense all
-    // land on the same fingerprint, or the artifact is not emitted.
+    // One small point, four ways: deterministic/work-stealing ×
+    // sparse/dense all land on the same fingerprint, or the artifact
+    // is not emitted.
     let small = CityConfig {
         cells_x: 8,
         rows: 4,
         rounds: slots / 2,
         offered: (2.0 * LIGHT).min(1.0),
-        threads: 1,
         ..base.clone()
     };
-    let reference = run_city(&small, Scheme::Anc).fingerprint();
-    for (threads, sparse) in [(4, true), (1, false), (4, false)] {
-        let got = run_city(
+    let reference = run_one(&small, Scheme::Anc, SchedulerSpec::deterministic()).fingerprint();
+    for (mode, sparse) in [
+        (SchedulerSpec::work_stealing(4), true),
+        (SchedulerSpec::deterministic(), false),
+        (SchedulerSpec::work_stealing(4), false),
+    ] {
+        let got = run_one(
             &CityConfig {
-                threads,
                 sparse,
                 ..small.clone()
             },
             Scheme::Anc,
+            mode,
         )
         .fingerprint();
         assert_eq!(
             got, reference,
-            "city run diverged (threads={threads}, sparse={sparse})"
+            "city run diverged (mode={:?}, sparse={sparse})",
+            mode.mode
         );
     }
-    println!("identity: serial/parallel x sparse/dense all match ({reference:#018x})");
+    println!("identity: deterministic/work-stealing x sparse/dense all match ({reference:#018x})");
     report.stat("execution_order_identical", 1.0);
 
     emit(&report, &args);

@@ -30,7 +30,7 @@ use anc_core::matcher::{match_bits_batch, match_bits_into, match_phase_differenc
 use anc_core::MatchBatchScratch;
 use anc_dsp::batch::energies_into;
 use anc_netcode::Scheme;
-use anc_sim::city::{run_city, CityConfig};
+use anc_sim::city::{CityConfig, CityLayout, CityOutcome};
 use anc_sim::experiments::{alice_bob, ExperimentConfig};
 use anc_sim::runs::RunConfig;
 use anc_sim::topology::nodes;
@@ -50,6 +50,18 @@ struct Args {
     repeats: usize,
     /// Round horizon of the slot-advance measurement.
     city_rounds: u64,
+    /// Short-horizon mode: shrinks the 100k-node city rung too.
+    quick: bool,
+}
+
+/// City run on the deterministic executor (the perf reference arm).
+fn city_run(cfg: &CityConfig, scheme: Scheme) -> CityOutcome {
+    CityConfig::builder(scheme)
+        .config(cfg.clone())
+        .build()
+        .unwrap_or_else(|e| panic!("city config invalid: {e}"))
+        .execute()
+        .unwrap_or_else(|e| panic!("city run failed: {e}"))
 }
 
 fn parse() -> Args {
@@ -62,6 +74,7 @@ fn parse() -> Args {
         target_ms: 250,
         repeats: 5,
         city_rounds: 20_000,
+        quick: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -83,6 +96,7 @@ fn parse() -> Args {
                 a.target_ms = 60;
                 a.repeats = 3;
                 a.city_rounds = 4_000;
+                a.quick = true;
             }
             other => {
                 eprintln!(
@@ -505,15 +519,15 @@ fn main() {
         sparse: false,
         ..city.clone()
     };
-    let idle_dense = run_city(&dense_cfg, Scheme::Anc);
-    let idle_sparse = run_city(&city, Scheme::Anc);
+    let idle_dense = city_run(&dense_cfg, Scheme::Anc);
+    let idle_sparse = city_run(&city, Scheme::Anc);
     let mut city_identical = idle_dense.fingerprint() == idle_sparse.fingerprint();
     let (advance_dense_ns, advance_sparse_ns) = measure_pair(
         || {
-            black_box(run_city(&dense_cfg, Scheme::Anc).polls);
+            black_box(city_run(&dense_cfg, Scheme::Anc).polls);
         },
         || {
-            black_box(run_city(&city, Scheme::Anc).advance_ops);
+            black_box(city_run(&city, Scheme::Anc).advance_ops);
         },
         args.target_ms,
         args.repeats,
@@ -529,8 +543,8 @@ fn main() {
         sparse: false,
         ..CityConfig::default()
     };
-    let loaded_dense = run_city(&loaded, Scheme::Anc);
-    let loaded_sparse = run_city(
+    let loaded_dense = city_run(&loaded, Scheme::Anc);
+    let loaded_sparse = city_run(
         &CityConfig {
             sparse: true,
             ..loaded
@@ -563,6 +577,92 @@ fn main() {
     assert!(
         city_identical,
         "sparse/gated city run diverged from the dense reference"
+    );
+
+    // 4c. Mobility cost: a random-waypoint city whose endpoints walk
+    // between rounds. The profile meters waypoint advance + the
+    // incremental grid relocations separately from the PHY, so the
+    // trajectory shows what motion itself costs.
+    let mobile_cfg = CityConfig {
+        cells_x: 16,
+        rows: 8,
+        layout: CityLayout::RandomWaypoint,
+        velocity: 1.5,
+        pause: 2.0,
+        seed: args.seed,
+        rounds: 64,
+        offered: 0.3,
+        payload_bits: 128,
+        ..CityConfig::default()
+    };
+    let (mobile_out, mobile_profile) = CityConfig::builder(Scheme::Anc)
+        .config(mobile_cfg.clone())
+        .build()
+        .unwrap_or_else(|e| panic!("mobile city config invalid: {e}"))
+        .execute_profiled()
+        .unwrap_or_else(|e| panic!("mobile city run failed: {e}"));
+    assert!(
+        mobile_out.delivered > 0 && mobile_profile.mobility_ns > 0,
+        "mobile city must decode and meter its movers"
+    );
+    report
+        .engine
+        .insert("city_mobility_ns".into(), mobile_profile.mobility_ns as f64);
+    println!(
+        "engine city mobility ({} nodes x {} rounds): {:.2} ms moving endpoints ({:.1}% of PHY time)",
+        mobile_cfg.nodes(),
+        mobile_cfg.rounds,
+        mobile_profile.mobility_ns as f64 / 1e6,
+        100.0 * mobile_profile.mobility_ns as f64
+            / (mobile_profile.window_assembly_ns + mobile_profile.decode_ns).max(1) as f64,
+    );
+
+    // 4d. 100k-node rung: the city engine's scale claim, profiled.
+    // Light load keeps the cost proportional to arrivals; the split
+    // answers whether window assembly (TX synthesis + relay amplify)
+    // or endpoint decode dominates at city scale.
+    let rounds_100k: u64 = if args.quick { 4 } else { 16 };
+    let big_cfg = CityConfig {
+        cells_x: 167,
+        rows: 200, // 33,400 cells = 100,200 nodes
+        seed: args.seed,
+        rounds: rounds_100k,
+        offered: 0.1,
+        payload_bits: 128,
+        ..CityConfig::default()
+    };
+    assert!(big_cfg.nodes() >= 100_000, "the rung must hold 100k nodes");
+    let t_100k = Instant::now();
+    let (out_100k, prof_100k) = CityConfig::builder(Scheme::Anc)
+        .config(big_cfg.clone())
+        .build()
+        .unwrap_or_else(|e| panic!("100k city config invalid: {e}"))
+        .execute_profiled()
+        .unwrap_or_else(|e| panic!("100k city run failed: {e}"));
+    let wall_100k_s = t_100k.elapsed().as_secs_f64();
+    assert!(
+        out_100k.delivered > 0,
+        "100k-node city must decode under light load"
+    );
+    report.engine.insert(
+        "city_100k_window_ns".into(),
+        prof_100k.window_assembly_ns as f64,
+    );
+    report
+        .engine
+        .insert("city_100k_decode_ns".into(), prof_100k.decode_ns as f64);
+    report
+        .engine
+        .insert("city_100k_window_share".into(), prof_100k.window_share());
+    println!(
+        "engine city 100k ({} nodes x {} rounds, {:.1}s): window {:.0} ms vs decode {:.0} ms — {} dominates ({:.0}% window)",
+        big_cfg.nodes(),
+        rounds_100k,
+        wall_100k_s,
+        prof_100k.window_assembly_ns as f64 / 1e6,
+        prof_100k.decode_ns as f64 / 1e6,
+        prof_100k.dominant(),
+        100.0 * prof_100k.window_share(),
     );
 
     // ---- 5. Block-graph pipeline: ONE run, serial vs stolen. ----

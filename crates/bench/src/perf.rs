@@ -272,6 +272,25 @@ fn validate_perf(text: &str) -> Result<String, String> {
         Some(_) => return Err("engine.city_identical is not 1 (gated/sparse city run diverged from the dense reference!)".to_string()),
         None => return Err("missing required field engine.city_identical".to_string()),
     }
+    // City mobility + 100k-rung gates (PR 10): the mobile-endpoint
+    // run must meter its movers, and the 100k-node profiled run must
+    // report a usable window-assembly vs decode split.
+    for key in [
+        "city_mobility_ns",
+        "city_100k_window_ns",
+        "city_100k_decode_ns",
+    ] {
+        require_positive(&report.engine, "engine", key)?;
+    }
+    let window_share = *report
+        .engine
+        .get("city_100k_window_share")
+        .ok_or("missing required field engine.city_100k_window_share")?;
+    if !(0.0..=1.0).contains(&window_share) {
+        return Err(format!(
+            "engine.city_100k_window_share must be a fraction in [0, 1], got {window_share}"
+        ));
+    }
     // Block-graph pipeline gates (PR 9): ONE run streamed across the
     // block graph, deterministic executor vs work-stealing executor.
     // Bit-identity is a correctness claim and holds on any host; the
@@ -320,7 +339,7 @@ fn validate_perf(text: &str) -> Result<String, String> {
         String::new()
     };
     Ok(format!(
-        "perf report '{}': kernel speedup {:.2}x (batch {:.2}x), {:.0} decodes/s, sweep {:.2}s serial / {:.2}s parallel, city superpose {:.1}x / advance {:.1}x, pipeline {:.2}x{}{}",
+        "perf report '{}': kernel speedup {:.2}x (batch {:.2}x), {:.0} decodes/s, sweep {:.2}s serial / {:.2}s parallel, city superpose {:.1}x / advance {:.1}x, 100k window share {:.0}%, pipeline {:.2}x{}{}",
         report.title,
         speedup,
         batch_speedup,
@@ -329,6 +348,7 @@ fn validate_perf(text: &str) -> Result<String, String> {
         report.sweep["parallel_seconds"],
         superpose,
         advance,
+        100.0 * window_share,
         pipe_speedup,
         sweep_note,
         pipeline_note,
@@ -587,6 +607,10 @@ mod tests {
         r.engine.insert("slot_advance_sparse_ns".into(), 9.0e4);
         r.engine.insert("slot_advance_advantage".into(), 8.9);
         r.engine.insert("city_identical".into(), 1.0);
+        r.engine.insert("city_mobility_ns".into(), 2.0e6);
+        r.engine.insert("city_100k_window_ns".into(), 6.0e8);
+        r.engine.insert("city_100k_decode_ns".into(), 9.0e8);
+        r.engine.insert("city_100k_window_share".into(), 0.4);
         r.engine.insert("pipeline_serial_ms".into(), 900.0);
         r.engine.insert("pipeline_parallel_ms".into(), 400.0);
         r.engine.insert("pipeline_speedup".into(), 2.25);
@@ -715,6 +739,25 @@ mod tests {
         r.engine.insert("city_identical".into(), 0.0);
         let text = serde_json::to_string(&r).unwrap();
         assert!(validate_json(&text).unwrap_err().contains("diverged"));
+        // The mobility meter and the 100k-rung profile split are
+        // required too…
+        let mut r = sample_report();
+        r.engine.remove("city_mobility_ns");
+        let text = serde_json::to_string(&r).unwrap();
+        assert!(validate_json(&text)
+            .unwrap_err()
+            .contains("engine.city_mobility_ns"));
+        let mut r = sample_report();
+        r.engine.remove("city_100k_window_share");
+        let text = serde_json::to_string(&r).unwrap();
+        assert!(validate_json(&text)
+            .unwrap_err()
+            .contains("city_100k_window_share"));
+        // …and the share must be a fraction, not a ratio or a count.
+        let mut r = sample_report();
+        r.engine.insert("city_100k_window_share".into(), 1.7);
+        let text = serde_json::to_string(&r).unwrap();
+        assert!(validate_json(&text).unwrap_err().contains("fraction"));
     }
 
     #[test]

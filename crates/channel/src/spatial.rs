@@ -185,19 +185,27 @@ impl SpatialGrid {
     /// neighborhood of `pos`, in ascending index order. The visited
     /// set is a superset of all stored nodes within `radius` of `pos`;
     /// callers apply the exact distance test themselves.
+    ///
+    /// The query cell is clamped into the grid before the ±1
+    /// neighborhood is taken. Clamping is 1-Lipschitz in cell units and
+    /// any in-range pair differs by at most one unclamped cell per
+    /// axis, so the superset guarantee survives even when stored nodes
+    /// have been [`Self::relocate`]d outside the build-time bounding
+    /// box (they clamp into edge buckets, and so do queries near them).
     pub fn for_each_candidate(&self, pos: (f64, f64), mut f: impl FnMut(u32)) {
         if self.ids.is_empty() {
             return;
         }
-        let cx = self.cell_coord(pos.0 - self.min_x);
-        let cy = self.cell_coord(pos.1 - self.min_y);
+        let cx = self
+            .cell_coord(pos.0 - self.min_x)
+            .clamp(0, self.cols as i64 - 1);
+        let cy = self
+            .cell_coord(pos.1 - self.min_y)
+            .clamp(0, self.rows as i64 - 1);
         let x_lo = cx.saturating_sub(1).max(0);
         let x_hi = cx.saturating_add(1).min(self.cols as i64 - 1);
         let y_lo = cy.saturating_sub(1).max(0);
         let y_hi = cy.saturating_add(1).min(self.rows as i64 - 1);
-        if x_lo > x_hi || y_lo > y_hi {
-            return;
-        }
         // Buckets are visited row-major and each bucket is ascending,
         // but adjacent buckets are not globally sorted; collect rows
         // of ≤3 cells and merge would be overkill — instead visit all
@@ -215,6 +223,51 @@ impl SpatialGrid {
         for id in candidates {
             f(id);
         }
+    }
+
+    /// Moves one stored node from `old_pos` to `new_pos` without
+    /// rebuilding — the mobility fast path. Returns whether the node
+    /// actually changed buckets; when both positions hash to the same
+    /// bucket (the common case for per-round waypoint motion) this is
+    /// O(1). A bucket change shifts the flat `ids` span between the two
+    /// buckets by one slot and adjusts the `starts` prefixes, keeping
+    /// every bucket ascending, so queries stay order-identical to a
+    /// fresh [`Self::build`] over the moved positions.
+    ///
+    /// The grid's bounds and bucket geometry are fixed at build time:
+    /// positions outside the original bounding box clamp into edge
+    /// buckets (see [`Self::for_each_candidate`] for why queries still
+    /// see them). `old_pos` must be the exact position the node was
+    /// inserted (or last relocated) with; panics if `idx` is not stored
+    /// in `old_pos`'s bucket.
+    pub fn relocate(&mut self, idx: u32, old_pos: (f64, f64), new_pos: (f64, f64)) -> bool {
+        let old_b = self.bucket_of(old_pos);
+        let new_b = self.bucket_of(new_pos);
+        if old_b == new_b {
+            return false;
+        }
+        let (s, e) = (self.starts[old_b] as usize, self.starts[old_b + 1] as usize);
+        let k = s + self.ids[s..e]
+            .binary_search(&idx)
+            .unwrap_or_else(|_| panic!("relocate: node {idx} is not stored at old_pos's bucket"));
+        let (ns, ne) = (self.starts[new_b] as usize, self.starts[new_b + 1] as usize);
+        let ins = ns + self.ids[ns..ne].partition_point(|&v| v < idx);
+        if old_b < new_b {
+            // Removal at `k` slides everything up to the insertion
+            // point down one; the node lands just before it.
+            self.ids.copy_within(k + 1..ins, k);
+            self.ids[ins - 1] = idx;
+            for b in (old_b + 1)..=new_b {
+                self.starts[b] -= 1;
+            }
+        } else {
+            self.ids.copy_within(ins..k, ins + 1);
+            self.ids[ins] = idx;
+            for b in (new_b + 1)..=old_b {
+                self.starts[b] += 1;
+            }
+        }
+        true
     }
 
     /// Collects the 3×3-neighborhood candidates of `pos` into `out`
@@ -323,6 +376,72 @@ mod tests {
             grid.candidates_into(q, &mut buf);
             assert!(buf.windows(2).all(|w| w[0] < w[1]), "sorted unique");
         }
+    }
+
+    #[test]
+    fn relocate_moves_between_buckets_in_both_directions() {
+        let mut positions = vec![(0.5, 0.5), (1.5, 0.5), (4.5, 0.5), (8.5, 0.5)];
+        let mut grid = SpatialGrid::build(&positions, 1.0);
+        let mut buf = Vec::new();
+
+        // Same-bucket move: O(1) early-out, queries unchanged.
+        let old = positions[0];
+        positions[0] = (0.9, 0.9);
+        assert!(!grid.relocate(0, old, positions[0]));
+        grid.candidates_into((0.9, 0.9), &mut buf);
+        assert_eq!(buf, vec![0, 1]);
+
+        // Forward move (lower bucket → higher): node 0 joins node 2.
+        let old = positions[0];
+        positions[0] = (4.6, 0.4);
+        assert!(grid.relocate(0, old, positions[0]));
+        grid.candidates_into((4.5, 0.5), &mut buf);
+        assert_eq!(buf, vec![0, 2]);
+        grid.candidates_into((1.5, 0.5), &mut buf);
+        assert_eq!(buf, vec![1]);
+
+        // Backward move (higher bucket → lower): node 3 joins node 1.
+        let old = positions[3];
+        positions[3] = (1.4, 0.6);
+        assert!(grid.relocate(3, old, positions[3]));
+        grid.candidates_into((1.5, 0.5), &mut buf);
+        assert_eq!(buf, vec![1, 3]);
+
+        // Buckets stay ascending after mixed-direction traffic.
+        grid.candidates_into((4.5, 0.5), &mut buf);
+        assert_eq!(buf, vec![0, 2]);
+        assert_eq!(grid.len(), 4);
+    }
+
+    #[test]
+    fn relocate_outside_bounds_clamps_but_stays_queryable() {
+        let mut positions = vec![(0.0, 0.0), (5.0, 5.0)];
+        let mut grid = SpatialGrid::build(&positions, 2.0);
+        // Wander far past the build-time bounding box: the node clamps
+        // into an edge bucket, and a query near its *real* position
+        // (clamped the same way) still finds it.
+        let old = positions[1];
+        positions[1] = (40.0, 40.0);
+        grid.relocate(1, old, positions[1]);
+        let mut buf = Vec::new();
+        grid.candidates_into((40.5, 40.5), &mut buf);
+        assert!(buf.contains(&1), "edge-clamped node must stay visible");
+        grid.candidates_into((0.0, 0.0), &mut buf);
+        let near: Vec<u32> = buf
+            .iter()
+            .copied()
+            .filter(|&i| within_range(positions[i as usize], (0.0, 0.0), 2.0))
+            .collect();
+        assert_eq!(near, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not stored")]
+    fn relocate_with_wrong_old_pos_panics() {
+        let positions = vec![(0.0, 0.0), (5.0, 5.0)];
+        let mut grid = SpatialGrid::build(&positions, 1.0);
+        // Claiming node 0 sits where node 1 does is a caller bug.
+        grid.relocate(0, (5.0, 5.0), (0.0, 0.0));
     }
 
     #[test]

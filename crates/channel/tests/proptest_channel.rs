@@ -7,7 +7,7 @@
 //! lean on this — splitting a slot's transmissions across windows can
 //! never change what a receiver hears.
 
-use anc_channel::{ImpairmentSpec, Link, Medium, Transmission, TransmissionRef};
+use anc_channel::{ImpairmentSpec, Link, Medium, SpatialGrid, Transmission, TransmissionRef};
 use anc_dsp::{Cplx, DspRng};
 use proptest::prelude::*;
 
@@ -164,6 +164,52 @@ proptest! {
         let faded = ImpairmentSpec::rayleigh_fading().impair_link(base, seed, 1, 2, packet);
         prop_assert!(faded.gain > 0.0);
         prop_assert_eq!(faded.delay.to_bits(), base.delay.to_bits());
+    }
+
+    /// Incremental [`SpatialGrid::relocate`] is indistinguishable from
+    /// a fresh build after an arbitrary move sequence. Two immobile
+    /// corner anchors pin the bounding box so both grids share bucket
+    /// geometry, making the raw candidate lists — ids *and* order —
+    /// exactly comparable, not just the post-gate admitted sets. This
+    /// is the mobility fast path's contract.
+    #[test]
+    fn relocate_matches_fresh_build(
+        seed in 0u64..10_000,
+        n in 2usize..60,
+        radius in 2.0f64..15.0,
+        movers in proptest::collection::vec(0usize..60, 1usize..80),
+        xs in proptest::collection::vec(-40.0f64..140.0, 1usize..80),
+        ys in proptest::collection::vec(-40.0f64..140.0, 1usize..80),
+    ) {
+        let mut rng = DspRng::seed_from(seed);
+        let mut positions: Vec<(f64, f64)> = vec![(-50.0, -50.0), (150.0, 150.0)];
+        positions.extend((0..n).map(|_| (rng.uniform() * 100.0, rng.uniform() * 100.0)));
+        let mut grid = SpatialGrid::build(&positions, radius);
+        let moves: Vec<(usize, f64, f64)> = movers
+            .iter()
+            .zip(&xs)
+            .zip(&ys)
+            .map(|((&i, &x), &y)| (i, x, y))
+            .collect();
+        for &(idx, nx, ny) in &moves {
+            // Anchors never move; everyone else wanders inside the
+            // anchored box so fresh builds keep the same bounds.
+            let idx = 2 + idx % n;
+            let old = positions[idx];
+            positions[idx] = (nx, ny);
+            grid.relocate(u32::try_from(idx).unwrap(), old, positions[idx]);
+        }
+        let fresh = SpatialGrid::build(&positions, radius);
+        let (mut got, mut want) = (Vec::new(), Vec::new());
+        let mut queries: Vec<(f64, f64)> = positions.clone();
+        queries.push((-60.0, -60.0));
+        queries.push((160.0, 160.0));
+        for &q in &queries {
+            grid.candidates_into(q, &mut got);
+            fresh.candidates_into(q, &mut want);
+            prop_assert_eq!(&got, &want, "query {:?} diverged", q);
+            prop_assert!(got.windows(2).all(|w| w[0] < w[1]), "candidates stay ascending");
+        }
     }
 
     /// Transmissions fully outside the window leave only noise, and the

@@ -305,13 +305,7 @@ impl DynamicScheduler {
     /// serialized (carrier-sensed) service is round-robin fair and
     /// still deterministic.
     pub fn contenders(&self, period: u64) -> Vec<usize> {
-        let n = self.flows.len();
-        if n == 0 {
-            return Vec::new();
-        }
-        let start = usize::try_from(period % n as u64).expect("residue < n fits in usize");
-        (0..n)
-            .map(|i| (start + i) % n)
+        contention_rotation(self.flows.len(), period)
             .filter(|&f| self.ready(f, period))
             .collect()
     }
@@ -427,6 +421,21 @@ impl DynamicScheduler {
     pub fn stats(&self, flow: usize) -> FlowArqStats {
         self.flows[flow].stats
     }
+}
+
+/// Round-robin contention order over `n` contenders at the given
+/// period: indices `0..n` rotated so the head advances by one each
+/// period. Deterministic and starvation-free — the shared election
+/// rule for serialized (carrier-sensed) service, used both by
+/// [`DynamicScheduler::contenders`] and by the city engine's
+/// inter-cell MAC.
+pub fn contention_rotation(n: usize, period: u64) -> impl Iterator<Item = usize> {
+    let start = if n == 0 {
+        0
+    } else {
+        usize::try_from(period % n as u64).expect("residue < n fits in usize")
+    };
+    (0..n).map(move |i| (start + i) % n)
 }
 
 #[cfg(test)]

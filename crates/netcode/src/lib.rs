@@ -32,7 +32,9 @@ pub mod cope;
 pub mod health;
 pub mod schedule;
 
-pub use arq::{ArqConfig, ArqVerdict, DynamicScheduler, FlowArqStats, TrafficModel};
+pub use arq::{
+    contention_rotation, ArqConfig, ArqVerdict, DynamicScheduler, FlowArqStats, TrafficModel,
+};
 pub use cope::CopeCoder;
 pub use health::{HealthConfig, HealthMonitor, HealthTransition};
 pub use schedule::{derive_plan, FlowSpec, ScheduleError, Scheme, SlotPlan, SlotStep};

@@ -28,7 +28,7 @@ pub mod phy;
 pub mod trigger;
 
 pub use block::{synthesize, SynthJob, SynthSource, TxFrontEndBlock};
-pub use mac::{MacConfig, TriggerMac};
+pub use mac::{CsmaConfig, MacConfig, TriggerMac};
 pub use node::{FrontEnd, Node, NodeConfig, NodeRole};
 pub use phy::{RxChain, RxEvent, TxChain};
 pub use trigger::{detect_trigger, frame_with_trigger, trigger_sequence};

@@ -38,4 +38,4 @@ pub mod sched;
 
 pub use block::{Block, BlockStatus};
 pub use ring::{channel, Consumer, Producer};
-pub use sched::{DeterministicScheduler, Pump, Scheduler, WorkStealingScheduler};
+pub use sched::{Controller, DeterministicScheduler, Pump, Scheduler, WorkStealingScheduler};

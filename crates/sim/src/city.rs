@@ -1,60 +1,83 @@
-//! City-scale ANC engine: 10k-node meshes of crossing relay cells.
+//! City-scale ANC engine: 10k–100k-node meshes of crossing relay
+//! cells, run as a first-class client of the block-graph runtime.
 //!
 //! The packet-level [`crate::engine`] addresses nodes by `NodeId`
 //! (`u8`), which caps it at 256 nodes — plenty for the paper
 //! topologies, three orders of magnitude short of a city. This module
-//! is the tentpole's answer: a slot-synchronous engine over `usize`
-//! node indices that drives the *same* PHY (MSK frames through
+//! drives the *same* PHY (MSK frames through
 //! [`anc_core::decoder::AncDecoder`], §7.3–§7.5 amplify-and-forward
-//! relays) but scales through three mechanisms:
+//! relays) at city scale through five mechanisms:
 //!
-//! 1. **Spatially-gated superposition.** Nodes carry real coordinates;
-//!    link gain follows a distance power law, and any pair beyond the
-//!    §7.1 detector's 20 dB energy gate contributes nothing decodable.
-//!    Each slot builds a [`SpatialGrid`] over that slot's *active
-//!    transmitters*, so a receiver superposes O(local density)
-//!    waveforms instead of O(N). The grid is a pre-filter only — the
-//!    exact [`within_range`] test runs on every candidate — so gated
-//!    reception is bit-identical to a dense scan (pinned by
-//!    `perf_baseline`'s superpose benchmark and the unit tests here).
+//! 1. **Regions as block groups.** The city is partitioned into
+//!    spatial regions (street rows); each region compiles to a group
+//!    of [`anc_runtime`] blocks — TX synthesis, relay
+//!    amplify-forward, endpoint decode — connected to the controller
+//!    by SPSC rings and executed by whatever
+//!    [`crate::pipeline::SchedulerSpec`] selects. Because every block
+//!    is a pure function of its ring inputs and a read-only snapshot
+//!    of the shared board, the deterministic executor and the
+//!    work-stealing executor produce bit-identical
+//!    [`CityOutcome::fingerprint`]s.
 //!
-//! 2. **Sparse slot advance.** Traffic is a per-cell geometric arrival
-//!    calendar drawn from coordinate-pure [`DspRng::from_path`]
-//!    streams. The dense reference advance polls every cell every
-//!    round; the sparse advance keeps a min-heap of next arrivals plus
-//!    the set of backlogged cells and skips empty rounds outright —
-//!    O(active) per round, O(1) when the city is idle. Both modes
-//!    consume the identical calendar and produce identical service
-//!    sequences (same fingerprint), differing only in work counters.
+//! 2. **Spatially-gated superposition.** Nodes carry real
+//!    coordinates; link gain follows a distance power law, and any
+//!    pair beyond the §7.1 detector's 20 dB energy gate contributes
+//!    nothing decodable. One persistent [`SpatialGrid`] over *all*
+//!    nodes pre-filters each reception to the 3×3 neighborhood; the
+//!    exact [`within_range`] test plus membership in the slot's
+//!    transmitter set then admit precisely the decodable
+//!    transmitters, in ascending node order — the same set and order
+//!    a dense scan would produce, so gated reception is bit-identical
+//!    to it.
 //!
-//! 3. **O(1) streaming metrics.** Outcomes accumulate into
-//!    [`StatDigest`]s (Welford + P² quantiles), never into unbounded
-//!    per-packet ledgers, so a 10k-node flash-crowd run holds a few
-//!    hundred bytes of metric state.
+//! 3. **True mobility.** Under [`CityLayout::RandomWaypoint`] with a
+//!    positive `velocity`, endpoints move between rounds on
+//!    random-waypoint legs (bearing/offset draws around their relay,
+//!    velocity and pause draws per leg, all coordinate-pure). Moves
+//!    are applied lazily — only nodes of serviced chains advance —
+//!    and each move is an O(1) incremental
+//!    [`SpatialGrid::relocate`], never a full rebuild.
+//!
+//! 4. **Multi-cell flows and inter-cell MAC.** `flow_span > 1` chains
+//!    adjacent cells of a street into relay chains compiled through
+//!    [`anc_netcode::derive_plan`]; a packet pair crosses the chain
+//!    in `span` sub-rounds, riding one ANC exchange (or one
+//!    traditional 4-hop relay) per cell. With `contention` enabled,
+//!    chains whose nodes hear each other above the carrier-sense
+//!    radius ([`CsmaConfig`], §6) contend; one chain per contention
+//!    component proceeds per round (rotating fairly via
+//!    [`contention_rotation`]) and the rest stay backlogged.
+//!
+//! 5. **Sparse slot advance + O(1) streaming metrics.** Traffic is a
+//!    per-chain geometric arrival calendar; the sparse advance keeps
+//!    a min-heap of next arrivals and skips idle rounds outright,
+//!    and outcomes accumulate into [`StatDigest`]s (Welford + P²
+//!    quantiles), never per-packet ledgers.
 //!
 //! A "cell" is one Alice–Router–Bob crossing (§2): endpoints `a` and
-//! `b` exchange packets through relay `r`. ANC serves an exchange in 2
-//! slots (superposed uplink, amplified broadcast downlink); the
-//! traditional scheme takes 4 clean hops. Cells are laid on city
-//! blocks so in-cell links sit above the energy gate while cross-cell
-//! links usually sit below it — the spatial reuse that makes gating
-//! pay. The random-waypoint layout lets some cross-cell pairs wander
-//! above the gate, producing the realistic interference losses the
-//! urban grid avoids.
+//! `b` exchange packets through relay `r`. ANC serves an exchange in
+//! 2 slots (superposed uplink, amplified broadcast downlink); the
+//! traditional scheme takes 4 clean hops. Everything stochastic is
+//! keyed by coordinates (`seed`, stream kind, cell/node, round/slot),
+//! never by draw order, so serial and parallel execution — and dense
+//! and sparse advance — are bit-identical by construction.
 //!
-//! Everything stochastic is keyed by coordinates (`seed`, stream kind,
-//! cell/node, round/slot), never by draw order, so serial and
-//! parallel execution — and dense and sparse advance — are
-//! bit-identical by construction.
+//! Entry point: [`CityConfig::builder`] →
+//! [`CityRunBuilder::build`] → [`CityRun::execute`] (or
+//! [`CityRun::execute_profiled`] for the window-assembly vs decode
+//! time split).
 
 #![deny(clippy::cast_possible_truncation)]
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::ops::Range;
+use std::sync::RwLock;
+use std::time::Instant;
 
 use crate::faults::FaultSpec;
 use crate::metrics::StatDigest;
-use crate::pool;
+use crate::pipeline::SchedulerSpec;
 use anc_channel::{within_range, AmplifyForward, Link, Medium, SpatialGrid, TransmissionRef};
 use anc_core::decoder::{AncDecoder, DecoderConfig, DecoderScratch};
 use anc_core::detect::DetectorConfig;
@@ -62,14 +85,18 @@ use anc_dsp::cast::floor_to_usize;
 use anc_dsp::{Cplx, DspRng};
 use anc_frame::{Frame, FrameConfig, Header};
 use anc_modem::ber::ber;
-use anc_netcode::Scheme;
+use anc_netcode::{contention_rotation, derive_plan, FlowSpec, Scheme, SlotPlan, SlotStep};
 use anc_node::phy::TxChain;
+use anc_node::CsmaConfig;
+use anc_runtime::{channel, Block, BlockStatus, Consumer, Producer, Pump};
+use serde::{Deserialize, Serialize};
 
 /// Root of every [`DspRng::from_path`] stream this module draws
 /// (`"ANC_CTY1"`), disjoint from the engine and fault domains.
 pub const CITY_STREAM_DOMAIN: u64 = 0x414E_435F_4354_5931;
 
-/// Why a city run cannot proceed (see [`try_run_city`]).
+/// Why a city run cannot proceed (see [`CityRunBuilder::build`] and
+/// [`CityRun::execute`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CityError {
     /// The city layer compares ANC against traditional relaying only;
@@ -77,17 +104,23 @@ pub enum CityError {
     /// layer doesn't carry.
     UnsupportedScheme(Scheme),
     /// A config field fails validation (zero cells, horizon beyond
-    /// `u32`, non-probability offered load, empty payloads…).
+    /// `u32`, non-probability offered load, empty payloads, velocity
+    /// on a static layout…).
     InvalidConfig(String),
-    /// A served cell's queue cursor ran past its arrival calendar —
+    /// A served chain's queue cursor ran past its arrival calendar —
     /// the service loop and the calendar desynchronized.
     CalendarDesync {
-        /// The cell whose cursor overran.
+        /// The chain's head cell whose cursor overran.
         cell: u32,
-        /// Packets already served from that cell (the overrunning
+        /// Packets already served from that chain (the overrunning
         /// calendar index).
         served: u32,
     },
+    /// The block graph stopped making progress while the controller
+    /// still waited on a ring — a wired-graph deadlock, surfaced as a
+    /// typed error instead of a hang (deterministic executor only;
+    /// the work-stealing pump cannot prove a stall).
+    PipelineStalled,
 }
 
 impl std::fmt::Display for CityError {
@@ -102,8 +135,11 @@ impl std::fmt::Display for CityError {
             CityError::InvalidConfig(s) => write!(f, "{s}"),
             CityError::CalendarDesync { cell, served } => write!(
                 f,
-                "cell {cell}: service cursor {served} ran past its arrival calendar"
+                "chain at cell {cell}: service cursor {served} ran past its arrival calendar"
             ),
+            CityError::PipelineStalled => {
+                write!(f, "city block graph stalled (wired-graph deadlock)")
+            }
         }
     }
 }
@@ -114,6 +150,7 @@ const KIND_PAYLOAD: u64 = 3;
 const KIND_STAGGER: u64 = 4;
 const KIND_PHASE: u64 = 5;
 const KIND_NOISE: u64 = 6;
+const KIND_WAYPOINT: u64 = 7;
 
 /// Distance between adjacent nodes of one cell (meters).
 const IN_CELL_PITCH: f64 = 15.0;
@@ -137,15 +174,48 @@ pub enum CityLayout {
     /// Cells on a street grid: in-cell links comfortably above the
     /// energy gate, cross-cell links below it.
     UrbanGrid,
-    /// Stationary snapshot of random-waypoint motion: endpoints sit at
-    /// a random bearing/offset from their relay, so some cross-cell
-    /// pairs land above the gate and collide.
+    /// Random-waypoint placement: endpoints start at a random
+    /// bearing/offset from their relay, so some cross-cell pairs land
+    /// above the gate and collide. With `velocity == 0` this is a
+    /// stationary snapshot; with `velocity > 0` the endpoints *move*
+    /// between rounds, walking waypoint legs drawn from the same
+    /// bearing/offset distribution (see [`CityConfig::velocity`]).
     RandomWaypoint,
+}
+
+impl CityLayout {
+    fn as_str(&self) -> &'static str {
+        match self {
+            CityLayout::UrbanGrid => "urban_grid",
+            CityLayout::RandomWaypoint => "random_waypoint",
+        }
+    }
+}
+
+impl Serialize for CityLayout {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::String(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for CityLayout {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::String(s) => match s.as_str() {
+                "urban_grid" => Ok(CityLayout::UrbanGrid),
+                "random_waypoint" => Ok(CityLayout::RandomWaypoint),
+                other => Err(serde::Error::custom(format!(
+                    "unknown city layout {other:?} (expected \"urban_grid\" or \"random_waypoint\")"
+                ))),
+            },
+            other => Err(serde::Error::type_mismatch("layout string", other)),
+        }
+    }
 }
 
 /// A localized load spike: cells within `radius` of `center` multiply
 /// their arrival rate by `factor` during `[from_round, until_round)`.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct FlashCrowd {
     /// Hotspot center (meters).
     pub center: (f64, f64),
@@ -160,20 +230,28 @@ pub struct FlashCrowd {
 }
 
 /// City run parameters.
+///
+/// Serialization is hand-written and *forward/backward tolerant*:
+/// every field missing from (or `null` in) a JSON object falls back
+/// to its [`CityConfig::default`] value, and unknown keys (such as
+/// the retired `threads` field — parallelism is now a property of the
+/// scheduler, not the config) are ignored. Pre-mobility configs load
+/// unchanged.
 #[derive(Debug, Clone)]
 pub struct CityConfig {
     /// Cells per street (3 nodes each).
     pub cells_x: usize,
-    /// Number of streets.
+    /// Number of streets. Each street is one *region*: a group of
+    /// runtime blocks scheduled as a unit.
     pub rows: usize,
     /// Node placement model.
     pub layout: CityLayout,
     /// Seed for every coordinate-pure stream.
     pub seed: u64,
-    /// Service rounds simulated (one round = 2 slots under ANC, 4
-    /// under traditional).
+    /// Service rounds simulated (one round = `flow_span` exchange
+    /// sub-rounds of 2 slots each under ANC, 4 under traditional).
     pub rounds: u64,
-    /// Per-cell packet-pair arrival probability per round.
+    /// Per-chain packet-pair arrival probability per round.
     pub offered: f64,
     /// Optional flash-crowd load spike.
     pub flash: Option<FlashCrowd>,
@@ -184,10 +262,28 @@ pub struct CityConfig {
     /// Optional fault layer; `region_down` (one region per street)
     /// stalls a street's service for the round.
     pub faults: Option<FaultSpec>,
-    /// Worker threads (0 = all cores). Bit-identical to serial.
-    pub threads: usize,
+    /// Endpoint speed in meters per round under
+    /// [`CityLayout::RandomWaypoint`] (0 = stationary snapshot).
+    /// Requires the random-waypoint layout when positive.
+    pub velocity: f64,
+    /// Mean pause in rounds between waypoint legs (each leg draws its
+    /// pause uniformly from `[0, 2·pause]`).
+    pub pause: f64,
+    /// Cells per flow: 1 = every cell is its own crossing (the
+    /// classic §2 exchange); `k > 1` chains `k` adjacent cells of a
+    /// street into one relay chain whose packet pair crosses in `k`
+    /// sub-rounds.
+    pub flow_span: usize,
+    /// Inter-cell MAC: when set, chains whose nodes hear each other
+    /// above the carrier-sense radius contend, and only one chain per
+    /// contention component is serviced per round (§6 — ANC relaxes
+    /// but does not abolish carrier sense).
+    pub contention: bool,
+    /// Carrier-sense radius as a fraction of the decode gate radius
+    /// (only consulted when `contention` is set).
+    pub csma: CsmaConfig,
     /// Sparse (event-driven) slot advance instead of the dense
-    /// poll-every-cell reference. Identical outcomes, less work.
+    /// poll-every-chain reference. Identical outcomes, less work.
     pub sparse: bool,
 }
 
@@ -204,9 +300,77 @@ impl Default for CityConfig {
             payload_bits: 256,
             noise_power: 1e-3,
             faults: None,
-            threads: 1,
+            velocity: 0.0,
+            pause: 0.0,
+            flow_span: 1,
+            contention: false,
+            csma: CsmaConfig::default(),
             sparse: true,
         }
+    }
+}
+
+impl Serialize for CityConfig {
+    fn to_value(&self) -> serde::Value {
+        let mut m = BTreeMap::new();
+        m.insert("cells_x".to_string(), self.cells_x.to_value());
+        m.insert("rows".to_string(), self.rows.to_value());
+        m.insert("layout".to_string(), self.layout.to_value());
+        m.insert("seed".to_string(), self.seed.to_value());
+        m.insert("rounds".to_string(), self.rounds.to_value());
+        m.insert("offered".to_string(), self.offered.to_value());
+        if let Some(f) = &self.flash {
+            m.insert("flash".to_string(), f.to_value());
+        }
+        m.insert("payload_bits".to_string(), self.payload_bits.to_value());
+        m.insert("noise_power".to_string(), self.noise_power.to_value());
+        if let Some(f) = &self.faults {
+            m.insert("faults".to_string(), f.to_value());
+        }
+        m.insert("velocity".to_string(), self.velocity.to_value());
+        m.insert("pause".to_string(), self.pause.to_value());
+        m.insert("flow_span".to_string(), self.flow_span.to_value());
+        m.insert("contention".to_string(), self.contention.to_value());
+        m.insert("csma".to_string(), self.csma.to_value());
+        m.insert("sparse".to_string(), self.sparse.to_value());
+        serde::Value::Object(m)
+    }
+}
+
+impl Deserialize for CityConfig {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let serde::Value::Object(m) = v else {
+            return Err(serde::Error::type_mismatch("CityConfig object", v));
+        };
+        fn field<T: Deserialize>(
+            m: &BTreeMap<String, serde::Value>,
+            key: &str,
+            default: T,
+        ) -> Result<T, serde::Error> {
+            match m.get(key) {
+                None | Some(serde::Value::Null) => Ok(default),
+                Some(v) => T::from_value(v),
+            }
+        }
+        let d = CityConfig::default();
+        Ok(CityConfig {
+            cells_x: field(m, "cells_x", d.cells_x)?,
+            rows: field(m, "rows", d.rows)?,
+            layout: field(m, "layout", d.layout)?,
+            seed: field(m, "seed", d.seed)?,
+            rounds: field(m, "rounds", d.rounds)?,
+            offered: field(m, "offered", d.offered)?,
+            flash: field(m, "flash", None)?,
+            payload_bits: field(m, "payload_bits", d.payload_bits)?,
+            noise_power: field(m, "noise_power", d.noise_power)?,
+            faults: field(m, "faults", None)?,
+            velocity: field(m, "velocity", d.velocity)?,
+            pause: field(m, "pause", d.pause)?,
+            flow_span: field(m, "flow_span", d.flow_span)?,
+            contention: field(m, "contention", d.contention)?,
+            csma: field(m, "csma", d.csma)?,
+            sparse: field(m, "sparse", d.sparse)?,
+        })
     }
 }
 
@@ -227,6 +391,17 @@ impl CityConfig {
         let amp = (100.0 * self.noise_power).sqrt().min(0.99);
         D0 * amp.powf(-2.0 / ALPHA)
     }
+
+    /// Starts building a runnable [`CityRun`] for `scheme`: the slot
+    /// plan is compiled through [`derive_plan`] and the executor is
+    /// selected by a [`SchedulerSpec`] (deterministic by default).
+    pub fn builder(scheme: Scheme) -> CityRunBuilder {
+        CityRunBuilder {
+            cfg: CityConfig::default(),
+            scheme,
+            sched: SchedulerSpec::default(),
+        }
+    }
 }
 
 /// Deterministic distance-derived amplitude gain:
@@ -246,7 +421,8 @@ pub struct CityOutcome {
     pub cells: usize,
     /// Rounds in the horizon.
     pub rounds: u64,
-    /// Slots per service round (2 = ANC, 4 = traditional).
+    /// Slots per service round: `flow_span` sub-rounds of 2 slots
+    /// each under ANC, 4 under traditional.
     pub slots_per_round: u64,
     /// Packet pairs that arrived.
     pub offered: u64,
@@ -258,13 +434,13 @@ pub struct CityOutcome {
     pub latency: StatDigest,
     /// Per-delivered-packet BER.
     pub ber: StatDigest,
-    /// Rounds in which at least one cell was served.
+    /// Rounds in which at least one chain was served.
     pub rounds_serviced: u64,
-    /// Dense-advance work: one per cell per round polled.
+    /// Dense-advance work: one per chain per round polled.
     pub polls: u64,
-    /// Sparse-advance work: heap operations + active-cell touches.
+    /// Sparse-advance work: heap operations + active-chain touches.
     pub advance_ops: u64,
-    /// FNV-1a over the (round, cell) service sequence.
+    /// FNV-1a over the (round, chain) service sequence.
     pub service_hash: u64,
 }
 
@@ -322,6 +498,10 @@ fn dist(a: (f64, f64), b: (f64, f64)) -> f64 {
     (dx * dx + dy * dy).sqrt()
 }
 
+fn elapsed_ns(t0: Instant) -> u64 {
+    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
 /// Places every node. Coordinate-pure: position of node `n` depends
 /// only on `(seed, layout, n)`.
 fn place(cfg: &CityConfig) -> Vec<(f64, f64)> {
@@ -373,7 +553,48 @@ fn place(cfg: &CityConfig) -> Vec<(f64, f64)> {
     pos
 }
 
-/// Arrival probability of `cell` (centered at its relay) in `round`.
+/// A multi-cell flow: `span` adjacent cells of one street, traversed
+/// by one forward and one reverse packet per service. At
+/// `flow_span == 1` every cell is its own chain and the chain index
+/// equals the cell index.
+#[derive(Debug, Clone)]
+struct Chain {
+    /// The chain's cells, ascending along the street. `cells.start`
+    /// is the head cell, which keys the chain's arrival calendar.
+    cells: Range<u32>,
+}
+
+impl Chain {
+    fn head(&self) -> u32 {
+        self.cells.start
+    }
+    fn len(&self) -> usize {
+        (self.cells.end - self.cells.start) as usize
+    }
+}
+
+/// Chains each street's cells into consecutive groups of `flow_span`
+/// (the street's tail keeps a shorter chain if the span doesn't
+/// divide `cells_x`).
+fn build_chains(cfg: &CityConfig) -> Vec<Chain> {
+    let span = cfg.flow_span.max(1);
+    let mut chains = Vec::new();
+    for row in 0..cfg.rows {
+        let base = row * cfg.cells_x;
+        let mut c = 0;
+        while c < cfg.cells_x {
+            let len = span.min(cfg.cells_x - c);
+            let start = u32::try_from(base + c).expect("cell fits u32");
+            let end = u32::try_from(base + c + len).expect("cell fits u32");
+            chains.push(Chain { cells: start..end });
+            c += len;
+        }
+    }
+    chains
+}
+
+/// Arrival probability of a chain (centered at its head cell's relay)
+/// in `round`.
 fn offered_at(cfg: &CityConfig, relay: (f64, f64), round: u64) -> f64 {
     let mut p = cfg.offered;
     if let Some(f) = &cfg.flash {
@@ -384,14 +605,18 @@ fn offered_at(cfg: &CityConfig, relay: (f64, f64), round: u64) -> f64 {
     p
 }
 
-/// Per-cell sorted arrival rounds, generated by geometric gap
-/// sampling: O(arrivals), not O(rounds), per cell. Draw `k` of cell
-/// `c` is the pure stream `(seed, ARRIVAL, c, k)`, so the calendar is
-/// one fixed object both advance modes consume identically.
-fn calendars(cfg: &CityConfig, positions: &[(f64, f64)]) -> Vec<Vec<u32>> {
-    (0..cfg.cells())
-        .map(|cell| {
-            let relay = positions[node_r(cell)];
+/// Per-chain sorted arrival rounds, generated by geometric gap
+/// sampling: O(arrivals), not O(rounds), per chain. Draw `k` of the
+/// chain headed at cell `c` is the pure stream `(seed, ARRIVAL, c,
+/// k)`, so the calendar is one fixed object both advance modes
+/// consume identically (and, at `flow_span == 1`, identical to the
+/// historical per-cell calendar).
+fn calendars(cfg: &CityConfig, positions: &[(f64, f64)], chains: &[Chain]) -> Vec<Vec<u32>> {
+    chains
+        .iter()
+        .map(|chain| {
+            let head = chain.head();
+            let relay = positions[node_r(head as usize)];
             let mut arrivals = Vec::new();
             let mut t: u64 = 0;
             let mut k: u64 = 0;
@@ -412,7 +637,7 @@ fn calendars(cfg: &CityConfig, positions: &[(f64, f64)]) -> Vec<Vec<u32>> {
                 }
                 let u = DspRng::from_path(
                     cfg.seed,
-                    &[CITY_STREAM_DOMAIN, KIND_ARRIVAL, cell as u64, k],
+                    &[CITY_STREAM_DOMAIN, KIND_ARRIVAL, u64::from(head), k],
                 )
                 .uniform();
                 k += 1;
@@ -438,17 +663,184 @@ fn calendars(cfg: &CityConfig, positions: &[(f64, f64)]) -> Vec<Vec<u32>> {
         .collect()
 }
 
-/// Outcome of one served exchange direction.
+/// One leg of a random-waypoint walk, in round time.
 #[derive(Debug, Clone, Copy)]
-struct DirOutcome {
-    delivered: bool,
-    ber: f64,
+struct Leg {
+    from: (f64, f64),
+    to: (f64, f64),
+    /// Round at which the node leaves `from` (pause included).
+    depart: u64,
+    /// Round at which the node reaches `to`.
+    arrive: u64,
 }
 
-const LOST: DirOutcome = DirOutcome {
-    delivered: false,
-    ber: f64::NAN,
-};
+/// Random-waypoint motion state for one mobile endpoint. Legs are
+/// drawn from the coordinate-pure stream `(seed, WAYPOINT, node, k)`,
+/// so a node's position at round `t` is a pure function of `(seed,
+/// node, t)` — independent of execution order, advance mode, and
+/// which rounds actually serviced the node's chain.
+#[derive(Debug, Clone)]
+struct Waypoint {
+    node: u32,
+    /// The relay the endpoint orbits (waypoints are drawn around it,
+    /// from the same bearing/offset distribution as placement).
+    home: (f64, f64),
+    /// −1 for the `a` side, +1 for the `b` side (keeps endpoints on
+    /// their own side of the relay).
+    sign: f64,
+    next_k: u64,
+    leg: Leg,
+}
+
+impl Waypoint {
+    /// Advances the walk so the current leg covers round `t`.
+    fn advance(&mut self, cfg: &CityConfig, t: u64) {
+        while t >= self.leg.arrive {
+            let k = self.next_k;
+            self.next_k += 1;
+            let mut rng = DspRng::from_path(
+                cfg.seed,
+                &[CITY_STREAM_DOMAIN, KIND_WAYPOINT, u64::from(self.node), k],
+            );
+            let d = rng.uniform_range(12.0, 17.0);
+            let th = rng.uniform_range(-0.6, 0.6);
+            let to = (
+                self.home.0 + self.sign * d * th.cos(),
+                self.home.1 + d * th.sin(),
+            );
+            let pause = floor_to_usize(rng.uniform_range(0.0, 2.0 * cfg.pause)) as u64;
+            let speed = cfg.velocity * rng.uniform_range(0.5, 1.0);
+            let from = self.leg.to;
+            let travel = floor_to_usize((dist(from, to) / speed).ceil()).max(1) as u64;
+            let depart = self.leg.arrive + pause;
+            self.leg = Leg {
+                from,
+                to,
+                depart,
+                arrive: depart + travel,
+            };
+        }
+    }
+
+    /// Position at round `t` (the current leg must cover `t`).
+    fn pos(&self, t: u64) -> (f64, f64) {
+        let l = &self.leg;
+        if t <= l.depart {
+            return l.from;
+        }
+        if t >= l.arrive {
+            return l.to;
+        }
+        let f = (t - l.depart) as f64 / (l.arrive - l.depart) as f64;
+        (
+            l.from.0 + f * (l.to.0 - l.from.0),
+            l.from.1 + f * (l.to.1 - l.from.1),
+        )
+    }
+}
+
+/// Builds the per-node mobility state: endpoints of every cell when
+/// the layout is random-waypoint and `velocity > 0`, else empty (a
+/// static city pays zero mobility overhead).
+fn build_waypoints(cfg: &CityConfig, positions: &[(f64, f64)]) -> Vec<Option<Waypoint>> {
+    if cfg.layout != CityLayout::RandomWaypoint || cfg.velocity <= 0.0 {
+        return Vec::new();
+    }
+    let mut wp: Vec<Option<Waypoint>> = vec![None; cfg.nodes()];
+    for cell in 0..cfg.cells() {
+        let home = positions[node_r(cell)];
+        for (node, sign) in [(node_a(cell), -1.0), (node_b(cell), 1.0)] {
+            let p = positions[node];
+            wp[node] = Some(Waypoint {
+                node: u32::try_from(node).expect("node fits u32"),
+                home,
+                sign,
+                next_k: 0,
+                // A zero-length leg arriving at round 0: the first
+                // `advance` draws leg 0 from the node's stream.
+                leg: Leg {
+                    from: p,
+                    to: p,
+                    depart: 0,
+                    arrive: 0,
+                },
+            });
+        }
+    }
+    wp
+}
+
+/// One clean hop of the traditional relay plan, in a cell's local
+/// node indices (0 = `a`, 1 = `r`, 2 = `b`).
+#[derive(Debug, Clone, Copy)]
+struct HopStep {
+    from: u8,
+    to: u8,
+    /// Whether this hop carries the forward (a→b) packet.
+    forward: bool,
+}
+
+/// The per-cell exchange recipe, compiled once per run from the slot
+/// plan [`derive_plan`] derives for the two crossing flows.
+#[derive(Debug, Clone)]
+enum CompiledExchange {
+    /// 2 slots: superposed uplink, amplified broadcast downlink.
+    Anc,
+    /// 4 clean store-and-forward hops.
+    Trad(Vec<HopStep>),
+}
+
+/// Compiles the crossing-flows slot plan for `scheme` and verifies it
+/// has the shape this waveform layer can execute.
+fn compile_exchange(scheme: Scheme) -> Result<(SlotPlan, CompiledExchange), CityError> {
+    if scheme == Scheme::Cope {
+        return Err(CityError::UnsupportedScheme(scheme));
+    }
+    // The §2 crossing: a→b and b→a through the shared relay, in a
+    // cell's local node indices.
+    let flows = [
+        FlowSpec::along(vec![0, 1, 2]),
+        FlowSpec::along(vec![2, 1, 0]),
+    ];
+    let plan = derive_plan(&flows, scheme)
+        .map_err(|e| CityError::InvalidConfig(format!("cannot derive city slot plan: {e}")))?;
+    let compiled = match scheme {
+        Scheme::Anc => {
+            let ok = matches!(
+                plan.steps.as_slice(),
+                [
+                    SlotStep::Simultaneous { senders },
+                    SlotStep::AmplifyBroadcast { router: 1 },
+                ] if senders.as_slice() == [0, 2]
+            );
+            if !ok {
+                return Err(CityError::InvalidConfig(format!(
+                    "derived ANC plan has unexpected shape: {:?}",
+                    plan.steps
+                )));
+            }
+            CompiledExchange::Anc
+        }
+        Scheme::Traditional => {
+            let mut hops = Vec::with_capacity(plan.steps.len());
+            for step in &plan.steps {
+                let SlotStep::Unicast { from, to } = step else {
+                    return Err(CityError::InvalidConfig(format!(
+                        "derived traditional plan has non-unicast step: {step:?}"
+                    )));
+                };
+                hops.push(HopStep {
+                    from: *from,
+                    to: *to,
+                    forward: matches!((*from, *to), (0, 1) | (1, 2)),
+                });
+            }
+            CompiledExchange::Trad(hops)
+        }
+        Scheme::Cope => unreachable!("rejected above"),
+    };
+    Ok((plan, compiled))
+}
 
 /// One slot's transmitter: node index, in-slot sample offset, wave.
 struct SlotTx {
@@ -457,19 +849,71 @@ struct SlotTx {
     wave: Vec<Cplx>,
 }
 
-/// The PHY shared by every round: frame layout, modulator, decoder.
+/// One cell's exchange in the current sub-round: both directional
+/// payloads (filler bits on a passive side of a multi-cell chain) and
+/// which decoded directions the controller actually wants back.
+struct Exchange {
+    cell: u32,
+    pay_a: Vec<bool>,
+    pay_b: Vec<bool>,
+    want_a: bool,
+    want_b: bool,
+}
+
+/// The endpoint-side decode context an ANC uplink stage hands to the
+/// decode stage: each endpoint's own transmitted frame bits (the
+/// known signal it cancels, §3.2) and who transmitted first.
+struct DecodeCtx {
+    bits_a: Vec<bool>,
+    bits_b: Vec<bool>,
+    a_first: bool,
+}
+
+/// The shared state every region block reads while computing a stage.
+/// The controller is the only writer, and it writes only between
+/// stages (all jobs of the previous stage folded back first), so
+/// blocks take the read lock for pure snapshots — the determinism
+/// contract holds because the board content at each job is a pure
+/// function of the controller's sequential round loop.
+struct Board {
+    positions: Vec<(f64, f64)>,
+    /// Persistent all-node spatial index at the gate radius; mobility
+    /// relocates entries in place instead of rebuilding.
+    grid: SpatialGrid,
+    /// This sub-round's exchanges, ascending by cell.
+    exch: Vec<Exchange>,
+    /// Per-region slice of `exch` (regions are street rows; `exch`
+    /// sorted by cell is sorted by region).
+    seg: Vec<Range<usize>>,
+    /// Per-exchange decode context (filled by the ANC uplink stage).
+    dctx: Vec<DecodeCtx>,
+    /// The slot's transmitters, ascending by node.
+    txs: Vec<SlotTx>,
+    /// Absolute slot index of `txs` (keys phase/noise streams).
+    slot: u64,
+    /// The global exchange sub-round index (keys payload/stagger
+    /// streams and frame sequence numbers).
+    eround: u64,
+    /// Traditional only: per-exchange frame entering the current hop
+    /// (`None` = lost upstream, nothing on air).
+    hop_frames: Vec<Option<Frame>>,
+    /// Traditional only: the current hop in local node indices.
+    hop_from: u8,
+    hop_to: u8,
+}
+
+/// The PHY shared by every round: frame layout, modulator, decoder,
+/// and the pure per-stage computations the region blocks execute.
 struct CityPhy<'a> {
     cfg: &'a CityConfig,
-    positions: &'a [(f64, f64)],
     gate: f64,
     frame_cfg: FrameConfig,
     tx: TxChain,
     decoder: AncDecoder,
-    threads: usize,
 }
 
 impl<'a> CityPhy<'a> {
-    fn new(cfg: &'a CityConfig, positions: &'a [(f64, f64)]) -> Self {
+    fn new(cfg: &'a CityConfig) -> Self {
         let frame_cfg = FrameConfig::default();
         let dec_cfg = DecoderConfig {
             frame: frame_cfg,
@@ -481,56 +925,35 @@ impl<'a> CityPhy<'a> {
         };
         CityPhy {
             cfg,
-            positions,
             gate: cfg.gate_radius(),
             frame_cfg,
             tx: TxChain::new(frame_cfg),
             decoder: AncDecoder::new(dec_cfg),
-            threads: cfg.threads,
         }
     }
 
-    /// The two directional frames cell `c` exchanges in round `t`.
-    /// Header identity wraps at `u8`; decode correctness rides on the
-    /// payload streams, which are globally unique per (cell, round).
-    fn frames(&self, cell: u32, round: u64) -> (Frame, Frame) {
+    /// The two directional frames of cell `c` in exchange sub-round
+    /// `e`, from caller-supplied payloads. Header identity wraps at
+    /// `u8`; decode correctness rides on the payload streams.
+    fn frame_pair(&self, cell: u32, e: u64, pay_a: Vec<bool>, pay_b: Vec<bool>) -> (Frame, Frame) {
         let id = |node: usize| u8::try_from(node % 251).expect("mod fits");
-        let seq = u16::try_from(round % 65_536).expect("mod fits");
-        let payload = |dir: u64| {
-            DspRng::from_path(
-                self.cfg.seed,
-                &[
-                    CITY_STREAM_DOMAIN,
-                    KIND_PAYLOAD,
-                    u64::from(cell),
-                    round,
-                    dir,
-                ],
-            )
-            .bits(self.cfg.payload_bits)
-        };
+        let seq = u16::try_from(e % 65_536).expect("mod fits");
         let c = cell as usize;
-        let fa = Frame::new(
-            Header::new(id(node_a(c)), id(node_b(c)), seq, 0),
-            payload(0),
-        );
-        let fb = Frame::new(
-            Header::new(id(node_b(c)), id(node_a(c)), seq, 0),
-            payload(1),
-        );
+        let fa = Frame::new(Header::new(id(node_a(c)), id(node_b(c)), seq, 0), pay_a);
+        let fb = Frame::new(Header::new(id(node_b(c)), id(node_a(c)), seq, 0), pay_b);
         (fa, fb)
     }
 
-    /// §7.2 staggered starts for cell `c` in round `t`: who goes
-    /// first and by how many samples. The gap must clear the
+    /// §7.2 staggered starts for cell `c` in exchange sub-round `e`:
+    /// who goes first and by how many samples. The gap must clear the
     /// first frame's pilot + header (128 bits) so the §7.4 channel
     /// estimator gets a clean prefix to bootstrap on — and stay well
     /// under the frame length so the payloads still overlap (the
     /// whole point of the 2-slot exchange).
-    fn stagger(&self, cell: u32, round: u64) -> (usize, usize, bool) {
+    fn stagger(&self, cell: u32, e: u64) -> (usize, usize, bool) {
         let mut rng = DspRng::from_path(
             self.cfg.seed,
-            &[CITY_STREAM_DOMAIN, KIND_STAGGER, u64::from(cell), round],
+            &[CITY_STREAM_DOMAIN, KIND_STAGGER, u64::from(cell), e],
         );
         let a_first = rng.bit();
         let gap = 192 + usize::try_from(rng.uniform_int(0, 96)).expect("small");
@@ -542,29 +965,41 @@ impl<'a> CityPhy<'a> {
     }
 
     /// Superposed reception window at `recv` for one slot. `txs` must
-    /// be sorted ascending by node index (they are: cells are visited
-    /// in ascending order and in-cell node indices ascend). The grid
-    /// pre-filters to the 3×3 neighborhood; the exact [`within_range`]
-    /// test then admits precisely the above-gate transmitters, in
-    /// ascending node order — the same set and order a dense scan
-    /// would produce, so the superposition sum is bit-identical.
-    fn window(&self, grid: &SpatialGrid, txs: &[SlotTx], recv: u32, slot: u64) -> Vec<Cplx> {
-        let rpos = self.positions[recv as usize];
+    /// be sorted ascending by node index (they are: exchanges are
+    /// cell-ascending and in-cell node indices ascend). The all-node
+    /// grid pre-filters to the 3×3 neighborhood; the exact
+    /// [`within_range`] test plus membership in `txs` (the
+    /// binary-search hit) then admit precisely the above-gate
+    /// transmitters, in ascending node order — the same set and order
+    /// a dense scan over the transmitter subset would produce, so the
+    /// superposition sum is bit-identical to the historical per-slot
+    /// subset grid.
+    fn window(
+        &self,
+        positions: &[(f64, f64)],
+        grid: &SpatialGrid,
+        txs: &[SlotTx],
+        recv: u32,
+        slot: u64,
+    ) -> Vec<Cplx> {
+        let rpos = positions[recv as usize];
         let mut cands: Vec<u32> = Vec::new();
         grid.candidates_into(rpos, &mut cands);
         let mut refs: Vec<TransmissionRef<'_>> = Vec::new();
         let mut end = PAD;
         for id in cands {
-            if id == recv || !within_range(self.positions[id as usize], rpos, self.gate) {
+            if id == recv || !within_range(positions[id as usize], rpos, self.gate) {
                 continue;
             }
-            let k = txs
-                .binary_search_by_key(&id, |t| t.node)
-                .expect("candidate indices come from the tx subset");
+            // The grid spans all nodes, not just this slot's
+            // transmitters: a miss means the candidate is silent.
+            let Ok(k) = txs.binary_search_by_key(&id, |t| t.node) else {
+                continue;
+            };
             if txs[k].wave.is_empty() {
                 continue; // upstream decode failed; nothing on air
             }
-            let d = dist(self.positions[id as usize], rpos);
+            let d = dist(positions[id as usize], rpos);
             let phase = DspRng::from_path(
                 self.cfg.seed,
                 &[
@@ -596,192 +1031,320 @@ impl<'a> CityPhy<'a> {
         out
     }
 
-    /// One ANC round over the live cells: slot 0 superposes both
-    /// endpoints at each relay (which amplifies the detected region),
-    /// slot 1 broadcasts the mixture back and each endpoint cancels
-    /// its own signal (§3).
-    fn anc_round(&self, round: u64, live: &[u32]) -> Vec<[DirOutcome; 2]> {
-        let slot0 = round * 2;
-        // Pass 1: frames + uplink waves, two transmitters per cell.
-        struct CellTx {
-            bits_a: Vec<bool>,
-            bits_b: Vec<bool>,
-            pay_a: Vec<bool>,
-            pay_b: Vec<bool>,
-            a_first: bool,
-        }
-        let mut uplink: Vec<SlotTx> = Vec::with_capacity(2 * live.len());
-        let mut cells: Vec<CellTx> = Vec::with_capacity(live.len());
-        for built in pool::parallel_map_indexed(live.len(), self.threads, |i| {
-            let c = live[i];
-            let (fa, fb) = self.frames(c, round);
-            let (off_a, off_b, a_first) = self.stagger(c, round);
-            let bits_a = fa.to_bits(&self.frame_cfg);
-            let bits_b = fb.to_bits(&self.frame_cfg);
-            let wave_a = self.tx.modulate_frame(&fa);
-            let wave_b = self.tx.modulate_frame(&fb);
-            (
-                CellTx {
-                    bits_a,
-                    bits_b,
-                    pay_a: fa.payload,
-                    pay_b: fb.payload,
-                    a_first,
-                },
-                [
-                    SlotTx {
-                        node: u32::try_from(node_a(c as usize)).expect("node fits u32"),
-                        offset: off_a,
-                        wave: wave_a,
-                    },
-                    SlotTx {
-                        node: u32::try_from(node_b(c as usize)).expect("node fits u32"),
-                        offset: off_b,
-                        wave: wave_b,
-                    },
-                ],
-            )
-        }) {
-            let (cell, [ta, tb]) = built;
-            cells.push(cell);
-            uplink.push(ta);
-            uplink.push(tb);
-        }
-        let up_nodes: Vec<u32> = uplink.iter().map(|t| t.node).collect();
-        let up_grid = SpatialGrid::build_subset(self.positions, &up_nodes, self.gate);
-        // Pass 2: each relay receives the superposition and amplifies
-        // the detected region (§7.5) for the downlink.
-        let downlink: Vec<SlotTx> = pool::parallel_map_indexed(live.len(), self.threads, |i| {
-            let r = u32::try_from(node_r(live[i] as usize)).expect("node fits u32");
-            let win = self.window(&up_grid, &uplink, r, slot0);
-            let wave = match self.decoder.classify(&win) {
-                Some(reg) => {
-                    AmplifyForward::new(1.0)
-                        .amplify_window(&win, reg.start, reg.end)
-                        .0
-                }
-                None => Vec::new(),
-            };
-            SlotTx {
-                node: r,
-                offset: 0,
-                wave,
-            }
-        });
-        let down_nodes: Vec<u32> = downlink.iter().map(|t| t.node).collect();
-        let down_grid = SpatialGrid::build_subset(self.positions, &down_nodes, self.gate);
-        // Pass 3: each endpoint decodes the other's frame out of the
-        // forwarded mixture using its own transmission as the known
-        // signal (§3.2).
-        pool::parallel_map_indexed_with(
-            live.len(),
-            self.threads,
-            DecoderScratch::default,
-            |scratch, i| {
-                let c = live[i] as usize;
-                let cell = &cells[i];
-                let mut dir = |end_node: usize, own: &[bool], own_first: bool, truth: &[bool]| {
-                    let recv = u32::try_from(end_node).expect("node fits u32");
-                    let win = self.window(&down_grid, &downlink, recv, slot0 + 1);
-                    let decoded = if own_first {
-                        self.decoder.decode_forward_with(&win, own, scratch)
-                    } else {
-                        self.decoder.decode_backward_with(&win, own, scratch)
-                    };
-                    let Ok(out) = decoded else { return LOST };
-                    match Frame::parse_lenient(&out.bits, &self.frame_cfg) {
-                        Ok((frame, _, _)) => DirOutcome {
-                            delivered: true,
-                            ber: ber(&frame.payload, truth),
-                        },
-                        Err(_) => LOST,
-                    }
-                };
-                [
-                    // b's packet decoded at a (a's own signal known)…
-                    dir(node_a(c), &cell.bits_a, cell.a_first, &cell.pay_b),
-                    // …and a's packet decoded at b.
-                    dir(node_b(c), &cell.bits_b, !cell.a_first, &cell.pay_a),
-                ]
-            },
-        )
-    }
-
-    /// One clean store-and-forward hop: every live cell's `from` node
-    /// transmits `waves[i]`, its `to` node detects and parses. Returns
-    /// each cell's decoded frame (None = hop lost).
-    fn clean_hop(
-        &self,
-        live: &[u32],
-        txs: &[SlotTx],
-        to: impl Fn(usize) -> usize + Sync,
-        slot: u64,
-    ) -> Vec<Option<Frame>> {
-        let nodes: Vec<u32> = txs.iter().map(|t| t.node).collect();
-        let grid = SpatialGrid::build_subset(self.positions, &nodes, self.gate);
-        pool::parallel_map_indexed(live.len(), self.threads, |i| {
-            let recv = u32::try_from(to(live[i] as usize)).expect("node fits u32");
-            let win = self.window(&grid, txs, recv, slot);
-            let bits = self.decoder.decode_clean(&win).ok()?;
-            Frame::parse_lenient(&bits, &self.frame_cfg)
-                .ok()
-                .map(|(frame, _, _)| frame)
-        })
-    }
-
-    /// One traditional round: 4 clean hops (a→r, r→b, b→r, r→a), with
-    /// relay re-encoding — a hop that fails to parse forwards nothing.
-    fn trad_round(&self, round: u64, live: &[u32]) -> Vec<[DirOutcome; 2]> {
-        let slot0 = round * 4;
-        let mk_txs = |node_of: &dyn Fn(usize) -> usize, frames: &[Option<Frame>]| -> Vec<SlotTx> {
-            live.iter()
-                .zip(frames)
-                .map(|(&c, f)| SlotTx {
-                    node: u32::try_from(node_of(c as usize)).expect("node fits u32"),
-                    offset: 0,
-                    wave: f
-                        .as_ref()
-                        .map(|f| self.tx.modulate_frame(f))
-                        .unwrap_or_default(),
-                })
-                .collect()
-        };
-        let originals: Vec<(Frame, Frame)> = live.iter().map(|&c| self.frames(c, round)).collect();
-        let truth_a: Vec<&[bool]> = originals
-            .iter()
-            .map(|(fa, _)| fa.payload.as_slice())
-            .collect();
-        let truth_b: Vec<&[bool]> = originals
-            .iter()
-            .map(|(_, fb)| fb.payload.as_slice())
-            .collect();
-        let src_a: Vec<Option<Frame>> = originals.iter().map(|(fa, _)| Some(fa.clone())).collect();
-        let src_b: Vec<Option<Frame>> = originals.iter().map(|(_, fb)| Some(fb.clone())).collect();
-        // a → r, then r re-encodes → b.
-        let at_r = self.clean_hop(live, &mk_txs(&node_a, &src_a), node_r, slot0);
-        let at_b = self.clean_hop(live, &mk_txs(&node_r, &at_r), node_b, slot0 + 1);
-        // b → r, then r re-encodes → a.
-        let back_r = self.clean_hop(live, &mk_txs(&node_b, &src_b), node_r, slot0 + 2);
-        let at_a = self.clean_hop(live, &mk_txs(&node_r, &back_r), node_a, slot0 + 3);
-        (0..live.len())
+    /// ANC uplink stage for one region's exchanges: frames, stagger,
+    /// modulation. Returns each exchange's decode context plus its two
+    /// endpoint transmitters (node-ascending within the exchange).
+    fn anc_tx(&self, board: &Board, range: Range<usize>) -> Vec<(DecodeCtx, [SlotTx; 2])> {
+        range
             .map(|i| {
-                let score = |got: &Option<Frame>, truth: &[bool]| match got {
-                    Some(f) => DirOutcome {
-                        delivered: true,
-                        ber: ber(&f.payload, truth),
-                    },
-                    None => LOST,
+                let x = &board.exch[i];
+                let c = x.cell as usize;
+                let (fa, fb) =
+                    self.frame_pair(x.cell, board.eround, x.pay_a.clone(), x.pay_b.clone());
+                let (off_a, off_b, a_first) = self.stagger(x.cell, board.eround);
+                let ctx = DecodeCtx {
+                    bits_a: fa.to_bits(&self.frame_cfg),
+                    bits_b: fb.to_bits(&self.frame_cfg),
+                    a_first,
                 };
-                [score(&at_a[i], truth_b[i]), score(&at_b[i], truth_a[i])]
+                let wave_a = self.tx.modulate_frame(&fa);
+                let wave_b = self.tx.modulate_frame(&fb);
+                (
+                    ctx,
+                    [
+                        SlotTx {
+                            node: u32::try_from(node_a(c)).expect("node fits u32"),
+                            offset: off_a,
+                            wave: wave_a,
+                        },
+                        SlotTx {
+                            node: u32::try_from(node_b(c)).expect("node fits u32"),
+                            offset: off_b,
+                            wave: wave_b,
+                        },
+                    ],
+                )
             })
             .collect()
     }
 
-    fn round(&self, scheme: Scheme, round: u64, live: &[u32]) -> Vec<[DirOutcome; 2]> {
-        match scheme {
-            Scheme::Anc => self.anc_round(round, live),
-            Scheme::Traditional => self.trad_round(round, live),
-            Scheme::Cope => unreachable!("rejected at run_city entry"),
+    /// ANC relay stage: each relay receives the uplink superposition
+    /// and amplifies the detected region (§7.5) for the downlink.
+    fn anc_relay(&self, board: &Board, range: Range<usize>) -> Vec<SlotTx> {
+        range
+            .map(|i| {
+                let c = board.exch[i].cell as usize;
+                let r = u32::try_from(node_r(c)).expect("node fits u32");
+                let win = self.window(&board.positions, &board.grid, &board.txs, r, board.slot);
+                let wave = match self.decoder.classify(&win) {
+                    Some(reg) => {
+                        AmplifyForward::new(1.0)
+                            .amplify_window(&win, reg.start, reg.end)
+                            .0
+                    }
+                    None => Vec::new(),
+                };
+                SlotTx {
+                    node: r,
+                    offset: 0,
+                    wave,
+                }
+            })
+            .collect()
+    }
+
+    /// One endpoint's §3.2 decode: superpose the downlink window,
+    /// cancel the known own signal, parse the remaining frame.
+    fn decode_side(
+        &self,
+        board: &Board,
+        recv: usize,
+        own: &[bool],
+        own_first: bool,
+        scratch: &mut DecoderScratch,
+    ) -> Option<Vec<bool>> {
+        let recv = u32::try_from(recv).expect("node fits u32");
+        let win = self.window(&board.positions, &board.grid, &board.txs, recv, board.slot);
+        let decoded = if own_first {
+            self.decoder.decode_forward_with(&win, own, scratch)
+        } else {
+            self.decoder.decode_backward_with(&win, own, scratch)
+        };
+        let out = decoded.ok()?;
+        Frame::parse_lenient(&out.bits, &self.frame_cfg)
+            .ok()
+            .map(|(frame, _, _)| frame.payload)
+    }
+
+    /// ANC decode stage: both wanted endpoint decodes per exchange,
+    /// `[at a, at b]` (`None` = lost or not wanted).
+    fn anc_decode(
+        &self,
+        board: &Board,
+        range: Range<usize>,
+        scratch: &mut DecoderScratch,
+    ) -> Vec<[Option<Vec<bool>>; 2]> {
+        let mut out = Vec::with_capacity(range.len());
+        for i in range {
+            let x = &board.exch[i];
+            let ctx = &board.dctx[i];
+            let c = x.cell as usize;
+            let ra = if x.want_a {
+                self.decode_side(board, node_a(c), &ctx.bits_a, ctx.a_first, scratch)
+            } else {
+                None
+            };
+            let rb = if x.want_b {
+                self.decode_side(board, node_b(c), &ctx.bits_b, !ctx.a_first, scratch)
+            } else {
+                None
+            };
+            out.push([ra, rb]);
+        }
+        out
+    }
+
+    fn local_node(cell: usize, idx: u8) -> usize {
+        match idx {
+            0 => node_a(cell),
+            1 => node_r(cell),
+            _ => node_b(cell),
+        }
+    }
+
+    /// Traditional hop TX stage: modulate each exchange's in-flight
+    /// frame at the hop's sender (nothing on air if the previous hop
+    /// lost it).
+    fn trad_modulate(&self, board: &Board, range: Range<usize>) -> Vec<SlotTx> {
+        range
+            .map(|i| {
+                let c = board.exch[i].cell as usize;
+                let node = Self::local_node(c, board.hop_from);
+                let wave = board.hop_frames[i]
+                    .as_ref()
+                    .map(|f| self.tx.modulate_frame(f))
+                    .unwrap_or_default();
+                SlotTx {
+                    node: u32::try_from(node).expect("node fits u32"),
+                    offset: 0,
+                    wave,
+                }
+            })
+            .collect()
+    }
+
+    /// Traditional hop RX stage: clean detect + parse at the hop's
+    /// receiver (relay re-encoding — a failed parse forwards nothing).
+    fn trad_decode(&self, board: &Board, range: Range<usize>) -> Vec<Option<Frame>> {
+        range
+            .map(|i| {
+                let c = board.exch[i].cell as usize;
+                let recv = u32::try_from(Self::local_node(c, board.hop_to)).expect("node fits u32");
+                let win = self.window(&board.positions, &board.grid, &board.txs, recv, board.slot);
+                let bits = self.decoder.decode_clean(&win).ok()?;
+                Frame::parse_lenient(&bits, &self.frame_cfg)
+                    .ok()
+                    .map(|(frame, _, _)| frame)
+            })
+            .collect()
+    }
+}
+
+/// A stage job the controller hands a region's block.
+#[derive(Debug, Clone, Copy)]
+enum RegionJob {
+    AncTx,
+    AncRelay,
+    AncDecode,
+    TradModulate,
+    TradDecode,
+}
+
+/// A region block's stage result.
+enum RegionOut {
+    Tx(Vec<(DecodeCtx, [SlotTx; 2])>),
+    Relay(Vec<SlotTx>),
+    Decode(Vec<[Option<Vec<bool>>; 2]>),
+    Modulated(Vec<SlotTx>),
+    HopDecoded(Vec<Option<Frame>>),
+}
+
+/// One region's worker block: pops a stage job, computes that stage
+/// over the region's slice of the board's exchanges (a pure function
+/// of the board snapshot), and pushes the result. The staged-output
+/// slot makes backpressure safe: a result that doesn't fit its ring
+/// is retried before the next job is popped.
+struct RegionBlock<'env> {
+    name: String,
+    region: usize,
+    phy: &'env CityPhy<'env>,
+    board: &'env RwLock<Board>,
+    job: Consumer<RegionJob>,
+    out: Producer<RegionOut>,
+    staged: Option<RegionOut>,
+    scratch: DecoderScratch,
+}
+
+impl Block for RegionBlock<'_> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn poll(&mut self) -> BlockStatus {
+        let mut progressed = false;
+        loop {
+            if let Some(out) = self.staged.take() {
+                if let Err(out) = self.out.try_push(out) {
+                    self.staged = Some(out);
+                    break;
+                }
+                progressed = true;
+            }
+            let Some(job) = self.job.try_pop() else {
+                break;
+            };
+            let board = self.board.read().expect("board lock");
+            let range = board.seg[self.region].clone();
+            self.staged = Some(match job {
+                RegionJob::AncTx => RegionOut::Tx(self.phy.anc_tx(&board, range)),
+                RegionJob::AncRelay => RegionOut::Relay(self.phy.anc_relay(&board, range)),
+                RegionJob::AncDecode => {
+                    RegionOut::Decode(self.phy.anc_decode(&board, range, &mut self.scratch))
+                }
+                RegionJob::TradModulate => {
+                    RegionOut::Modulated(self.phy.trad_modulate(&board, range))
+                }
+                RegionJob::TradDecode => RegionOut::HopDecoded(self.phy.trad_decode(&board, range)),
+            });
+        }
+        if progressed {
+            BlockStatus::Progress
+        } else {
+            BlockStatus::Idle
+        }
+    }
+}
+
+/// The controller's handles to one region's three stage blocks.
+struct RegionPorts {
+    tx_job: Producer<RegionJob>,
+    tx_out: Consumer<RegionOut>,
+    relay_job: Producer<RegionJob>,
+    relay_out: Consumer<RegionOut>,
+    dec_job: Producer<RegionJob>,
+    dec_out: Consumer<RegionOut>,
+}
+
+/// Builds the city's block graph: three stage blocks per region
+/// (street row), region-major, named `city-r{row}-{stage}`.
+fn build_city_graph<'env>(
+    phy: &'env CityPhy<'env>,
+    board: &'env RwLock<Board>,
+    regions: usize,
+    capacity: usize,
+) -> (Vec<Box<dyn Block + 'env>>, Vec<RegionPorts>) {
+    let cap = capacity.max(1);
+    let mut blocks: Vec<Box<dyn Block + 'env>> = Vec::with_capacity(3 * regions);
+    let mut ports = Vec::with_capacity(regions);
+    for region in 0..regions {
+        let mut mk = |tag: &str| {
+            let (job_tx, job_rx) = channel(cap);
+            let (out_tx, out_rx) = channel(cap);
+            blocks.push(Box::new(RegionBlock {
+                name: format!("city-r{region}-{tag}"),
+                region,
+                phy,
+                board,
+                job: job_rx,
+                out: out_tx,
+                staged: None,
+                scratch: DecoderScratch::default(),
+            }));
+            (job_tx, out_rx)
+        };
+        let (tx_job, tx_out) = mk("tx");
+        let (relay_job, relay_out) = mk("relay");
+        let (dec_job, dec_out) = mk("decode");
+        ports.push(RegionPorts {
+            tx_job,
+            tx_out,
+            relay_job,
+            relay_out,
+            dec_job,
+            dec_out,
+        });
+    }
+    (blocks, ports)
+}
+
+/// Pushes a job, pumping the graph whenever the ring is full.
+fn push_job(
+    pump: &mut dyn Pump,
+    port: &mut Producer<RegionJob>,
+    job: RegionJob,
+) -> Result<(), CityError> {
+    let mut j = job;
+    loop {
+        match port.try_push(j) {
+            Ok(()) => return Ok(()),
+            Err(back) => {
+                j = back;
+                if !pump.pump() {
+                    return Err(CityError::PipelineStalled);
+                }
+            }
+        }
+    }
+}
+
+/// Pops a stage result, pumping the graph until it arrives.
+fn pop_out(pump: &mut dyn Pump, port: &mut Consumer<RegionOut>) -> Result<RegionOut, CityError> {
+    loop {
+        if let Some(out) = port.try_pop() {
+            return Ok(out);
+        }
+        if !pump.pump() {
+            return Err(CityError::PipelineStalled);
         }
     }
 }
@@ -801,238 +1364,894 @@ struct RunState {
 }
 
 impl RunState {
+    fn new(chains: usize) -> Self {
+        RunState {
+            arr_idx: vec![0; chains],
+            served: vec![0; chains],
+            latency: StatDigest::default(),
+            ber: StatDigest::default(),
+            delivered: 0,
+            lost: 0,
+            rounds_serviced: 0,
+            polls: 0,
+            advance_ops: 0,
+            service_hash: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+
     fn eat(&mut self, w: u64) {
         self.service_hash ^= w;
         self.service_hash = self.service_hash.wrapping_mul(0x1000_0000_01b3);
     }
 }
 
-/// Serves round `t` for the backlogged cells in `active` (ascending).
-/// Street-level fault windows stall their cells for the round —
-/// packets stay queued and retry, they are not lost.
-#[allow(clippy::too_many_arguments)]
-fn service_round(
-    cfg: &CityConfig,
-    scheme: Scheme,
-    phy: &CityPhy<'_>,
-    cal: &[Vec<u32>],
-    st: &mut RunState,
-    t: u64,
-    active: &[u32],
+/// Stage-level time split of one profiled city run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CityProfile {
+    /// Time building what goes on the air: frame synthesis +
+    /// modulation stages and the relay's uplink window assembly +
+    /// amplify-forward.
+    pub window_assembly_ns: u64,
+    /// Time in the endpoint decode stages (including their own
+    /// downlink window superposition).
+    pub decode_ns: u64,
+    /// Time advancing waypoints and relocating moved nodes in the
+    /// spatial grid (zero for static cities).
+    pub mobility_ns: u64,
+}
+
+impl CityProfile {
+    /// Fraction of PHY time spent assembling transmissions rather
+    /// than decoding (`NaN` when nothing was measured).
+    pub fn window_share(&self) -> f64 {
+        let total = self.window_assembly_ns + self.decode_ns;
+        if total == 0 {
+            return f64::NAN;
+        }
+        self.window_assembly_ns as f64 / total as f64
+    }
+
+    /// Which side of the split dominates.
+    pub fn dominant(&self) -> &'static str {
+        if self.window_assembly_ns >= self.decode_ns {
+            "window-assembly"
+        } else {
+            "decode"
+        }
+    }
+}
+
+/// Coordinate-pure filler payload for the passive side of a
+/// multi-cell exchange (`dir` 2 = a-side filler, 3 = b-side filler —
+/// disjoint from the real payload dirs 0/1).
+fn filler(cfg: &CityConfig, cell: u32, e: u64, dir: u64) -> Vec<bool> {
+    DspRng::from_path(
+        cfg.seed,
+        &[CITY_STREAM_DOMAIN, KIND_PAYLOAD, u64::from(cell), e, dir],
+    )
+    .bits(cfg.payload_bits)
+}
+
+/// The sequential brain of a city run: the controller closure's
+/// state. It owns the round loop (dense or sparse advance), resolves
+/// all stateful decisions — faults, contention, mobility, queue
+/// cursors — in deterministic order, and feeds pure stage jobs into
+/// the region blocks through their rings.
+struct CityDriver<'a> {
+    cfg: &'a CityConfig,
+    compiled: &'a CompiledExchange,
+    /// Slots per exchange sub-round (2 = ANC, 4 = traditional).
     spr: u64,
-) -> Result<(), CityError> {
-    let live: Vec<u32> = active
-        .iter()
-        .copied()
-        .filter(|&c| match &cfg.faults {
-            Some(f) => !f.region_down(cfg.seed, u64::from(c) / cfg.cells_x as u64, t),
-            None => true,
-        })
-        .collect();
-    if live.is_empty() {
-        return Ok(());
+    /// Sub-rounds per service round (`flow_span`).
+    span: usize,
+    /// `spr * span`: slots a full service round occupies.
+    slots_per_round: u64,
+    chains: &'a [Chain],
+    cal: &'a [Vec<u32>],
+    phy: &'a CityPhy<'a>,
+    board: &'a RwLock<Board>,
+    ports: &'a mut [RegionPorts],
+    pump: &'a mut dyn Pump,
+    waypoints: &'a mut [Option<Waypoint>],
+    st: &'a mut RunState,
+    profile: &'a mut CityProfile,
+}
+
+impl CityDriver<'_> {
+    /// Reference advance: every round touches every chain.
+    fn advance_dense(&mut self) -> Result<(), CityError> {
+        let n = self.chains.len();
+        let mut active: Vec<u32> = Vec::new();
+        for t in 0..self.cfg.rounds {
+            active.clear();
+            for c in 0..n {
+                self.st.polls += 1;
+                while (self.st.arr_idx[c] as usize) < self.cal[c].len()
+                    && u64::from(self.cal[c][self.st.arr_idx[c] as usize]) == t
+                {
+                    self.st.arr_idx[c] += 1;
+                }
+                if self.st.served[c] < self.st.arr_idx[c] {
+                    active.push(u32::try_from(c).expect("chain fits u32"));
+                }
+            }
+            if !active.is_empty() {
+                self.service_round(t, &active)?;
+            }
+        }
+        Ok(())
     }
-    st.rounds_serviced += 1;
-    st.eat(t);
-    for &c in &live {
-        st.eat(u64::from(c));
+
+    /// Sparse advance: a min-heap of next arrivals plus the
+    /// backlogged set. Idle rounds are skipped in O(1); each busy
+    /// round costs O(arrivals landing + backlogged chains). Produces
+    /// the identical service sequence to [`Self::advance_dense`]
+    /// because both consume the same calendar and a round is served
+    /// iff some chain is backlogged at it.
+    fn advance_sparse(&mut self) -> Result<(), CityError> {
+        let n = self.chains.len();
+        let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
+        for (c, arrivals) in self.cal.iter().enumerate() {
+            if let Some(&first) = arrivals.first() {
+                heap.push(Reverse((first, u32::try_from(c).expect("chain fits u32"))));
+                self.st.advance_ops += 1;
+            }
+        }
+        let mut is_active = vec![false; n];
+        let mut active: Vec<u32> = Vec::new();
+        let mut t: u64 = 0;
+        loop {
+            if active.is_empty() {
+                // Nothing backlogged: jump straight to the next arrival.
+                let Some(&Reverse((ta, _))) = heap.peek() else {
+                    break;
+                };
+                t = t.max(u64::from(ta));
+            }
+            if t >= self.cfg.rounds {
+                break;
+            }
+            while let Some(&Reverse((ta, c))) = heap.peek() {
+                if u64::from(ta) > t {
+                    break;
+                }
+                heap.pop();
+                self.st.advance_ops += 1;
+                let ci = c as usize;
+                self.st.arr_idx[ci] += 1;
+                if let Some(&next) = self.cal[ci].get(self.st.arr_idx[ci] as usize) {
+                    heap.push(Reverse((next, c)));
+                }
+                if !is_active[ci] {
+                    is_active[ci] = true;
+                    active.push(c);
+                }
+            }
+            active.sort_unstable();
+            if !active.is_empty() {
+                self.st.advance_ops += active.len() as u64;
+                self.service_round(t, &active)?;
+            }
+            let (served, arr) = (&self.st.served, &self.st.arr_idx);
+            active.retain(|&c| {
+                let keep = served[c as usize] < arr[c as usize];
+                if !keep {
+                    is_active[c as usize] = false;
+                }
+                keep
+            });
+            t += 1;
+        }
+        Ok(())
     }
-    let results = phy.round(scheme, t, &live);
-    for (&c, dirs) in live.iter().zip(&results) {
-        let ci = c as usize;
-        let arrival = cal[ci]
-            .get(st.served[ci] as usize)
+
+    /// Serves round `t` for the backlogged chains in `active`
+    /// (ascending). Street-level fault windows stall their chains for
+    /// the round; with `contention` on, carrier-sense losers also
+    /// stay backlogged — in both cases packets stay queued and retry,
+    /// they are not lost.
+    fn service_round(&mut self, t: u64, active: &[u32]) -> Result<(), CityError> {
+        let cfg = self.cfg;
+        let mut live: Vec<u32> = active
+            .iter()
             .copied()
-            .map(u64::from)
-            .ok_or(CityError::CalendarDesync {
-                cell: c,
-                served: st.served[ci],
-            })?;
-        st.served[ci] += 1;
-        for d in dirs {
-            if d.delivered {
-                st.delivered += 1;
-                st.latency.push(((t + 1 - arrival) * spr) as f64);
-                st.ber.push(d.ber);
-            } else {
-                st.lost += 1;
+            .filter(|&ch| match &cfg.faults {
+                Some(f) => {
+                    let row = u64::from(self.chains[ch as usize].head()) / cfg.cells_x as u64;
+                    !f.region_down(cfg.seed, row, t)
+                }
+                None => true,
+            })
+            .collect();
+        if live.is_empty() {
+            return Ok(());
+        }
+        if cfg.contention {
+            live = self.contention_filter(t, live);
+        }
+        self.mobility_update(t, &live);
+        self.st.rounds_serviced += 1;
+        self.st.eat(t);
+        for &c in &live {
+            self.st.eat(u64::from(c));
+        }
+        // One forward and one reverse packet per live chain, walking
+        // the chain's cells in opposite directions.
+        struct Journey {
+            fwd: Option<Vec<bool>>,
+            rev: Option<Vec<bool>>,
+            truth_f: Vec<bool>,
+            truth_r: Vec<bool>,
+        }
+        let mut journeys: Vec<Journey> = live
+            .iter()
+            .map(|&ch| {
+                let head = self.chains[ch as usize].head();
+                let draw = |dir: u64| {
+                    DspRng::from_path(
+                        cfg.seed,
+                        &[CITY_STREAM_DOMAIN, KIND_PAYLOAD, u64::from(head), t, dir],
+                    )
+                    .bits(cfg.payload_bits)
+                };
+                let tf = draw(0);
+                let tr = draw(1);
+                Journey {
+                    fwd: Some(tf.clone()),
+                    rev: Some(tr.clone()),
+                    truth_f: tf,
+                    truth_r: tr,
+                }
+            })
+            .collect();
+        for s in 0..self.span {
+            let e = t * self.span as u64 + s as u64;
+            // (cell, live index, carries forward, carries reverse) —
+            // the forward packet sits at cells[s], the reverse at
+            // cells[len-1-s]; a direction already lost upstream stops
+            // occupying slots.
+            let mut items: Vec<(u32, usize, bool, bool)> = Vec::new();
+            for (li, j) in journeys.iter().enumerate() {
+                let chain = &self.chains[live[li] as usize];
+                let len = chain.len();
+                if s >= len {
+                    continue;
+                }
+                let cf = j
+                    .fwd
+                    .is_some()
+                    .then(|| chain.cells.start + u32::try_from(s).expect("span fits u32"));
+                let cr = j
+                    .rev
+                    .is_some()
+                    .then(|| chain.cells.start + u32::try_from(len - 1 - s).expect("span fits"));
+                match (cf, cr) {
+                    (Some(f), Some(r)) if f == r => items.push((f, li, true, true)),
+                    _ => {
+                        if let Some(f) = cf {
+                            items.push((f, li, true, false));
+                        }
+                        if let Some(r) = cr {
+                            items.push((r, li, false, true));
+                        }
+                    }
+                }
+            }
+            if items.is_empty() {
+                continue;
+            }
+            items.sort_unstable_by_key(|it| it.0);
+            let exch: Vec<Exchange> = items
+                .iter()
+                .map(|&(cell, li, cf, cr)| {
+                    let j = &journeys[li];
+                    let pay_a = if cf {
+                        j.fwd.clone().expect("carrier implies alive")
+                    } else {
+                        filler(cfg, cell, e, 2)
+                    };
+                    let pay_b = if cr {
+                        j.rev.clone().expect("carrier implies alive")
+                    } else {
+                        filler(cfg, cell, e, 3)
+                    };
+                    Exchange {
+                        cell,
+                        pay_a,
+                        pay_b,
+                        want_a: cr,
+                        want_b: cf,
+                    }
+                })
+                .collect();
+            let results = self.run_exchanges(e, exch)?;
+            for (&(_, li, cf, cr), res) in items.iter().zip(results) {
+                let [ra, rb] = res;
+                if cf {
+                    journeys[li].fwd = rb;
+                }
+                if cr {
+                    journeys[li].rev = ra;
+                }
+            }
+        }
+        for (li, &c) in live.iter().enumerate() {
+            let ci = c as usize;
+            let arrival = self.cal[ci]
+                .get(self.st.served[ci] as usize)
+                .copied()
+                .map(u64::from)
+                .ok_or(CityError::CalendarDesync {
+                    cell: self.chains[ci].head(),
+                    served: self.st.served[ci],
+                })?;
+            self.st.served[ci] += 1;
+            let j = &journeys[li];
+            // Reverse (delivered at the chain's a end) scored first,
+            // then forward — the historical [at_a, at_b] order.
+            for (got, truth) in [(&j.rev, &j.truth_r), (&j.fwd, &j.truth_f)] {
+                match got {
+                    Some(bits) => {
+                        self.st.delivered += 1;
+                        self.st
+                            .latency
+                            .push(((t + 1 - arrival) * self.slots_per_round) as f64);
+                        self.st.ber.push(ber(bits, truth));
+                    }
+                    None => self.st.lost += 1,
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Carrier-sense arbitration (§6): chains whose nodes hear each
+    /// other above the sense radius form contention components; one
+    /// chain per component proceeds this round, rotating fairly with
+    /// the period so no chain starves.
+    fn contention_filter(&self, t: u64, live: Vec<u32>) -> Vec<u32> {
+        if live.len() <= 1 {
+            return live;
+        }
+        let board = self.board.read().expect("board lock");
+        let sense = self.cfg.csma.sense_radius(self.phy.gate);
+        let mut owner: HashMap<u32, usize> = HashMap::new();
+        for (li, &ch) in live.iter().enumerate() {
+            for cell in self.chains[ch as usize].cells.clone() {
+                let c = cell as usize;
+                for node in [node_a(c), node_r(c), node_b(c)] {
+                    owner.insert(u32::try_from(node).expect("node fits u32"), li);
+                }
+            }
+        }
+        fn find(parent: &mut [usize], x: usize) -> usize {
+            let mut root = x;
+            while parent[root] != root {
+                root = parent[root];
+            }
+            let mut cur = x;
+            while parent[cur] != root {
+                let next = parent[cur];
+                parent[cur] = root;
+                cur = next;
+            }
+            root
+        }
+        let mut parent: Vec<usize> = (0..live.len()).collect();
+        let mut cands: Vec<u32> = Vec::new();
+        for (li, &ch) in live.iter().enumerate() {
+            for cell in self.chains[ch as usize].cells.clone() {
+                let c = cell as usize;
+                for node in [node_a(c), node_r(c), node_b(c)] {
+                    let p = board.positions[node];
+                    // The gate-radius grid is a superset pre-filter
+                    // for any sense radius ≤ the gate radius.
+                    board.grid.candidates_into(p, &mut cands);
+                    for &id in &cands {
+                        let Some(&lj) = owner.get(&id) else { continue };
+                        if lj == li || !within_range(board.positions[id as usize], p, sense) {
+                            continue;
+                        }
+                        let (ra, rb) = (find(&mut parent, li), find(&mut parent, lj));
+                        if ra != rb {
+                            parent[ra.max(rb)] = ra.min(rb);
+                        }
+                    }
+                }
+            }
+        }
+        let mut comps: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for li in 0..live.len() {
+            comps.entry(find(&mut parent, li)).or_default().push(li);
+        }
+        let mut winners: Vec<u32> = comps
+            .values()
+            .map(|members| {
+                let start = contention_rotation(members.len(), t)
+                    .next()
+                    .expect("components are non-empty");
+                live[members[start]]
+            })
+            .collect();
+        winners.sort_unstable();
+        winners
+    }
+
+    /// Advances the waypoints of the serviced chains' endpoints to
+    /// round `t` and relocates any node that moved — an O(1)
+    /// incremental [`SpatialGrid::relocate`] per mover, never a
+    /// rebuild. Lazy by design: an idle chain's endpoints don't pay
+    /// anything (their analytic position catches up when next
+    /// serviced, and non-transmitters are invisible to receivers
+    /// anyway — the window admits only the slot's transmitter set).
+    fn mobility_update(&mut self, t: u64, live: &[u32]) {
+        if self.waypoints.is_empty() {
+            return;
+        }
+        let t0 = Instant::now();
+        let mut board = self.board.write().expect("board lock");
+        let b = &mut *board;
+        for &ch in live {
+            for cell in self.chains[ch as usize].cells.clone() {
+                let c = cell as usize;
+                for node in [node_a(c), node_b(c)] {
+                    let Some(wp) = self.waypoints[node].as_mut() else {
+                        continue;
+                    };
+                    wp.advance(self.cfg, t);
+                    let new = wp.pos(t);
+                    let old = b.positions[node];
+                    if new != old {
+                        b.positions[node] = new;
+                        // Returns false on a same-bucket move (the
+                        // common case) and panics if the node is
+                        // missing — nothing to assert here.
+                        b.grid
+                            .relocate(u32::try_from(node).expect("node fits u32"), old, new);
+                    }
+                }
+            }
+        }
+        drop(board);
+        self.profile.mobility_ns += elapsed_ns(t0);
+    }
+
+    /// Runs one exchange sub-round `e` over `exch` (cell-ascending)
+    /// through the region blocks: install board state, fan a stage
+    /// job out to every involved region, fold stage results back in
+    /// region order. The controller write-locks the board only
+    /// between stages (every previous job folded back first), so
+    /// blocks only ever read a settled snapshot.
+    fn run_exchanges(
+        &mut self,
+        e: u64,
+        exch: Vec<Exchange>,
+    ) -> Result<Vec<[Option<Vec<bool>>; 2]>, CityError> {
+        let n = exch.len();
+        let regions = self.ports.len();
+        let mut seg = vec![0..0; regions];
+        {
+            let cells_x = self.cfg.cells_x;
+            let mut i = 0;
+            while i < n {
+                let r = (exch[i].cell as usize) / cells_x;
+                let start = i;
+                while i < n && (exch[i].cell as usize) / cells_x == r {
+                    i += 1;
+                }
+                seg[r] = start..i;
+            }
+        }
+        let active: Vec<usize> = (0..regions).filter(|&r| !seg[r].is_empty()).collect();
+        match self.compiled {
+            CompiledExchange::Anc => {
+                let t0 = Instant::now();
+                {
+                    let mut b = self.board.write().expect("board lock");
+                    b.exch = exch;
+                    b.seg = seg;
+                    b.eround = e;
+                }
+                for &r in &active {
+                    push_job(&mut *self.pump, &mut self.ports[r].tx_job, RegionJob::AncTx)?;
+                }
+                let mut dctx = Vec::with_capacity(n);
+                let mut uplink = Vec::with_capacity(2 * n);
+                for &r in &active {
+                    // A mismatched variant would mean the rings broke
+                    // FIFO — surfaced as a stall, not a panic.
+                    let RegionOut::Tx(v) = pop_out(&mut *self.pump, &mut self.ports[r].tx_out)?
+                    else {
+                        return Err(CityError::PipelineStalled);
+                    };
+                    for (ctx, [ta, tb]) in v {
+                        dctx.push(ctx);
+                        uplink.push(ta);
+                        uplink.push(tb);
+                    }
+                }
+                {
+                    let mut b = self.board.write().expect("board lock");
+                    b.dctx = dctx;
+                    b.txs = uplink;
+                    b.slot = e * self.spr;
+                }
+                for &r in &active {
+                    push_job(
+                        &mut *self.pump,
+                        &mut self.ports[r].relay_job,
+                        RegionJob::AncRelay,
+                    )?;
+                }
+                let mut downlink = Vec::with_capacity(n);
+                for &r in &active {
+                    let RegionOut::Relay(v) =
+                        pop_out(&mut *self.pump, &mut self.ports[r].relay_out)?
+                    else {
+                        return Err(CityError::PipelineStalled);
+                    };
+                    downlink.extend(v);
+                }
+                self.profile.window_assembly_ns += elapsed_ns(t0);
+                {
+                    let mut b = self.board.write().expect("board lock");
+                    b.txs = downlink;
+                    b.slot = e * self.spr + 1;
+                }
+                let t1 = Instant::now();
+                for &r in &active {
+                    push_job(
+                        &mut *self.pump,
+                        &mut self.ports[r].dec_job,
+                        RegionJob::AncDecode,
+                    )?;
+                }
+                let mut results = Vec::with_capacity(n);
+                for &r in &active {
+                    let RegionOut::Decode(v) =
+                        pop_out(&mut *self.pump, &mut self.ports[r].dec_out)?
+                    else {
+                        return Err(CityError::PipelineStalled);
+                    };
+                    results.extend(v);
+                }
+                self.profile.decode_ns += elapsed_ns(t1);
+                Ok(results)
+            }
+            CompiledExchange::Trad(hops) => {
+                let wants: Vec<(bool, bool)> = exch.iter().map(|x| (x.want_a, x.want_b)).collect();
+                let mut fwd_fr: Vec<Option<Frame>> = Vec::with_capacity(n);
+                let mut rev_fr: Vec<Option<Frame>> = Vec::with_capacity(n);
+                for x in &exch {
+                    let (fa, fb) = self
+                        .phy
+                        .frame_pair(x.cell, e, x.pay_a.clone(), x.pay_b.clone());
+                    fwd_fr.push(Some(fa));
+                    rev_fr.push(Some(fb));
+                }
+                {
+                    let mut b = self.board.write().expect("board lock");
+                    b.exch = exch;
+                    b.seg = seg;
+                    b.eround = e;
+                }
+                for (j, hop) in hops.iter().enumerate() {
+                    let input = if hop.forward {
+                        std::mem::take(&mut fwd_fr)
+                    } else {
+                        std::mem::take(&mut rev_fr)
+                    };
+                    {
+                        let mut b = self.board.write().expect("board lock");
+                        b.hop_frames = input;
+                        b.hop_from = hop.from;
+                        b.hop_to = hop.to;
+                    }
+                    let t0 = Instant::now();
+                    for &r in &active {
+                        push_job(
+                            &mut *self.pump,
+                            &mut self.ports[r].tx_job,
+                            RegionJob::TradModulate,
+                        )?;
+                    }
+                    let mut txs = Vec::with_capacity(n);
+                    for &r in &active {
+                        let RegionOut::Modulated(v) =
+                            pop_out(&mut *self.pump, &mut self.ports[r].tx_out)?
+                        else {
+                            return Err(CityError::PipelineStalled);
+                        };
+                        txs.extend(v);
+                    }
+                    self.profile.window_assembly_ns += elapsed_ns(t0);
+                    {
+                        let mut b = self.board.write().expect("board lock");
+                        b.txs = txs;
+                        b.slot = e * self.spr + j as u64;
+                    }
+                    let t1 = Instant::now();
+                    for &r in &active {
+                        push_job(
+                            &mut *self.pump,
+                            &mut self.ports[r].dec_job,
+                            RegionJob::TradDecode,
+                        )?;
+                    }
+                    let mut decoded = Vec::with_capacity(n);
+                    for &r in &active {
+                        let RegionOut::HopDecoded(v) =
+                            pop_out(&mut *self.pump, &mut self.ports[r].dec_out)?
+                        else {
+                            return Err(CityError::PipelineStalled);
+                        };
+                        decoded.extend(v);
+                    }
+                    self.profile.decode_ns += elapsed_ns(t1);
+                    if hop.forward {
+                        fwd_fr = decoded;
+                    } else {
+                        rev_fr = decoded;
+                    }
+                }
+                Ok((0..n)
+                    .map(|i| {
+                        let (want_a, want_b) = wants[i];
+                        let ra = if want_a {
+                            rev_fr[i].take().map(|f| f.payload)
+                        } else {
+                            None
+                        };
+                        let rb = if want_b {
+                            fwd_fr[i].take().map(|f| f.payload)
+                        } else {
+                            None
+                        };
+                        [ra, rb]
+                    })
+                    .collect())
             }
         }
     }
-    Ok(())
 }
 
-/// Runs a city simulation, panicking where [`try_run_city`] would
-/// return an error (COPE, a horizon beyond `u32`, a non-probability
-/// offered load, …). Thin wrapper kept for call sites that treat a
-/// bad config as a programming bug.
+/// Builds a [`CityRun`]: config + scheme + executor, validated
+/// together. Created by [`CityConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct CityRunBuilder {
+    cfg: CityConfig,
+    scheme: Scheme,
+    sched: SchedulerSpec,
+}
+
+impl CityRunBuilder {
+    /// Replaces the default config.
+    pub fn config(mut self, cfg: CityConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Selects the executor (deterministic by default). The
+    /// work-stealing executor is bit-identical to the deterministic
+    /// one — blocks are pure functions of ring traffic and board
+    /// snapshots.
+    pub fn scheduler(mut self, sched: SchedulerSpec) -> Self {
+        self.sched = sched;
+        self
+    }
+
+    /// Validates the config, compiles the exchange plan through
+    /// [`derive_plan`], and returns a runnable [`CityRun`].
+    pub fn build(self) -> Result<CityRun, CityError> {
+        let (plan, compiled) = compile_exchange(self.scheme)?;
+        let cfg = &self.cfg;
+        if cfg.cells_x == 0 || cfg.rows == 0 {
+            return Err(CityError::InvalidConfig("city needs cells".into()));
+        }
+        if u32::try_from(cfg.rounds).is_err() {
+            return Err(CityError::InvalidConfig(
+                "rounds must fit u32 (calendar entries)".into(),
+            ));
+        }
+        if !cfg.offered.is_finite() || !(0.0..=1.0).contains(&cfg.offered) {
+            return Err(CityError::InvalidConfig(format!(
+                "offered load must be a probability, got {}",
+                cfg.offered
+            )));
+        }
+        if cfg.payload_bits == 0 {
+            return Err(CityError::InvalidConfig(
+                "empty payloads carry nothing".into(),
+            ));
+        }
+        if cfg.flow_span == 0 {
+            return Err(CityError::InvalidConfig(
+                "flow_span must be at least 1".into(),
+            ));
+        }
+        if cfg.flow_span > cfg.cells_x {
+            return Err(CityError::InvalidConfig(format!(
+                "flow_span {} cannot exceed cells_x {} (chains run along a street)",
+                cfg.flow_span, cfg.cells_x
+            )));
+        }
+        if !cfg.velocity.is_finite() || cfg.velocity < 0.0 {
+            return Err(CityError::InvalidConfig(format!(
+                "velocity must be finite and non-negative, got {}",
+                cfg.velocity
+            )));
+        }
+        if !cfg.pause.is_finite() || cfg.pause < 0.0 {
+            return Err(CityError::InvalidConfig(format!(
+                "pause must be finite and non-negative, got {}",
+                cfg.pause
+            )));
+        }
+        if cfg.velocity > 0.0 && cfg.layout != CityLayout::RandomWaypoint {
+            return Err(CityError::InvalidConfig(
+                "velocity > 0 requires the random-waypoint layout".into(),
+            ));
+        }
+        if cfg.contention
+            && (!cfg.csma.sense_factor.is_finite()
+                || cfg.csma.sense_factor <= 0.0
+                || cfg.csma.sense_factor > 1.0)
+        {
+            return Err(CityError::InvalidConfig(format!(
+                "carrier-sense factor must be in (0, 1], got {}",
+                cfg.csma.sense_factor
+            )));
+        }
+        let spr = u64::try_from(plan.slots()).expect("plan slots fit u64");
+        Ok(CityRun {
+            cfg: self.cfg,
+            scheme: self.scheme,
+            sched: self.sched,
+            plan,
+            compiled,
+            spr,
+        })
+    }
+}
+
+/// A validated, compiled, schedulable city run. Reusable: `execute`
+/// takes `&self`, so one `CityRun` can back repeated trials.
+#[derive(Debug)]
+pub struct CityRun {
+    cfg: CityConfig,
+    scheme: Scheme,
+    sched: SchedulerSpec,
+    plan: SlotPlan,
+    compiled: CompiledExchange,
+    spr: u64,
+}
+
+impl CityRun {
+    /// The validated config.
+    pub fn config(&self) -> &CityConfig {
+        &self.cfg
+    }
+
+    /// The scheme this run executes.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// The per-cell slot plan [`derive_plan`] compiled for the two
+    /// crossing flows (2 slots under ANC, 4 under traditional).
+    pub fn plan(&self) -> &SlotPlan {
+        &self.plan
+    }
+
+    /// Runs the city and returns its outcome.
+    pub fn execute(&self) -> Result<CityOutcome, CityError> {
+        self.run().map(|(out, _)| out)
+    }
+
+    /// Runs the city and additionally returns the stage-level time
+    /// split (window assembly vs decode vs mobility).
+    pub fn execute_profiled(&self) -> Result<(CityOutcome, CityProfile), CityError> {
+        self.run()
+    }
+
+    fn run(&self) -> Result<(CityOutcome, CityProfile), CityError> {
+        let cfg = &self.cfg;
+        let span = cfg.flow_span.max(1);
+        let slots_per_round = self.spr * span as u64;
+        let positions = place(cfg);
+        let chains = build_chains(cfg);
+        let cal = calendars(cfg, &positions, &chains);
+        let mut waypoints = build_waypoints(cfg, &positions);
+        let phy = CityPhy::new(cfg);
+        let grid = SpatialGrid::build(&positions, phy.gate);
+        let board = RwLock::new(Board {
+            positions,
+            grid,
+            exch: Vec::new(),
+            seg: vec![0..0; cfg.rows],
+            dctx: Vec::new(),
+            txs: Vec::new(),
+            slot: 0,
+            eround: 0,
+            hop_frames: Vec::new(),
+            hop_from: 0,
+            hop_to: 0,
+        });
+        let (blocks, mut ports) = build_city_graph(&phy, &board, cfg.rows, self.sched.capacity);
+        let mut st = RunState::new(chains.len());
+        let mut profile = CityProfile::default();
+        let result: Result<(), CityError> = self.sched.run_blocks(
+            blocks,
+            Box::new(|pump: &mut dyn Pump| {
+                let mut drv = CityDriver {
+                    cfg,
+                    compiled: &self.compiled,
+                    spr: self.spr,
+                    span,
+                    slots_per_round,
+                    chains: &chains,
+                    cal: &cal,
+                    phy: &phy,
+                    board: &board,
+                    ports: &mut ports,
+                    pump,
+                    waypoints: &mut waypoints,
+                    st: &mut st,
+                    profile: &mut profile,
+                };
+                if cfg.sparse {
+                    drv.advance_sparse()
+                } else {
+                    drv.advance_dense()
+                }
+            }),
+        );
+        result?;
+        Ok((
+            CityOutcome {
+                nodes: cfg.nodes(),
+                cells: cfg.cells(),
+                rounds: cfg.rounds,
+                slots_per_round,
+                offered: cal.iter().map(|c| c.len() as u64).sum(),
+                delivered: st.delivered,
+                lost: st.lost,
+                latency: st.latency,
+                ber: st.ber,
+                rounds_serviced: st.rounds_serviced,
+                polls: st.polls,
+                advance_ops: st.advance_ops,
+                service_hash: st.service_hash,
+            },
+            profile,
+        ))
+    }
+}
+
+/// Runs a city simulation, panicking where the builder would return
+/// an error.
+#[deprecated(
+    since = "0.1.0",
+    note = "use CityConfig::builder(scheme).config(cfg).build()?.execute() — the builder \
+            also selects the executor"
+)]
 pub fn run_city(cfg: &CityConfig, scheme: Scheme) -> CityOutcome {
+    #[allow(deprecated)]
     try_run_city(cfg, scheme).unwrap_or_else(|e| panic!("city run failed: {e}"))
 }
 
-/// Fallible entry to the city simulation: validates the config and
-/// scheme up front and surfaces queue-path desync as
-/// [`CityError::CalendarDesync`] instead of indexing past a calendar.
+/// Fallible entry to the city simulation on the deterministic
+/// executor.
+#[deprecated(
+    since = "0.1.0",
+    note = "use CityConfig::builder(scheme).config(cfg).build()?.execute() — the builder \
+            also selects the executor"
+)]
 pub fn try_run_city(cfg: &CityConfig, scheme: Scheme) -> Result<CityOutcome, CityError> {
-    let spr: u64 = match scheme {
-        Scheme::Anc => 2,
-        Scheme::Traditional => 4,
-        Scheme::Cope => return Err(CityError::UnsupportedScheme(scheme)),
-    };
-    if cfg.cells_x == 0 || cfg.rows == 0 {
-        return Err(CityError::InvalidConfig("city needs cells".into()));
-    }
-    if u32::try_from(cfg.rounds).is_err() {
-        return Err(CityError::InvalidConfig(
-            "rounds must fit u32 (calendar entries)".into(),
-        ));
-    }
-    if !cfg.offered.is_finite() || !(0.0..=1.0).contains(&cfg.offered) {
-        return Err(CityError::InvalidConfig(format!(
-            "offered load must be a probability, got {}",
-            cfg.offered
-        )));
-    }
-    if cfg.payload_bits == 0 {
-        return Err(CityError::InvalidConfig(
-            "empty payloads carry nothing".into(),
-        ));
-    }
-    let positions = place(cfg);
-    let cal = calendars(cfg, &positions);
-    let phy = CityPhy::new(cfg, &positions);
-    let cells = cfg.cells();
-    let mut st = RunState {
-        arr_idx: vec![0; cells],
-        served: vec![0; cells],
-        latency: StatDigest::default(),
-        ber: StatDigest::default(),
-        delivered: 0,
-        lost: 0,
-        rounds_serviced: 0,
-        polls: 0,
-        advance_ops: 0,
-        service_hash: 0xcbf2_9ce4_8422_2325,
-    };
-    if cfg.sparse {
-        advance_sparse(cfg, scheme, &phy, &cal, &mut st, spr)?;
-    } else {
-        advance_dense(cfg, scheme, &phy, &cal, &mut st, spr)?;
-    }
-    Ok(CityOutcome {
-        nodes: cfg.nodes(),
-        cells,
-        rounds: cfg.rounds,
-        slots_per_round: spr,
-        offered: cal.iter().map(|c| c.len() as u64).sum(),
-        delivered: st.delivered,
-        lost: st.lost,
-        latency: st.latency,
-        ber: st.ber,
-        rounds_serviced: st.rounds_serviced,
-        polls: st.polls,
-        advance_ops: st.advance_ops,
-        service_hash: st.service_hash,
-    })
-}
-
-/// Reference advance: every round touches every cell.
-fn advance_dense(
-    cfg: &CityConfig,
-    scheme: Scheme,
-    phy: &CityPhy<'_>,
-    cal: &[Vec<u32>],
-    st: &mut RunState,
-    spr: u64,
-) -> Result<(), CityError> {
-    let cells = cfg.cells();
-    let mut active: Vec<u32> = Vec::new();
-    for t in 0..cfg.rounds {
-        active.clear();
-        for (c, cell_cal) in cal.iter().enumerate().take(cells) {
-            st.polls += 1;
-            let ai = &mut st.arr_idx[c];
-            while (*ai as usize) < cell_cal.len() && u64::from(cell_cal[*ai as usize]) == t {
-                *ai += 1;
-            }
-            if st.served[c] < *ai {
-                active.push(u32::try_from(c).expect("cell fits u32"));
-            }
-        }
-        if !active.is_empty() {
-            service_round(cfg, scheme, phy, cal, st, t, &active, spr)?;
-        }
-    }
-    Ok(())
-}
-
-/// Sparse advance: a min-heap of next arrivals plus the backlogged
-/// set. Idle rounds are skipped in O(1); each busy round costs
-/// O(arrivals landing + backlogged cells). Produces the identical
-/// service sequence to [`advance_dense`] because both consume the same
-/// calendar and a round is served iff some cell is backlogged at it.
-fn advance_sparse(
-    cfg: &CityConfig,
-    scheme: Scheme,
-    phy: &CityPhy<'_>,
-    cal: &[Vec<u32>],
-    st: &mut RunState,
-    spr: u64,
-) -> Result<(), CityError> {
-    let cells = cfg.cells();
-    let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
-    for (c, arrivals) in cal.iter().enumerate() {
-        if let Some(&first) = arrivals.first() {
-            heap.push(Reverse((first, u32::try_from(c).expect("cell fits u32"))));
-            st.advance_ops += 1;
-        }
-    }
-    let mut is_active = vec![false; cells];
-    let mut active: Vec<u32> = Vec::new();
-    let mut t: u64 = 0;
-    loop {
-        if active.is_empty() {
-            // Nothing backlogged: jump straight to the next arrival.
-            let Some(&Reverse((ta, _))) = heap.peek() else {
-                break;
-            };
-            t = t.max(u64::from(ta));
-        }
-        if t >= cfg.rounds {
-            break;
-        }
-        while let Some(&Reverse((ta, c))) = heap.peek() {
-            if u64::from(ta) > t {
-                break;
-            }
-            heap.pop();
-            st.advance_ops += 1;
-            let ci = c as usize;
-            st.arr_idx[ci] += 1;
-            if let Some(&next) = cal[ci].get(st.arr_idx[ci] as usize) {
-                heap.push(Reverse((next, c)));
-            }
-            if !is_active[ci] {
-                is_active[ci] = true;
-                active.push(c);
-            }
-        }
-        active.sort_unstable();
-        if !active.is_empty() {
-            st.advance_ops += active.len() as u64;
-            service_round(cfg, scheme, phy, cal, st, t, &active, spr)?;
-        }
-        let (served, arr) = (&st.served, &st.arr_idx);
-        active.retain(|&c| {
-            let keep = served[c as usize] < arr[c as usize];
-            if !keep {
-                is_active[c as usize] = false;
-            }
-            keep
-        });
-        t += 1;
-    }
-    Ok(())
+    CityConfig::builder(scheme)
+        .config(cfg.clone())
+        .build()?
+        .execute()
 }
 
 #[cfg(test)]
@@ -1051,9 +2270,18 @@ mod tests {
         }
     }
 
+    fn run(cfg: &CityConfig, scheme: Scheme) -> CityOutcome {
+        CityConfig::builder(scheme)
+            .config(cfg.clone())
+            .build()
+            .expect("valid config")
+            .execute()
+            .expect("city run")
+    }
+
     #[test]
     fn urban_anc_delivers_with_low_ber() {
-        let out = run_city(&small(3), Scheme::Anc);
+        let out = run(&small(3), Scheme::Anc);
         assert!(out.offered > 0, "0.3 offered over 96 cell-rounds");
         assert!(out.delivered > 0, "urban grid should decode");
         assert_eq!(out.latency.count(), out.delivered);
@@ -1079,9 +2307,9 @@ mod tests {
             cfg.rounds = 40;
             cfg.offered = 0.05;
             cfg.sparse = false;
-            let dense = run_city(&cfg, scheme);
+            let dense = run(&cfg, scheme);
             cfg.sparse = true;
-            let sparse = run_city(&cfg, scheme);
+            let sparse = run(&cfg, scheme);
             assert_eq!(
                 dense.fingerprint(),
                 sparse.fingerprint(),
@@ -1097,18 +2325,28 @@ mod tests {
     }
 
     #[test]
-    fn parallel_matches_serial() {
+    fn work_stealing_matches_deterministic() {
         for layout in [CityLayout::UrbanGrid, CityLayout::RandomWaypoint] {
             let mut cfg = small(11);
             cfg.layout = layout;
-            cfg.threads = 1;
-            let serial = run_city(&cfg, Scheme::Anc);
-            cfg.threads = 4;
-            let parallel = run_city(&cfg, Scheme::Anc);
+            let serial = CityConfig::builder(Scheme::Anc)
+                .config(cfg.clone())
+                .scheduler(SchedulerSpec::deterministic())
+                .build()
+                .expect("valid config")
+                .execute()
+                .expect("city run");
+            let parallel = CityConfig::builder(Scheme::Anc)
+                .config(cfg)
+                .scheduler(SchedulerSpec::work_stealing(4))
+                .build()
+                .expect("valid config")
+                .execute()
+                .expect("city run");
             assert_eq!(
                 serial.fingerprint(),
                 parallel.fingerprint(),
-                "{layout:?}: thread count changed the physics"
+                "{layout:?}: executor changed the physics"
             );
         }
     }
@@ -1116,8 +2354,8 @@ mod tests {
     #[test]
     fn traditional_pays_double_latency() {
         let cfg = small(5);
-        let anc = run_city(&cfg, Scheme::Anc);
-        let trad = run_city(&cfg, Scheme::Traditional);
+        let anc = run(&cfg, Scheme::Anc);
+        let trad = run(&cfg, Scheme::Traditional);
         assert!(anc.delivered > 0 && trad.delivered > 0);
         // Same arrival calendar, but every round costs 4 slots instead
         // of 2 — the §2 exchange count made concrete.
@@ -1132,7 +2370,7 @@ mod tests {
     #[test]
     fn flash_crowd_adds_load_and_faults_stall_service() {
         let mut cfg = small(9);
-        let base = run_city(&cfg, Scheme::Anc);
+        let base = run(&cfg, Scheme::Anc);
         cfg.flash = Some(FlashCrowd {
             center: (0.0, 0.0),
             radius: 200.0,
@@ -1140,7 +2378,7 @@ mod tests {
             from_round: 2,
             until_round: 10,
         });
-        let flash = run_city(&cfg, Scheme::Anc);
+        let flash = run(&cfg, Scheme::Anc);
         assert!(
             flash.offered > base.offered,
             "flash crowd should add arrivals ({} vs {})",
@@ -1150,7 +2388,7 @@ mod tests {
         // A total outage stalls every street: nothing served, nothing
         // lost, queues simply never drain.
         cfg.faults = Some(FaultSpec::none().with_crashes(1.0, 4));
-        let stalled = run_city(&cfg, Scheme::Anc);
+        let stalled = run(&cfg, Scheme::Anc);
         assert_eq!(stalled.delivered, 0);
         assert_eq!(stalled.lost, 0);
         assert!(stalled.offered > 0);
@@ -1158,9 +2396,9 @@ mod tests {
         // still agree under partial outages.
         cfg.faults = Some(FaultSpec::none().with_crashes(0.3, 2));
         cfg.sparse = false;
-        let d = run_city(&cfg, Scheme::Anc);
+        let d = run(&cfg, Scheme::Anc);
         cfg.sparse = true;
-        let s = run_city(&cfg, Scheme::Anc);
+        let s = run(&cfg, Scheme::Anc);
         assert_eq!(d.fingerprint(), s.fingerprint());
     }
 
@@ -1170,9 +2408,9 @@ mod tests {
         cfg.offered = 0.0;
         cfg.rounds = 1000;
         cfg.sparse = false;
-        let dense = run_city(&cfg, Scheme::Anc);
+        let dense = run(&cfg, Scheme::Anc);
         cfg.sparse = true;
-        let sparse = run_city(&cfg, Scheme::Anc);
+        let sparse = run(&cfg, Scheme::Anc);
         assert_eq!(dense.offered, 0);
         assert_eq!(dense.fingerprint(), sparse.fingerprint());
         assert_eq!(dense.polls, 8 * 1000);
@@ -1180,32 +2418,78 @@ mod tests {
     }
 
     #[test]
-    fn try_run_city_rejects_bad_configs_with_typed_errors() {
+    fn builder_rejects_bad_configs_with_typed_errors() {
+        let build = |cfg: &CityConfig, scheme| {
+            CityConfig::builder(scheme)
+                .config(cfg.clone())
+                .build()
+                .map(|_| ())
+        };
         assert_eq!(
-            try_run_city(&small(1), Scheme::Cope).unwrap_err(),
+            build(&small(1), Scheme::Cope).unwrap_err(),
             CityError::UnsupportedScheme(Scheme::Cope)
         );
         let mut cfg = small(1);
         cfg.cells_x = 0;
         assert!(matches!(
-            try_run_city(&cfg, Scheme::Anc),
+            build(&cfg, Scheme::Anc),
             Err(CityError::InvalidConfig(_))
         ));
         let mut cfg = small(1);
         cfg.offered = 1.5;
         assert!(matches!(
-            try_run_city(&cfg, Scheme::Anc),
+            build(&cfg, Scheme::Anc),
             Err(CityError::InvalidConfig(_))
         ));
         let mut cfg = small(1);
         cfg.payload_bits = 0;
-        let err = try_run_city(&cfg, Scheme::Anc).unwrap_err();
+        let err = build(&cfg, Scheme::Anc).unwrap_err();
         assert!(err.to_string().contains("payload"));
-        // The happy path through the fallible entry matches the
-        // panicking wrapper bit for bit.
+        let mut cfg = small(1);
+        cfg.flow_span = 0;
+        assert!(build(&cfg, Scheme::Anc)
+            .unwrap_err()
+            .to_string()
+            .contains("flow_span"));
+        cfg.flow_span = 5; // > cells_x = 4
+        assert!(build(&cfg, Scheme::Anc)
+            .unwrap_err()
+            .to_string()
+            .contains("flow_span"));
+        let mut cfg = small(1);
+        cfg.velocity = 1.0; // mobility on the static grid layout
+        assert!(build(&cfg, Scheme::Anc)
+            .unwrap_err()
+            .to_string()
+            .contains("random-waypoint"));
+        let mut cfg = small(1);
+        cfg.velocity = -1.0;
+        cfg.layout = CityLayout::RandomWaypoint;
+        assert!(build(&cfg, Scheme::Anc)
+            .unwrap_err()
+            .to_string()
+            .contains("velocity"));
+        let mut cfg = small(1);
+        cfg.contention = true;
+        cfg.csma.sense_factor = 1.5; // sense beyond the energy gate
+        assert!(build(&cfg, Scheme::Anc)
+            .unwrap_err()
+            .to_string()
+            .contains("carrier-sense"));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_builder() {
+        assert_eq!(
+            try_run_city(&small(1), Scheme::Cope).unwrap_err(),
+            CityError::UnsupportedScheme(Scheme::Cope)
+        );
         let a = try_run_city(&small(5), Scheme::Anc).unwrap();
         let b = run_city(&small(5), Scheme::Anc);
+        let c = run(&small(5), Scheme::Anc);
         assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), c.fingerprint());
     }
 
     #[test]
@@ -1224,5 +2508,159 @@ mod tests {
             gain_at(2.0 * IN_CELL_PITCH) < 0.31,
             "cross-cell links below gate"
         );
+    }
+
+    #[test]
+    fn multi_cell_chains_relay_end_to_end() {
+        let mut cfg = small(13);
+        cfg.flow_span = 2;
+        let out = run(&cfg, Scheme::Anc);
+        // 4 cells per row pair into 2 two-cell chains per row; an ANC
+        // service round now spans 2 sub-rounds × 2 slots.
+        assert_eq!(out.slots_per_round, 4);
+        assert!(out.offered > 0, "chains still draw arrivals");
+        assert!(out.delivered > 0, "two-cell relay chains should decode");
+        assert_eq!(out.delivered + out.lost, 2 * out.offered);
+        assert!(
+            out.ber.mean() < 0.05,
+            "chained hops stay near-clean, got {}",
+            out.ber.mean()
+        );
+        // Full-street chains (span = cells_x) also complete.
+        cfg.flow_span = 4;
+        let street = run(&cfg, Scheme::Anc);
+        assert_eq!(street.slots_per_round, 8);
+        assert!(street.delivered > 0, "street-long chains should decode");
+        // And the sparse/dense agreement holds for chains too.
+        cfg.sparse = false;
+        let dense = run(&cfg, Scheme::Anc);
+        cfg.sparse = true;
+        let sparse = run(&cfg, Scheme::Anc);
+        assert_eq!(dense.fingerprint(), sparse.fingerprint());
+    }
+
+    #[test]
+    fn contention_defers_service_but_loses_nothing() {
+        let mut cfg = small(17);
+        cfg.offered = 1.0; // every chain backlogged every round
+        let free = run(&cfg, Scheme::Anc);
+        cfg.contention = true;
+        let gated = run(&cfg, Scheme::Anc);
+        // Adjacent cells on a street hear each other (b↔next a is one
+        // in-cell pitch apart), so each street collapses to one
+        // contention component: service is serialized, queues back up.
+        assert!(gated.delivered > 0, "winners still decode");
+        assert!(
+            gated.delivered + gated.lost < free.delivered + free.lost,
+            "carrier sense must defer service ({} vs {})",
+            gated.delivered + gated.lost,
+            free.delivered + free.lost
+        );
+        // Deferral is not loss: everything served still decodes as
+        // reliably as the un-gated city.
+        assert!(gated.ber.mean() < 0.05);
+        // The rotation is deterministic: both advance modes agree.
+        cfg.sparse = false;
+        let dense = run(&cfg, Scheme::Anc);
+        cfg.sparse = true;
+        let sparse = run(&cfg, Scheme::Anc);
+        assert_eq!(dense.fingerprint(), sparse.fingerprint());
+    }
+
+    #[test]
+    fn mobility_is_deterministic_and_changes_the_physics() {
+        let mut cfg = small(19);
+        cfg.layout = CityLayout::RandomWaypoint;
+        let frozen = run(&cfg, Scheme::Anc);
+        cfg.velocity = 1.5;
+        cfg.pause = 2.0;
+        let moving = run(&cfg, Scheme::Anc);
+        let again = run(&cfg, Scheme::Anc);
+        assert_eq!(
+            moving.fingerprint(),
+            again.fingerprint(),
+            "waypoint draws are coordinate-pure"
+        );
+        assert_ne!(
+            moving.fingerprint(),
+            frozen.fingerprint(),
+            "endpoints that move must change the decode record"
+        );
+        assert!(moving.delivered > 0, "short waypoint legs stay in-gate");
+    }
+
+    #[test]
+    fn mobility_profile_is_attributed() {
+        let mut cfg = small(19);
+        cfg.layout = CityLayout::RandomWaypoint;
+        cfg.velocity = 1.5;
+        let (out, profile) = CityConfig::builder(Scheme::Anc)
+            .config(cfg.clone())
+            .build()
+            .expect("valid config")
+            .execute_profiled()
+            .expect("city run");
+        assert!(out.delivered > 0);
+        assert!(profile.mobility_ns > 0, "movers must be metered");
+        assert!(profile.window_assembly_ns > 0 && profile.decode_ns > 0);
+        let share = profile.window_share();
+        assert!((0.0..=1.0).contains(&share), "share {share}");
+        assert!(matches!(profile.dominant(), "window-assembly" | "decode"));
+        cfg.velocity = 0.0;
+        let (_, still) = CityConfig::builder(Scheme::Anc)
+            .config(cfg)
+            .build()
+            .expect("valid config")
+            .execute_profiled()
+            .expect("city run");
+        assert_eq!(still.mobility_ns, 0, "static cities never pay mobility");
+    }
+
+    #[test]
+    fn config_json_survives_roundtrip_and_pre_mobility_files_load() {
+        let mut cfg = small(23);
+        cfg.layout = CityLayout::RandomWaypoint;
+        cfg.velocity = 2.5;
+        cfg.pause = 1.0;
+        cfg.flow_span = 2;
+        cfg.contention = true;
+        cfg.flash = Some(FlashCrowd {
+            center: (10.0, 20.0),
+            radius: 150.0,
+            factor: 2.0,
+            from_round: 1,
+            until_round: 8,
+        });
+        cfg.faults = Some(FaultSpec::none().with_crashes(0.3, 2));
+        let back = CityConfig::from_value(&cfg.to_value()).expect("roundtrip");
+        assert_eq!(back.to_value(), cfg.to_value());
+        // A pre-mobility config file: no velocity/pause/flow_span/
+        // contention/csma keys, plus the retired `threads` knob.
+        let mut m = BTreeMap::new();
+        m.insert("cells_x".to_string(), 4usize.to_value());
+        m.insert("rows".to_string(), 2usize.to_value());
+        m.insert(
+            "layout".to_string(),
+            "random_waypoint".to_string().to_value(),
+        );
+        m.insert("seed".to_string(), 3u64.to_value());
+        m.insert("rounds".to_string(), 12u64.to_value());
+        m.insert("offered".to_string(), 0.3f64.to_value());
+        m.insert("payload_bits".to_string(), 128usize.to_value());
+        m.insert("noise_power".to_string(), 1e-3f64.to_value());
+        m.insert("threads".to_string(), 4usize.to_value());
+        m.insert("sparse".to_string(), true.to_value());
+        let old = CityConfig::from_value(&serde::Value::Object(m)).expect("pre-mobility load");
+        assert_eq!(old.cells_x, 4);
+        assert_eq!(old.layout, CityLayout::RandomWaypoint);
+        assert_eq!(old.velocity, 0.0, "absent mobility defaults off");
+        assert_eq!(old.flow_span, 1, "absent chains default single-cell");
+        assert!(!old.contention, "absent MAC defaults off");
+        // The loaded config runs and matches the natively-built one.
+        let native = run(&small(3), Scheme::Anc);
+        let mut loaded_cfg = old;
+        loaded_cfg.layout = CityLayout::UrbanGrid;
+        let loaded = run(&loaded_cfg, Scheme::Anc);
+        assert_eq!(native.fingerprint(), loaded.fingerprint());
     }
 }

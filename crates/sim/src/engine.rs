@@ -43,8 +43,7 @@
 use crate::faults::FaultSpec;
 use crate::metrics::{FlowMetrics, OutageRecord, RunMetrics};
 use crate::pipeline::{
-    build_graph, wait_pop, wait_push, NodePark, RunCtx, RxDone, RxWork, SchedMode, SchedulerSpec,
-    SlotDriver,
+    build_graph, wait_pop, wait_push, NodePark, RunCtx, RxDone, RxWork, SchedulerSpec, SlotDriver,
 };
 use crate::runs::RunConfig;
 use crate::topology::{Topology, TopologyGraph};
@@ -60,7 +59,6 @@ use anc_netcode::{
 };
 use anc_node::phy::RxEvent;
 use anc_node::{Node, NodeConfig, NodeRole, SynthJob, SynthSource};
-use anc_runtime::{DeterministicScheduler, Scheduler, WorkStealingScheduler};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
@@ -707,30 +705,17 @@ impl<'p> Engine<'p> {
     fn execute(&mut self, sched: &SchedulerSpec) -> Result<(), EngineError> {
         let park = std::mem::take(&mut self.park);
         let (blocks, mut ports) = build_graph(&park, sched.capacity);
-        let result = match sched.mode {
-            SchedMode::Deterministic => DeterministicScheduler.run(
-                blocks,
-                Box::new(|pump| {
-                    let mut drv = SlotDriver {
-                        park: &park,
-                        ports: &mut ports,
-                        pump,
-                    };
-                    self.drive(&mut drv)
-                }),
-            ),
-            SchedMode::WorkStealing { workers } => WorkStealingScheduler::new(workers).run(
-                blocks,
-                Box::new(|pump| {
-                    let mut drv = SlotDriver {
-                        park: &park,
-                        ports: &mut ports,
-                        pump,
-                    };
-                    self.drive(&mut drv)
-                }),
-            ),
-        };
+        let result = sched.run_blocks(
+            blocks,
+            Box::new(|pump| {
+                let mut drv = SlotDriver {
+                    park: &park,
+                    ports: &mut ports,
+                    pump,
+                };
+                self.drive(&mut drv)
+            }),
+        );
         self.park = park;
         result
     }

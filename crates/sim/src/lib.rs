@@ -68,8 +68,11 @@ pub mod runs;
 pub mod scenario;
 pub mod topology;
 
+#[allow(deprecated)]
+pub use city::{run_city, try_run_city};
 pub use city::{
-    run_city, try_run_city, CityConfig, CityError, CityLayout, CityOutcome, FlashCrowd,
+    CityConfig, CityError, CityLayout, CityOutcome, CityProfile, CityRun, CityRunBuilder,
+    FlashCrowd,
 };
 #[allow(deprecated)]
 pub use engine::DecodePipeline;

@@ -23,7 +23,10 @@ use anc_frame::{Frame, NodeId};
 use anc_netcode::CopeCoder;
 use anc_node::phy::RxEvent;
 use anc_node::{Node, SynthJob, TxFrontEndBlock};
-use anc_runtime::{channel, Block, BlockStatus, Consumer, Producer, Pump};
+use anc_runtime::{
+    channel, Block, BlockStatus, Consumer, Controller, DeterministicScheduler, Producer, Pump,
+    Scheduler, WorkStealingScheduler,
+};
 use std::collections::HashMap;
 use std::sync::{Mutex, MutexGuard};
 
@@ -77,6 +80,23 @@ impl SchedulerSpec {
         SchedulerSpec {
             mode: SchedMode::WorkStealing { workers },
             ..SchedulerSpec::default()
+        }
+    }
+
+    /// Runs `controller` alongside `blocks` on the executor this spec
+    /// selects — the one dispatch point shared by every block-graph
+    /// client (the engine's per-node pipeline, the city engine's
+    /// per-region groups), so mode matching lives in exactly one place.
+    pub fn run_blocks<'env, R>(
+        &self,
+        blocks: Vec<Box<dyn Block + 'env>>,
+        controller: Controller<'env, R>,
+    ) -> R {
+        match self.mode {
+            SchedMode::Deterministic => DeterministicScheduler.run(blocks, controller),
+            SchedMode::WorkStealing { workers } => {
+                WorkStealingScheduler::new(workers).run(blocks, controller)
+            }
         }
     }
 }

@@ -1,0 +1,137 @@
+//! City-engine refactor pins (PR 10 tentpole).
+//!
+//! Two contracts guard the regions-as-block-groups rewrite:
+//!
+//! 1. **Golden fingerprints** — for static layouts (mobility off,
+//!    single-cell flows, no contention) the block-graph city is
+//!    bit-identical to the pre-refactor pool engine: the captured
+//!    fingerprints below were produced by the old per-cell loop and
+//!    must never move.
+//! 2. **Executor/advance equivalence under mobility** — waypoint
+//!    motion, incremental grid relocation, and the block-graph
+//!    dispatch are all coordinate-pure, so work-stealing == serial
+//!    and sparse == dense, bit for bit, for any seed, worker count,
+//!    and ring capacity.
+
+use anc_netcode::Scheme;
+use anc_sim::{CityConfig, CityLayout, CityOutcome, SchedulerSpec};
+use proptest::prelude::*;
+
+fn small(seed: u64) -> CityConfig {
+    CityConfig {
+        cells_x: 4,
+        rows: 2,
+        seed,
+        rounds: 12,
+        offered: 0.3,
+        payload_bits: 128,
+        ..CityConfig::default()
+    }
+}
+
+fn run_with(cfg: &CityConfig, scheme: Scheme, sched: SchedulerSpec) -> CityOutcome {
+    CityConfig::builder(scheme)
+        .config(cfg.clone())
+        .scheduler(sched)
+        .build()
+        .expect("valid config")
+        .execute()
+        .expect("city run")
+}
+
+/// The four pre-refactor fingerprints (4×2 cells, seed 3, 12 rounds,
+/// offered 0.3, 128-bit payloads), captured from the pool-based
+/// engine at the previous commit. Bit-identity across the rewrite is
+/// the tentpole's acceptance bar: same placement, same arrival
+/// calendars, same staggered superposition windows, same decode
+/// record — only the execution substrate changed.
+#[test]
+fn static_city_fingerprints_survive_the_block_graph_rewrite() {
+    let golden = [
+        (CityLayout::UrbanGrid, Scheme::Anc, 0xd31a_84e9_20d0_2106u64),
+        (
+            CityLayout::UrbanGrid,
+            Scheme::Traditional,
+            0x8e6f_5f7c_1b98_2cbb,
+        ),
+        (
+            CityLayout::RandomWaypoint,
+            Scheme::Anc,
+            0xa718_140f_b2c5_01c6,
+        ),
+        (
+            CityLayout::RandomWaypoint,
+            Scheme::Traditional,
+            0x8e6f_5f7c_1b98_2cbb,
+        ),
+    ];
+    for (layout, scheme, want) in golden {
+        let mut cfg = small(3);
+        cfg.layout = layout;
+        let out = run_with(&cfg, scheme, SchedulerSpec::deterministic());
+        assert_eq!(
+            out.fingerprint(),
+            want,
+            "{layout:?}/{scheme:?}: static city diverged from the pre-refactor engine"
+        );
+    }
+}
+
+proptest! {
+    /// Mobility on: endpoints walk random waypoints and the spatial
+    /// grid relocates them incrementally, yet every executor × advance
+    /// mode agrees bit for bit. Capacity 1 maximizes ring
+    /// backpressure; sparse advance must hash the identical service
+    /// sequence dense does.
+    #[test]
+    fn mobile_city_is_executor_and_advance_invariant(
+        seed in 0u64..500,
+        workers in 2usize..5,
+        capacity in 1usize..6,
+        velocity_q in 1u8..7,
+        pause_q in 0u8..4,
+    ) {
+        let mut cfg = small(seed);
+        cfg.layout = CityLayout::RandomWaypoint;
+        cfg.cells_x = 3;
+        cfg.rounds = 8;
+        cfg.payload_bits = 64;
+        cfg.velocity = f64::from(velocity_q) * 0.5;
+        cfg.pause = f64::from(pause_q);
+        cfg.sparse = false;
+        let reference = run_with(&cfg, Scheme::Anc, SchedulerSpec {
+            mode: anc_sim::SchedMode::Deterministic,
+            capacity,
+        });
+        prop_assert!(reference.offered > 0 || reference.rounds_serviced == 0);
+        let stolen_dense = run_with(&cfg, Scheme::Anc, SchedulerSpec {
+            mode: anc_sim::SchedMode::WorkStealing { workers },
+            capacity,
+        });
+        cfg.sparse = true;
+        let serial_sparse = run_with(&cfg, Scheme::Anc, SchedulerSpec {
+            mode: anc_sim::SchedMode::Deterministic,
+            capacity,
+        });
+        let stolen_sparse = run_with(&cfg, Scheme::Anc, SchedulerSpec {
+            mode: anc_sim::SchedMode::WorkStealing { workers },
+            capacity,
+        });
+        let want = reference.fingerprint();
+        prop_assert_eq!(
+            stolen_dense.fingerprint(), want,
+            "work-stealing dense diverged (seed={} workers={} capacity={})",
+            seed, workers, capacity
+        );
+        prop_assert_eq!(
+            serial_sparse.fingerprint(), want,
+            "sparse advance diverged (seed={} capacity={})",
+            seed, capacity
+        );
+        prop_assert_eq!(
+            stolen_sparse.fingerprint(), want,
+            "work-stealing sparse diverged (seed={} workers={} capacity={})",
+            seed, workers, capacity
+        );
+    }
+}
